@@ -1,0 +1,46 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+scaled machine presets, prints the rendered rows/series, and asserts
+the *shape* the paper reports — who wins, where the knees and cliffs
+fall — rather than absolute numbers (see EXPERIMENTS.md).
+
+pytest captures in-test output on success, so ``emit`` additionally
+queues every rendering and a terminal-summary hook replays them after
+the run — that is what lands in ``bench_output.txt``.
+"""
+
+import sys
+
+import pytest
+
+_RENDERS = []
+
+
+def emit(result):
+    """Record and print a rendered experiment result."""
+    text = result.render() if hasattr(result, "render") else str(result)
+    print("\n" + text, file=sys.stderr)
+    _RENDERS.append(text)
+    return result
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Replay every emitted table/figure once capture is released."""
+    if not _RENDERS:
+        return
+    terminalreporter.section("regenerated tables and figures")
+    for text in _RENDERS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return runner

@@ -1,0 +1,31 @@
+"""Figure 4: LLC miss rate vs eviction-set size, three machines.
+
+Paper shape: above the associativity the rate is consistently >= ~95%;
+it starts dropping when the set size matches the associativity (12 on
+the Lenovos, 16 on the Dell) and collapses below it — which is why the
+attack uses associativity + 1 lines.
+"""
+
+from conftest import emit
+
+from repro.analysis import figure4
+from repro.machine.configs import SCALED_MACHINES
+
+
+def test_figure4_llc_eviction_knee(once, benchmark):
+    result = emit(once(figure4, config_fns=SCALED_MACHINES, trials=80))
+    ways_by_machine = {
+        "Lenovo T420 (scaled)": 12,
+        "Lenovo X230 (scaled)": 12,
+        "Dell E6420 (scaled)": 16,
+    }
+    for machine, points in result.series.items():
+        ways = ways_by_machine[machine]
+        assert points[ways + 1] >= 0.9, machine
+        assert points[ways + 3] >= 0.9, machine
+        assert points[ways] < points[ways + 1], machine  # the knee
+        assert points[ways - 2] <= 0.3, machine  # collapse below
+        benchmark.extra_info[machine] = {
+            "assoc": ways,
+            "rate_at_assoc_plus_1": points[ways + 1],
+        }

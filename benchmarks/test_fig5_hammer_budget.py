@@ -1,0 +1,41 @@
+"""Figure 5: time to first flip vs per-iteration cycle cost.
+
+Paper shape: the time until the first bit flip grows as iterations get
+slower, and beyond a per-iteration budget (~1500-1600 cycles on the
+paper's machines; the cliff scales with our refresh window and
+thresholds) no flip is ever observed.
+"""
+
+from conftest import emit
+
+from repro.analysis import figure5
+from repro.machine.configs import lenovo_t420_scaled
+
+
+def test_figure5_budget_cliff(once, benchmark):
+    paddings = (0, 400, 800, 1200, 1700, 2400, 3400)
+
+    def run():
+        return figure5(
+            lenovo_t420_scaled,
+            paddings=paddings,
+            budget_windows=12,
+            buffer_pages=256,
+        )
+
+    result = emit(once(run))
+    series = result.series
+    # Fast iterations flip.
+    assert series[0] is not None
+    assert series[400] is not None
+    # Slowest iterations never flip (past the cliff).
+    assert series[3400] is None
+    # Time to first flip trends upward as iterations get slower (the
+    # paper's curve is noisy too; compare the ends, not every step).
+    flipping = [series[p] for p in paddings if series[p] is not None]
+    assert flipping[-1] >= flipping[0]
+    # The cliff falls somewhere inside the swept range.
+    first_none = next(p for p in paddings if series[p] is None)
+    assert 400 < first_none <= 3400
+    benchmark.extra_info["cliff_padding"] = first_none
+    benchmark.extra_info["predicted_cliff_cycles"] = result.cliff_cycles

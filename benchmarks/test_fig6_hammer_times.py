@@ -1,0 +1,46 @@
+"""Figure 6: per-round hammer cycle distributions, both page settings.
+
+Paper shape: 50 rounds per machine cluster in a tight band well below
+the Figure-5 budget; the Dell's rounds are costlier than the Lenovos'
+(its 17-line eviction sets mean 34 LLC accesses per round vs 26).
+"""
+
+from conftest import emit
+
+from repro.analysis import figure6
+from repro.machine import Machine
+from repro.machine.configs import dell_e6420_scaled, lenovo_t420_scaled
+
+
+def test_figure6_round_costs(once, benchmark):
+    def run():
+        results = {}
+        for config_fn in (lenovo_t420_scaled, dell_e6420_scaled):
+            for superpages in (True, False):
+                result = figure6(
+                    config_fn, superpages=superpages, rounds=50, spray_slots=384
+                )
+                results[(result.machine, result.page_setting)] = result
+        return results
+
+    results = once(run)
+    for result in results.values():
+        emit(result)
+        assert len(result.costs) == 50
+    for setting in ("super", "regular"):
+        lenovo = results[("Lenovo T420 (scaled)", setting)]
+        dell = results[("Dell E6420 (scaled)", setting)]
+        lenovo_mean = sum(lenovo.costs) / 50
+        dell_mean = sum(dell.costs) / 50
+        # The Dell's wider LLC makes each round costlier (Figure 6).
+        assert dell_mean > lenovo_mean, setting
+        # Rounds stay below the flip budget (the Figure-5 cliff).
+        machine = Machine(lenovo_t420_scaled())
+        cliff = machine.fault_model.max_iteration_cycles(
+            machine.config.dram.refresh_interval_cycles
+        )
+        assert lenovo.p95() < cliff
+        benchmark.extra_info[setting] = {
+            "lenovo_mean": lenovo_mean,
+            "dell_mean": dell_mean,
+        }

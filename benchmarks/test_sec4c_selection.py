@@ -1,0 +1,25 @@
+"""Section IV-C: LLC eviction-set selection false positives (<= 6 %).
+
+Algorithm 2 picks by timing, so noise can select a non-congruent set;
+the paper measures no more than 6 % wrong selections against kernel
+ground truth.  We allow a little slack on the scaled machines.
+"""
+
+from conftest import emit
+
+from repro.analysis import section_4c_selection
+from repro.machine.configs import lenovo_t420_scaled, dell_e6420_scaled
+
+
+def test_selection_false_positive_rate(once, benchmark):
+    def run():
+        return [
+            section_4c_selection(config_fn, targets=12)
+            for config_fn in (lenovo_t420_scaled, dell_e6420_scaled)
+        ]
+
+    results = once(run)
+    for result in results:
+        emit(result)
+        assert result.false_positive_rate <= 0.10, result.machine
+        benchmark.extra_info[result.machine] = result.false_positive_rate

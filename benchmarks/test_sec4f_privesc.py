@@ -1,0 +1,42 @@
+"""Section IV-F: kernel privilege escalation on an undefended kernel.
+
+The headline result: within the hammer budget the unprivileged attacker
+observes a bit flip in a sprayed L1PTE, captures another Level-1 page
+table, builds an arbitrary physical-mapping primitive, rewrites its own
+``struct cred``, and getuid() returns 0.
+"""
+
+from conftest import emit
+
+from repro.analysis import run_escalation
+from repro.core.pthammer import PThammerConfig
+from repro.machine.configs import lenovo_t420_scaled
+
+
+def test_privilege_escalation(once, benchmark):
+    def run():
+        return run_escalation(
+            lenovo_t420_scaled,
+            attack_config=PThammerConfig(
+                spray_slots=384, pair_sample=12, max_pairs=10
+            ),
+        )
+
+    result = once(run)
+    emit(
+        "Section IV-F [%s]: escalated=%s method=%s flips=%d first_flip=%s"
+        % (
+            result.machine,
+            result.escalated,
+            result.method,
+            result.flips_observed,
+            result.first_flip_s,
+        )
+    )
+    assert result.escalated
+    assert result.method == "l1pt"
+    assert result.flips_observed >= 1
+    assert result.first_flip_s is not None
+    assert result.ground_truth_flips >= result.flips_observed
+    benchmark.extra_info["flips_to_root"] = result.flips_observed
+    benchmark.extra_info["first_flip_s"] = result.first_flip_s

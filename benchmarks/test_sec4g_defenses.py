@@ -1,0 +1,41 @@
+"""Sections IV-G + §V: PThammer against the software-only defenses.
+
+Expected outcomes (the paper's findings, reproduced in shape):
+
+* stock   — escalation via L1PT capture (baseline, Section IV-F);
+* CATT    — bypassed: all hammering happens inside the protected kernel
+            partition, escalation still via L1PT capture (IV-G1);
+* RIP-RH  — bypassed the same way (the kernel is unprotected, IV-G2);
+* CTA     — the monotonic true-cell layer holds (no L1PT capture, all
+            PT-region flips are 1->0) but the cred spray roots a
+            process (IV-G3);
+* ZebRAM  — stops the attack: every flip lands in a guard row (§V).
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import section_4g_defenses
+
+
+def test_defense_matrix(once, benchmark):
+    matrix = emit(once(section_4g_defenses))
+    by_name = {r.defense: r for r in matrix.results}
+
+    assert by_name["stock"].escalated and by_name["stock"].method == "l1pt"
+    assert by_name["catt"].escalated and by_name["catt"].method == "l1pt"
+    assert by_name["rip-rh"].escalated
+
+    cta = by_name["cta"]
+    assert cta.captures.get("l1pt", 0) == 0  # monotonicity layer holds
+    assert cta.escalated and cta.method == "cred"
+
+    zebram = by_name["zebram"]
+    assert not zebram.escalated
+    assert zebram.flips_observed == 0
+
+    for result in matrix.results:
+        benchmark.extra_info[result.defense] = {
+            "escalated": result.escalated,
+            "method": result.method,
+            "flips": result.flips_observed,
+        }

@@ -1,0 +1,27 @@
+"""Sensitivity sweeps behind the calibration notes (DESIGN.md §5/§6)."""
+
+from conftest import emit
+
+from repro.analysis import flips_vs_threshold, pair_rate_vs_fragmentation
+
+
+def test_flips_fall_as_cells_harden(once, benchmark):
+    results = once(flips_vs_threshold)
+    emit("sensitivity/threshold -> flips: %r" % results)
+    thresholds = sorted(results)
+    # Softer cells flip more; past the budget no cell can flip.
+    assert results[thresholds[0]] > 0
+    assert results[thresholds[-1]] == 0
+    flips = [results[t] for t in thresholds]
+    assert flips[0] >= flips[-1]
+    benchmark.extra_info.update({str(k): v for k, v in results.items()})
+
+
+def test_pair_rate_degrades_with_fragmentation(once, benchmark):
+    results = once(pair_rate_vs_fragmentation)
+    emit("sensitivity/fragmentation -> same-bank rate: %r" % results)
+    fractions = sorted(results)
+    assert results[fractions[0]] >= 0.9  # pristine pool: near-perfect
+    # Heavy fragmentation costs hit rate (EXPERIMENTS.md note 4).
+    assert results[fractions[-1]] <= results[fractions[0]]
+    benchmark.extra_info.update({str(k): v for k, v in results.items()})

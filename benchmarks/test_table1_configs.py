@@ -1,0 +1,15 @@
+"""Table I: system configurations of the three test machines."""
+
+from conftest import emit
+
+from repro.analysis import table1
+
+
+def test_table1(once, benchmark):
+    result = emit(once(table1))
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {"Lenovo T420", "Lenovo X230", "Dell E6420"}
+    assert "12-way, 3 MiB" in rows["Lenovo T420"][3]
+    assert "16-way, 4 MiB" in rows["Dell E6420"][3]
+    assert all(row[4] == "8 GiB" for row in result.rows)
+    benchmark.extra_info["machines"] = len(result.rows)

@@ -1,0 +1,45 @@
+"""Table II: per-phase costs of the attack, both page settings.
+
+Paper shape assertions:
+
+* TLB preparation is orders of magnitude cheaper than LLC pool prep;
+* LLC pool preparation with superpages is much faster than with
+  regular pages (0.3 min vs 18-38 min in the paper);
+* pool preparation is a one-off cost far larger than per-pair set
+  selection; and
+* hammering produces a first flip in both settings.
+"""
+
+from conftest import emit
+
+from repro.analysis import table2
+from repro.core.pthammer import PThammerConfig
+from repro.machine.configs import lenovo_t420_scaled, dell_e6420_scaled
+
+
+def test_table2_phase_costs(once, benchmark):
+    def run():
+        return table2(
+            config_fns=(lenovo_t420_scaled, dell_e6420_scaled),
+            attack_config=PThammerConfig(
+                spray_slots=384, pair_sample=10, max_pairs=8
+            ),
+        )
+
+    result = emit(once(run))
+    by_key = {(r.machine, r.page_setting): r for r in result.rows}
+    assert len(by_key) == 4
+    for (machine, setting), row in by_key.items():
+        assert row.tlb_prep_s < row.llc_prep_s, (machine, setting)
+        assert row.llc_select_s < row.llc_prep_s, (machine, setting)
+        assert row.first_flip_s is not None, (machine, setting)
+    for machine in ("Lenovo T420 (scaled)", "Dell E6420 (scaled)"):
+        superpage = by_key[(machine, "superpage")]
+        regular = by_key[(machine, "regular")]
+        # The paper's headline Table-II relation: superpage pool prep
+        # is dramatically cheaper than the regular-page grouping.
+        assert superpage.llc_prep_s < regular.llc_prep_s, machine
+        benchmark.extra_info[machine] = {
+            "super_prep_s": superpage.llc_prep_s,
+            "regular_prep_s": regular.llc_prep_s,
+        }

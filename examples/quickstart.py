@@ -1,0 +1,49 @@
+"""Quickstart: boot a simulated machine and run PThammer end to end.
+
+Runs the complete unprivileged attack — timing calibration, eviction-set
+construction, page-table spraying, double-sided pair verification,
+implicit hammering, flip detection, and privilege escalation — against
+a small undefended machine, then prints what happened.
+
+    python examples/quickstart.py
+"""
+
+import time
+
+from repro import AttackerView, Inspector, Machine, tiny_test_config
+from repro.core import PThammerAttack, PThammerConfig
+
+
+def main():
+    machine = Machine(tiny_test_config(seed=1))
+    attacker = AttackerView(machine, machine.boot_process())
+    print("Booted %s; attacker uid = %d" % (machine.config.name, attacker.getuid()))
+
+    config = PThammerConfig(spray_slots=256, pair_sample=16, max_pairs=14)
+    started = time.time()
+    report = PThammerAttack(attacker, config).run()
+    host_seconds = time.time() - started
+
+    print()
+    print(report.summary())
+    print()
+    print("attacker uid after the attack: %d" % attacker.getuid())
+    if report.escalated:
+        print("=> root achieved via %s capture" % report.outcome.method)
+        for note in report.outcome.details:
+            print("   - %s" % note)
+
+    inspector = Inspector(machine)
+    print()
+    print(
+        "ground truth: the DRAM module recorded %d disturbance flips"
+        % inspector.flip_count()
+    )
+    print(
+        "virtual time: %.3f s; host time: %.1f s"
+        % (machine.now_seconds(), host_seconds)
+    )
+
+
+if __name__ == "__main__":
+    main()

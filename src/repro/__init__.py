@@ -1,0 +1,50 @@
+"""PThammer reproduction (MICRO 2020).
+
+A software-simulated x86 machine — DRAM with a rowhammer fault model,
+inclusive sliced caches, two-level TLB, paging-structure caches, a
+page-table-walking MMU, and a Linux-like kernel — plus the PThammer
+implicit-hammer attack, explicit-hammer baselines, and the CATT /
+RIP-RH / CTA / ZebRAM placement defenses.
+
+Quickstart::
+
+    from repro import Machine, AttackerView, lenovo_t420_scaled
+    from repro.core import PThammerAttack
+
+    machine = Machine(lenovo_t420_scaled())
+    attacker = AttackerView(machine, machine.boot_process())
+    attack = PThammerAttack(attacker)
+    report = attack.run()
+    print(report.summary())
+"""
+
+from repro.machine import (
+    AttackerView,
+    Inspector,
+    Machine,
+    MachineConfig,
+    dell_e6420,
+    dell_e6420_scaled,
+    lenovo_t420,
+    lenovo_t420_scaled,
+    lenovo_x230,
+    lenovo_x230_scaled,
+    tiny_test_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackerView",
+    "Inspector",
+    "Machine",
+    "MachineConfig",
+    "__version__",
+    "dell_e6420",
+    "dell_e6420_scaled",
+    "lenovo_t420",
+    "lenovo_t420_scaled",
+    "lenovo_x230",
+    "lenovo_x230_scaled",
+    "tiny_test_config",
+]

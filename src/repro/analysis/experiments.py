@@ -1,0 +1,605 @@
+"""Experiment runners: one function per table/figure of the paper.
+
+Each runner builds fresh machines, drives the attack (or the relevant
+sub-phase), and returns a result object with the measured numbers plus
+a ``render()`` producing the same rows/series the paper reports.  The
+benchmark harness and the examples are thin wrappers around these.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.report import render_series, render_table
+from repro.core.explicit import RowhammerTestTool
+from repro.core.hammer import DoubleSidedHammer, HammerTarget
+from repro.core.llc_eviction import selection_false_positive_rate
+from repro.core.llc_offline import llc_miss_rate_by_size
+from repro.core.pthammer import PThammerAttack, PThammerConfig, PThammerReport
+from repro.core.tlb_eviction import TLBEvictionSetBuilder, tlb_miss_rate_by_size
+from repro.core.uarch import UarchFacts
+from repro.defenses import CATTPolicy, CTAPolicy, RIPRHPolicy, StockPolicy, ZebRAMPolicy
+from repro.machine import AttackerView, Inspector, Machine
+from repro.machine.configs import SCALED_MACHINES, TABLE1_MACHINES, tiny_test_config
+from repro.utils.stats import Histogram, RunningStats, percentile
+from repro.utils.units import cycles_to_seconds, format_duration, format_size
+
+
+class ExperimentContext:
+    """One booted machine with an attacker, an inspector, and the facts."""
+
+    def __init__(self, config, policy=None):
+        self.machine = Machine(config, policy=policy)
+        self.attacker = AttackerView(self.machine, self.machine.boot_process())
+        self.inspector = Inspector(self.machine)
+        self.facts = UarchFacts.from_config(config)
+
+    def seconds(self, cycles):
+        """Virtual cycles -> seconds at this machine's clock."""
+        return cycles_to_seconds(cycles, self.machine.config.cpu.freq_ghz)
+
+
+# ----------------------------------------------------------------------
+# Table I — system configurations
+
+
+@dataclass
+class Table1Result:
+    rows: List[tuple]
+
+    def render(self):
+        return render_table(
+            ["Machine", "CPU arch", "TLB assoc", "LLC", "DRAM"],
+            self.rows,
+            title="Table I: system configurations",
+        )
+
+
+def table1(config_fns=TABLE1_MACHINES):
+    """Reproduce Table I from the machine presets."""
+    rows = []
+    for config_fn in config_fns:
+        config = config_fn()
+        tlb = config.tlb
+        rows.append(
+            (
+                config.name,
+                "%.1f GHz" % config.cpu.freq_ghz,
+                "%d-way L1d, %d-way L2s" % (tlb.l1d_ways, tlb.l2s_ways),
+                "%d-way, %s" % (config.cache.llc_ways, format_size(config.llc_bytes())),
+                format_size(config.dram.size_bytes),
+            )
+        )
+    return Table1Result(rows)
+
+
+# ----------------------------------------------------------------------
+# Figures 3 and 4 — eviction-set size sweeps
+
+
+@dataclass
+class EvictionSweepResult:
+    name: str
+    series: Dict[str, Dict[int, float]]  # machine -> size -> miss rate
+    knee: Dict[str, int] = field(default_factory=dict)
+
+    def render(self):
+        parts = []
+        for machine, points in self.series.items():
+            parts.append(
+                render_series(
+                    "%s [%s]" % (self.name, machine),
+                    points,
+                    x_label="eviction-set size",
+                    y_label="miss rate",
+                )
+            )
+        return "\n".join(parts)
+
+    def min_reliable_size(self, machine, level=0.95):
+        """Smallest size whose rate and all larger sizes stay >= level."""
+        points = self.series[machine]
+        reliable = None
+        for size in sorted(points, reverse=True):
+            if points[size] >= level:
+                reliable = size
+            else:
+                break
+        return reliable
+
+
+def figure3(config_fns=SCALED_MACHINES, sizes=range(8, 17), trials=80):
+    """Figure 3: TLB miss rate vs eviction-set size, per machine."""
+    series = {}
+    for config_fn in config_fns:
+        context = ExperimentContext(config_fn())
+        builder = TLBEvictionSetBuilder(context.attacker, context.facts)
+        series[context.machine.config.name] = tlb_miss_rate_by_size(
+            context.attacker, context.inspector, builder, sizes, trials=trials
+        )
+    return EvictionSweepResult("Figure 3: TLB eviction", series)
+
+
+def figure4(config_fns=SCALED_MACHINES, sizes=None, trials=80):
+    """Figure 4: LLC miss rate vs eviction-set size, per machine."""
+    series = {}
+    for config_fn in config_fns:
+        context = ExperimentContext(config_fn())
+        if sizes is None:
+            machine_sizes = range(9, 2 * context.facts.llc_ways + 1)
+        else:
+            machine_sizes = sizes
+        series[context.machine.config.name] = llc_miss_rate_by_size(
+            context.attacker, context.inspector, context.facts, machine_sizes, trials=trials
+        )
+    return EvictionSweepResult("Figure 4: LLC eviction", series)
+
+
+# ----------------------------------------------------------------------
+# Table II — attack phase costs
+
+
+@dataclass
+class Table2Row:
+    machine: str
+    page_setting: str
+    tlb_prep_s: float
+    llc_prep_s: float
+    tlb_select_s: float
+    llc_select_s: float
+    hammer_s: float
+    check_s: float
+    first_flip_s: Optional[float]
+
+
+@dataclass
+class Table2Result:
+    rows: List[Table2Row]
+
+    def render(self):
+        return render_table(
+            [
+                "Machine",
+                "Pages",
+                "TLB prep",
+                "LLC prep",
+                "TLB select",
+                "LLC select",
+                "Hammer",
+                "Check",
+                "First flip",
+            ],
+            [
+                (
+                    r.machine,
+                    r.page_setting,
+                    format_duration(r.tlb_prep_s),
+                    format_duration(r.llc_prep_s),
+                    format_duration(r.tlb_select_s),
+                    format_duration(r.llc_select_s),
+                    format_duration(r.hammer_s),
+                    format_duration(r.check_s),
+                    format_duration(r.first_flip_s) if r.first_flip_s else "(none)",
+                )
+                for r in self.rows
+            ],
+            title="Table II: PThammer phase costs (virtual time)",
+        )
+
+
+def table2(
+    config_fns=SCALED_MACHINES,
+    page_settings=(True, False),
+    attack_config=None,
+):
+    """Table II: per-phase virtual-time costs, both page settings."""
+    rows = []
+    for config_fn in config_fns:
+        for superpages in page_settings:
+            context = ExperimentContext(config_fn())
+            config = attack_config or PThammerConfig()
+            config.superpages = superpages
+            attack = PThammerAttack(context.attacker, config)
+            report = attack.run()
+            tlb_select = (
+                attack.tlb_builder.prep_cycles / max(1, attack.tlb_builder.pages_mapped)
+            )
+            rows.append(
+                Table2Row(
+                    machine=context.machine.config.name,
+                    page_setting="superpage" if superpages else "regular",
+                    tlb_prep_s=context.seconds(report.tlb_prep_cycles),
+                    llc_prep_s=context.seconds(report.llc_prep_cycles),
+                    tlb_select_s=context.seconds(int(tlb_select)),
+                    llc_select_s=context.seconds(int(report.mean_selection_cycles())),
+                    hammer_s=context.seconds(int(report.mean_hammer_cycles())),
+                    check_s=context.seconds(int(report.mean_check_cycles())),
+                    first_flip_s=(
+                        context.seconds(report.cycles_to_first_flip)
+                        if report.cycles_to_first_flip
+                        else None
+                    ),
+                )
+            )
+    return Table2Result(rows)
+
+
+# ----------------------------------------------------------------------
+# Section IV-C — LLC eviction-set selection false positives
+
+
+@dataclass
+class SelectionResult:
+    machine: str
+    false_positive_rate: float
+    targets: int
+
+    def render(self):
+        return (
+            "Section IV-C [%s]: Algorithm-2 false positives: %.1f%% over %d targets"
+            % (self.machine, 100 * self.false_positive_rate, self.targets)
+        )
+
+
+def section_4c_selection(config_fn, targets=16, superpages=True):
+    """Section IV-C: Algorithm-2 selection false-positive rate (<= 6%)."""
+    context = ExperimentContext(config_fn())
+    attack = PThammerAttack(
+        context.attacker,
+        PThammerConfig(superpages=superpages, spray_slots=256),
+    )
+    report = PThammerReport(machine_name=context.machine.config.name, superpages=superpages)
+    attack.prepare(report)
+    target_vas = [
+        attack.spray.target_va(slot)
+        for slot in range(0, attack.spray.slots, max(1, attack.spray.slots // targets))
+    ][:targets]
+    rate = selection_false_positive_rate(
+        context.attacker,
+        context.inspector,
+        attack.pool,
+        attack.tlb_builder,
+        target_vas,
+        attack.config.tlb_eviction_size,
+    )
+    return SelectionResult(context.machine.config.name, rate, len(target_vas))
+
+
+# ----------------------------------------------------------------------
+# Section IV-D — pair-construction hit rates
+
+
+@dataclass
+class PairStatsResult:
+    machine: str
+    candidates: int
+    flagged_slow: int
+    slow_same_bank_rate: float
+    same_bank_victim_rate: float
+
+    def render(self):
+        return (
+            "Section IV-D [%s]: %d candidates, %d flagged slow; "
+            "%.0f%% of slow pairs same-bank; %.0f%% of those one row apart"
+            % (
+                self.machine,
+                self.candidates,
+                self.flagged_slow,
+                100 * self.slow_same_bank_rate,
+                100 * self.same_bank_victim_rate,
+            )
+        )
+
+
+def section_4d_pairs(config_fn, sample=32, spray_slots=512):
+    """Section IV-D: timing-flagged pairs vs DRAM ground truth.
+
+    The paper: >95% of slow pairs share a bank; 90% of those are one
+    victim row apart.
+    """
+    from repro.core.pair_finding import PairFinder
+
+    context = ExperimentContext(config_fn())
+    attack = PThammerAttack(
+        context.attacker, PThammerConfig(spray_slots=spray_slots, pair_sample=sample)
+    )
+    report = PThammerReport(machine_name=context.machine.config.name, superpages=True)
+    attack.prepare(report)
+    finder = PairFinder(
+        context.attacker,
+        attack.facts,
+        attack.spray,
+        attack.tlb_builder,
+        attack.config.tlb_eviction_size,
+    )
+    candidates = finder.candidate_pairs(limit=sample)
+    llc_sets = {}
+    conflict_level = finder.conflict_level()
+    for pair in candidates:
+        finder.conflict_score(
+            pair,
+            attack._llc_set_for(pair.va_a, llc_sets),
+            attack._llc_set_for(pair.va_b, llc_sets),
+        )
+    slow, _ = PairFinder.split_by_conflict(candidates, conflict_level)
+    same_bank = 0
+    victim_apart = 0
+    inspector = context.inspector
+    for pair in slow:
+        pte_a = inspector.l1pte_paddr(context.attacker.process, pair.va_a)
+        pte_b = inspector.l1pte_paddr(context.attacker.process, pair.va_b)
+        loc_a = inspector.dram_location(pte_a)
+        loc_b = inspector.dram_location(pte_b)
+        if loc_a.bank == loc_b.bank and loc_a.row != loc_b.row:
+            same_bank += 1
+            if abs(loc_a.row - loc_b.row) == 2:
+                victim_apart += 1
+    return PairStatsResult(
+        machine=context.machine.config.name,
+        candidates=len(candidates),
+        flagged_slow=len(slow),
+        slow_same_bank_rate=same_bank / len(slow) if slow else 0.0,
+        same_bank_victim_rate=victim_apart / same_bank if same_bank else 0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — hammer-iteration budget vs time to first flip
+
+
+@dataclass
+class Figure5Result:
+    machine: str
+    series: Dict[int, Optional[float]]  # padding -> seconds-to-flip or None
+    cliff_cycles: int
+
+    def render(self):
+        return render_series(
+            "Figure 5 [%s] (predicted cliff ~%d cycles/iter)"
+            % (self.machine, self.cliff_cycles),
+            self.series,
+            x_label="NOP padding (cycles)",
+            y_label="s to first flip",
+            y_format="%.4f",
+        )
+
+
+def figure5(config_fn, paddings=(0, 300, 600, 900, 1200, 1800, 2600), budget_windows=6,
+            buffer_pages=1024):
+    """Figure 5: slower hammer iterations take longer to flip, then never.
+
+    Uses the rowhammer-test tool replica (explicit clflush hammering)
+    with NOP padding, exactly like the paper's calibration.
+    """
+    context = ExperimentContext(config_fn())
+    config = context.machine.config
+    budget = budget_windows * config.dram.refresh_interval_cycles
+    tool = RowhammerTestTool(
+        context.attacker, context.inspector, context.facts, buffer_pages=buffer_pages
+    )
+    series = {}
+    for padding in paddings:
+        cycles = tool.time_to_first_flip(padding, budget)
+        series[padding] = context.seconds(cycles) if cycles is not None else None
+    cliff = context.machine.fault_model.max_iteration_cycles(
+        config.dram.refresh_interval_cycles
+    )
+    return Figure5Result(config.name, series, cliff)
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — per-hammer cycle distributions
+
+
+@dataclass
+class Figure6Result:
+    machine: str
+    page_setting: str
+    costs: List[int]
+
+    def render(self):
+        stats = RunningStats()
+        stats.extend(self.costs)
+        histogram = Histogram(0, max(self.costs) + 100, 12)
+        histogram.extend(self.costs)
+        lines = [
+            "Figure 6 [%s, %s pages]: %d rounds, mean %.0f, min %d, max %d cycles"
+            % (
+                self.machine,
+                self.page_setting,
+                stats.count,
+                stats.mean,
+                stats.minimum,
+                stats.maximum,
+            )
+        ]
+        edges = histogram.bin_edges()
+        for i, count in enumerate(histogram.counts):
+            lines.append(
+                "  %6.0f-%6.0f : %s"
+                % (edges[i], edges[i + 1], "#" * count)
+            )
+        return "\n".join(lines)
+
+    def p95(self):
+        return percentile(self.costs, 0.95)
+
+
+def figure6(config_fn, superpages=True, rounds=50, spray_slots=512):
+    """Figure 6: the cycle cost of each of 50 double-sided rounds."""
+    context = ExperimentContext(config_fn())
+    attack = PThammerAttack(
+        context.attacker,
+        PThammerConfig(superpages=superpages, spray_slots=spray_slots, pair_sample=8),
+    )
+    report = PThammerReport(machine_name=context.machine.config.name, superpages=superpages)
+    attack.prepare(report)
+    pairs, llc_sets = attack.find_pairs(report)
+    if not pairs:
+        raise RuntimeError("no same-bank pairs found for Figure 6")
+    pair = pairs[0]
+    size = attack.config.tlb_eviction_size
+    hammer = DoubleSidedHammer(
+        context.attacker,
+        HammerTarget(pair.va_a, attack.tlb_builder.build(pair.va_a, size), llc_sets[pair.va_a]),
+        HammerTarget(pair.va_b, attack.tlb_builder.build(pair.va_b, size), llc_sets[pair.va_b]),
+    )
+    costs = hammer.run(rounds)
+    return Figure6Result(
+        context.machine.config.name,
+        "super" if superpages else "regular",
+        costs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sections IV-F and IV-G — privilege escalation, with and without defenses
+
+
+@dataclass
+class EscalationResult:
+    machine: str
+    defense: str
+    escalated: bool
+    method: Optional[str]
+    flips_observed: int
+    captures: Dict[str, int]
+    ground_truth_flips: int
+    first_flip_s: Optional[float]
+    host_seconds: float
+
+    def row(self):
+        return (
+            self.defense,
+            "yes" if self.escalated else "no",
+            self.method or "-",
+            self.flips_observed,
+            self.captures.get("l1pt", 0),
+            self.captures.get("cred", 0),
+            self.ground_truth_flips,
+            format_duration(self.first_flip_s) if self.first_flip_s else "(none)",
+        )
+
+
+@dataclass
+class DefenseMatrixResult:
+    machine: str
+    results: List[EscalationResult]
+
+    def render(self):
+        return render_table(
+            [
+                "Defense",
+                "Escalated",
+                "Method",
+                "Flips seen",
+                "L1PT caps",
+                "Cred caps",
+                "GT flips",
+                "First flip",
+            ],
+            [r.row() for r in self.results],
+            title="Sections IV-F/IV-G [%s]: PThammer vs software defenses"
+            % self.machine,
+        )
+
+
+def run_escalation(config_fn, policy=None, attack_config=None, defense_name="stock"):
+    """Run the full attack under one placement policy."""
+    started = time.time()
+    config = config_fn()
+    context = ExperimentContext(config, policy=policy)
+    attack = PThammerAttack(context.attacker, attack_config or PThammerConfig())
+    report = attack.run()
+    outcome = report.outcome
+    return EscalationResult(
+        machine=config.name,
+        defense=defense_name,
+        escalated=report.escalated,
+        method=outcome.method if outcome else None,
+        flips_observed=report.total_flips,
+        captures=dict(outcome.captures) if outcome else {},
+        ground_truth_flips=context.inspector.flip_count(),
+        first_flip_s=(
+            context.seconds(report.cycles_to_first_flip)
+            if report.cycles_to_first_flip
+            else None
+        ),
+        host_seconds=time.time() - started,
+    )
+
+
+def section_4g_defenses(base_seed=1, dense_seed=5):
+    """Sections IV-F/G + §V: the attack against every placement policy.
+
+    Runs the verified per-defense setups (knobs documented inline) on
+    tiny-scale machines.  Expected shape — the paper's findings:
+
+    * stock, CATT, RIP-RH — escalation via L1PT capture;
+    * CTA — no L1PT capture ever (true-cell monotonicity holds), but
+      escalation via the cred spray;
+    * ZebRAM — no exploitable flips (the paper's acknowledged limit).
+
+    CATT/RIP-RH/CTA runs use a densely vulnerable DIMM and a
+    zone-filling spray: placement defenses concentrate page tables, and
+    the capture probability scales with how much of the protected
+    region the spray occupies (see EXPERIMENTS.md note 3).
+    """
+    dense = lambda: tiny_test_config_dense(dense_seed)
+    runs = [
+        (
+            "stock",
+            lambda: tiny_test_config(seed=base_seed),
+            StockPolicy(),
+            PThammerConfig(spray_slots=256, pair_sample=16, max_pairs=14),
+        ),
+        (
+            "catt",
+            dense,
+            CATTPolicy(kernel_fraction=0.1),
+            PThammerConfig(spray_slots=1000, pair_sample=20, max_pairs=12),
+        ),
+        (
+            "rip-rh",
+            dense,
+            RIPRHPolicy(kernel_fraction=0.1),
+            PThammerConfig(spray_slots=1000, pair_sample=20, max_pairs=12),
+        ),
+        (
+            "cta",
+            dense,
+            CTAPolicy(),
+            PThammerConfig(
+                spray_slots=800,
+                pair_sample=20,
+                max_pairs=12,
+                cred_spray_processes=1500,
+            ),
+        ),
+        (
+            "zebram",
+            dense,
+            ZebRAMPolicy(),
+            PThammerConfig(
+                spray_slots=256, pair_sample=12, max_pairs=6, superpages=False
+            ),
+        ),
+    ]
+    results = []
+    for name, config_fn, policy, attack_config in runs:
+        results.append(
+            run_escalation(
+                config_fn,
+                policy=policy,
+                attack_config=attack_config,
+                defense_name=name,
+            )
+        )
+    return DefenseMatrixResult("tiny-test", results)
+
+
+def tiny_test_config_dense(seed):
+    """A densely-vulnerable DIMM for the defense-bypass experiments."""
+    from repro.machine.configs import tiny_test_config as _tiny
+
+    return _tiny(seed=seed, cells_per_row_mean=40.0)

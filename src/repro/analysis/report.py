@@ -1,0 +1,38 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output consistent.
+"""
+
+
+def render_table(headers, rows, title=None):
+    """Render a list-of-rows table with aligned columns."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name, points, x_label="x", y_label="y", y_format="%.2f"):
+    """Render an (x -> y) series as aligned columns (a printable figure)."""
+    lines = ["%s  (%s -> %s)" % (name, x_label, y_label)]
+    for x in sorted(points):
+        y = points[x]
+        if y is None:
+            lines.append("  %8s : (none)" % (x,))
+        else:
+            lines.append(("  %8s : " + y_format) % (x, y))
+    return "\n".join(lines)
+
+
+def render_bar(fraction, width=30):
+    """A tiny ASCII bar for ratio columns."""
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)

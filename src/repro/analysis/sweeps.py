@@ -1,0 +1,86 @@
+"""Parameter-sweep utilities and canned sensitivity studies.
+
+The reproduction's fault model and boot-noise model have free
+parameters (DESIGN.md §5/§6 document their calibration); these sweeps
+show how the headline results move as those parameters do — the
+sensitivity analysis behind EXPERIMENTS.md's deviation notes.
+"""
+
+from repro.analysis.experiments import ExperimentContext, section_4d_pairs
+from repro.core.hammer import DoubleSidedHammer, HammerTarget
+from repro.core.pthammer import PThammerAttack, PThammerConfig, PThammerReport
+from repro.machine.configs import tiny_test_config
+
+
+def sweep_parameter(make_config, values, metric):
+    """Evaluate ``metric(config)`` for each parameter value.
+
+    ``make_config(value)`` builds a machine config per point; returns
+    ``{value: metric result}`` in input order.
+    """
+    return {value: metric(make_config(value)) for value in values}
+
+
+def flips_vs_threshold(thresholds=(600, 1000, 1600, 2600), seed=2):
+    """Ground-truth flips from a fixed hammer budget vs cell threshold.
+
+    Shows the fault-model side of Figure 5: as cells get harder (higher
+    activation thresholds), the same hammering yields fewer flips,
+    reaching zero once the budget cannot cross the minimum threshold.
+    """
+
+    def make_config(threshold_lo):
+        return tiny_test_config(
+            seed=seed,
+            threshold_lo=threshold_lo,
+            threshold_hi=threshold_lo * 2,
+            cells_per_row_mean=20.0,
+        )
+
+    def metric(config):
+        context = ExperimentContext(config)
+        attack = PThammerAttack(
+            context.attacker,
+            PThammerConfig(spray_slots=224, pair_sample=6, max_pairs=2),
+        )
+        report = PThammerReport(machine_name=config.name, superpages=True)
+        attack.prepare(report)
+        pairs, llc_sets = attack.find_pairs(report)
+        if not pairs:
+            return 0
+        pair = pairs[0]
+        size = attack.config.tlb_eviction_size
+        hammer = DoubleSidedHammer(
+            context.attacker,
+            HammerTarget(
+                pair.va_a, attack.tlb_builder.build(pair.va_a, size), llc_sets[pair.va_a]
+            ),
+            HammerTarget(
+                pair.va_b, attack.tlb_builder.build(pair.va_b, size), llc_sets[pair.va_b]
+            ),
+        )
+        hammer.run_for_cycles(2 * config.dram.refresh_interval_cycles)
+        return context.machine.dram.flip_count()
+
+    return sweep_parameter(make_config, thresholds, metric)
+
+
+def pair_rate_vs_fragmentation(fractions=(0.0, 0.004, 0.02, 0.05), seed=3):
+    """Section IV-D same-bank rate vs boot-time fragmentation.
+
+    Supports EXPERIMENTS.md note 4: the simulated pair-construction hit
+    rate starts at ~100 % with a pristine pool and falls toward (and
+    below) the paper's 95 % as boot noise grows.
+    """
+
+    def metric_for(fraction):
+        result = section_4d_pairs(
+            lambda: tiny_test_config(seed=seed, boot_fragmentation=fraction),
+            sample=16,
+            spray_slots=384,
+        )
+        if result.candidates == 0:
+            return 0.0
+        return result.flagged_slow / result.candidates
+
+    return {fraction: metric_for(fraction) for fraction in fractions}

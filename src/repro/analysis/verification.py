@@ -1,0 +1,87 @@
+"""Ground-truth verification helpers (the evaluation kernel module's API).
+
+The paper scores every attacker-side heuristic against kernel ground
+truth: eviction-set congruence (IV-C), pair placement (IV-D), spray
+contiguity (IV-G1).  These helpers consolidate those checks for
+experiments and tests; none are available to attack code.
+"""
+
+from repro.core.pair_finding import slot_stride_for_pairs
+from repro.params import PAGE_SHIFT
+
+
+def eviction_set_congruence(inspector, process, eviction_set, reference_paddr):
+    """Fraction of an eviction set's lines congruent with a reference.
+
+    ``reference_paddr`` is typically the target's L1PTE physical
+    address; congruent means the same (LLC set, slice).
+    """
+    wanted = inspector.llc_set_and_slice(reference_paddr)
+    if not eviction_set.lines:
+        return 0.0
+    hits = 0
+    for va in eviction_set.lines:
+        frame = inspector.frame_of(process, va)
+        if frame is None:
+            continue
+        paddr = (frame << PAGE_SHIFT) | (va & 0xFFF)
+        if inspector.llc_set_and_slice(paddr) == wanted:
+            hits += 1
+    return hits / len(eviction_set.lines)
+
+
+def pair_placement(inspector, process, pair):
+    """(same_bank, row_delta) of a candidate pair's L1PTEs."""
+    pte_a = inspector.l1pte_paddr(process, pair.va_a)
+    pte_b = inspector.l1pte_paddr(process, pair.va_b)
+    if pte_a is None or pte_b is None:
+        return False, None
+    loc_a = inspector.dram_location(pte_a)
+    loc_b = inspector.dram_location(pte_b)
+    return loc_a.bank == loc_b.bank, abs(loc_a.row - loc_b.row)
+
+
+def is_double_sided_pair(inspector, process, pair):
+    """Whether a pair's L1PTEs sandwich exactly one victim row."""
+    same_bank, delta = pair_placement(inspector, process, pair)
+    return same_bank and delta == 2
+
+
+def spray_contiguity(inspector, process, spray, facts, step=5):
+    """Fraction of stride pairs whose L1PTs are perfectly placed.
+
+    The §IV-D geometric success rate, measured against ground truth
+    rather than timing.
+    """
+    stride = slot_stride_for_pairs(facts)
+    if spray.slots <= stride:
+        return 0.0
+    good = total = 0
+    for slot in range(0, spray.slots - stride, step):
+        pte_a = inspector.l1pte_paddr(process, spray.target_va(slot))
+        pte_b = inspector.l1pte_paddr(process, spray.target_va(slot + stride))
+        loc_a = inspector.dram_location(pte_a)
+        loc_b = inspector.dram_location(pte_b)
+        total += 1
+        if loc_a.bank == loc_b.bank and abs(loc_a.row - loc_b.row) == 2:
+            good += 1
+    return good / total if total else 0.0
+
+
+def flips_by_row_range(inspector, boundaries):
+    """Histogram of ground-truth flips over named row ranges.
+
+    ``boundaries`` maps a name to a ``(row_lo, row_hi)`` half-open
+    range; flips outside every range land in ``"other"``.  Used to show
+    *where* a defense let (or did not let) disturbance land.
+    """
+    counts = {name: 0 for name in boundaries}
+    counts["other"] = 0
+    for flip in inspector.flips():
+        for name, (row_lo, row_hi) in boundaries.items():
+            if row_lo <= flip.row < row_hi:
+                counts[name] += 1
+                break
+        else:
+            counts["other"] += 1
+    return counts

@@ -1,0 +1,18 @@
+"""Cache substrate: replacement policies, set-associative structures, LLC slices."""
+
+from repro.cache.hierarchy import L1, L2, LLC, MEM, CacheHierarchy
+from repro.cache.policies import make_policy, policy_names
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.slices import SliceHash
+
+__all__ = [
+    "CacheHierarchy",
+    "L1",
+    "L2",
+    "LLC",
+    "MEM",
+    "SetAssociativeCache",
+    "SliceHash",
+    "make_policy",
+    "policy_names",
+]

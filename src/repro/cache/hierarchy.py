@@ -1,0 +1,141 @@
+"""Three-level inclusive data-cache hierarchy (L1D, L2, sliced LLC).
+
+Inclusivity is the property PThammer needs (Section III-D): because the
+LLC is inclusive of L1 and L2, evicting the L1PTE's line from the LLC
+back-invalidates it everywhere, forcing the next page-table walk to
+DRAM.  ``access`` models that back-invalidation explicitly.
+
+Page-table entries travel through the same hierarchy as user data —
+there are no separate PTE caches below the paging-structure caches —
+which is why a user-controlled eviction set can evict a kernel-owned
+L1PTE line at all.
+"""
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.utils.rng import hash64
+from repro.cache.slices import SliceHash
+from repro.params import LINE_SHIFT
+
+#: Levels returned by :meth:`CacheHierarchy.access`.
+L1, L2, LLC, MEM = "l1", "l2", "llc", "mem"
+
+
+class CacheHierarchy:
+    """L1D + L2 + sliced inclusive LLC, addressed by physical address."""
+
+    def __init__(self, config, rng):
+        self.config = config
+        self.l1 = SetAssociativeCache(
+            config.l1_sets, config.l1_ways, config.l1_policy, rng.fork(1), name="L1D"
+        )
+        self.l2 = SetAssociativeCache(
+            config.l2_sets, config.l2_ways, config.l2_policy, rng.fork(2), name="L2"
+        )
+        self.llc = SetAssociativeCache(
+            config.llc_sets_per_slice * config.llc_slices,
+            config.llc_ways,
+            config.policy,
+            rng.fork(3),
+            name="LLC",
+        )
+        self.slice_hash = SliceHash(config.llc_slices, config.slice_masks)
+        self._l1_mask = config.l1_sets - 1
+        self._l2_mask = config.l2_sets - 1
+        self._llc_set_mask = config.llc_sets_per_slice - 1
+        self._sets_per_slice = config.llc_sets_per_slice
+        self._inclusive = getattr(config, "inclusive", True)
+        self._llc_index_key = getattr(config, "llc_index_key", 0)
+        self._llc_total_sets = config.llc_sets_per_slice * config.llc_slices
+        self.back_invalidations = 0
+
+    def llc_set_and_slice(self, paddr):
+        """(set index within slice, slice index) of a physical address."""
+        line = paddr >> LINE_SHIFT
+        if self._llc_index_key:
+            index = self._llc_index(line)
+            return index % self._sets_per_slice, index // self._sets_per_slice
+        return line & self._llc_set_mask, self.slice_hash.slice_of(paddr)
+
+    def _llc_index(self, line):
+        if self._llc_index_key:
+            # CEASER/ScatterCache-style keyed index randomisation
+            # (Section V): physically-nearby lines land in unrelated
+            # sets, so offset-based congruence — and with it eviction-set
+            # construction — collapses.
+            return hash64(self._llc_index_key, line) % self._llc_total_sets
+        set_index = line & self._llc_set_mask
+        slice_index = self.slice_hash.slice_of(line << LINE_SHIFT)
+        return slice_index * self._sets_per_slice + set_index
+
+    def access(self, paddr):
+        """Look up one physical address, filling on miss.
+
+        Returns the level that served the request: ``'l1'``, ``'l2'``,
+        ``'llc'``, or ``'mem'`` (LLC miss — the caller must charge DRAM
+        latency).  In the non-inclusive configuration fills bypass the
+        LLC and L2 victims drop into it instead.
+        """
+        line = paddr >> LINE_SHIFT
+        l1_set = line & self._l1_mask
+        if self.l1.lookup(l1_set, line):
+            return L1
+        l2_set = line & self._l2_mask
+        if self.l2.lookup(l2_set, line):
+            self.l1.insert(l1_set, line)
+            return L2
+        llc_index = self._llc_index(line)
+        if self.llc.lookup(llc_index, line):
+            self._fill_l2(l2_set, line)
+            self.l1.insert(l1_set, line)
+            return LLC
+        if self._inclusive:
+            evicted = self.llc.insert(llc_index, line)
+            if evicted is not None:
+                self._back_invalidate(evicted)
+        self._fill_l2(l2_set, line)
+        self.l1.insert(l1_set, line)
+        return MEM
+
+    def _fill_l2(self, l2_set, line):
+        """Install into L2; non-inclusive LLCs absorb the L2 victim."""
+        victim = self.l2.insert(l2_set, line)
+        if not self._inclusive and victim is not None:
+            self.llc.insert(self._llc_index(victim), victim)
+
+    def _back_invalidate(self, line):
+        """Drop an LLC-evicted line from the inner levels (inclusivity)."""
+        dropped_l1 = self.l1.invalidate(line & self._l1_mask, line)
+        dropped_l2 = self.l2.invalidate(line & self._l2_mask, line)
+        if dropped_l1 or dropped_l2:
+            self.back_invalidations += 1
+
+    def flush_line(self, paddr):
+        """clflush: remove the line containing ``paddr`` from every level."""
+        line = paddr >> LINE_SHIFT
+        self.l1.invalidate(line & self._l1_mask, line)
+        self.l2.invalidate(line & self._l2_mask, line)
+        self.llc.invalidate(self._llc_index(line), line)
+
+    def warm(self, paddr):
+        """Install a line at every level, as a CPU store would leave it.
+
+        The simulated kernel uses this after writing page-table entries
+        so freshly-created PTEs start out cached, like on real hardware.
+        """
+        line = paddr >> LINE_SHIFT
+        evicted = self.llc.insert(self._llc_index(line), line)
+        if evicted is not None:
+            self._back_invalidate(evicted)
+        self.l2.insert(line & self._l2_mask, line)
+        self.l1.insert(line & self._l1_mask, line)
+
+    def line_cached_in_llc(self, paddr):
+        """Whether the line of ``paddr`` is LLC-resident (evaluation only)."""
+        line = paddr >> LINE_SHIFT
+        return self.llc.contains(self._llc_index(line), line)
+
+    def flush_all(self):
+        """Empty every level (privileged; used between experiments)."""
+        self.l1.flush_all()
+        self.l2.flush_all()
+        self.llc.flush_all()

@@ -1,0 +1,264 @@
+"""Replacement policies for set-associative structures.
+
+The choice of policy is load-bearing for this reproduction: the paper's
+Figures 3 and 4 hinge on the TLB and LLC *not* being true-LRU, which is
+why minimal reliable eviction sets are larger than the associativity
+(12 pages for 4+4 TLB ways, associativity+1 lines for the LLC).  The
+default everywhere is therefore :class:`BitPLRU` — a faithful stand-in
+for Intel's pseudo-LRU — whose periodic reference-bit resets let a
+just-filled victim survive exactly-associativity sweeps with non-trivial
+probability.  :class:`TrueLRU` and :class:`RandomPolicy` exist for the
+ablation benchmarks.
+"""
+
+from repro.errors import ConfigError
+
+
+class ReplacementPolicy:
+    """Per-set replacement state.  One instance per cache set."""
+
+    def __init__(self, ways, rng):
+        self.ways = ways
+        self._rng = rng
+
+    def touch(self, way):
+        """Record a hit on ``way``."""
+        raise NotImplementedError
+
+    def on_fill(self, way):
+        """Record that a new line was installed into ``way``."""
+        self.touch(way)
+
+    def victim(self):
+        """Choose the way to evict from a full set."""
+        raise NotImplementedError
+
+    def on_invalidate(self, way):
+        """Record that ``way`` was explicitly emptied (clflush/back-inval)."""
+
+
+class BitPLRU(ReplacementPolicy):
+    """Bit-pseudo-LRU (MRU-bit) policy with bimodal insertion.
+
+    Every way has a reference bit; a hit sets it; when the last zero bit
+    would disappear, all other bits reset.  Victims are drawn uniformly
+    from the zero-bit ways, which smooths the eviction-probability curve
+    the way scheduling noise does on real hardware.
+
+    ``insertion_mru_probability`` < 1 models the non-MRU insertion of
+    real Intel structures (bimodal/adaptive insertion): a fill only gets
+    its reference bit with that probability, so freshly inserted lines
+    are sometimes re-victimised before older residents — pushing the
+    reliable eviction-set size further above the associativity, which is
+    where the paper measures it (12 pages for 4+4 TLB ways).
+    """
+
+    insertion_mru_probability = 1.0
+
+    def __init__(self, ways, rng):
+        super().__init__(ways, rng)
+        self._bits = [0] * ways
+        self._zeros = ways  # cached count keeps touch O(1)
+
+    def touch(self, way):
+        if self._bits[way]:
+            return
+        self._bits[way] = 1
+        self._zeros -= 1
+        if self._zeros == 0:
+            self._bits = [0] * self.ways
+            self._bits[way] = 1
+            self._zeros = self.ways - 1
+
+    def on_fill(self, way):
+        p = self.insertion_mru_probability
+        if p >= 1.0 or self._rng.random() < p:
+            self.touch(way)
+        elif self._bits[way]:
+            self._bits[way] = 0
+            self._zeros += 1
+
+    def victim(self):
+        zero_ways = [w for w, bit in enumerate(self._bits) if not bit]
+        if not zero_ways:
+            # Unreachable by construction (touch always leaves a zero),
+            # but stay safe if state is manipulated externally.
+            return self._rng.randint(self.ways)
+        return self._rng.choice(zero_ways)
+
+    def on_invalidate(self, way):
+        if self._bits[way]:
+            self._bits[way] = 0
+            self._zeros += 1
+
+
+class TrueLRU(ReplacementPolicy):
+    """Exact least-recently-used ordering (O(1) touches via stamps)."""
+
+    def __init__(self, ways, rng):
+        super().__init__(ways, rng)
+        self._clock = ways
+        self._stamps = list(range(ways))  # lowest stamp = LRU
+
+    def touch(self, way):
+        self._stamps[way] = self._clock
+        self._clock += 1
+
+    def victim(self):
+        return min(range(self.ways), key=self._stamps.__getitem__)
+
+    def _two_oldest(self):
+        """(LRU way, second-LRU way) by stamp."""
+        stamps = self._stamps
+        first = second = None
+        for way in range(self.ways):
+            if first is None or stamps[way] < stamps[first]:
+                second = first
+                first = way
+            elif second is None or stamps[way] < stamps[second]:
+                second = way
+        return first, second
+
+
+class NoisyLRU(TrueLRU):
+    """LRU with occasional second-victim choice.
+
+    Real Sandy Bridge LLCs behave near-LRU for sequential sweeps but not
+    exactly: with an eviction set equal to the associativity the
+    eviction rate dips below 100 %, while associativity + 1 is reliably
+    enough — precisely the Figure-4 knee.  ``lru_bias`` is the
+    probability the true LRU way is chosen; otherwise the second-oldest
+    way is victimised.
+    """
+
+    lru_bias = 0.85
+
+    def victim(self):
+        first, second = self._two_oldest()
+        if second is not None and self._rng.random() >= self.lru_bias:
+            return second
+        return first
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection; hits carry no information."""
+
+    def touch(self, way):
+        pass
+
+    def victim(self):
+        return self._rng.randint(self.ways)
+
+
+class TreePLRU(ReplacementPolicy):
+    """Classic binary-tree pseudo-LRU; requires power-of-two ways."""
+
+    def __init__(self, ways, rng):
+        if ways & (ways - 1):
+            raise ConfigError("TreePLRU needs a power-of-two way count")
+        super().__init__(ways, rng)
+        self._nodes = [0] * (ways - 1)  # heap-indexed internal nodes
+
+    def touch(self, way):
+        # Walk from root to the leaf, pointing every node *away* from it.
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._nodes[node] = 1  # point at the right half
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._nodes[node] = 0  # point at the left half
+                node = 2 * node + 2
+                lo = mid
+        # on_fill/touch share this path; nothing else to update.
+
+    def victim(self):
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._nodes[node]:
+                # The node points at the right half: victimise there.
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo
+
+
+class SRRIP(ReplacementPolicy):
+    """Static re-reference interval prediction (Jaleel et al., 2-bit).
+
+    Hits promote to re-reference-soon (RRPV 0); fills insert at
+    RRPV 2 ("long"); victims are ways at RRPV 3, ageing everyone until
+    one appears.  Included for the replacement-policy ablations — its
+    long-insertion behaviour makes scanning eviction sets *less*
+    effective than PLRU, a property some thrash-resistant LLCs exploit.
+    """
+
+    MAX_RRPV = 3
+    INSERT_RRPV = 2
+
+    def __init__(self, ways, rng):
+        super().__init__(ways, rng)
+        self._rrpv = [self.MAX_RRPV] * ways
+
+    def touch(self, way):
+        self._rrpv[way] = 0
+
+    def on_fill(self, way):
+        self._rrpv[way] = self.INSERT_RRPV
+
+    def victim(self):
+        while True:
+            candidates = [
+                w for w, value in enumerate(self._rrpv) if value >= self.MAX_RRPV
+            ]
+            if candidates:
+                return self._rng.choice(candidates)
+            self._rrpv = [value + 1 for value in self._rrpv]
+
+    def on_invalidate(self, way):
+        self._rrpv[way] = self.MAX_RRPV
+
+
+class BitPLRUBimodal(BitPLRU):
+    """BitPLRU with 25 % non-MRU insertion (see class docstring above).
+
+    Calibrated so the minimal reliable TLB eviction set lands at ~12
+    pages for 4+4-way TLBs, matching the paper's Figure 3.
+    """
+
+    insertion_mru_probability = 0.75
+
+
+_POLICIES = {
+    "bit_plru": BitPLRU,
+    "bit_plru_bimodal": BitPLRUBimodal,
+    "noisy_lru": NoisyLRU,
+    "srrip": SRRIP,
+    "true_lru": TrueLRU,
+    "random": RandomPolicy,
+    "tree_plru": TreePLRU,
+}
+
+
+def make_policy(name, ways, rng):
+    """Instantiate the policy called ``name`` for a set of ``ways`` ways."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown replacement policy %r (have: %s)"
+            % (name, ", ".join(sorted(_POLICIES)))
+        )
+    return factory(ways, rng)
+
+
+def policy_names():
+    """All registered policy names."""
+    return sorted(_POLICIES)

@@ -1,0 +1,135 @@
+"""A generic set-associative lookup structure.
+
+Used for the data caches, both TLB levels, and (fully-associative, i.e.
+one set) the paging-structure caches.  Tags are opaque hashable keys —
+line addresses for caches, virtual page numbers for TLBs — so one
+implementation serves every structure on the translation path.
+"""
+
+from repro.cache.policies import make_policy
+from repro.errors import ConfigError
+from repro.utils.bitops import is_power_of_two
+
+
+class _SetState:
+    """Tags and replacement state of one cache set."""
+
+    __slots__ = ("tags", "policy")
+
+    def __init__(self, ways, policy_name, rng):
+        self.tags = [None] * ways
+        self.policy = make_policy(policy_name, ways, rng)
+
+
+class SetAssociativeCache:
+    """``sets`` x ``ways`` associative structure with pluggable replacement.
+
+    Per-set state is created lazily, so large sparsely-used structures
+    (an 8192-set LLC) cost host memory only for the sets actually
+    exercised.
+    """
+
+    def __init__(self, sets, ways, policy, rng, name="cache"):
+        if sets <= 0 or not is_power_of_two(sets):
+            raise ConfigError("%s: set count must be a positive power of two" % name)
+        if ways <= 0:
+            raise ConfigError("%s: need at least one way" % name)
+        self.sets = sets
+        self.ways = ways
+        self.policy_name = policy
+        self.name = name
+        self._rng = rng
+        self._state = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set(self, index):
+        state = self._state.get(index)
+        if state is None:
+            state = _SetState(self.ways, self.policy_name, self._rng.fork(index))
+            self._state[index] = state
+        return state
+
+    def lookup(self, set_index, tag):
+        """Probe for ``tag``; updates replacement state and hit counters."""
+        state = self._state.get(set_index)
+        if state is not None:
+            tags = state.tags
+            for way in range(self.ways):
+                if tags[way] == tag:
+                    state.policy.touch(way)
+                    self.hits += 1
+                    return True
+        self.misses += 1
+        return False
+
+    def contains(self, set_index, tag):
+        """Probe without side effects (evaluation only)."""
+        state = self._state.get(set_index)
+        return state is not None and tag in state.tags
+
+    def insert(self, set_index, tag):
+        """Install ``tag``; return the evicted tag, or None.
+
+        Re-inserting a resident tag only refreshes its replacement
+        state.
+        """
+        state = self._set(set_index)
+        tags = state.tags
+        for way in range(self.ways):
+            if tags[way] == tag:
+                state.policy.touch(way)
+                return None
+        for way in range(self.ways):
+            if tags[way] is None:
+                tags[way] = tag
+                state.policy.on_fill(way)
+                return None
+        way = state.policy.victim()
+        evicted = tags[way]
+        tags[way] = tag
+        state.policy.on_fill(way)
+        self.evictions += 1
+        return evicted
+
+    def invalidate(self, set_index, tag):
+        """Drop ``tag`` if resident; return whether it was present."""
+        state = self._state.get(set_index)
+        if state is None:
+            return False
+        tags = state.tags
+        for way in range(self.ways):
+            if tags[way] == tag:
+                tags[way] = None
+                state.policy.on_invalidate(way)
+                return True
+        return False
+
+    def flush_all(self):
+        """Empty the whole structure (context switch / privileged flush)."""
+        self._state.clear()
+
+    def resident_tags(self, set_index):
+        """Tags currently in a set (evaluation only)."""
+        state = self._state.get(set_index)
+        if state is None:
+            return []
+        return [tag for tag in state.tags if tag is not None]
+
+    def occupancy(self):
+        """Total resident entries (evaluation only)."""
+        return sum(
+            1
+            for state in self._state.values()
+            for tag in state.tags
+            if tag is not None
+        )
+
+    def __repr__(self):
+        return "SetAssociativeCache(%s: %dx%d, policy=%s)" % (
+            self.name,
+            self.sets,
+            self.ways,
+            self.policy_name,
+        )

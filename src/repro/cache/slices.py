@@ -1,0 +1,52 @@
+"""Intel-style LLC slice-selection hash.
+
+The last-level cache is physically split into per-core slices; the slice
+a line lands in is an undocumented XOR hash of physical-address bits,
+reverse engineered by Hund et al., Irazoqui et al., and Maurice et al.
+Each slice-selection bit is the parity of the address ANDed with a mask.
+
+The masks below follow the published two-slice Sandy Bridge function
+(bits 17,18,20,22,24,25,26,27,28,30,32 for the single selection bit) and
+its four-slice extension.  The hash only involves bits >= 17, which is
+what makes the slice *unknowable* from a 4 KiB or even 2 MiB page offset
+— the reason Algorithm 2 must discover the right eviction set by timing
+rather than computing it.
+"""
+
+from repro.errors import ConfigError
+from repro.utils.bitops import is_power_of_two, parity
+
+#: Published slice-hash masks (Maurice et al.): one mask per output bit.
+_SLICE_BIT_MASKS = (
+    0x1B5F575440,  # bits 6..: o0 = p17^p18^p20^p22^p24^p25^p26^p27^p28^p30^p32
+    0x2EB5FAA880,  # o1 (used when there are 4 or more slices)
+    0x3CCCC93100,  # o2 (8 slices)
+)
+
+
+class SliceHash:
+    """Map a physical address to an LLC slice index."""
+
+    def __init__(self, slices, masks=None):
+        if not is_power_of_two(slices):
+            raise ConfigError("slice count must be a power of two")
+        bits_needed = slices.bit_length() - 1
+        if masks is None:
+            masks = _SLICE_BIT_MASKS[:bits_needed]
+        if len(masks) != bits_needed:
+            raise ConfigError(
+                "need %d slice masks for %d slices, got %d"
+                % (bits_needed, slices, len(masks))
+            )
+        self.slices = slices
+        self.masks = tuple(masks)
+
+    def slice_of(self, paddr):
+        """Slice index of a physical address."""
+        index = 0
+        for bit, mask in enumerate(self.masks):
+            index |= parity(paddr & mask) << bit
+        return index
+
+    def __repr__(self):
+        return "SliceHash(slices=%d)" % self.slices

@@ -1,0 +1,301 @@
+"""Command-line interface: run the attack and regenerate experiments.
+
+Examples::
+
+    python -m repro attack --machine t420-scaled
+    python -m repro attack --machine tiny --defense catt --slots 1000
+    python -m repro table1
+    python -m repro figure3 --trials 60
+    python -m repro figure5 --machine t420-scaled
+    python -m repro defenses
+    python -m repro mitigations
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    run_escalation,
+    section_4c_selection,
+    section_4d_pairs,
+    table1,
+    table2,
+)
+from repro.core.pthammer import PThammerAttack, PThammerConfig
+from repro.defenses import (
+    CATTPolicy,
+    CTAPolicy,
+    RIPRHPolicy,
+    StockPolicy,
+    ZebRAMPolicy,
+)
+from repro.machine import AttackerView, Inspector, Machine
+from repro.machine.configs import (
+    dell_e6420,
+    dell_e6420_scaled,
+    lenovo_t420,
+    lenovo_t420_scaled,
+    lenovo_x230,
+    lenovo_x230_scaled,
+    tiny_test_config,
+)
+
+MACHINES = {
+    "tiny": tiny_test_config,
+    "t420-scaled": lenovo_t420_scaled,
+    "x230-scaled": lenovo_x230_scaled,
+    "e6420-scaled": dell_e6420_scaled,
+    "t420": lenovo_t420,
+    "x230": lenovo_x230,
+    "e6420": dell_e6420,
+}
+
+DEFENSES = {
+    "none": lambda: StockPolicy(),
+    "catt": lambda: CATTPolicy(kernel_fraction=0.1),
+    "rip-rh": lambda: RIPRHPolicy(kernel_fraction=0.1),
+    "cta": lambda: CTAPolicy(),
+    "zebram": lambda: ZebRAMPolicy(),
+}
+
+
+def _machine_arg(parser, default="tiny"):
+    parser.add_argument(
+        "--machine",
+        choices=sorted(MACHINES),
+        default=default,
+        help="machine preset (default: %(default)s)",
+    )
+
+
+def _cmd_attack(args):
+    config = MACHINES[args.machine]()
+    if args.seed is not None:
+        config.seed = args.seed
+    policy = DEFENSES[args.defense]()
+    machine = Machine(config, policy=policy)
+    attacker = AttackerView(machine, machine.boot_process())
+    attack_config = PThammerConfig(
+        superpages=not args.regular_pages,
+        spray_slots=args.slots,
+        pair_sample=args.pairs,
+        max_pairs=args.pairs,
+        cred_spray_processes=args.cred_spray,
+    )
+    print(
+        "PThammer vs %s (defense: %s); attacker uid=%d"
+        % (config.name, args.defense, attacker.getuid())
+    )
+    started = time.time()
+    report = PThammerAttack(attacker, attack_config).run()
+    print(report.summary())
+    if report.outcome:
+        for note in report.outcome.details:
+            print("  - %s" % note)
+    print(
+        "uid after attack: %d | ground-truth flips: %d | host %.1fs"
+        % (attacker.getuid(), Inspector(machine).flip_count(), time.time() - started)
+    )
+    return 0 if report.escalated == (args.defense not in ("zebram",)) else 1
+
+
+def _cmd_render(result):
+    print(result.render())
+    return 0
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PThammer reproduction experiments"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    attack = commands.add_parser("attack", help="run the end-to-end attack")
+    _machine_arg(attack)
+    attack.add_argument("--defense", choices=sorted(DEFENSES), default="none")
+    attack.add_argument("--slots", type=int, default=256, help="spray slots")
+    attack.add_argument("--pairs", type=int, default=12, help="pairs to hammer")
+    attack.add_argument("--seed", type=int, default=None)
+    attack.add_argument("--cred-spray", type=int, default=0)
+    attack.add_argument(
+        "--regular-pages",
+        action="store_true",
+        help="use the regular-page setting instead of superpages",
+    )
+
+    commands.add_parser("table1", help="Table I: machine configurations")
+
+    fig3 = commands.add_parser("figure3", help="TLB eviction-set sweep")
+    fig3.add_argument("--trials", type=int, default=60)
+
+    fig4 = commands.add_parser("figure4", help="LLC eviction-set sweep")
+    fig4.add_argument("--trials", type=int, default=60)
+
+    table2_cmd = commands.add_parser("table2", help="attack phase costs")
+    table2_cmd.add_argument("--slots", type=int, default=384)
+
+    fig5 = commands.add_parser("figure5", help="hammer-budget cliff")
+    _machine_arg(fig5, default="t420-scaled")
+
+    fig6 = commands.add_parser("figure6", help="per-round cycle distribution")
+    _machine_arg(fig6, default="t420-scaled")
+    fig6.add_argument("--regular-pages", action="store_true")
+
+    sec4c = commands.add_parser("sec4c", help="Algorithm-2 false positives")
+    _machine_arg(sec4c, default="t420-scaled")
+
+    sec4d = commands.add_parser("sec4d", help="pair-construction hit rates")
+    _machine_arg(sec4d, default="t420-scaled")
+
+    commands.add_parser("defenses", help="Sections IV-G/V defense matrix")
+    commands.add_parser("mitigations", help="Section V mitigation matrix")
+    commands.add_parser(
+        "validate", help="quick self-check: knees, pairs, and one escalation"
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "table1":
+        return _cmd_render(table1())
+    if args.command == "figure3":
+        return _cmd_render(figure3(trials=args.trials))
+    if args.command == "figure4":
+        return _cmd_render(figure4(trials=args.trials))
+    if args.command == "table2":
+        return _cmd_render(
+            table2(attack_config=PThammerConfig(spray_slots=args.slots, max_pairs=8))
+        )
+    if args.command == "figure5":
+        return _cmd_render(figure5(MACHINES[args.machine], buffer_pages=256))
+    if args.command == "figure6":
+        return _cmd_render(
+            figure6(MACHINES[args.machine], superpages=not args.regular_pages)
+        )
+    if args.command == "sec4c":
+        return _cmd_render(section_4c_selection(MACHINES[args.machine]))
+    if args.command == "sec4d":
+        return _cmd_render(section_4d_pairs(MACHINES[args.machine]))
+    if args.command == "defenses":
+        return _cmd_defenses()
+    if args.command == "mitigations":
+        return _cmd_mitigations()
+    if args.command == "validate":
+        return _cmd_validate()
+    return 0
+
+
+def _cmd_validate():
+    """Fast end-to-end self-check of the reproduction's key shapes."""
+    from repro.analysis import section_4d_pairs
+    from repro.core.tlb_eviction import TLBEvictionSetBuilder, tlb_miss_rate_by_size
+    from repro.core.llc_offline import llc_miss_rate_by_size
+    from repro.core.uarch import UarchFacts
+
+    failures = []
+
+    def check(name, condition, detail=""):
+        status = "ok" if condition else "FAIL"
+        print("  [%4s] %s %s" % (status, name, detail))
+        if not condition:
+            failures.append(name)
+
+    print("validating eviction-set knees ...")
+    config = tiny_test_config()
+    machine = Machine(config)
+    attacker = AttackerView(machine, machine.boot_process())
+    inspector = Inspector(machine)
+    facts = UarchFacts.from_config(config)
+    builder = TLBEvictionSetBuilder(attacker, facts)
+    tlb = tlb_miss_rate_by_size(attacker, inspector, builder, (8, 12), trials=50)
+    check("fig3: 12-page TLB sets evict", tlb[12] >= 0.85, "%.2f" % tlb[12])
+    check("fig3: 8-page sets degrade", tlb[8] < tlb[12], "%.2f" % tlb[8])
+    llc = llc_miss_rate_by_size(
+        attacker, inspector, facts, (facts.llc_ways - 2, facts.llc_ways + 1), trials=50
+    )
+    check(
+        "fig4: assoc+1 LLC sets evict",
+        llc[facts.llc_ways + 1] >= 0.85,
+        "%.2f" % llc[facts.llc_ways + 1],
+    )
+
+    print("validating pair construction ...")
+    pairs = section_4d_pairs(lambda: tiny_test_config(), sample=10, spray_slots=256)
+    check("sec4d: slow pairs same-bank", pairs.slow_same_bank_rate >= 0.8)
+
+    print("validating escalation (one seed) ...")
+    machine = Machine(tiny_test_config(seed=1))
+    attacker = AttackerView(machine, machine.boot_process())
+    report = PThammerAttack(
+        attacker, PThammerConfig(spray_slots=256, pair_sample=16, max_pairs=14)
+    ).run()
+    check("sec4f: flips observed", report.total_flips > 0)
+    check("sec4f: escalated to root", report.escalated and attacker.getuid() == 0)
+
+    print("%d checks failed" % len(failures) if failures else "all checks passed")
+    return 1 if failures else 0
+
+
+def _cmd_defenses():
+    """The Sections IV-G/V matrix (canonical runner in repro.analysis)."""
+    from repro.analysis.experiments import section_4g_defenses
+
+    print("running the five-defense matrix (a few minutes) ...", flush=True)
+    print(section_4g_defenses().render())
+    return 0
+
+
+def _cmd_mitigations():
+    """The Section-V mitigation matrix (ANVIL/TRR)."""
+    from repro.core import RowhammerTestTool, UarchFacts
+    from repro.defenses import AnvilDetector
+
+    def pthammer(monitor=None, trr=0):
+        config = tiny_test_config(seed=1)
+        config.dram.trr_threshold = trr
+        machine = Machine(config)
+        attacker = AttackerView(machine, machine.boot_process())
+        if monitor:
+            machine.attach_monitor(monitor(machine))
+        PThammerAttack(
+            attacker, PThammerConfig(spray_slots=256, pair_sample=12, max_pairs=6)
+        ).run()
+        return Inspector(machine).flip_count()
+
+    def explicit(monitor=None):
+        machine = Machine(tiny_test_config(seed=4))
+        attacker = AttackerView(machine, machine.boot_process())
+        if monitor:
+            machine.attach_monitor(monitor(machine))
+        tool = RowhammerTestTool(
+            attacker, Inspector(machine),
+            UarchFacts.from_config(machine.config), buffer_pages=256,
+        )
+        tool.time_to_first_flip(0, 6 * machine.config.dram.refresh_interval_cycles)
+        return Inspector(machine).flip_count()
+
+    rows = [
+        ("explicit", "none", explicit()),
+        ("explicit", "ANVIL (loads)", explicit(lambda m: AnvilDetector(m))),
+        ("pthammer", "none", pthammer()),
+        ("pthammer", "ANVIL (loads)", pthammer(lambda m: AnvilDetector(m))),
+        ("pthammer", "ANVIL (loads+walks)",
+         pthammer(lambda m: AnvilDetector(m, watch_walks=True))),
+        ("pthammer", "TRR counter", pthammer(trr=150)),
+    ]
+    from repro.analysis import render_table
+
+    print(render_table(["attack", "mitigation", "ground-truth flips"], rows,
+                       title="Section V mitigations"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

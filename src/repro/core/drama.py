@@ -1,0 +1,63 @@
+"""DRAMA-style DRAM-geometry reverse engineering (Pessl et al.).
+
+The paper takes the DRAM row span ("RowsSize", 256 KiB on its
+machines) as known, citing the DRAMA reverse-engineering work.  This
+module is that step as an attacker-side tool: recover the row span
+from pure timing, using the row-buffer conflict channel on the
+attacker's own memory.
+
+Physically contiguous buffer pages (a fresh buddy burst) make virtual
+strides equal physical strides; two addresses conflict — both slow —
+exactly when they sit in the same bank on different rows, which for a
+stride ``s`` happens when ``s`` is a multiple of the row span.  The
+smallest power-of-two stride that conflicts is the row span.
+"""
+
+from repro.core.layout import PROBE_DATA_OFFSET
+from repro.core.timing_probe import FENCE_CYCLES
+from repro.params import PAGE_SIZE
+from repro.utils.stats import median
+
+
+def _pair_latency(attacker, va_a, va_b, rounds=5):
+    """Median latency of the second of two flushed back-to-back loads."""
+    samples = []
+    for _ in range(rounds):
+        attacker.clflush(va_a)
+        attacker.clflush(va_b)
+        attacker.nop(FENCE_CYCLES)
+        attacker.touch(va_a)
+        samples.append(attacker.timed_read(va_b))
+    return median(samples)
+
+
+def reverse_engineer_row_span(
+    attacker,
+    conflict_level,
+    min_stride=64 * 1024,
+    max_stride=4 * 1024 * 1024,
+    probes_per_stride=6,
+):
+    """Recover the DRAM row span from timing alone.
+
+    ``conflict_level`` comes from
+    :meth:`repro.core.pair_finding.PairFinder.conflict_level` (or any
+    equivalent own-memory calibration).  Returns the smallest
+    power-of-two stride at which address pairs consistently
+    row-conflict, or None if none does within the range.
+    """
+    buffer_pages = 2 * max_stride // PAGE_SIZE
+    base = attacker.mmap(buffer_pages, populate=True)
+    threshold = conflict_level - 10.0
+    stride = min_stride
+    while stride <= max_stride:
+        conflicts = 0
+        for probe in range(probes_per_stride):
+            va_a = base + probe * PAGE_SIZE + PROBE_DATA_OFFSET
+            va_b = va_a + stride
+            if _pair_latency(attacker, va_a, va_b) >= threshold:
+                conflicts += 1
+        if conflicts * 2 > probes_per_stride:
+            return stride
+        stride *= 2
+    return None

@@ -1,0 +1,213 @@
+"""Explicit-hammer baselines and the rowhammer-test tool replica.
+
+These are the attacks the paper's background covers (Section II) and
+the calibration tool its Figure 5 uses:
+
+* clflush-based **double-sided** hammering (Kim et al. / Seaborn) —
+  flush both aggressors, read both, repeat;
+* **single-sided** hammering (Seaborn) — hammer several addresses
+  hoping for same-bank conflicts;
+* **one-location** hammering (Gruss et al.) — a single address,
+  relying on the controller's preemptive row closing;
+* :class:`RowhammerTestTool` — a replica of the google/rowhammer-test
+  double-sided tool with injectable NOP padding, used to find the
+  maximum per-iteration cycle budget that still produces flips
+  (Figure 5).  Like the original tool it may use privileged hints
+  (``Inspector``) to pick physically-adjacent aggressors — it is
+  calibration equipment, not part of the unprivileged attack.
+
+All baselines hammer *user-owned* rows: under placement defenses like
+CATT they can only flip user data, which is exactly the limitation
+PThammer removes.
+"""
+
+from repro.params import PAGE_SIZE
+from repro.utils.rng import hash64
+
+#: Fill pattern for flip detection in the tool's own buffer.
+FILL_WORD = 0xFFFFFFFFFFFFFFFF
+
+
+class ExplicitHammer:
+    """clflush-based hammering primitives over the attacker's memory."""
+
+    def __init__(self, attacker):
+        self.attacker = attacker
+
+    def double_sided_round(self, va_a, va_b, nop_padding=0):
+        """One Kim-style iteration: flush + read both aggressors."""
+        attacker = self.attacker
+        start = attacker.rdtsc()
+        attacker.clflush(va_a)
+        attacker.touch(va_a)
+        attacker.clflush(va_b)
+        attacker.touch(va_b)
+        if nop_padding:
+            attacker.nop(nop_padding)
+        return attacker.rdtsc() - start
+
+    def single_sided_round(self, vas, nop_padding=0):
+        """One Seaborn-style iteration over several random addresses."""
+        attacker = self.attacker
+        start = attacker.rdtsc()
+        for va in vas:
+            attacker.clflush(va)
+            attacker.touch(va)
+        if nop_padding:
+            attacker.nop(nop_padding)
+        return attacker.rdtsc() - start
+
+    def one_location_round(self, va, nop_padding=0):
+        """One Gruss-style iteration: a single flushed address.
+
+        Only effective when the memory controller preemptively closes
+        rows (``DRAMConfig.row_policy='closed'`` or a non-zero
+        ``preemptive_close_probability``).
+        """
+        attacker = self.attacker
+        start = attacker.rdtsc()
+        attacker.clflush(va)
+        attacker.touch(va)
+        if nop_padding:
+            attacker.nop(nop_padding)
+        return attacker.rdtsc() - start
+
+
+class RowhammerTestTool:
+    """Replica of google/rowhammer-test with NOP-padding injection.
+
+    Allocates a buffer, picks aggressor pairs sandwiching buffer-owned
+    victim rows (with privileged placement hints, as the original tool
+    effectively had via pagemap), fills the victims with all-ones, and
+    hammers while periodically scanning for flips.
+    """
+
+    def __init__(self, attacker, inspector, facts, buffer_pages=2048):
+        self.attacker = attacker
+        self.inspector = inspector
+        self.facts = facts
+        self.buffer_pages = buffer_pages
+        self.base = attacker.mmap(buffer_pages, populate=True)
+        self._fill_buffer()
+        self.hammer = ExplicitHammer(attacker)
+
+    def _fill_buffer(self):
+        write = self.attacker.write
+        for page in range(self.buffer_pages):
+            base = self.base + page * PAGE_SIZE
+            for word in range(0, PAGE_SIZE, 8):
+                write(base + word, FILL_WORD)
+
+    def _page_location(self, page):
+        frame = self.inspector.frame_of(
+            self.attacker.process, self.base + page * PAGE_SIZE
+        )
+        location = self.inspector.dram_location(frame << 12)
+        return location.bank, location.row
+
+    def aggressor_pairs(self, limit=8):
+        """(va_a, va_b, victim_pages) triples sandwiching a buffer row.
+
+        Uses pagemap-style privileged placement knowledge, as the
+        original tool does when run for calibration.  ``victim_pages``
+        are the buffer pages physically inside the sandwiched row, which
+        is where the tool concentrates its flip scans.
+        """
+        by_location = {}
+        for page in range(self.buffer_pages):
+            by_location.setdefault(self._page_location(page), []).append(page)
+        pairs = []
+        for (bank, row), pages in sorted(by_location.items()):
+            above = by_location.get((bank, row + 2))
+            victims = by_location.get((bank, row + 1))
+            if not above or not victims:
+                continue
+            pairs.append(
+                (
+                    self.base + pages[0] * PAGE_SIZE,
+                    self.base + above[0] * PAGE_SIZE,
+                    list(victims),
+                )
+            )
+            if len(pairs) >= limit:
+                break
+        return pairs
+
+    def scan_pages_for_flip(self, pages):
+        """First flipped word among the given buffer pages, or None."""
+        read = self.attacker.read
+        for page in pages:
+            base = self.base + page * PAGE_SIZE
+            for word in range(0, PAGE_SIZE, 8):
+                if read(base + word) != FILL_WORD:
+                    return base + word
+        return None
+
+    def scan_for_flip(self):
+        """First flipped word anywhere in the buffer, or None."""
+        return self.scan_pages_for_flip(range(self.buffer_pages))
+
+    def time_to_first_flip(self, nop_padding, budget_cycles, scan_every=None):
+        """Hammer with padding until a flip appears or the budget runs out.
+
+        Returns elapsed virtual cycles to the first observed flip, or
+        None — the Figure-5 measurement for one padding value.  Each
+        aggressor pair is hammered in bursts, scanning only its victim
+        row between bursts (like the original tool's targeted checks);
+        burst length adapts to the padded round cost so a whole refresh
+        window is spent hammering, not scanning.
+        """
+        attacker = self.attacker
+        self._fill_buffer()  # clear flips left by earlier measurements
+        pairs = self.aggressor_pairs()
+        if not pairs:
+            raise RuntimeError("buffer produced no double-sided aggressor pairs")
+        window = self.facts.refresh_interval_cycles
+        start = attacker.rdtsc()
+        # Calibrate the padded round cost on the first pair.
+        probe_cost = max(
+            1, self.hammer.double_sided_round(pairs[0][0], pairs[0][1], nop_padding)
+        )
+        if scan_every is None:
+            scan_every = max(32, window // probe_cost)
+        # Disturbance only accumulates within one refresh window, so
+        # each pair is hammered continuously for a couple of windows
+        # before moving on (rotating would reset the counters).
+        per_pair = 2 * window
+        index = 0
+        while attacker.rdtsc() - start < budget_cycles:
+            va_a, va_b, victims = pairs[index % len(pairs)]
+            index += 1
+            pair_start = attacker.rdtsc()
+            while attacker.rdtsc() - pair_start < per_pair:
+                for _ in range(scan_every):
+                    self.hammer.double_sided_round(va_a, va_b, nop_padding)
+                if self.scan_pages_for_flip(victims) is not None:
+                    return attacker.rdtsc() - start
+                if attacker.rdtsc() - start >= budget_cycles:
+                    return None
+        return None
+
+
+def syscall_hammer(attacker, budget_cycles):
+    """The Section-V syscall-based implicit-hammer attempt.
+
+    Invokes a trivial system call in a tight loop for ``budget_cycles``.
+    Each call implicitly touches kernel memory — but through the cache,
+    where the line stays hot, so DRAM sees almost no activations and no
+    bits flip: Konoth et al.'s negative result, reproduced.  Returns the
+    number of calls made.
+    """
+    deadline = attacker.rdtsc() + budget_cycles
+    calls = 0
+    while attacker.rdtsc() < deadline:
+        attacker.syscall()
+        calls += 1
+    return calls
+
+
+def random_buffer_addresses(attacker, base, buffer_pages, count, seed=0):
+    """Deterministically pseudo-random page addresses for single-sided."""
+    return [
+        base + (hash64(seed, i) % buffer_pages) * PAGE_SIZE for i in range(count)
+    ]

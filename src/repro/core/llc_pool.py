@@ -1,0 +1,282 @@
+"""LLC eviction sets: minimal-size search and the complete pool.
+
+Three pieces, mirroring Section III-D:
+
+* **Offline minimal size** (needs the evaluation kernel module):
+  measure the eviction rate of physically-congruent line sets of
+  decreasing size; the paper settles on associativity + 1 (13 lines on
+  the Lenovos, 17 on the Dell).  This also generates Figure 4.
+
+* **Pool preparation** (attack-side, timing only): partition a buffer
+  twice the LLC size into one minimal eviction set per (cache set,
+  slice).  With superpages, physical bits 0-20 leak through the shared
+  VA bits, so the set index is known and only the slice must be found
+  by conflict testing (Liu et al.) — fast.  With 4 KiB pages only bits
+  6-11 are known, so each page-offset class mixes ``sets_per_slice/64``
+  set classes times ``slices`` slices and the grouping does far more
+  timing work (Genkin et al.) — the paper's 18-38 minutes vs 0.3.
+
+* Set reduction uses Vila-style group testing: drop whole chunks whose
+  removal keeps the set evicting, falling back to single-line removal.
+
+The pool's index is the *line offset within a page* (bits 6-11): an
+L1PTE's page offset is computable from its virtual address alone, and
+Oren et al.'s observation guarantees offset-congruent pages cover the
+same cache sets — exactly how Algorithm 2 shortlists candidate sets.
+"""
+
+from repro.core.layout import LLC_BUFFER_REGION
+from repro.core.timing_probe import fenced_timed_read
+from repro.params import LINE_SIZE, PAGE_SIZE, SUPERPAGE_SIZE
+
+
+class EvictionSet:
+    """A minimal set of lines mapping to one (cache set, slice)."""
+
+    __slots__ = ("lines", "line_offset", "set_index")
+
+    def __init__(self, lines, line_offset, set_index=None):
+        self.lines = lines
+        #: Line offset within a 4 KiB page (0..63), the pool index key.
+        self.line_offset = line_offset
+        #: Set index within a slice when known (superpage path), else None.
+        self.set_index = set_index
+
+    def __len__(self):
+        return len(self.lines)
+
+    def __repr__(self):
+        return "EvictionSet(offset=%d, set=%s, lines=%d)" % (
+            self.line_offset,
+            self.set_index,
+            len(self.lines),
+        )
+
+
+class LLCEvictionPool:
+    """The one-off pool: eviction sets indexed by page line-offset."""
+
+    def __init__(self, sets, prep_cycles, superpages):
+        self._by_offset = {}
+        for eviction_set in sets:
+            self._by_offset.setdefault(eviction_set.line_offset, []).append(
+                eviction_set
+            )
+        self.prep_cycles = prep_cycles
+        self.superpages = superpages
+
+    def sets_for_offset(self, line_offset):
+        """All pool sets whose lines share a page line-offset."""
+        return list(self._by_offset.get(line_offset, []))
+
+    def offsets(self):
+        """Line offsets the pool covers."""
+        return sorted(self._by_offset)
+
+    def set_count(self):
+        """Total eviction sets in the pool."""
+        return sum(len(sets) for sets in self._by_offset.values())
+
+
+# ----------------------------------------------------------------------
+# conflict testing and reduction (attack-side, timing only)
+
+
+def sweep(attacker, lines):
+    """Access every line of an eviction set in sequence.
+
+    Sequential order suffices for high eviction rates here, matching
+    the paper's note that Gruss-style fancy access patterns were not
+    needed.
+    """
+    touch = attacker.touch
+    for va in lines:
+        touch(va)
+
+
+def evicts(attacker, threshold, probe_va, lines, trials=3):
+    """Timing conflict test: does sweeping ``lines`` evict ``probe_va``?
+
+    The candidate set is swept twice per trial: on inclusive LLCs the
+    second pass is nearly free (hits), while on non-inclusive designs
+    it is what pushes the probe's line out of the victim LLC after the
+    first pass displaced it from L2 (Section V, hardware variations).
+    """
+    votes = 0
+    for _ in range(trials):
+        attacker.touch(probe_va)
+        sweep(attacker, lines)
+        sweep(attacker, lines)
+        if threshold.is_dram(fenced_timed_read(attacker, probe_va)):
+            votes += 1
+    return votes * 2 > trials
+
+
+def reduce_to_minimal(attacker, threshold, probe_va, candidates, target_size):
+    """Vila-style group-testing reduction of an eviction set.
+
+    Shrinks ``candidates`` (which must evict the probe) to
+    ``target_size`` lines that still evict it; returns None when the
+    candidates stop evicting (not enough congruent lines present).
+    """
+    working = list(candidates)
+    if not evicts(attacker, threshold, probe_va, working):
+        return None
+    while len(working) > target_size:
+        chunks = _split(working, target_size + 1)
+        for chunk in chunks:
+            if len(working) - len(chunk) < target_size:
+                continue
+            trimmed = [va for va in working if va not in chunk]
+            if evicts(attacker, threshold, probe_va, trimmed):
+                working = trimmed
+                break
+        else:
+            # Group testing stalled (noise); fall back to single removal.
+            for va in list(working):
+                trimmed = [x for x in working if x != va]
+                if evicts(attacker, threshold, probe_va, trimmed):
+                    working = trimmed
+                    break
+            else:
+                return None
+    return working
+
+
+def _split(items, parts):
+    """Split a list into ``parts`` nearly-equal chunks."""
+    size = max(1, len(items) // parts)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+# ----------------------------------------------------------------------
+# pool preparation
+
+
+class LLCPoolBuilder:
+    """Builds the complete (or offset-restricted) eviction-set pool."""
+
+    def __init__(self, attacker, facts, threshold, set_size):
+        self.attacker = attacker
+        self.facts = facts
+        self.threshold = threshold
+        self.set_size = set_size
+        self._region_cursor = LLC_BUFFER_REGION
+
+    def _claim_region(self, length):
+        """Reserve a superpage-aligned VA range for a buffer."""
+        base = self._region_cursor
+        span = -(-length // SUPERPAGE_SIZE) * SUPERPAGE_SIZE
+        self._region_cursor = base + span + SUPERPAGE_SIZE
+        return base
+
+    def prepare(self, superpages=True, line_offsets=None):
+        """Build the pool (Table II's "LLC preparation" phase).
+
+        ``line_offsets`` restricts preparation to the given page
+        offsets — the lazy mode used when the attacker already knows
+        which offsets its target L1PTEs use; ``None`` builds all 64.
+        """
+        start = self.attacker.rdtsc()
+        if line_offsets is None:
+            line_offsets = range(PAGE_SIZE // LINE_SIZE)
+        wanted = set(line_offsets)
+        if superpages:
+            sets = self._prepare_superpage(wanted)
+        else:
+            sets = self._prepare_regular(wanted)
+        return LLCEvictionPool(sets, self.attacker.rdtsc() - start, superpages)
+
+    # -- superpage path (Liu et al.): set index known, find slices ------
+
+    def _prepare_superpage(self, wanted_offsets):
+        facts = self.facts
+        buffer_bytes = 2 * facts.llc_bytes
+        n_super = max(1, -(-buffer_bytes // SUPERPAGE_SIZE))
+        base = self.attacker.mmap(
+            n_super,
+            at=self._claim_region(n_super * SUPERPAGE_SIZE),
+            huge=True,
+            populate=True,
+        )
+        sets = []
+        sets_per_slice = facts.llc_sets_per_slice
+        lines_per_super = SUPERPAGE_SIZE // LINE_SIZE
+        # A buffer twice the LLC size provides ~2 x ways x slices lines
+        # per set index; more candidates only slow the reduction down.
+        per_group = 2 * facts.llc_ways * facts.llc_slices
+        for set_index in range(sets_per_slice):
+            if (set_index % (PAGE_SIZE // LINE_SIZE)) not in wanted_offsets:
+                continue
+            candidates = []
+            for sp in range(n_super):
+                sp_base = base + sp * SUPERPAGE_SIZE
+                # Bits 0-20 of VA equal bits 0-20 of PA: every line whose
+                # VA-derived set index matches is physically in this set.
+                for line in range(set_index, lines_per_super, sets_per_slice):
+                    candidates.append(sp_base + line * LINE_SIZE)
+                    if len(candidates) >= per_group:
+                        break
+                if len(candidates) >= per_group:
+                    break
+            sets.extend(
+                self._partition_group(candidates, set_index, expected=facts.llc_slices)
+            )
+        return sets
+
+    # -- regular path (Genkin et al.): only bits 6-11 known --------------
+
+    def _prepare_regular(self, wanted_offsets):
+        facts = self.facts
+        buffer_bytes = 2 * facts.llc_bytes
+        npages = buffer_bytes // PAGE_SIZE
+        base = self.attacker.mmap(
+            npages, at=self._claim_region(npages * PAGE_SIZE), populate=True
+        )
+        sets = []
+        set_classes = max(1, facts.llc_sets_per_slice // (PAGE_SIZE // LINE_SIZE))
+        expected = set_classes * facts.llc_slices
+        for offset in sorted(wanted_offsets):
+            candidates = [
+                base + page * PAGE_SIZE + offset * LINE_SIZE
+                for page in range(npages)
+            ]
+            sets.extend(
+                self._partition_group(candidates, None, offset, expected=expected)
+            )
+        return sets
+
+    # -- shared partition logic ------------------------------------------
+
+    def _partition_group(self, candidates, set_index, offset=None, expected=None):
+        """Split congruence candidates into per-(set, slice) minimal sets.
+
+        ``expected`` is how many distinct (set, slice) combinations the
+        group spans; probes already covered by a found set are skipped
+        so each combination yields exactly one pool entry.
+        """
+        if offset is None:
+            offset = (candidates[0] >> 6) & (PAGE_SIZE // LINE_SIZE - 1)
+        found = []
+        pool = list(candidates)
+        misfires = 0
+        while len(pool) > self.set_size and misfires < 4:
+            if expected is not None and len(found) >= expected:
+                break
+            probe = pool.pop(0)
+            if any(
+                evicts(self.attacker, self.threshold, probe, done.lines)
+                for done in found
+            ):
+                continue  # probe's (set, slice) already has a pool entry
+            reduced = reduce_to_minimal(
+                self.attacker, self.threshold, probe, pool, self.set_size
+            )
+            if reduced is None:
+                # Not enough lines of the probe's (set, slice) remain.
+                misfires += 1
+                continue
+            found.append(EvictionSet(reduced, offset, set_index))
+            members = set(reduced)
+            pool = [va for va in pool if va not in members]
+        return found

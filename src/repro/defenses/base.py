@@ -1,0 +1,214 @@
+"""Placement policies: where the kernel puts frames in DRAM.
+
+All three defenses the paper evaluates — CATT, RIP-RH, CTA — are
+*placement* defenses: they constrain which DRAM rows may hold page
+tables, kernel data, and user data, so that nothing an attacker can
+touch is row-adjacent to anything sensitive.  The kernel delegates every
+frame allocation to the active policy, making the defenses drop-in.
+
+:class:`StockPolicy` is the undefended baseline: one buddy pool shared
+by everything, so sprayed L1PTs sit wherever user data does.
+"""
+
+from bisect import bisect_right
+
+from repro.errors import ConfigError, OutOfMemory
+from repro.kernel.buddy import BuddyAllocator
+from repro.params import PAGE_SHIFT
+
+
+class ZonePool:
+    """An allocator over a list of frame extents (possibly discontiguous).
+
+    Extents are filled lowest-address-first with per-extent buddy
+    allocators created lazily — cheap even when a defense splits memory
+    into thousands of row-granular extents (ZebRAM).
+    """
+
+    def __init__(self, extents, max_order=10, name="zone"):
+        cleaned = sorted((start, count) for start, count in extents if count > 0)
+        if not cleaned:
+            raise ConfigError("%s: zone has no frames" % name)
+        previous_end = -1
+        for start, count in cleaned:
+            if start < previous_end:
+                raise ConfigError("%s: overlapping extents" % name)
+            previous_end = start + count
+        self.name = name
+        self._extents = cleaned
+        self._starts = [start for start, _ in cleaned]
+        self._allocators = {}
+        self._max_order = max_order
+        self._cursor = 0
+
+    def _allocator(self, index):
+        allocator = self._allocators.get(index)
+        if allocator is None:
+            start, count = self._extents[index]
+            order = min(self._max_order, max(count.bit_length() - 1, 0))
+            allocator = BuddyAllocator(start, count, max_order=order)
+            self._allocators[index] = allocator
+        return allocator
+
+    def alloc(self, order=0):
+        """Allocate ``2**order`` frames from the lowest extent that can."""
+        for index in range(self._cursor, len(self._extents)):
+            try:
+                frame = self._allocator(index).alloc(order)
+            except OutOfMemory:
+                if order == 0 and index == self._cursor:
+                    self._cursor += 1  # extent is truly full for order 0
+                continue
+            return frame
+        # Retry extents we skipped past (frees may have refilled them).
+        for index in range(0, self._cursor):
+            try:
+                return self._allocator(index).alloc(order)
+            except OutOfMemory:
+                continue
+        raise OutOfMemory("%s: zone exhausted (order %d)" % (self.name, order))
+
+    def free(self, frame, order=0):
+        """Return a block to the extent that owns it."""
+        index = bisect_right(self._starts, frame) - 1
+        if index < 0:
+            raise ConfigError("%s: frame %d below zone" % (self.name, frame))
+        start, count = self._extents[index]
+        if not start <= frame < start + count:
+            raise ConfigError("%s: frame %d not in zone" % (self.name, frame))
+        self._allocator(index).free(frame, order)
+        self._cursor = min(self._cursor, index)
+
+    def contains(self, frame):
+        """Whether ``frame`` belongs to this zone."""
+        index = bisect_right(self._starts, frame) - 1
+        if index < 0:
+            return False
+        start, count = self._extents[index]
+        return start <= frame < start + count
+
+    def nth_frame(self, index):
+        """Absolute frame number of the zone's ``index``-th frame."""
+        for start, count in self._extents:
+            if index < count:
+                return start + index
+            index -= count
+        raise ConfigError("%s: frame index out of range" % self.name)
+
+    def reserve(self, frame):
+        """Permanently take one specific free frame (boot noise)."""
+        index = bisect_right(self._starts, frame) - 1
+        if index < 0:
+            return False
+        start, count = self._extents[index]
+        if not start <= frame < start + count:
+            return False
+        return self._allocator(index).reserve(frame)
+
+    def total_frames(self):
+        """Capacity of the zone in frames."""
+        return sum(count for _, count in self._extents)
+
+
+def frames_per_row(geometry):
+    """Frames covered by one DRAM row index."""
+    return geometry.row_span_bytes >> PAGE_SHIFT
+
+
+def row_extent(geometry, row_lo, row_hi):
+    """(start_frame, frame_count) covering row indices [row_lo, row_hi)."""
+    per_row = frames_per_row(geometry)
+    return row_lo * per_row, (row_hi - row_lo) * per_row
+
+
+class PlacementPolicy:
+    """Decides the physical placement of every kernel allocation.
+
+    Subclasses override :meth:`build_zones` to carve DRAM rows into
+    zones and route the three allocation kinds (user / page-table /
+    kernel-data).  ``attach`` is called once by the machine during
+    boot.
+    """
+
+    name = "stock"
+    #: Human description used in reports.
+    summary = "no rowhammer defense: one shared pool"
+
+    #: Frames reserved at the bottom of memory (firmware/kernel image).
+    RESERVED_FRAMES = 64
+
+    def __init__(self):
+        self.geometry = None
+        self._zones = {}
+
+    def attach(self, geometry, fault_model, rng, boot_fragmentation):
+        """Boot-time setup: build zones and apply boot fragmentation."""
+        self.geometry = geometry
+        self._zones = self.build_zones(geometry, fault_model)
+        if boot_fragmentation:
+            user_zone = self._zones.get("user")
+            if user_zone is not None:
+                self._fragment(user_zone, rng, boot_fragmentation)
+
+    def _fragment(self, zone, rng, fraction):
+        """Punch clustered holes across a zone (boot-time allocation noise).
+
+        Real boot allocations cluster: a few runs of frames scattered
+        over memory, not a sieve.  A later large spray is consecutive
+        except where it crosses a cluster — producing the paper's
+        90-95 % pair-construction hit rates rather than destroying
+        contiguity wholesale.
+        """
+        total = zone.total_frames()
+        budget = int(total * fraction)
+        while budget > 0:
+            run_length = min(budget, 16 + rng.randint(49))
+            start = zone.nth_frame(rng.randint(max(1, total)))
+            for offset in range(run_length):
+                zone.reserve(start + offset)
+            budget -= run_length
+
+    def build_zones(self, geometry, fault_model):
+        """Return the zone map; the stock kernel uses one pool for all."""
+        start = self.RESERVED_FRAMES
+        count = (geometry.size_bytes >> PAGE_SHIFT) - start
+        pool = ZonePool([(start, count)], name="stock-pool")
+        return {"user": pool, "pagetable": pool, "kernel": pool}
+
+    # -- allocation routing --------------------------------------------
+
+    def alloc_user_frame(self, process):
+        """A frame for user data of ``process``."""
+        return self._zones["user"].alloc(0)
+
+    def alloc_user_block(self, process, order):
+        """A naturally-aligned block for a user superpage."""
+        return self._zones["user"].alloc(order)
+
+    def alloc_pagetable_frame(self):
+        """A frame for a page-table page (any level)."""
+        return self._zones["pagetable"].alloc(0)
+
+    def alloc_kernel_frame(self):
+        """A frame for kernel data (cred slabs etc.)."""
+        return self._zones["kernel"].alloc(0)
+
+    def free_frame(self, frame, kind):
+        """Return a frame of the given kind ('user'/'pagetable'/'kernel')."""
+        self._zones[kind].free(frame, 0)
+
+    def zone(self, kind):
+        """The backing pool for a kind (evaluation/tests)."""
+        return self._zones[kind]
+
+    def protects_kernel_from_user_rows(self):
+        """Whether user-reachable rows are never adjacent to kernel rows.
+
+        Evaluation helper: explicit-hammer baselines use it to explain
+        their failures against CATT-style policies.
+        """
+        return False
+
+
+class StockPolicy(PlacementPolicy):
+    """The undefended kernel: shared pool for everything."""

@@ -1,0 +1,45 @@
+"""CATT (Brasser et al., USENIX Security 2017).
+
+CAn't-Touch-This partitions physical memory into a kernel part and a
+user part with unallocated guard rows between them, so no row a user
+can access is adjacent to a row holding kernel data.  This stops every
+*explicit* hammer attack on the kernel — and changes nothing for
+PThammer, whose hammer rows (L1 page tables) live inside the kernel
+partition, where the MMU happily hammers them on the attacker's behalf.
+
+As the paper notes (Section IV-G1), concentrating page tables in a
+restricted region actually *helps* PThammer: randomly chosen L1PTE
+pairs are more likely to sandwich a victim row that itself contains
+L1PTs.
+"""
+
+from repro.defenses.base import PlacementPolicy, ZonePool, frames_per_row, row_extent
+
+
+class CATTPolicy(PlacementPolicy):
+    """Kernel rows low, guard rows, user rows high."""
+
+    name = "catt"
+    summary = "CATT: kernel/user DRAM partition with guard rows"
+
+    def __init__(self, kernel_fraction=0.25, guard_rows=1):
+        super().__init__()
+        self.kernel_fraction = kernel_fraction
+        self.guard_rows = guard_rows
+
+    def build_zones(self, geometry, fault_model):
+        rows = geometry.rows
+        per_row = frames_per_row(geometry)
+        reserved_rows = max(1, self.RESERVED_FRAMES // per_row)
+        split = max(reserved_rows + 1, int(rows * self.kernel_fraction))
+        user_start = split + self.guard_rows
+        kernel_pool = ZonePool(
+            [row_extent(geometry, reserved_rows, split)], name="catt-kernel"
+        )
+        user_pool = ZonePool(
+            [row_extent(geometry, user_start, rows)], name="catt-user"
+        )
+        return {"user": user_pool, "pagetable": kernel_pool, "kernel": kernel_pool}
+
+    def protects_kernel_from_user_rows(self):
+        return True

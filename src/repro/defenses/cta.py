@@ -1,0 +1,62 @@
+"""CTA (Wu et al., ASPLOS 2019): Cell-Type-Aware page-table protection.
+
+Two layers:
+
+1. Level-1 page tables live in a dedicated region at the *top* of
+   physical memory, so their frame numbers are higher than every user
+   frame.
+2. That region is screened to contain only DRAM *true cells* — cells
+   that can flip 1 -> 0 but never 0 -> 1.  Any rowhammer flip in an
+   L1PTE can therefore only lower the frame number it points to: a
+   corrupted PTE can never point *up* into the page-table region, so an
+   attacker can never gain write access to a page table.
+
+PThammer defeats layer 1 outright (the MMU hammers inside the protected
+region).  Layer 2 holds — the reproduction asserts that no flip ever
+yields an L1PT capture — but the paper's bypass (Section IV-G3) goes
+around it: flips redirect user mappings into *lower* memory, and a
+`struct cred` spray makes the landing zone valuable.
+"""
+
+from repro.defenses.base import PlacementPolicy, ZonePool, frames_per_row, row_extent
+
+
+class CTAPolicy(PlacementPolicy):
+    """Shared user/kernel pool below, true-cell page-table region on top.
+
+    Note CTA protects *only* the page tables: ordinary kernel data —
+    including ``struct cred`` slabs — shares the pool with user pages,
+    which is precisely the gap the paper's cred-spray bypass drives
+    through (a downward-corrupted L1PTE lands the attacker on whatever
+    lives below its user pages).
+    """
+
+    name = "cta"
+    summary = "CTA: top-of-memory true-cell region for page tables"
+
+    def __init__(self, pagetable_fraction=0.25):
+        super().__init__()
+        self.pagetable_fraction = pagetable_fraction
+        self.pagetable_first_frame = None
+
+    def build_zones(self, geometry, fault_model):
+        rows = geometry.rows
+        per_row = frames_per_row(geometry)
+        reserved_rows = max(1, self.RESERVED_FRAMES // per_row)
+        pt_rows = max(2, int(rows * self.pagetable_fraction))
+        pt_start = rows - pt_rows
+        # Layer 2: the page-table rows are screened true-cell rows.
+        fault_model.mark_true_cell_rows(pt_start, rows)
+        self.pagetable_first_frame = pt_start * per_row
+        shared = ZonePool(
+            [row_extent(geometry, reserved_rows, pt_start)], name="cta-shared"
+        )
+        pt_pool = ZonePool([row_extent(geometry, pt_start, rows)], name="cta-pt")
+        return {"user": shared, "kernel": shared, "pagetable": pt_pool}
+
+    def protects_kernel_from_user_rows(self):
+        return True
+
+    def pte_region_is_monotonic(self):
+        """CTA's invariant: all PT frames exceed all user/kernel frames."""
+        return True

@@ -1,0 +1,125 @@
+"""RIP-RH (Bock et al., AsiaCCS 2019).
+
+RIP-RH isolates *user processes from each other* in DRAM: each process
+draws its frames from dedicated row ranges separated by guard rows, so
+no process can hammer another's memory.  The kernel (and its page
+tables) is not protected — which is why the paper calls PThammer's
+bypass of RIP-RH "trivial" (Section IV-G2).  Like CATT, the side effect
+of segregating users is a denser kernel region, which helps rather than
+hinders PThammer.
+"""
+
+from repro.defenses.base import PlacementPolicy, ZonePool, frames_per_row, row_extent
+from repro.errors import OutOfMemory
+
+
+class RIPRHPolicy(PlacementPolicy):
+    """Kernel rows low; per-process user row chunks with guard rows."""
+
+    name = "rip-rh"
+    summary = "RIP-RH: per-process DRAM isolation (kernel unprotected)"
+
+    def __init__(self, kernel_fraction=0.25, chunk_rows=8, guard_rows=1):
+        super().__init__()
+        self.kernel_fraction = kernel_fraction
+        self.chunk_rows = chunk_rows
+        self.guard_rows = guard_rows
+        self._process_pools = {}
+        self._next_user_row = None
+        self._rows = None
+
+    def build_zones(self, geometry, fault_model):
+        rows = geometry.rows
+        per_row = frames_per_row(geometry)
+        reserved_rows = max(1, self.RESERVED_FRAMES // per_row)
+        split = max(reserved_rows + 1, int(rows * self.kernel_fraction))
+        kernel_pool = ZonePool(
+            [row_extent(geometry, reserved_rows, split)], name="riprh-kernel"
+        )
+        self._next_user_row = split + self.guard_rows
+        self._rows = rows
+        # The 'user' zone only backs boot fragmentation and anonymous
+        # kernel-side needs; real user allocations go via process pools.
+        return {"pagetable": kernel_pool, "kernel": kernel_pool}
+
+    def _grow_pool(self, pid):
+        start = self._next_user_row
+        end = start + self.chunk_rows
+        if end > self._rows:
+            raise OutOfMemory("rip-rh: user rows exhausted for pid %d" % pid)
+        self._next_user_row = end + self.guard_rows
+        extent = row_extent(self.geometry, start, end)
+        pool = self._process_pools.get(pid)
+        if pool is None:
+            pool = _GrowablePool(extent)
+            self._process_pools[pid] = pool
+        else:
+            pool.add_extent(extent)
+        return pool
+
+    def _pool_for(self, process):
+        pool = self._process_pools.get(process.pid)
+        if pool is None:
+            pool = self._grow_pool(process.pid)
+        return pool
+
+    def alloc_user_frame(self, process):
+        pool = self._pool_for(process)
+        while True:
+            try:
+                return pool.alloc(0)
+            except OutOfMemory:
+                self._grow_pool(process.pid)
+
+    def alloc_user_block(self, process, order):
+        pool = self._pool_for(process)
+        while True:
+            try:
+                return pool.alloc(order)
+            except OutOfMemory:
+                self._grow_pool(process.pid)
+
+    def free_frame(self, frame, kind):
+        if kind == "user":
+            for pool in self._process_pools.values():
+                if pool.contains(frame):
+                    pool.free(frame, 0)
+                    return
+        super().free_frame(frame, kind)
+
+    def attach(self, geometry, fault_model, rng, boot_fragmentation):
+        # Per-process pools make global user-zone fragmentation moot.
+        self.geometry = geometry
+        self._zones = self.build_zones(geometry, fault_model)
+
+    def protects_kernel_from_user_rows(self):
+        # Guard rows separate processes *and* the kernel region edge.
+        return True
+
+
+class _GrowablePool:
+    """A ZonePool that can take on more extents as a process grows."""
+
+    def __init__(self, extent):
+        self._pools = [ZonePool([extent], name="riprh-proc")]
+
+    def add_extent(self, extent):
+        self._pools.append(ZonePool([extent], name="riprh-proc"))
+
+    def alloc(self, order):
+        last_error = None
+        for pool in self._pools:
+            try:
+                return pool.alloc(order)
+            except OutOfMemory as exc:
+                last_error = exc
+        raise last_error
+
+    def contains(self, frame):
+        return any(pool.contains(frame) for pool in self._pools)
+
+    def free(self, frame, order):
+        for pool in self._pools:
+            if pool.contains(frame):
+                pool.free(frame, order)
+                return

@@ -1,0 +1,16 @@
+"""DRAM substrate: geometry, timing, row buffers, and the rowhammer fault model."""
+
+from repro.dram.faults import FaultModel, VulnerableCell
+from repro.dram.geometry import DRAMGeometry, DRAMLocation
+from repro.dram.module import DRAMModule, FlipEvent
+from repro.dram.timing import DRAMTimings
+
+__all__ = [
+    "DRAMGeometry",
+    "DRAMLocation",
+    "DRAMModule",
+    "DRAMTimings",
+    "FaultModel",
+    "FlipEvent",
+    "VulnerableCell",
+]

@@ -1,0 +1,59 @@
+"""Per-bank DRAM state: the row buffer and per-window disturbance counters."""
+
+
+class VictimState:
+    """Disturbance bookkeeping for one victim row inside a refresh window.
+
+    ``acts_low`` counts activations of the aggressor row below the victim
+    (``victim - 1``); ``acts_high`` of the one above.  ``next_cell`` is a
+    cursor into the victim's threshold-sorted vulnerable-cell list so the
+    flip scan is O(1) amortised per activation.
+    """
+
+    __slots__ = ("acts_low", "acts_high", "next_cell", "epoch")
+
+    def __init__(self):
+        self.acts_low = 0
+        self.acts_high = 0
+        self.next_cell = 0
+        #: Rolling-refresh epoch this state belongs to (staggered mode).
+        self.epoch = None
+
+
+class BankState:
+    """One DRAM bank: open row tracking plus rowhammer disturbance state."""
+
+    __slots__ = ("open_row", "window_index", "victims", "activations", "last_access", "act_counts")
+
+    def __init__(self):
+        #: Currently open row, or None when the bank is precharged.
+        self.open_row = None
+        #: Cycle of the bank's last access (for idle row closing).
+        self.last_access = 0
+        #: Refresh-window index the disturbance state belongs to.
+        self.window_index = -1
+        #: victim row -> VictimState, within the current window.
+        self.victims = {}
+        #: aggressor row -> activation count this window (TRR counters).
+        self.act_counts = {}
+        #: Total row activations this bank has seen (for statistics).
+        self.activations = 0
+
+    def begin_window(self, window_index):
+        """Reset disturbance state when a new refresh window starts.
+
+        Refresh recharges every cell, so accumulated disturbance is
+        cleared (global-window approximation of staggered per-row
+        refresh; see DESIGN.md).
+        """
+        self.window_index = window_index
+        self.victims = {}
+        self.act_counts = {}
+
+    def victim(self, row):
+        """The victim-state record for ``row``, creating it on demand."""
+        state = self.victims.get(row)
+        if state is None:
+            state = VictimState()
+            self.victims[row] = state
+        return state

@@ -1,0 +1,142 @@
+"""Physical-address to DRAM-location mapping.
+
+The paper relies on three geometric facts about its DDR3 test machines:
+
+* memory is striped across banks in 8 KiB chunks, so that 256 KiB of
+  consecutive physical addresses (``row_span_bytes``) share one *row
+  index* and touch every bank once — the paper's ``RowsSize``;
+* the bank address is an XOR hash of chunk bits and row bits (Pessl et
+  al., DRAMA), so equal low-order bits plus a row-index delta keeps two
+  addresses in the *same* bank; and
+* two aggressor rows one row index apart (``row ± 1``) sandwich a victim
+  row.
+
+:class:`DRAMGeometry` implements an invertible mapping with those
+properties.  ``decode`` is on the hot path (every DRAM access); the
+inverse ``encode`` is only used by the fault model when materialising a
+bit flip and by evaluation code.
+"""
+
+from repro.errors import ConfigError
+from repro.utils.bitops import is_power_of_two, log2_exact
+
+
+class DRAMLocation:
+    """A decoded DRAM coordinate: bank, row, and column (byte in row)."""
+
+    __slots__ = ("bank", "row", "column")
+
+    def __init__(self, bank, row, column):
+        self.bank = bank
+        self.row = row
+        self.column = column
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, DRAMLocation)
+            and self.bank == other.bank
+            and self.row == other.row
+            and self.column == other.column
+        )
+
+    def __hash__(self):
+        return hash((self.bank, self.row, self.column))
+
+    def __repr__(self):
+        return "DRAMLocation(bank=%d, row=%d, column=%d)" % (
+            self.bank,
+            self.row,
+            self.column,
+        )
+
+
+class DRAMGeometry:
+    """Invertible physical-address <-> (bank, row, column) mapping.
+
+    Layout of a physical address (LSB first)::
+
+        [ chunk offset | chunk index | row index ]
+           chunk_bits     bank_bits     row bits
+
+    The bank is ``chunk_index XOR (row & row_xor_mask)``.  With the
+    default ``row_xor_mask = 0`` two addresses with equal low-order bits
+    always share a bank regardless of row — the property the paper's
+    pair construction exploits (two virtual addresses 256 MiB apart have
+    L1PTEs 512 KiB apart, i.e. in the same bank two row indices apart,
+    sandwiching a victim row).  A non-zero mask gives a DRAMA-style
+    rank-mirroring hash; the ablation benchmarks use it to show how
+    bank-hashing complexity degrades blind pair finding.
+    """
+
+    def __init__(self, size_bytes, banks=32, chunk_bytes=8192, row_xor_mask=0):
+        if not is_power_of_two(banks):
+            raise ConfigError("bank count must be a power of two")
+        if not is_power_of_two(chunk_bytes):
+            raise ConfigError("chunk size must be a power of two")
+        if size_bytes % (banks * chunk_bytes) != 0:
+            raise ConfigError("DRAM size must be a whole number of row spans")
+        if row_xor_mask & ~(banks - 1):
+            raise ConfigError("row_xor_mask has bits outside the bank field")
+        self.size_bytes = size_bytes
+        self.banks = banks
+        self.chunk_bytes = chunk_bytes
+        self.row_xor_mask = row_xor_mask
+        self.chunk_bits = log2_exact(chunk_bytes)
+        self.bank_bits = log2_exact(banks)
+        #: Bytes of consecutive physical addresses sharing one row index
+        #: (the paper's ``RowsSize``; 256 KiB with default parameters).
+        self.row_span_bytes = banks * chunk_bytes
+        self.rows = size_bytes // self.row_span_bytes
+        self._row_shift = self.chunk_bits + self.bank_bits
+        self._bank_mask = banks - 1
+
+    def row_of(self, paddr):
+        """Row index of a physical address."""
+        return paddr >> self._row_shift
+
+    def bank_of(self, paddr):
+        """Bank of a physical address."""
+        chunk = (paddr >> self.chunk_bits) & self._bank_mask
+        return chunk ^ (self.row_of(paddr) & self.row_xor_mask)
+
+    def decode(self, paddr):
+        """Full (bank, row, column) coordinate of a physical address."""
+        row = paddr >> self._row_shift
+        chunk = (paddr >> self.chunk_bits) & self._bank_mask
+        return DRAMLocation(
+            bank=chunk ^ (row & self.row_xor_mask),
+            row=row,
+            column=paddr & (self.chunk_bytes - 1),
+        )
+
+    def encode(self, bank, row, column=0):
+        """Physical address of (bank, row, column); inverse of decode."""
+        if not 0 <= bank < self.banks:
+            raise ConfigError("bank %d out of range" % bank)
+        if not 0 <= row < self.rows:
+            raise ConfigError("row %d out of range" % row)
+        if not 0 <= column < self.chunk_bytes:
+            raise ConfigError("column %d out of range" % column)
+        chunk = bank ^ (row & self.row_xor_mask)
+        return (row << self._row_shift) | (chunk << self.chunk_bits) | column
+
+    def same_bank(self, paddr_a, paddr_b):
+        """Whether two physical addresses share a DRAM bank."""
+        return self.bank_of(paddr_a) == self.bank_of(paddr_b)
+
+    def neighbours(self, row):
+        """Adjacent (victim) row indices of ``row``, clipped to the module."""
+        out = []
+        if row > 0:
+            out.append(row - 1)
+        if row < self.rows - 1:
+            out.append(row + 1)
+        return out
+
+    def __repr__(self):
+        return "DRAMGeometry(size=%d, banks=%d, rows=%d, row_span=%d)" % (
+            self.size_bytes,
+            self.banks,
+            self.rows,
+            self.row_span_bytes,
+        )

@@ -1,0 +1,77 @@
+"""DRAM access latencies and controller row policy.
+
+Latencies are in CPU cycles, seen from the core (they already include
+the memory-controller round trip).  Three cases matter to the paper:
+
+* *row hit* — the requested row is already open in the bank's row
+  buffer; cheapest.
+* *row empty* — the bank has no open row (after precharge/refresh);
+  activation is needed.
+* *row conflict* — a different row is open; precharge + activate.  The
+  row-conflict/row-hit gap is the timing channel Section IV-D uses to
+  decide whether two L1PTEs share a bank.
+
+The controller row policy decides what happens after an access.  The
+default ``"open"`` policy keeps the row open (classic open-page);
+``"closed"`` preemptively closes rows, which is the behaviour
+one-location hammering (Gruss et al.) exploits.
+"""
+
+from repro.errors import ConfigError
+
+
+class DRAMTimings:
+    """Latency parameters plus the controller's row policy."""
+
+    VALID_POLICIES = ("open", "closed")
+
+    def __init__(
+        self,
+        row_hit_cycles=80,
+        row_empty_cycles=110,
+        row_conflict_cycles=160,
+        row_policy="open",
+        preemptive_close_probability=0.0,
+        idle_close_cycles=250,
+    ):
+        """``idle_close_cycles``: the controller precharges a bank whose
+        open row has been idle this long (adaptive open-page policy).
+        This is what makes the paper's same-bank timing check work: a
+        row opened *immediately* before the probe conflicts, while row
+        residue from earlier eviction sweeps has already been closed.
+        Zero disables idle closing."""
+        if row_policy not in self.VALID_POLICIES:
+            raise ConfigError("unknown row policy %r" % (row_policy,))
+        if not row_hit_cycles <= row_empty_cycles <= row_conflict_cycles:
+            raise ConfigError("expected row_hit <= row_empty <= row_conflict")
+        if not 0.0 <= preemptive_close_probability <= 1.0:
+            raise ConfigError("close probability must be a probability")
+        self.row_hit_cycles = row_hit_cycles
+        self.row_empty_cycles = row_empty_cycles
+        self.row_conflict_cycles = row_conflict_cycles
+        if idle_close_cycles < 0:
+            raise ConfigError("idle_close_cycles must be non-negative")
+        self.row_policy = row_policy
+        self.preemptive_close_probability = preemptive_close_probability
+        self.idle_close_cycles = idle_close_cycles
+
+    def latency(self, case):
+        """Latency in cycles for ``case`` in {'hit', 'empty', 'conflict'}."""
+        if case == "hit":
+            return self.row_hit_cycles
+        if case == "empty":
+            return self.row_empty_cycles
+        if case == "conflict":
+            return self.row_conflict_cycles
+        raise ConfigError("unknown DRAM access case %r" % (case,))
+
+    def __repr__(self):
+        return (
+            "DRAMTimings(hit=%d, empty=%d, conflict=%d, policy=%s)"
+            % (
+                self.row_hit_cycles,
+                self.row_empty_cycles,
+                self.row_conflict_cycles,
+                self.row_policy,
+            )
+        )

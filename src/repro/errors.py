@@ -1,0 +1,34 @@
+"""Exception hierarchy for the simulator."""
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigError(ReproError):
+    """A machine/experiment configuration is inconsistent."""
+
+
+class MemoryError_(ReproError):
+    """Physical-memory misuse (out-of-range address, bad alignment)."""
+
+
+class SegmentationFault(ReproError):
+    """An access touched a virtual address with no valid mapping.
+
+    The simulated kernel raises this to the 'process' (the attack code)
+    exactly like a SIGSEGV: PThammer must only touch memory it mapped.
+    """
+
+    def __init__(self, vaddr, reason="unmapped"):
+        super().__init__("segfault at 0x%x (%s)" % (vaddr, reason))
+        self.vaddr = vaddr
+        self.reason = reason
+
+
+class OutOfMemory(ReproError):
+    """The buddy allocator could not satisfy a request."""
+
+
+class PrivilegeError(ReproError):
+    """Unprivileged code invoked a privileged-only interface."""

@@ -1,0 +1,36 @@
+"""OS substrate: buddy allocator, page tables, processes, creds, the kernel."""
+
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.cred import (
+    CRED_MAGIC,
+    CRED_SIZE,
+    CREDS_PER_PAGE,
+    CredAllocator,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.pagetable import MappingError, PageTableManager
+from repro.kernel.process import (
+    USER_MMAP_BASE,
+    USER_MMAP_TOP,
+    AddressSpace,
+    Process,
+    SharedMemory,
+    VMA,
+)
+
+__all__ = [
+    "AddressSpace",
+    "BuddyAllocator",
+    "CRED_MAGIC",
+    "CRED_SIZE",
+    "CREDS_PER_PAGE",
+    "CredAllocator",
+    "Kernel",
+    "MappingError",
+    "PageTableManager",
+    "Process",
+    "SharedMemory",
+    "USER_MMAP_BASE",
+    "USER_MMAP_TOP",
+    "VMA",
+]

@@ -1,0 +1,174 @@
+"""Buddy page-frame allocator.
+
+Models the property of Linux's buddy allocator that the paper's pair
+construction depends on (Section IV-D): when a large spray of
+same-order allocations hits a freshly-split high-order block, the
+returned frames are *physically consecutive*.  We serve requests from
+the lowest-addressed free block of the smallest sufficient order, so a
+burst of order-0 allocations walks linearly through memory — with seams
+wherever earlier activity fragmented the pool, which is what keeps the
+paper's same-bank/one-row-apart rates below 100 %.
+"""
+
+import heapq
+
+from repro.errors import ConfigError, OutOfMemory
+
+
+class BuddyAllocator:
+    """Binary-buddy allocator over a contiguous frame range."""
+
+    def __init__(self, start_frame, frame_count, max_order=10):
+        if frame_count <= 0:
+            raise ConfigError("empty buddy range")
+        if max_order < 0:
+            raise ConfigError("negative max order")
+        self.start_frame = start_frame
+        self.frame_count = frame_count
+        self.max_order = max_order
+        # Per-order: a set for membership/merges and a heap for
+        # lowest-address-first allocation (lazy deletion).
+        self._free_sets = [set() for _ in range(max_order + 1)]
+        self._free_heaps = [[] for _ in range(max_order + 1)]
+        self._seed_range(start_frame, start_frame + frame_count)
+        self.allocated = 0
+
+    def _seed_range(self, lo, hi):
+        """Cover [lo, hi) with maximal naturally-aligned free blocks."""
+        frame = lo
+        while frame < hi:
+            order = self.max_order
+            while order > 0 and (
+                frame % (1 << order) != 0 or frame + (1 << order) > hi
+            ):
+                order -= 1
+            self._push_free(order, frame)
+            frame += 1 << order
+
+    def _push_free(self, order, frame):
+        self._free_sets[order].add(frame)
+        heapq.heappush(self._free_heaps[order], frame)
+
+    def _peek_free(self, order):
+        """Lowest-addressed free block of ``order`` without removing it."""
+        heap = self._free_heaps[order]
+        live = self._free_sets[order]
+        while heap and heap[0] not in live:
+            heapq.heappop(heap)  # lazy deletion of stale entries
+        return heap[0] if heap else None
+
+    def _pop_free(self, order):
+        """Lowest-addressed free block of ``order``, or None."""
+        frame = self._peek_free(order)
+        if frame is None:
+            return None
+        self._free_sets[order].remove(frame)
+        heapq.heappop(self._free_heaps[order])
+        return frame
+
+    def alloc(self, order=0):
+        """Allocate a naturally-aligned block of ``2**order`` frames.
+
+        Blocks are taken in *ascending address order across all orders*:
+        a burst of same-order allocations therefore walks linearly
+        through memory, skipping reserved holes — the contiguity
+        property of the Linux buddy allocator that the paper's spray
+        construction depends on (Section IV-D).
+
+        Returns the first frame of the block; raises
+        :class:`OutOfMemory` when no block of sufficient order is free.
+        """
+        if not 0 <= order <= self.max_order:
+            raise ConfigError("order %d out of range" % order)
+        best_order = None
+        best_frame = None
+        for have in range(order, self.max_order + 1):
+            frame = self._peek_free(have)
+            if frame is not None and (best_frame is None or frame < best_frame):
+                best_frame = frame
+                best_order = have
+        if best_frame is None:
+            raise OutOfMemory(
+                "no free block of order %d (allocated %d of %d frames)"
+                % (order, self.allocated, self.frame_count)
+            )
+        self._pop_free(best_order)
+        have = best_order
+        # Split down, keeping the low half each time so sequential
+        # allocations return ascending, consecutive frames.
+        while have > order:
+            have -= 1
+            self._push_free(have, best_frame + (1 << have))
+        self.allocated += 1 << order
+        return best_frame
+
+    def free(self, frame, order=0):
+        """Return a block, coalescing with its buddy where possible."""
+        if not 0 <= order <= self.max_order:
+            raise ConfigError("order %d out of range" % order)
+        if not self.start_frame <= frame < self.start_frame + self.frame_count:
+            raise ConfigError("frame %d outside allocator range" % frame)
+        if frame % (1 << order) != 0:
+            raise ConfigError("frame %d misaligned for order %d" % (frame, order))
+        for have in range(self.max_order + 1):
+            if (frame & ~((1 << have) - 1)) in self._free_sets[have]:
+                raise ConfigError(
+                    "double free of frame %d (covered by a free order-%d block)"
+                    % (frame, have)
+                )
+        self.allocated -= 1 << order
+        while order < self.max_order:
+            buddy = frame ^ (1 << order)
+            if buddy not in self._free_sets[order]:
+                break
+            # Merging requires the buddy to be inside our range too.
+            if not self.start_frame <= buddy < self.start_frame + self.frame_count:
+                break
+            self._free_sets[order].remove(buddy)
+            frame = min(frame, buddy)
+            order += 1
+        self._push_free(order, frame)
+
+    def reserve(self, frame):
+        """Carve one specific frame out of the free pool.
+
+        Returns False when the frame is already allocated.  Used to
+        model boot-time allocation noise: scattered reserved frames are
+        the seams that keep sprays from being perfectly consecutive
+        (Section IV-D's 90-95 % rates).
+        """
+        if not self.start_frame <= frame < self.start_frame + self.frame_count:
+            raise ConfigError("frame %d outside allocator range" % frame)
+        for order in range(self.max_order + 1):
+            block = frame & ~((1 << order) - 1)
+            if block not in self._free_sets[order]:
+                continue
+            self._free_sets[order].remove(block)
+            # Split down, keeping only the halves that do not contain
+            # the target frame.
+            while order > 0:
+                order -= 1
+                low, high = block, block + (1 << order)
+                if frame < high:
+                    self._push_free(order, high)
+                else:
+                    self._push_free(order, low)
+                    block = high
+            self.allocated += 1
+            return True
+        return False
+
+    def free_frames(self):
+        """Number of currently free frames."""
+        return self.frame_count - self.allocated
+
+    def contains(self, frame):
+        """Whether ``frame`` lies in this allocator's range."""
+        return self.start_frame <= frame < self.start_frame + self.frame_count
+
+    def __repr__(self):
+        return "BuddyAllocator(start=%d, frames=%d, allocated=%d)" % (
+            self.start_frame,
+            self.frame_count,
+            self.allocated,
+        )

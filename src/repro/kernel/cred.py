@@ -1,0 +1,57 @@
+"""``struct cred`` objects packed into kernel slab pages.
+
+The CTA bypass (Section IV-G3) sprays the kernel with credential
+structures by spawning many processes, then uses a rowhammer flip to map
+one of the cred pages into user space and rewrite the uid.  The layout
+here gives that attack the same observables the real one used: a
+recognisable pattern (a magic header plus known uid/gid) at fixed slots
+within a page.
+"""
+
+from repro.errors import ConfigError
+
+#: Bytes per cred object; 32 creds fit in a 4 KiB slab page.
+CRED_SIZE = 128
+CREDS_PER_PAGE = 4096 // CRED_SIZE
+
+#: Word offsets within a cred object.
+CRED_MAGIC_WORD = 0
+CRED_UID_WORD = 1
+CRED_GID_WORD = 2
+CRED_PID_WORD = 3
+
+#: The recognisable header of every cred object.
+CRED_MAGIC = 0xC12ED_C12ED
+
+
+class CredAllocator:
+    """Slab-style allocator for cred objects in kernel pages."""
+
+    def __init__(self, physmem, alloc_kernel_frame):
+        self.physmem = physmem
+        self.alloc_kernel_frame = alloc_kernel_frame
+        self._partial_frame = None
+        self._next_slot = 0
+        #: All frames holding cred slabs, for evaluation.
+        self.slab_frames = []
+
+    def alloc_cred(self, uid, gid, pid):
+        """Write a new cred object; returns its physical byte address."""
+        if self._partial_frame is None or self._next_slot >= CREDS_PER_PAGE:
+            self._partial_frame = self.alloc_kernel_frame()
+            self._next_slot = 0
+            self.slab_frames.append(self._partial_frame)
+        base = (self._partial_frame << 12) + self._next_slot * CRED_SIZE
+        self._next_slot += 1
+        self.physmem.write_word(base + CRED_MAGIC_WORD * 8, CRED_MAGIC)
+        self.physmem.write_word(base + CRED_UID_WORD * 8, uid)
+        self.physmem.write_word(base + CRED_GID_WORD * 8, gid)
+        self.physmem.write_word(base + CRED_PID_WORD * 8, pid)
+        return base
+
+    def read_uid(self, cred_paddr):
+        """Ground-truth uid read (what ``getuid`` consults)."""
+        magic = self.physmem.read_word(cred_paddr + CRED_MAGIC_WORD * 8)
+        if magic != CRED_MAGIC:
+            raise ConfigError("cred at 0x%x is corrupt or bogus" % cred_paddr)
+        return self.physmem.read_word(cred_paddr + CRED_UID_WORD * 8)

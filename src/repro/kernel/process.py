@@ -1,0 +1,145 @@
+"""Processes, address spaces, VMAs, and shared-memory objects."""
+
+from bisect import bisect_right
+
+from repro.errors import ConfigError, SegmentationFault
+from repro.params import PAGE_SHIFT, PAGE_SIZE, SUPERPAGE_SIZE
+
+#: Bottom and top of the user mmap area (arbitrary but fixed).
+USER_MMAP_BASE = 0x0000_1000_0000_0000
+USER_MMAP_TOP = 0x0000_7FFF_F000_0000
+
+
+class SharedMemory:
+    """A nameable set of shareable pages (shm/tmpfs-file analog).
+
+    Backing frames are allocated on first touch; every mapping of page
+    ``i`` resolves to the same frame — this is how the spray maps a few
+    user pages at a huge number of virtual addresses.
+    """
+
+    def __init__(self, shm_id, npages):
+        if npages <= 0:
+            raise ConfigError("shared memory needs at least one page")
+        self.shm_id = shm_id
+        self.npages = npages
+        self.frames = {}
+
+
+class VMA:
+    """One contiguous virtual mapping."""
+
+    __slots__ = ("start", "npages", "shm", "shm_offset", "huge", "writable")
+
+    def __init__(self, start, npages, shm=None, shm_offset=0, huge=False, writable=True):
+        self.start = start
+        self.npages = npages
+        self.shm = shm
+        self.shm_offset = shm_offset
+        self.huge = huge
+        self.writable = writable
+
+    @property
+    def end(self):
+        granule = SUPERPAGE_SIZE if self.huge else PAGE_SIZE
+        return self.start + self.npages * granule
+
+    def contains(self, vaddr):
+        return self.start <= vaddr < self.end
+
+    def page_index(self, vaddr):
+        """Index of the page within this VMA that covers ``vaddr``."""
+        granule = SUPERPAGE_SIZE if self.huge else PAGE_SIZE
+        return (vaddr - self.start) // granule
+
+    def backing_page(self, vaddr):
+        """Shm page index backing ``vaddr`` (cycles through the shm)."""
+        if self.shm is None:
+            raise ConfigError("anonymous VMA has no backing object")
+        return (self.shm_offset + self.page_index(vaddr)) % self.shm.npages
+
+
+class AddressSpace:
+    """Per-process virtual address space: CR3 plus a sorted VMA index."""
+
+    def __init__(self, as_id, cr3):
+        self.as_id = as_id
+        self.cr3 = cr3
+        self._vmas = {}
+        self._starts = []  # sorted VMA start addresses for bisection
+        self._mmap_cursor = USER_MMAP_BASE
+        #: Pages with a live PTE: vaddr(page-aligned) -> frame.
+        self.populated = {}
+
+    def add_vma(self, vma):
+        index = bisect_right(self._starts, vma.start)
+        if index > 0:
+            before = self._vmas[self._starts[index - 1]]
+            if before.end > vma.start:
+                raise SegmentationFault(vma.start, "overlapping mapping")
+        if index < len(self._starts):
+            after = self._vmas[self._starts[index]]
+            if vma.end > after.start:
+                raise SegmentationFault(vma.start, "overlapping mapping")
+        self._vmas[vma.start] = vma
+        self._starts.insert(index, vma.start)
+
+    def remove_vma(self, start):
+        vma = self._vmas.pop(start, None)
+        if vma is not None:
+            index = bisect_right(self._starts, start) - 1
+            if 0 <= index < len(self._starts) and self._starts[index] == start:
+                del self._starts[index]
+        return vma
+
+    def find_vma(self, vaddr):
+        """The VMA covering ``vaddr``, or None (bisected on starts)."""
+        index = bisect_right(self._starts, vaddr)
+        if index == 0:
+            return None
+        vma = self._vmas[self._starts[index - 1]]
+        return vma if vma.contains(vaddr) else None
+
+    def vma_count(self):
+        return len(self._vmas)
+
+    def pick_free_range(self, length):
+        """Bump-allocate a free region of ``length`` bytes (16 MiB aligned
+        gaps keep sprays and buffers from abutting by accident)."""
+        start = self._mmap_cursor
+        self._mmap_cursor += ((length + (1 << 24) - 1) >> 24) << 24
+        if self._mmap_cursor > USER_MMAP_TOP:
+            raise SegmentationFault(start, "address space exhausted")
+        return start
+
+
+class Process:
+    """A user process: pid, credentials, and an address space."""
+
+    def __init__(self, pid, cred_paddr, address_space, uid, gid):
+        self.pid = pid
+        self.cred_paddr = cred_paddr
+        self.address_space = address_space
+        self.uid = uid
+        self.gid = gid
+
+    @property
+    def as_id(self):
+        return self.address_space.as_id
+
+    @property
+    def cr3(self):
+        return self.address_space.cr3
+
+    def __repr__(self):
+        return "Process(pid=%d, uid=%d)" % (self.pid, self.uid)
+
+
+def page_align(vaddr):
+    """Round down to a 4 KiB boundary."""
+    return vaddr & ~(PAGE_SIZE - 1)
+
+
+def page_number(vaddr):
+    """4 KiB page number of an address."""
+    return vaddr >> PAGE_SHIFT

@@ -1,0 +1,88 @@
+"""Privileged evaluation interface — the paper's measurement kernel module.
+
+Section IV-C: "we develop a kernel module that obtains the physical
+address of each L1PTE, which we use to verify that the L1PTE is
+congruent with the eviction-set ... this kernel module is not required
+for the attack and is only used for evaluating".  Everything here is in
+that spirit: ground truth for scoring, never an attack dependency.
+"""
+
+from repro.machine.perf import DTLB_MISS_WALK, LLC_MISS
+
+
+class Inspector:
+    """Ground-truth probes into a machine, for experiments and tests."""
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    # -- address translation ground truth --------------------------------
+
+    def frame_of(self, process, vaddr):
+        """Physical frame backing ``vaddr``, by direct table walk."""
+        hit = self.machine.ptm.lookup(process.cr3, vaddr)
+        return None if hit is None else hit[0]
+
+    def l1pte_paddr(self, process, vaddr):
+        """Physical address of the L1PTE translating ``vaddr``."""
+        return self.machine.ptm.l1pte_paddr_of(process.cr3, vaddr)
+
+    def l1pt_frame(self, process, vaddr):
+        """Frame of the Level-1 page table covering ``vaddr``."""
+        return self.machine.ptm.l1pt_frame_of(process.cr3, vaddr)
+
+    def l1pt_count(self):
+        """Number of live L1PT frames (spray size)."""
+        return self.machine.ptm.l1pt_count()
+
+    # -- cache/TLB/DRAM ground truth --------------------------------------
+
+    def llc_set_and_slice(self, paddr):
+        """(set within slice, slice) the LLC places ``paddr`` in."""
+        return self.machine.caches.llc_set_and_slice(paddr)
+
+    def line_cached_in_llc(self, paddr):
+        """Whether the line of ``paddr`` is currently LLC-resident."""
+        return self.machine.caches.line_cached_in_llc(paddr)
+
+    def tlb_holds(self, process, vaddr):
+        """Whether a 4 KiB translation for ``vaddr`` is TLB-resident."""
+        return self.machine.tlb.holds(process.as_id, vaddr >> 12)
+
+    def dram_location(self, paddr):
+        """(bank, row, column) of a physical address."""
+        return self.machine.geometry.decode(paddr)
+
+    def flips(self):
+        """All bit flips the DRAM module has produced so far."""
+        return list(self.machine.dram.flips)
+
+    def flip_count(self):
+        """Number of flips so far."""
+        return self.machine.dram.flip_count()
+
+    # -- performance counters ---------------------------------------------
+
+    def perf_snapshot(self):
+        """Snapshot all PMCs."""
+        return self.machine.perf.snapshot()
+
+    def tlb_miss_delta(self, before):
+        """dtlb_load_misses.miss_causes_a_walk since a snapshot."""
+        return self.machine.perf.delta(before, DTLB_MISS_WALK)
+
+    def llc_miss_delta(self, before):
+        """longest_lat_cache.miss since a snapshot."""
+        return self.machine.perf.delta(before, LLC_MISS)
+
+    # -- maintenance -------------------------------------------------------
+
+    def quiesce_caches(self):
+        """Flush TLBs, paging-structure caches, and data caches.
+
+        Experiments use this between trials so measurements do not leak
+        state into each other; the attack itself never calls it.
+        """
+        self.machine.tlb.flush_all()
+        self.machine.walker.flush_structure_caches()
+        self.machine.caches.flush_all()

@@ -1,0 +1,346 @@
+"""The simulated machine: CPU clock, caches, MMU, DRAM, and kernel.
+
+Every user-level load or store goes through :meth:`Machine.access`,
+which walks the full microarchitectural path — TLBs, paging-structure
+caches, data caches, DRAM row buffers — charging virtual cycles for each
+step and letting the DRAM module accumulate rowhammer disturbance.  The
+virtual clock (``machine.cycles``) is the attacker's ``rdtsc``.
+"""
+
+from repro.cache.hierarchy import L1, L2, LLC, MEM, CacheHierarchy
+from repro.errors import SegmentationFault
+from repro.defenses.base import StockPolicy
+from repro.dram.faults import FaultModel
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.module import DRAMModule
+from repro.dram.timing import DRAMTimings
+from repro.kernel.kernel import Kernel
+from repro.kernel.pagetable import PageTableManager
+from repro.machine.perf import (
+    LLC_MISS,
+    LLC_REFERENCE,
+    LOADS,
+    PAGE_FAULTS,
+    PerfCounters,
+)
+from repro.mem.physmem import PhysicalMemory
+from repro.mmu.tlb import TLB
+from repro.mmu.walker import PageFault, PageTableWalker
+from repro.params import PAGE_SHIFT
+from repro.utils.rng import DeterministicRng
+from repro.utils.units import cycles_to_seconds
+
+
+class AccessResult:
+    """Outcome of one simulated load/store."""
+
+    __slots__ = ("paddr", "latency", "value", "translation_source", "cache_level")
+
+    def __init__(self, paddr, latency, value, translation_source, cache_level):
+        self.paddr = paddr
+        self.latency = latency
+        self.value = value
+        self.translation_source = translation_source
+        self.cache_level = cache_level
+
+
+class Machine:
+    """One booted machine, ready to run processes and take hits."""
+
+    def __init__(self, config, policy=None):
+        config.validate()
+        self.config = config
+        self.rng = DeterministicRng(config.seed)
+        self.cycles = 0
+
+        self.physmem = PhysicalMemory(config.dram.size_bytes)
+        self.geometry = DRAMGeometry(
+            config.dram.size_bytes,
+            banks=config.dram.banks,
+            chunk_bytes=config.dram.chunk_bytes,
+            row_xor_mask=config.dram.row_xor_mask,
+        )
+        self.fault_model = FaultModel(
+            chunk_bytes=config.dram.chunk_bytes,
+            cells_per_row_mean=config.fault.cells_per_row_mean,
+            threshold_lo=config.fault.threshold_lo,
+            threshold_hi=config.fault.threshold_hi,
+            true_cell_fraction=config.fault.true_cell_fraction,
+            synergy=config.fault.synergy,
+            seed=config.fault.seed,
+        )
+        self.dram = DRAMModule(
+            self.geometry,
+            DRAMTimings(
+                row_hit_cycles=config.dram.row_hit_cycles,
+                row_empty_cycles=config.dram.row_empty_cycles,
+                row_conflict_cycles=config.dram.row_conflict_cycles,
+                row_policy=config.dram.row_policy,
+                preemptive_close_probability=config.dram.preemptive_close_probability,
+                idle_close_cycles=config.dram.idle_close_cycles,
+            ),
+            self.fault_model,
+            self.physmem,
+            config.dram.refresh_interval_cycles,
+            self.rng.fork("dram"),
+            trr_threshold=config.dram.trr_threshold,
+            staggered_refresh=config.dram.staggered_refresh,
+        )
+        self.caches = CacheHierarchy(config.cache, self.rng.fork("cache"))
+        self.tlb = TLB(config.tlb, self.rng.fork("tlb"))
+        self.perf = PerfCounters()
+
+        self._paddr_mask = config.dram.size_bytes - 1
+        frame_mask = (config.dram.size_bytes >> PAGE_SHIFT) - 1
+        self.monitor = None
+        self.walker = PageTableWalker(
+            self.tlb,
+            config.psc,
+            self.physmem,
+            lambda paddr: self._phys_access(paddr, source="walk"),
+            config.cpu,
+            frame_mask,
+            self.perf,
+        )
+
+        self.policy = policy if policy is not None else StockPolicy()
+        self.policy.attach(
+            self.geometry,
+            self.fault_model,
+            self.rng.fork("policy"),
+            config.boot_fragmentation,
+        )
+        self.ptm = PageTableManager(
+            self.physmem,
+            self.caches.warm,
+            self.policy.alloc_pagetable_frame,
+            frame_mask,
+        )
+        self.kernel = Kernel(self.physmem, self.ptm, self.policy, self.tlb.invalidate)
+        self._noise = config.cpu.noise_cycles
+        self._noise_rng = self.rng.fork("noise")
+        # Memory-level-parallelism bookkeeping (see CPUTimings).
+        self._instr_seq = 0
+        self._last_dram_instr = -2
+        self._dram_ops_this_instr = 0
+
+    # ------------------------------------------------------------------
+    # physical access path (shared by data loads and page-table walks)
+
+    def _phys_access(self, paddr, source="load"):
+        """One physical memory reference; returns (cache level, latency).
+
+        ``source`` tags the requester ('load' for data accesses, 'walk'
+        for page-table fetches) for attached detectors (ANVIL-style).
+        Flipped PTE bits can produce frames beyond the module; physical
+        addresses wrap (documented substitution for reads of unmapped
+        bus regions).
+        """
+        paddr &= self._paddr_mask
+        level = self.caches.access(paddr)
+        self.perf.inc(LLC_REFERENCE)
+        timings = self.config.cpu
+        if level == L1:
+            return level, timings.l1_hit
+        if level == L2:
+            return level, timings.l2_hit
+        if level == LLC:
+            return level, timings.llc_hit
+        self.perf.inc(LLC_MISS)
+        case, dram_latency = self.dram.access(paddr, self.cycles)
+        if self.monitor is not None:
+            self.monitor.on_dram_access(paddr, source, self.cycles)
+        pipelined = (
+            self._dram_ops_this_instr == 0
+            and self._last_dram_instr == self._instr_seq - 1
+            and case != "conflict"
+        )
+        self._dram_ops_this_instr += 1
+        self._last_dram_instr = self._instr_seq
+        if pipelined:
+            # The previous instruction's DRAM access is still in
+            # flight; this independent one overlaps with it.  Within
+            # one instruction the walk's fetches are address-dependent
+            # and never overlap (only the first op can be pipelined).
+            return MEM, timings.dram_pipelined
+        return MEM, timings.llc_miss_extra + dram_latency
+
+    # ------------------------------------------------------------------
+    # instruction-level operations
+
+    def access(self, process, vaddr, write=False, value=None):
+        """Execute one load (or store) by ``process`` at ``vaddr``.
+
+        Returns an :class:`AccessResult`; advances the virtual clock by
+        the access's full latency (the paper's timed accesses measure
+        exactly this).  Page faults are transparently serviced by the
+        kernel, charging its handling cost, then the access retries.
+        """
+        cpu = self.config.cpu
+        self._instr_seq += 1
+        self._dram_ops_this_instr = 0
+        latency = cpu.access_base
+        if self._noise:
+            latency += self._noise_rng.randint(self._noise + 1)
+        space = process.address_space
+        retries = 0
+        while True:
+            try:
+                walk = self.walker.translate(
+                    space.as_id, space.cr3, vaddr, for_write=write
+                )
+                break
+            except PageFault:
+                self.perf.inc(PAGE_FAULTS)
+                retries += 1
+                if retries > 4:
+                    # The mapping cannot be repaired (e.g. a corrupted
+                    # intermediate table): the process takes a SIGSEGV.
+                    raise SegmentationFault(vaddr, "fault loop")
+                self.kernel.handle_page_fault(process, vaddr, write)
+                self.cycles += cpu.page_fault
+        latency += walk.latency
+        paddr = walk.paddr & self._paddr_mask
+        cache_level, data_latency = self._phys_access(paddr)
+        latency += data_latency
+        self.perf.inc(LOADS)
+        if write:
+            self.physmem.write_word(paddr & ~7, value)
+            read_back = value
+        else:
+            read_back = self.physmem.read_word(paddr & ~7)
+        self.cycles += latency
+        return AccessResult(paddr, latency, read_back, walk.source, cache_level)
+
+    #: Flat per-read cycle charge for bulk scans: a TLB-missing,
+    #: cache-missing streaming read (walk + one DRAM fetch, amortised).
+    BULK_READ_CYCLES = 60
+
+    def bulk_read(self, process, vaddrs):
+        """Stream qword reads over many addresses (the spray scan).
+
+        Values come from the *live page tables* — a software walk of
+        exactly the structures the MMU uses, so rowhammer flips are
+        visible identically — but per-access microarchitectural state
+        is not simulated: a scan this size cycles the TLB and caches
+        through pure junk, so the net effect is modelled by charging a
+        flat streaming cost per read and flushing TLBs and caches at
+        the end.  Unreadable pages yield ``None``.
+        """
+        space = process.address_space
+        values = []
+        lookup = self.ptm.lookup
+        l1pt_of = self.ptm.l1pt_frame_of
+        read_word = self.physmem.read_word
+        mask = self._paddr_mask
+        frame_mask = (self.config.dram.size_bytes >> PAGE_SHIFT) - 1
+        # One software walk per 2 MiB region: all its pages share the
+        # same L1PT, so per-page translation is a single L1PTE read.
+        region_tables = {}
+        for vaddr in vaddrs:
+            region = vaddr >> 21
+            l1pt = region_tables.get(region, -1)
+            if l1pt == -1:
+                l1pt = l1pt_of(space.cr3, vaddr)
+                region_tables[region] = l1pt
+            frame = None
+            if l1pt is not None:
+                entry = read_word((l1pt << PAGE_SHIFT) | (((vaddr >> 12) & 511) << 3))
+                if entry & 1:
+                    frame = (entry >> 12) & frame_mask
+            if frame is None:
+                # Demand-populate or heal, as a real access would.
+                try:
+                    self.kernel.handle_page_fault(process, vaddr, write=False)
+                except SegmentationFault:
+                    values.append(None)
+                    continue
+                region_tables.pop(region, None)
+                hit = lookup(space.cr3, vaddr)
+                if hit is None:
+                    values.append(None)
+                    continue
+                frame = hit[0]
+            paddr = ((frame << PAGE_SHIFT) | (vaddr & 0xFFF)) & mask
+            values.append(read_word(paddr & ~7))
+        self.cycles += self.BULK_READ_CYCLES * len(vaddrs)
+        self._instr_seq += len(vaddrs)
+        # The sweep displaced everything cacheable.
+        self.tlb.flush_all()
+        self.walker.flush_structure_caches()
+        self.caches.flush_all()
+        return values
+
+    def clflush(self, process, vaddr):
+        """clflush: evict the line of a *user-accessible* address.
+
+        Only works on memory the process can touch — the instruction
+        cannot flush kernel lines, which is why PThammer needs eviction
+        sets in the first place.
+        """
+        space = process.address_space
+        self._instr_seq += 1
+        self._dram_ops_this_instr = 0
+        while True:
+            try:
+                walk = self.walker.translate(space.as_id, space.cr3, vaddr)
+                break
+            except PageFault:
+                self.perf.inc(PAGE_FAULTS)
+                self.kernel.handle_page_fault(process, vaddr, write=False)
+                self.cycles += self.config.cpu.page_fault
+        self.caches.flush_line(walk.paddr & self._paddr_mask)
+        self.cycles += 40  # clflush costs tens of cycles retired
+        return walk.paddr & self._paddr_mask
+
+    #: Kernel entry/exit cost of a trivial system call.
+    SYSCALL_BASE_CYCLES = 180
+
+    def syscall_touch(self, process):
+        """A minimal system call: enter the kernel, read kernel data.
+
+        Models the syscall-based implicit-hammer attempt the paper's
+        Section V discusses (Konoth et al. could not make it flip bits):
+        each invocation costs full kernel entry/exit and touches kernel
+        memory through the ordinary cache path — where it almost always
+        hits, starving DRAM of activations.  Returns the cycle cost.
+        """
+        self._instr_seq += 1
+        self._dram_ops_this_instr = 0
+        level, latency = self._phys_access(process.cred_paddr)
+        cost = self.SYSCALL_BASE_CYCLES + latency
+        self.cycles += cost
+        return cost
+
+    def nop(self, count):
+        """Burn ``count`` cycles (the Figure-5 NOP padding).
+
+        Also acts as a serialising fence for the MLP model: a timed load
+        after NOPs cannot overlap earlier memory traffic.
+        """
+        if count < 0:
+            raise ValueError("cannot burn negative cycles")
+        self._instr_seq += 1
+        self.cycles += count
+
+    def now_seconds(self):
+        """The virtual clock converted to seconds."""
+        return cycles_to_seconds(self.cycles, self.config.cpu.freq_ghz)
+
+    # ------------------------------------------------------------------
+    # boot helpers
+
+    def attach_monitor(self, monitor):
+        """Install a DRAM-access detector (e.g. the ANVIL model).
+
+        The monitor's ``on_dram_access(paddr, source, now)`` is invoked
+        for every request that reaches DRAM.
+        """
+        self.monitor = monitor
+
+    def boot_process(self, uid=1000):
+        """Create a process (the attacker's shell, typically)."""
+        return self.kernel.create_process(uid=uid)
+
+    def __repr__(self):
+        return "Machine(%s, cycles=%d)" % (self.config.name, self.cycles)

@@ -1,0 +1,44 @@
+"""Performance-monitoring counters (PMC emulation).
+
+The paper uses a small kernel module reading Intel PMCs —
+``dtlb_load_misses.miss_causes_a_walk`` and
+``longest_lat_cache.miss`` — to calibrate eviction-set sizes offline
+(Algorithms in Section III).  This class is that kernel module's
+counter store; :class:`repro.machine.inspector.Inspector` exposes it to
+evaluation code only.
+"""
+
+#: Counter names used across the simulator.
+DTLB_MISS_WALK = "dtlb_load_misses.miss_causes_a_walk"
+DTLB_HIT = "dtlb_load_hits"
+LLC_MISS = "longest_lat_cache.miss"
+LLC_REFERENCE = "longest_lat_cache.reference"
+PAGE_FAULTS = "page_faults"
+LOADS = "mem_uops_retired.all_loads"
+
+
+class PerfCounters:
+    """A named-counter store with cheap snapshot/delta support."""
+
+    def __init__(self):
+        self._counts = {}
+
+    def inc(self, name, amount=1):
+        """Add to a counter, creating it at zero."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def read(self, name):
+        """Current value of a counter (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def snapshot(self):
+        """Copy of all counters, for later delta computation."""
+        return dict(self._counts)
+
+    def delta(self, before, name):
+        """Change of one counter since a snapshot."""
+        return self.read(name) - before.get(name, 0)
+
+    def reset(self):
+        """Zero everything (between experiments)."""
+        self._counts.clear()

@@ -1,0 +1,5 @@
+"""Physical-memory content store."""
+
+from repro.mem.physmem import PhysicalMemory
+
+__all__ = ["PhysicalMemory"]

@@ -1,0 +1,46 @@
+"""MMU substrate: TLBs, paging-structure caches, PTE encoding, page-table walker."""
+
+from repro.mmu.paging_cache import PagingStructureCache
+from repro.mmu.pte import (
+    PTE_FRAME_MASK,
+    PTE_FRAME_SHIFT,
+    PTE_PRESENT,
+    PTE_PS,
+    PTE_USER,
+    PTE_WRITABLE,
+    looks_like_pte,
+    make_pte,
+    pte_frame,
+    pte_is_superpage,
+    pte_present,
+    pte_user,
+    pte_writable,
+)
+from repro.mmu.tlb import TLB, TLB_L1, TLB_L2, TLB_MISS, superpage_number_of, vpn_of
+from repro.mmu.walker import PageFault, PageTableWalker, WalkResult
+
+__all__ = [
+    "PTE_FRAME_MASK",
+    "PTE_FRAME_SHIFT",
+    "PTE_PRESENT",
+    "PTE_PS",
+    "PTE_USER",
+    "PTE_WRITABLE",
+    "PageFault",
+    "PageTableWalker",
+    "PagingStructureCache",
+    "TLB",
+    "TLB_L1",
+    "TLB_L2",
+    "TLB_MISS",
+    "WalkResult",
+    "looks_like_pte",
+    "make_pte",
+    "pte_frame",
+    "pte_is_superpage",
+    "pte_present",
+    "pte_user",
+    "pte_writable",
+    "superpage_number_of",
+    "vpn_of",
+]

@@ -1,0 +1,71 @@
+"""Paging-structure caches (Intel SDM vol. 3, 4.10.3; Barr et al.).
+
+Between the TLB and a full page-table walk sit three small caches of
+*partial* translations: the PML4E, PDPTE, and PDE caches.  A hit in the
+PDE cache means the walker already knows the physical frame of the
+Level-1 page table and only needs to fetch the single L1PTE — the red
+path in the paper's Figure 2 and the core of PThammer's efficiency:
+evict the TLB entry and the L1PTE's cache line *while keeping the PDE
+cache warm*, and every touch of the target costs exactly one DRAM read
+of the right kernel address.
+"""
+
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+
+
+class PagingStructureCache:
+    """A small fully-associative LRU cache of partial translations.
+
+    Keys are ``(as_id, va_prefix)``; values are the physical frame of
+    the next-lower page-table level.
+    """
+
+    def __init__(self, capacity, name):
+        if capacity <= 0:
+            raise ConfigError("%s capacity must be positive" % name)
+        self.capacity = capacity
+        self.name = name
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """Return the cached frame for ``key``, or None."""
+        frame = self._entries.get(key)
+        if frame is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return frame
+
+    def peek(self, key):
+        """Probe without side effects (evaluation only)."""
+        return self._entries.get(key)
+
+    def put(self, key, frame):
+        """Install a partial translation, evicting LRU beyond capacity."""
+        self._entries[key] = frame
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, key):
+        """Drop one entry if present."""
+        self._entries.pop(key, None)
+
+    def flush_all(self):
+        """Drop everything (privileged flush)."""
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return "PagingStructureCache(%s, %d/%d)" % (
+            self.name,
+            len(self._entries),
+            self.capacity,
+        )

@@ -1,0 +1,68 @@
+"""x86-64 page-table entry encoding.
+
+Entries are 64-bit words stored in physical memory, so a rowhammer bit
+flip in a page-table page directly perturbs these fields.  The flips
+PThammer exploits land in the frame field (bits 12+), silently
+redirecting a user mapping at a different physical frame.
+"""
+
+PTE_PRESENT = 1 << 0
+PTE_WRITABLE = 1 << 1
+PTE_USER = 1 << 2
+PTE_PS = 1 << 7  # 2 MiB leaf when set in a Level-2 (PDE) entry
+
+#: Frame field: bits 12..47 inclusive, as on real x86-64.
+PTE_FRAME_SHIFT = 12
+PTE_FRAME_MASK = ((1 << 36) - 1) << PTE_FRAME_SHIFT
+
+
+def make_pte(frame, present=True, writable=True, user=True, ps=False):
+    """Encode a page-table entry pointing at physical ``frame``."""
+    entry = (frame << PTE_FRAME_SHIFT) & PTE_FRAME_MASK
+    if present:
+        entry |= PTE_PRESENT
+    if writable:
+        entry |= PTE_WRITABLE
+    if user:
+        entry |= PTE_USER
+    if ps:
+        entry |= PTE_PS
+    return entry
+
+
+def pte_frame(entry):
+    """Physical frame number an entry points at (no range clamping)."""
+    return (entry & PTE_FRAME_MASK) >> PTE_FRAME_SHIFT
+
+
+def pte_present(entry):
+    """Whether the entry maps anything."""
+    return bool(entry & PTE_PRESENT)
+
+
+def pte_writable(entry):
+    """Whether the mapping allows stores."""
+    return bool(entry & PTE_WRITABLE)
+
+
+def pte_user(entry):
+    """Whether ring-3 code may use the mapping."""
+    return bool(entry & PTE_USER)
+
+
+def pte_is_superpage(entry):
+    """Whether a Level-2 entry maps a 2 MiB page directly."""
+    return bool(entry & PTE_PS)
+
+
+def looks_like_pte(word):
+    """Heuristic the attacker uses to recognise page-table pages.
+
+    Present + writable + user with a plausible frame field and no bits
+    above the frame field: the signature of the sprayed L1PTEs the
+    kernel writes.  Mirrors the paper's "checking for known patterns in
+    L1PT pages".
+    """
+    if word & (PTE_PRESENT | PTE_USER) != (PTE_PRESENT | PTE_USER):
+        return False
+    return (word & ~(PTE_FRAME_MASK | 0xFFF)) == 0

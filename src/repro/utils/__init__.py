@@ -1,0 +1,24 @@
+"""Shared low-level utilities: deterministic RNG, bit tricks, units, stats."""
+
+from repro.utils.bitops import bit, parity, set_bit, toggle_bit
+from repro.utils.rng import DeterministicRng, hash64, hash_to_unit
+from repro.utils.stats import RunningStats, Histogram, percentile
+from repro.utils.units import KiB, MiB, GiB, cycles_to_seconds, format_duration
+
+__all__ = [
+    "DeterministicRng",
+    "GiB",
+    "Histogram",
+    "KiB",
+    "MiB",
+    "RunningStats",
+    "bit",
+    "cycles_to_seconds",
+    "format_duration",
+    "hash64",
+    "hash_to_unit",
+    "parity",
+    "percentile",
+    "set_bit",
+    "toggle_bit",
+]

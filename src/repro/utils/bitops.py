@@ -1,0 +1,65 @@
+"""Bit-manipulation helpers used by address hashing and the fault model."""
+
+
+def bit(value, position):
+    """Return bit ``position`` of ``value`` as 0 or 1."""
+    return (value >> position) & 1
+
+
+def parity(value):
+    """XOR of all bits of ``value`` (0 or 1).
+
+    Intel's LLC slice hash and DRAM bank-address functions are XOR
+    reductions of masked physical-address bits, so parity of
+    ``addr & mask`` is the basic building block.
+    """
+    value &= (1 << 64) - 1
+    value ^= value >> 32
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+def set_bit(value, position, bit_value):
+    """Return ``value`` with bit ``position`` forced to ``bit_value``."""
+    if bit_value:
+        return value | (1 << position)
+    return value & ~(1 << position)
+
+
+def toggle_bit(value, position):
+    """Return ``value`` with bit ``position`` flipped."""
+    return value ^ (1 << position)
+
+
+def extract_bits(value, positions):
+    """Pack the bits of ``value`` at ``positions`` (LSB first) into an int."""
+    out = 0
+    for i, pos in enumerate(positions):
+        out |= ((value >> pos) & 1) << i
+    return out
+
+
+def align_down(value, alignment):
+    """Largest multiple of ``alignment`` not above ``value``."""
+    return value - (value % alignment)
+
+
+def align_up(value, alignment):
+    """Smallest multiple of ``alignment`` not below ``value``."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def is_power_of_two(value):
+    """True for 1, 2, 4, 8, ..."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value):
+    """Integer log2 of a power of two; raises for anything else."""
+    if not is_power_of_two(value):
+        raise ValueError("%r is not a power of two" % (value,))
+    return value.bit_length() - 1

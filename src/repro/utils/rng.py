@@ -1,0 +1,103 @@
+"""Deterministic pseudo-randomness for the simulator.
+
+Every stochastic decision in the machine model (replacement-policy tie
+breaks, vulnerable-cell placement, timing noise) is driven either by a
+stateful :class:`DeterministicRng` stream or by the stateless
+:func:`hash64` mix, both seeded explicitly.  This keeps whole experiments
+reproducible from a single seed and lets the fault model sample
+per-(bank, row, bit) properties lazily without storing them.
+"""
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(x):
+    """One round of the splitmix64 output mix; full 64-bit avalanche."""
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def hash64(*keys):
+    """Mix any number of integer keys into one well-distributed 64-bit value.
+
+    ``hash64(seed, bank, row, bit)`` is a pure function: the fault model
+    uses it to derive per-cell properties without per-cell state.
+    String keys are accepted (hashed by their bytes) so subsystems can
+    fork RNG streams by name.
+    """
+    acc = 0x243F6A8885A308D3  # pi fractional bits; arbitrary non-zero start
+    for key in keys:
+        if isinstance(key, str):
+            key = int.from_bytes(key.encode("utf-8")[:8].ljust(8, b"\0"), "little")
+        acc = _splitmix64(acc ^ (key & _MASK64))
+    return acc
+
+
+def hash_to_unit(*keys):
+    """Map integer keys to a float uniform in [0, 1)."""
+    return hash64(*keys) / float(1 << 64)
+
+
+class DeterministicRng:
+    """A small, fast, seedable RNG stream (splitmix64 sequence).
+
+    Deliberately minimal: the simulator only needs ``next_u64``,
+    bounded integers, floats, choice, and shuffle.
+    """
+
+    def __init__(self, seed):
+        self._state = seed & _MASK64
+
+    def next_u64(self):
+        """Advance the stream and return the next 64-bit value."""
+        self._state = (self._state + _GOLDEN) & _MASK64
+        return _splitmix64(self._state)
+
+    def randint(self, bound):
+        """Uniform integer in ``[0, bound)``; ``bound`` must be positive."""
+        if bound <= 0:
+            raise ValueError("bound must be positive, got %r" % (bound,))
+        return self.next_u64() % bound
+
+    def randrange(self, lo, hi):
+        """Uniform integer in ``[lo, hi)``."""
+        return lo + self.randint(hi - lo)
+
+    def random(self):
+        """Uniform float in [0, 1)."""
+        return self.next_u64() / float(1 << 64)
+
+    def chance(self, probability):
+        """Return True with the given probability."""
+        return self.random() < probability
+
+    def choice(self, seq):
+        """Uniformly pick one element of a non-empty sequence."""
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.randint(len(seq))]
+
+    def shuffle(self, items):
+        """Fisher-Yates shuffle of ``items`` in place."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def sample(self, seq, k):
+        """Return ``k`` distinct elements of ``seq`` in random order."""
+        if k > len(seq):
+            raise ValueError("sample size %d exceeds population %d" % (k, len(seq)))
+        pool = list(seq)
+        self.shuffle(pool)
+        return pool[:k]
+
+    def fork(self, *keys):
+        """Derive an independent child stream keyed by ``keys``.
+
+        Child streams let subsystems draw randomness without perturbing
+        each other's sequences.
+        """
+        return DeterministicRng(hash64(self._state, *keys))

@@ -1,0 +1,127 @@
+"""Light statistics helpers for latency profiling and experiment reports."""
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm)."""
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def add(self, value):
+        """Fold one observation into the stream."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values):
+        """Fold many observations into the stream."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self):
+        """Sample variance (0.0 until two observations exist)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self):
+        """Sample standard deviation."""
+        return self.variance ** 0.5
+
+    def __repr__(self):
+        return "RunningStats(count=%d, mean=%.2f, min=%s, max=%s)" % (
+            self.count,
+            self.mean,
+            self.minimum,
+            self.maximum,
+        )
+
+
+def percentile(values, fraction):
+    """The ``fraction``-quantile of ``values`` by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    weight = rank - lo
+    return ordered[lo] * (1.0 - weight) + ordered[hi] * weight
+
+
+def median(values):
+    """The 0.5 quantile."""
+    return percentile(values, 0.5)
+
+
+class Histogram:
+    """Fixed-width binned histogram over a closed range.
+
+    Used to regenerate the paper's Figure 6 (per-hammer cycle
+    distributions) as printable series.
+    """
+
+    def __init__(self, lo, hi, bins):
+        if hi <= lo:
+            raise ValueError("histogram range is empty")
+        if bins <= 0:
+            raise ValueError("need at least one bin")
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+
+    def add(self, value):
+        """Count one observation."""
+        if value < self.lo:
+            self.underflow += 1
+            return
+        if value >= self.hi:
+            self.overflow += 1
+            return
+        width = (self.hi - self.lo) / self.bins
+        self.counts[int((value - self.lo) / width)] += 1
+
+    def extend(self, values):
+        """Count many observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def total(self):
+        """All observations including out-of-range ones."""
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def bin_edges(self):
+        """Return the ``bins + 1`` edges of the histogram."""
+        width = (self.hi - self.lo) / self.bins
+        return [self.lo + i * width for i in range(self.bins + 1)]
+
+    def fraction_within(self, lo, hi):
+        """Fraction of *all* observations falling in [lo, hi)."""
+        if self.total == 0:
+            return 0.0
+        edges = self.bin_edges()
+        hit = sum(
+            count
+            for count, left in zip(self.counts, edges)
+            if lo <= left and left + (edges[1] - edges[0]) <= hi
+        )
+        return hit / self.total

@@ -1,0 +1,37 @@
+"""Size and time units, plus cycle/wall-clock conversion."""
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+
+def cycles_to_seconds(cycles, freq_ghz):
+    """Convert a virtual-cycle count to seconds at ``freq_ghz`` GHz."""
+    return cycles / (freq_ghz * 1e9)
+
+
+def seconds_to_cycles(seconds, freq_ghz):
+    """Convert seconds to virtual cycles at ``freq_ghz`` GHz."""
+    return int(seconds * freq_ghz * 1e9)
+
+
+def format_duration(seconds):
+    """Human-readable duration, matching the paper's mixed ms/s/min units."""
+    if seconds < 1e-3:
+        return "%.1f us" % (seconds * 1e6)
+    if seconds < 1.0:
+        return "%.1f ms" % (seconds * 1e3)
+    if seconds < 120.0:
+        return "%.1f s" % seconds
+    return "%.1f m" % (seconds / 60.0)
+
+
+def format_size(num_bytes):
+    """Human-readable byte size (KiB/MiB/GiB)."""
+    if num_bytes >= GiB and num_bytes % GiB == 0:
+        return "%d GiB" % (num_bytes // GiB)
+    if num_bytes >= MiB:
+        return "%.4g MiB" % (num_bytes / MiB)
+    if num_bytes >= KiB:
+        return "%.4g KiB" % (num_bytes / KiB)
+    return "%d B" % num_bytes

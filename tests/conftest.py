@@ -1,0 +1,47 @@
+"""Shared fixtures: small machines, attackers, inspectors, facts."""
+
+import pytest
+
+from repro.core.uarch import UarchFacts
+from repro.machine import AttackerView, Inspector, Machine
+from repro.machine.configs import tiny_test_config
+
+
+@pytest.fixture
+def tiny_config():
+    return tiny_test_config()
+
+
+@pytest.fixture
+def machine(tiny_config):
+    return Machine(tiny_config)
+
+
+@pytest.fixture
+def attacker(machine):
+    return AttackerView(machine, machine.boot_process())
+
+
+@pytest.fixture
+def inspector(machine):
+    return Inspector(machine)
+
+
+@pytest.fixture
+def facts(machine):
+    return UarchFacts.from_config(machine.config)
+
+
+@pytest.fixture(scope="session")
+def shared_machine():
+    """A session-wide machine for read-mostly measurements.
+
+    Tests using this must not depend on pristine cache/DRAM state; use
+    the function-scoped ``machine`` fixture for anything stateful.
+    """
+    return Machine(tiny_test_config(seed=42))
+
+
+@pytest.fixture(scope="session")
+def shared_attacker(shared_machine):
+    return AttackerView(shared_machine, shared_machine.boot_process())

@@ -1,0 +1,147 @@
+"""Analysis runners and report rendering (small smoke configurations)."""
+
+import pytest
+
+from repro.analysis import (
+    figure3,
+    figure6,
+    render_bar,
+    render_series,
+    render_table,
+    section_4c_selection,
+    section_4d_pairs,
+    table1,
+)
+from repro.machine.configs import tiny_test_config
+
+
+def tiny():
+    return tiny_test_config()
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "long header"], [(1, 2), ("xyz", "w")], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "long header" in lines[1]
+    assert len({len(line) for line in lines[1:]}) == 1  # aligned rows
+
+
+def test_render_series():
+    text = render_series("s", {2: 0.5, 1: 0.25}, "x", "y")
+    lines = text.splitlines()
+    assert "1" in lines[1] and "0.25" in lines[1]  # sorted by x
+    text_none = render_series("s", {1: None})
+    assert "(none)" in text_none
+
+
+def test_render_bar():
+    assert render_bar(0.0, width=10) == ".........."
+    assert render_bar(1.0, width=10) == "##########"
+    assert render_bar(0.5, width=10).count("#") == 5
+    assert render_bar(7.0, width=4) == "####"  # clamped
+
+
+def test_table1_render():
+    result = table1()
+    text = result.render()
+    assert "Lenovo T420" in text and "Dell E6420" in text
+    assert "8 GiB" in text
+
+
+def test_figure3_runner_small():
+    result = figure3(config_fns=[tiny], sizes=(8, 12, 14), trials=30)
+    points = result.series["tiny-test"]
+    assert set(points) == {8, 12, 14}
+    assert points[14] >= points[8]
+    assert "Figure 3" in result.render()
+
+
+def test_min_reliable_size_logic():
+    result = figure3(config_fns=[tiny], sizes=(10, 12, 14), trials=30)
+    reliable = result.min_reliable_size("tiny-test", level=0.0)
+    assert reliable == 10  # everything passes at level 0
+
+
+def test_figure6_runner_small():
+    result = figure6(tiny, rounds=20, spray_slots=224)
+    assert len(result.costs) == 20
+    assert result.p95() >= min(result.costs)
+    assert "Figure 6" in result.render()
+
+
+def test_section_4c_runner_small():
+    result = section_4c_selection(tiny, targets=4)
+    assert 0.0 <= result.false_positive_rate <= 1.0
+    assert "false positives" in result.render()
+
+
+def test_section_4d_runner_small():
+    result = section_4d_pairs(tiny, sample=6, spray_slots=224)
+    assert result.candidates == 6
+    assert 0 <= result.flagged_slow <= 6
+    assert "Section IV-D" in result.render()
+
+
+def test_attack_report_timeline():
+    from repro.core import PThammerAttack, PThammerConfig
+    from repro.machine import AttackerView, Machine
+
+    machine = Machine(tiny_test_config(seed=2))
+    attacker = AttackerView(machine, machine.boot_process())
+    report = PThammerAttack(
+        attacker,
+        PThammerConfig(spray_slots=160, pair_sample=4, max_pairs=1,
+                       windows_per_pair=0.3),
+    ).run()
+    names = [name for name, _, _ in report.timeline]
+    assert names == ["prepare", "pair-search", "hammer-check"]
+    for _, start, end in report.timeline:
+        assert end >= start
+    # Phases are contiguous and ordered on the virtual clock.
+    assert report.timeline[0][2] <= report.timeline[1][1]
+    assert "prepare" in report.timeline_summary()
+
+
+def test_ascii_chart_basics():
+    from repro.analysis import ascii_chart
+
+    text = ascii_chart(
+        {"a": {1: 0.0, 2: 0.5, 3: 1.0}, "b": {1: 1.0, 3: None}},
+        title="T",
+        height=6,
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "legend: o=a, x=b" in text
+    assert "o" in text and "x" in text
+
+
+def test_ascii_chart_rejects_empty():
+    import pytest as _pytest
+
+    from repro.analysis import ascii_chart
+    from repro.errors import ConfigError
+
+    with _pytest.raises(ConfigError):
+        ascii_chart({"a": {1: None}})
+
+
+def test_sweep_chart_from_runner():
+    from repro.analysis import sweep_chart
+
+    result = figure3(config_fns=[tiny], sizes=(8, 12, 16), trials=20)
+    text = sweep_chart(result)
+    assert "eviction-set size" in text
+    assert "Figure 3" in text
+
+
+def test_sweep_parameter_utility():
+    from repro.analysis import sweep_parameter
+
+    results = sweep_parameter(
+        make_config=lambda value: {"knob": value},
+        values=(1, 2, 3),
+        metric=lambda config: config["knob"] * 10,
+    )
+    assert results == {1: 10, 2: 20, 3: 30}

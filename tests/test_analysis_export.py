@@ -1,0 +1,73 @@
+"""CSV export of experiment results."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    DefenseMatrixResult,
+    EscalationResult,
+    EvictionSweepResult,
+    Figure5Result,
+    Figure6Result,
+    Table2Result,
+    Table2Row,
+)
+from repro.analysis.export import (
+    to_csv_string,
+    write_defense_matrix_csv,
+    write_figure5_csv,
+    write_figure6_csv,
+    write_sweep_csv,
+    write_table2_csv,
+)
+from repro.errors import ConfigError
+
+
+def test_sweep_csv(tmp_path):
+    result = EvictionSweepResult("f", {"m1": {12: 0.9, 8: 0.5}, "m2": {12: 1.0}})
+    path = str(tmp_path / "sweep.csv")
+    assert write_sweep_csv(result, path) == 3
+    lines = open(path).read().splitlines()
+    assert lines[0] == "machine,size,miss_rate"
+    assert "m1,8,0.5" in lines
+
+
+def test_sweep_csv_rejects_empty():
+    with pytest.raises(ConfigError):
+        write_sweep_csv(EvictionSweepResult("f", {}), "/dev/null")
+
+
+def test_figure5_csv_handles_none():
+    result = Figure5Result("m", {0: 0.5, 800: None}, cliff_cycles=2000)
+    text = to_csv_string(write_figure5_csv, result)
+    lines = text.splitlines()
+    assert lines[1] == "0,0.5"
+    assert lines[2] == "800,"
+
+
+def test_figure6_csv():
+    result = Figure6Result("m", "super", [100, 110, 105])
+    text = to_csv_string(write_figure6_csv, result)
+    assert text.splitlines()[1] == "m,super,0,100"
+    assert len(text.splitlines()) == 4
+
+
+def test_table2_csv():
+    row = Table2Row("m", "superpage", 0.001, 0.5, 1e-6, 0.01, 0.02, 0.1, None)
+    text = to_csv_string(write_table2_csv, Table2Result([row]))
+    assert text.splitlines()[1].endswith(",")  # empty first-flip column
+
+
+def test_defense_matrix_csv():
+    result = EscalationResult(
+        machine="m",
+        defense="catt",
+        escalated=True,
+        method="l1pt",
+        flips_observed=8,
+        captures={"l1pt": 1, "cred": 0, "junk": 7},
+        ground_truth_flips=44,
+        first_flip_s=0.01,
+        host_seconds=1.0,
+    )
+    text = to_csv_string(write_defense_matrix_csv, DefenseMatrixResult("m", [result]))
+    assert "catt,1,l1pt,8,1,0,44" in text

@@ -1,0 +1,82 @@
+"""The AttackerView facade: the threat-model boundary."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.machine import AttackerView, Machine
+from repro.machine.configs import tiny_test_config
+from repro.params import PAGE_SIZE, SUPERPAGE_SIZE
+
+
+@pytest.fixture
+def world():
+    machine = Machine(tiny_test_config())
+    process = machine.boot_process()
+    return machine, AttackerView(machine, process)
+
+
+def test_constants(world):
+    _, attacker = world
+    assert attacker.page_size == PAGE_SIZE
+    assert attacker.superpage_size == SUPERPAGE_SIZE
+
+
+def test_mmap_and_rw(world):
+    _, attacker = world
+    va = attacker.mmap(2, populate=True)
+    attacker.write(va + 8, 99)
+    assert attacker.read(va + 8) == 99
+    attacker.munmap(va)
+    with pytest.raises(SegmentationFault):
+        attacker.read(va)
+
+
+def test_map_pages_helper(world):
+    _, attacker = world
+    va = attacker.map_pages(3)
+    assert attacker.read(va + 2 * PAGE_SIZE) == 0
+
+
+def test_rdtsc_monotone(world):
+    _, attacker = world
+    samples = []
+    va = attacker.mmap(1, populate=True)
+    for _ in range(5):
+        attacker.touch(va)
+        samples.append(attacker.rdtsc())
+    assert samples == sorted(samples)
+    assert len(set(samples)) == len(samples)
+
+
+def test_spawn_returns_child(world):
+    machine, attacker = world
+    child = attacker.spawn()
+    assert child.uid == attacker.process.uid
+    assert child.pid != attacker.process.pid
+
+
+def test_shared_memory_cross_mapping(world):
+    _, attacker = world
+    shm = attacker.create_shm(1)
+    va1 = attacker.mmap(1, shm=shm, populate=True)
+    va2 = attacker.mmap(1, shm=shm, populate=True)
+    attacker.write(va1, 0x1234)
+    assert attacker.read(va2) == 0x1234
+
+
+def test_clflush_only_own_memory(world):
+    _, attacker = world
+    # clflush of an unmapped address faults like any other access.
+    with pytest.raises(SegmentationFault):
+        attacker.clflush(0x7FF0_0000_0000)
+
+
+def test_timed_read_reflects_cache_state(world):
+    _, attacker = world
+    va = attacker.mmap(1, populate=True)
+    attacker.touch(va)
+    warm = attacker.timed_read(va)
+    attacker.clflush(va)
+    attacker.nop(10)
+    cold = attacker.timed_read(va)
+    assert cold > warm

@@ -1,0 +1,105 @@
+"""Inclusive cache hierarchy and slice hashing."""
+
+import pytest
+
+from repro.cache.hierarchy import L1, L2, LLC, MEM, CacheHierarchy
+from repro.cache.slices import SliceHash
+from repro.errors import ConfigError
+from repro.machine.configs import CacheConfig
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def hierarchy():
+    config = CacheConfig(
+        l1_sets=4,
+        l1_ways=2,
+        l2_sets=8,
+        l2_ways=2,
+        llc_sets_per_slice=16,
+        llc_slices=2,
+        llc_ways=4,
+        l1_policy="true_lru",
+        l2_policy="true_lru",
+        policy="true_lru",
+    )
+    return CacheHierarchy(config, DeterministicRng(2))
+
+
+def test_miss_then_l1_hit(hierarchy):
+    assert hierarchy.access(0x1000) == MEM
+    assert hierarchy.access(0x1000) == L1
+    assert hierarchy.access(0x1008) == L1  # same line
+
+
+def test_l2_hit_after_l1_eviction(hierarchy):
+    base = 0x0
+    # Fill the L1 set of `base` with conflicting lines (same l1 set =
+    # line % 4); l1 has 2 ways.
+    hierarchy.access(base)
+    hierarchy.access(base + 4 * 64)
+    hierarchy.access(base + 8 * 64)  # evicts base from L1
+    level = hierarchy.access(base)
+    assert level in (L2, LLC)
+
+
+def test_llc_inclusive_back_invalidation(hierarchy):
+    """Evicting a line from the LLC must drop it from L1/L2 too."""
+    target = 0x0
+    hierarchy.access(target)
+    assert hierarchy.access(target) == L1
+    # Fill target's LLC set (set 0 of its slice) until it is evicted.
+    slice_of = hierarchy.slice_hash.slice_of
+    target_key = (0, slice_of(target))
+    conflicts = []
+    line = 1
+    while len(conflicts) < 8:
+        paddr = line * 16 * 64  # same set index 0
+        if (0, slice_of(paddr)) == target_key and paddr != target:
+            conflicts.append(paddr)
+        line += 1
+    for paddr in conflicts:
+        hierarchy.access(paddr)
+    assert not hierarchy.line_cached_in_llc(target)
+    # Inclusivity: the next access misses everywhere.
+    assert hierarchy.access(target) == MEM
+
+
+def test_clflush_removes_everywhere(hierarchy):
+    hierarchy.access(0x40)
+    hierarchy.flush_line(0x40)
+    assert hierarchy.access(0x40) == MEM
+
+
+def test_warm_installs_all_levels(hierarchy):
+    hierarchy.warm(0x2000)
+    assert hierarchy.access(0x2000) == L1
+
+
+def test_llc_set_and_slice(hierarchy):
+    set_index, slice_index = hierarchy.llc_set_and_slice(0x12345)
+    assert 0 <= set_index < 16
+    assert 0 <= slice_index < 2
+
+
+def test_flush_all(hierarchy):
+    hierarchy.access(0x40)
+    hierarchy.flush_all()
+    assert hierarchy.access(0x40) == MEM
+
+
+def test_slice_hash_properties():
+    hash2 = SliceHash(2)
+    assert all(0 <= hash2.slice_of(p << 12) < 2 for p in range(256))
+    # Bits below 17 do not influence the slice.
+    assert hash2.slice_of(0x20000) == hash2.slice_of(0x20000 + 0xFFF)
+    hash4 = SliceHash(4)
+    slices = {hash4.slice_of(p << 17) for p in range(64)}
+    assert slices == {0, 1, 2, 3}
+
+
+def test_slice_hash_validation():
+    with pytest.raises(ConfigError):
+        SliceHash(3)
+    with pytest.raises(ConfigError):
+        SliceHash(4, masks=(0x123,))

@@ -1,0 +1,85 @@
+"""Generic set-associative structure."""
+
+import pytest
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.errors import ConfigError
+from repro.utils.rng import DeterministicRng
+
+
+def make_cache(sets=4, ways=2, policy="true_lru"):
+    return SetAssociativeCache(sets, ways, policy, DeterministicRng(1), name="t")
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert not cache.lookup(0, "a")
+    cache.insert(0, "a")
+    assert cache.lookup(0, "a")
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_insert_evicts_lru():
+    cache = make_cache(sets=1, ways=2)
+    cache.insert(0, "a")
+    cache.insert(0, "b")
+    assert cache.insert(0, "c") == "a"
+    assert not cache.contains(0, "a")
+    assert cache.contains(0, "b")
+    assert cache.contains(0, "c")
+    assert cache.evictions == 1
+
+
+def test_reinsert_refreshes_no_eviction():
+    cache = make_cache(sets=1, ways=2)
+    cache.insert(0, "a")
+    cache.insert(0, "b")
+    assert cache.insert(0, "a") is None  # refresh
+    assert cache.insert(0, "c") == "b"  # 'a' became MRU
+
+
+def test_sets_are_independent():
+    cache = make_cache(sets=2, ways=1)
+    cache.insert(0, "a")
+    cache.insert(1, "b")
+    assert cache.contains(0, "a") and cache.contains(1, "b")
+
+
+def test_invalidate():
+    cache = make_cache()
+    cache.insert(2, "x")
+    assert cache.invalidate(2, "x")
+    assert not cache.invalidate(2, "x")
+    assert not cache.contains(2, "x")
+
+
+def test_invalidated_slot_reused_without_eviction():
+    cache = make_cache(sets=1, ways=2)
+    cache.insert(0, "a")
+    cache.insert(0, "b")
+    cache.invalidate(0, "a")
+    assert cache.insert(0, "c") is None
+
+
+def test_flush_all_and_occupancy():
+    cache = make_cache()
+    cache.insert(0, "a")
+    cache.insert(1, "b")
+    assert cache.occupancy() == 2
+    cache.flush_all()
+    assert cache.occupancy() == 0
+
+
+def test_resident_tags():
+    cache = make_cache(sets=1, ways=3)
+    for tag in "abc":
+        cache.insert(0, tag)
+    assert sorted(cache.resident_tags(0)) == ["a", "b", "c"]
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        make_cache(sets=3)
+    with pytest.raises(ConfigError):
+        make_cache(ways=0)

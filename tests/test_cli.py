@@ -1,0 +1,55 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import DEFENSES, MACHINES, main
+
+
+def test_machine_and_defense_registries():
+    assert "tiny" in MACHINES and "t420-scaled" in MACHINES
+    for factory in MACHINES.values():
+        factory().validate()
+    for factory in DEFENSES.values():
+        assert factory() is not None
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Lenovo T420" in out and "Dell E6420" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_rejects_unknown_machine():
+    with pytest.raises(SystemExit):
+        main(["attack", "--machine", "pdp11"])
+
+
+@pytest.mark.slow
+def test_attack_command_end_to_end(capsys):
+    code = main(
+        ["attack", "--machine", "tiny", "--seed", "1", "--slots", "256",
+         "--pairs", "14"]
+    )
+    out = capsys.readouterr().out
+    assert "escalated: True" in out
+    assert "uid after attack: 0" in out
+    assert code == 0
+
+
+@pytest.mark.slow
+def test_sec4d_command(capsys):
+    assert main(["sec4d", "--machine", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Section IV-D" in out
+
+
+@pytest.mark.slow
+def test_validate_command(capsys):
+    assert main(["validate"]) == 0
+    out = capsys.readouterr().out
+    assert "all checks passed" in out

@@ -1,0 +1,73 @@
+"""Machine configuration presets and validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.configs import (
+    SCALED_MACHINES,
+    TABLE1_MACHINES,
+    DRAMConfig,
+    MachineConfig,
+    dell_e6420,
+    lenovo_t420,
+    lenovo_x230,
+    tiny_test_config,
+)
+from repro.utils.units import GiB, MiB
+
+
+def test_table1_presets_match_paper():
+    t420 = lenovo_t420()
+    assert t420.llc_bytes() == 3 * MiB
+    assert t420.cache.llc_ways == 12
+    assert t420.dram.size_bytes == 8 * GiB
+    assert t420.tlb.l1d_ways == 4 and t420.tlb.l2s_ways == 4
+    dell = dell_e6420()
+    assert dell.llc_bytes() == 4 * MiB
+    assert dell.cache.llc_ways == 16
+    x230 = lenovo_x230()
+    assert x230.llc_bytes() == 3 * MiB
+
+
+def test_scaled_presets_preserve_shapes():
+    for full_fn, scaled_fn in zip(TABLE1_MACHINES, SCALED_MACHINES):
+        full, scaled = full_fn(), scaled_fn()
+        assert scaled.cache.llc_ways == full.cache.llc_ways
+        assert scaled.tlb == full.tlb
+        assert scaled.dram.banks == full.dram.banks
+        assert scaled.dram.chunk_bytes == full.dram.chunk_bytes
+        assert scaled.dram.size_bytes < full.dram.size_bytes
+        assert scaled.llc_bytes() < full.llc_bytes()
+
+
+def test_row_span_is_paper_rowssize():
+    config = lenovo_t420()
+    assert config.dram.banks * config.dram.chunk_bytes == 256 * 1024
+
+
+def test_validation_rejects_bad_dram_size():
+    config = MachineConfig(dram=DRAMConfig(size_bytes=100 * MiB + 1))
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_validation_rejects_llc_smaller_than_l2():
+    config = tiny_test_config()
+    config.cache.llc_sets_per_slice = 1
+    config.cache.llc_slices = 1
+    config.cache.llc_ways = 1
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_tiny_config_overrides():
+    config = tiny_test_config(dram_bytes=32 * MiB, threshold_lo=100, threshold_hi=200)
+    assert config.dram.size_bytes == 32 * MiB
+    assert config.fault.threshold_lo == 100
+    with pytest.raises(ConfigError):
+        tiny_test_config(not_a_knob=1)
+
+
+def test_distinct_seeds_per_machine():
+    seeds = {fn().seed for fn in TABLE1_MACHINES}
+    assert len(seeds) == 3

@@ -1,0 +1,42 @@
+"""DRAMA-style geometry reverse engineering."""
+
+import pytest
+
+from repro.core.drama import reverse_engineer_row_span
+from repro.core.pair_finding import PairFinder
+from repro.core.spray import PageTableSpray
+from repro.core.uarch import UarchFacts
+from repro.machine import AttackerView, Machine
+from repro.machine.configs import tiny_test_config
+
+
+@pytest.fixture
+def world():
+    machine = Machine(tiny_test_config(seed=13))
+    attacker = AttackerView(machine, machine.boot_process())
+    return machine, attacker
+
+
+def conflict_level_for(machine, attacker):
+    facts = UarchFacts.from_config(machine.config)
+    spray = PageTableSpray(attacker, slots=130, shm_pages=4,
+                           base=0x2C00_0000_0000)
+    spray.execute()
+    finder = PairFinder(attacker, facts, spray, None, 12)
+    return finder.conflict_level()
+
+
+def test_recovers_row_span(world):
+    machine, attacker = world
+    level = conflict_level_for(machine, attacker)
+    recovered = reverse_engineer_row_span(attacker, level)
+    assert recovered == machine.geometry.row_span_bytes == 256 * 1024
+
+
+def test_returns_none_when_no_conflicts_in_range(world):
+    machine, attacker = world
+    level = conflict_level_for(machine, attacker)
+    recovered = reverse_engineer_row_span(
+        attacker, level, min_stride=1024, max_stride=32 * 1024
+    )
+    assert recovered is None

@@ -1,0 +1,145 @@
+"""LLC eviction: offline measurement, pool preparation, Algorithm 2."""
+
+import pytest
+
+from repro.core.llc_eviction import l1pte_line_offset, select_llc_eviction_set
+from repro.core.llc_offline import (
+    find_minimal_llc_eviction_size,
+    llc_miss_rate_by_size,
+    physically_congruent_lines,
+)
+from repro.core.llc_pool import LLCPoolBuilder, evicts, reduce_to_minimal
+from repro.core.timing_probe import calibrate_latency_threshold
+from repro.core.tlb_eviction import TLBEvictionSetBuilder
+
+
+@pytest.fixture
+def threshold(attacker):
+    return calibrate_latency_threshold(attacker)
+
+
+@pytest.fixture
+def pool(attacker, facts, threshold):
+    builder = LLCPoolBuilder(attacker, facts, threshold, set_size=facts.llc_ways + 1)
+    return builder.prepare(superpages=True, line_offsets=[1])
+
+
+def test_l1pte_line_offset_arithmetic():
+    # Page index 8 within a 2 MiB region -> entry 8 -> byte 64 -> line 1.
+    assert l1pte_line_offset(0x2000_0000_0000 + 8 * 4096) == 1
+    assert l1pte_line_offset(0x2000_0000_0000) == 0
+    assert l1pte_line_offset(0x2000_0000_0000 + 511 * 4096) == 63
+
+
+def test_congruent_lines_share_set_and_slice(attacker, inspector):
+    target = attacker.mmap(1, populate=True)
+    lines = physically_congruent_lines(attacker, inspector, target, 8)
+    frame = inspector.frame_of(attacker.process, target)
+    wanted = inspector.llc_set_and_slice(frame << 12)
+    for va in lines:
+        line_frame = inspector.frame_of(attacker.process, va)
+        paddr = (line_frame << 12) | (va & 0xFFF)
+        assert inspector.llc_set_and_slice(paddr) == wanted
+
+
+def test_figure4_shape(attacker, inspector, facts):
+    ways = facts.llc_ways
+    rates = llc_miss_rate_by_size(
+        attacker, inspector, facts, sizes=(ways - 2, ways + 1, ways + 4), trials=50
+    )
+    assert rates[ways + 1] >= 0.9
+    assert rates[ways + 4] >= 0.9
+    assert rates[ways - 2] <= 0.2
+
+
+def test_minimal_llc_size_is_assoc_plus_one(attacker, inspector, facts):
+    minimal = find_minimal_llc_eviction_size(attacker, inspector, facts, trials=50)
+    assert minimal in (facts.llc_ways, facts.llc_ways + 1, facts.llc_ways + 2)
+
+
+def test_evicts_conflict_test(attacker, inspector, threshold):
+    target = attacker.mmap(1, populate=True)
+    lines = physically_congruent_lines(attacker, inspector, target, 16)
+    assert evicts(attacker, threshold, target, lines)
+    assert not evicts(attacker, threshold, target, lines[:3])
+
+
+def test_reduce_to_minimal(attacker, inspector, threshold, facts):
+    target = attacker.mmap(1, populate=True)
+    lines = physically_congruent_lines(attacker, inspector, target, 2 * facts.llc_ways)
+    reduced = reduce_to_minimal(
+        attacker, threshold, target, lines, facts.llc_ways + 1
+    )
+    assert reduced is not None
+    assert len(reduced) == facts.llc_ways + 1
+    assert evicts(attacker, threshold, target, reduced)
+    # Non-evicting candidates are rejected.
+    assert reduce_to_minimal(attacker, threshold, target, lines[:4], 3) is None
+
+
+def test_pool_covers_requested_offsets(pool, facts):
+    assert pool.offsets() == [1]
+    sets = pool.sets_for_offset(1)
+    # One eviction set per (set-class, slice) combination.
+    set_classes = max(1, facts.llc_sets_per_slice // 64)
+    assert len(sets) == set_classes * facts.llc_slices
+    for eviction_set in sets:
+        assert len(eviction_set.lines) == facts.llc_ways + 1
+        assert all((va >> 6) & 63 == 1 for va in eviction_set.lines)
+
+
+def test_pool_empty_for_other_offsets(pool):
+    assert pool.sets_for_offset(5) == []
+
+
+def test_regular_pool_matches_superpage_pool(attacker, facts, threshold):
+    builder = LLCPoolBuilder(attacker, facts, threshold, set_size=facts.llc_ways + 1)
+    regular = builder.prepare(superpages=False, line_offsets=[2])
+    assert regular.set_count() >= facts.llc_slices
+    assert not regular.superpages
+
+
+def test_algorithm2_selects_congruent_set(attacker, inspector, facts, pool):
+    target = attacker.mmap(1, at=0x3400_0000_0000 + 8 * 4096, populate=True)
+    tlb_builder = TLBEvictionSetBuilder(attacker, facts)
+    tlb_set = tlb_builder.build(target, 12)
+    chosen, profile = select_llc_eviction_set(attacker, pool, tlb_set, target)
+    assert len(profile) == len(pool.sets_for_offset(1))
+    pte = inspector.l1pte_paddr(attacker.process, target)
+    truth = inspector.llc_set_and_slice(pte)
+    congruent = 0
+    for va in chosen.lines:
+        frame = inspector.frame_of(attacker.process, va)
+        if inspector.llc_set_and_slice((frame << 12) | (va & 0xFFF)) == truth:
+            congruent += 1
+    assert congruent * 2 > len(chosen.lines)
+
+
+def test_algorithm2_rejects_unaligned_target(attacker, pool):
+    with pytest.raises(ValueError):
+        select_llc_eviction_set(attacker, pool, [], 0x2000_0000_0008)
+
+
+def test_algorithm2_rejects_missing_offset(attacker, pool):
+    target = attacker.mmap(1, at=0x3500_0000_0000 + 100 * 4096, populate=True)
+    with pytest.raises(LookupError):
+        select_llc_eviction_set(attacker, pool, [], target)
+
+
+@pytest.mark.slow
+def test_complete_pool_covers_all_offsets(attacker, facts, threshold):
+    """The paper's one-off *complete* pool: every page line-offset.
+
+    The lazy attack only builds the offsets its spray needs; this
+    builds all 64 (what Table II's pool-preparation times measure) and
+    checks full coverage.
+    """
+    builder = LLCPoolBuilder(attacker, facts, threshold, set_size=facts.llc_ways + 1)
+    pool = builder.prepare(superpages=True, line_offsets=None)
+    assert pool.offsets() == list(range(64))
+    set_classes = max(1, facts.llc_sets_per_slice // 64)
+    expected_total = 64 * set_classes * facts.llc_slices
+    assert pool.set_count() >= expected_total * 0.9  # a few misfires allowed
+    for offset in (0, 17, 63):
+        for eviction_set in pool.sets_for_offset(offset):
+            assert all((va >> 6) & 63 == offset for va in eviction_set.lines)

@@ -1,0 +1,141 @@
+"""Privilege escalation mechanics, driven by *synthetic* flips.
+
+These tests corrupt L1PTEs directly via the Inspector-level interfaces
+(fast and deterministic) and verify the attacker-side machinery: scan
+detection, capture classification, served-slot discovery, the arbitrary
+mapping primitive, and cred rewriting.
+"""
+
+import pytest
+
+from repro.core.privesc import (
+    CAPTURE_CRED,
+    CAPTURE_JUNK,
+    CAPTURE_L1PT,
+    EscalationOutcome,
+    PrivilegeEscalator,
+)
+from repro.core.spray import PageTableSpray
+from repro.core.tlb_eviction import TLBEvictionSetBuilder
+from repro.machine import AttackerView, Inspector, Machine
+from repro.machine.configs import tiny_test_config
+from repro.mmu.pte import make_pte
+
+
+@pytest.fixture
+def world():
+    machine = Machine(tiny_test_config(seed=8))
+    attacker = AttackerView(machine, machine.boot_process())
+    inspector = Inspector(machine)
+    spray = PageTableSpray(attacker, slots=160, shm_pages=4).execute()
+    from repro.core.uarch import UarchFacts
+
+    builder = TLBEvictionSetBuilder(attacker, UarchFacts.from_config(machine.config))
+    escalator = PrivilegeEscalator(attacker, spray, builder, 12)
+    return machine, attacker, inspector, spray, escalator
+
+
+def corrupt_l1pte(machine, inspector, attacker, spray, slot, page, new_frame):
+    """Simulate a frame-redirect flip in one sprayed L1PTE."""
+    va = spray.page_va(slot, page)
+    pte_paddr = inspector.l1pte_paddr(attacker.process, va)
+    machine.physmem.write_word(pte_paddr, make_pte(new_frame))
+    machine.tlb.flush_all()
+    machine.caches.flush_all()
+    return va
+
+
+def l1pt_frame_of_slot(machine, inspector, attacker, spray, slot):
+    return inspector.l1pt_frame(attacker.process, spray.target_va(slot))
+
+
+def test_classify_l1pt_capture(world):
+    machine, attacker, inspector, spray, escalator = world
+    victim_table = l1pt_frame_of_slot(machine, inspector, attacker, spray, 70)
+    va = corrupt_l1pte(machine, inspector, attacker, spray, 10, 3, victim_table)
+    assert escalator.classify_capture(va) == CAPTURE_L1PT
+
+
+def test_classify_cred_capture(world):
+    machine, attacker, inspector, spray, escalator = world
+    child = machine.kernel.sys_spawn(attacker.process)
+    cred_frame = child.cred_paddr >> 12
+    va = corrupt_l1pte(machine, inspector, attacker, spray, 11, 4, cred_frame)
+    assert escalator.classify_capture(va) == CAPTURE_CRED
+
+
+def test_classify_junk_capture(world):
+    machine, attacker, inspector, spray, escalator = world
+    va = corrupt_l1pte(machine, inspector, attacker, spray, 12, 5, 1)
+    assert escalator.classify_capture(va) == CAPTURE_JUNK
+
+
+def test_scan_reports_corruption(world):
+    machine, attacker, inspector, spray, escalator = world
+    corrupt_l1pte(machine, inspector, attacker, spray, 20, 7, 1)
+    mismatches = spray.scan()
+    assert any(m.slot == 20 and m.page == 7 for m in mismatches)
+
+
+def test_full_l1pt_takeover_roots(world):
+    machine, attacker, inspector, spray, escalator = world
+    victim_table = l1pt_frame_of_slot(machine, inspector, attacker, spray, 90)
+    corrupt_l1pte(machine, inspector, attacker, spray, 30, 2, victim_table)
+    outcome = EscalationOutcome()
+    assert escalator.process_mismatches(spray.scan(), outcome)
+    assert outcome.success
+    assert outcome.method == CAPTURE_L1PT
+    assert attacker.getuid() == 0
+    assert machine.kernel.sys_getuid(attacker.process) == 0
+
+
+def test_cred_capture_roots_child(world):
+    machine, attacker, inspector, spray, escalator = world
+    child = machine.kernel.sys_spawn(attacker.process)
+    cred_frame = child.cred_paddr >> 12
+    corrupt_l1pte(machine, inspector, attacker, spray, 40, 1, cred_frame)
+    outcome = EscalationOutcome()
+    assert escalator.process_mismatches(spray.scan(), outcome)
+    assert outcome.method == CAPTURE_CRED
+    # The captured slab page may hold several family creds; any of them
+    # being rewritten to uid 0 is an escalation.
+    rooted = machine.kernel.processes[outcome.rooted_pid]
+    assert rooted.pid in (attacker.process.pid, child.pid)
+    assert machine.kernel.sys_getuid(rooted) == 0
+
+
+def test_junk_capture_does_not_escalate(world):
+    machine, attacker, inspector, spray, escalator = world
+    corrupt_l1pte(machine, inspector, attacker, spray, 50, 6, 1)
+    outcome = EscalationOutcome()
+    assert not escalator.process_mismatches(spray.scan(), outcome)
+    assert outcome.captures[CAPTURE_JUNK] == 1
+    assert attacker.getuid() == 1000
+
+
+def test_mismatch_dedup(world):
+    machine, attacker, inspector, spray, escalator = world
+    corrupt_l1pte(machine, inspector, attacker, spray, 60, 6, 1)
+    outcome = EscalationOutcome()
+    escalator.process_mismatches(spray.scan(), outcome)
+    escalator.process_mismatches(spray.scan(), outcome)
+    assert outcome.flips_observed == 1
+
+
+def test_sparse_table_discovery(world):
+    """A captured non-spray L1PT is identified by its present-entry set."""
+    machine, attacker, inspector, spray, escalator = world
+    # Build a sparse region of our own: 5 pages at distinct indices.
+    region_base = 0x3900_0000_0000
+    for index in (3, 9, 17, 100, 300):
+        attacker.mmap(1, at=region_base + index * 4096, populate=True)
+        attacker.touch(region_base + index * 4096)
+    sparse_table = inspector.l1pt_frame(attacker.process, region_base + 3 * 4096)
+    va = corrupt_l1pte(machine, inspector, attacker, spray, 70, 2, sparse_table)
+    present = escalator._present_entries(va)
+    assert present == {3, 9, 17, 100, 300}
+    outcome = EscalationOutcome()
+    window_va, entry = escalator._discover_sparse_region(va, present, outcome)
+    assert window_va is not None
+    assert (window_va >> 21) == (region_base >> 21)
+    assert entry in present

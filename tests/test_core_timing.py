@@ -1,0 +1,86 @@
+"""Latency calibration and the MLP/fence model."""
+
+import pytest
+
+from repro.core.timing_probe import (
+    LatencyThreshold,
+    calibrate_latency_threshold,
+    fenced_timed_read,
+    timed_median,
+)
+
+
+def test_threshold_classification():
+    threshold = LatencyThreshold(5.0, 95.0)
+    assert not threshold.is_dram(10)
+    assert threshold.is_dram(80)
+    assert threshold.cutoff == pytest.approx(5.0 + 0.4 * 90.0)
+
+
+def test_threshold_requires_gap():
+    with pytest.raises(ValueError):
+        LatencyThreshold(50.0, 50.0)
+
+
+def test_calibration_separates_cached_from_dram(attacker):
+    threshold = calibrate_latency_threshold(attacker)
+    assert threshold.dram_median > threshold.cached_median + 20
+
+
+def test_fenced_read_serializes(attacker):
+    """A fenced timed read after a DRAM access must not look pipelined."""
+    va = attacker.mmap(2, populate=True)
+    attacker.touch(va)
+    threshold = calibrate_latency_threshold(attacker)
+    attacker.clflush(va)
+    attacker.clflush(va + 4096)
+    attacker.touch(va)  # DRAM access immediately before
+    assert threshold.is_dram(fenced_timed_read(attacker, va + 4096))
+
+
+def test_unfenced_consecutive_dram_is_pipelined(attacker):
+    """Back-to-back independent misses get the MLP charge."""
+    machine = attacker._machine
+    va = attacker.mmap(2, populate=True)
+    attacker.touch(va)
+    attacker.touch(va + 4096)
+    attacker.clflush(va)
+    attacker.clflush(va + 4096)
+    attacker.nop(10)
+    first = attacker.timed_read(va)
+    second = attacker.timed_read(va + 4096)
+    assert second <= machine.config.cpu.dram_pipelined + machine.config.cpu.walk_base + 10
+
+
+def test_row_conflicts_never_pipelined(attacker, inspector):
+    """The row-buffer timing channel must survive the MLP model."""
+    machine = attacker._machine
+    geometry = machine.geometry
+    pages = 256
+    base = attacker.mmap(pages, populate=True)
+    # Find two buffer pages in the same bank, different rows.
+    by_bank = {}
+    pair = None
+    for page in range(pages):
+        frame = inspector.frame_of(attacker.process, base + page * 4096)
+        location = inspector.dram_location(frame << 12)
+        other = by_bank.get(location.bank)
+        if other is not None and other[1] != location.row:
+            pair = (other[0], page)
+            break
+        by_bank.setdefault(location.bank, (page, location.row))
+    assert pair is not None
+    va_a = base + pair[0] * 4096
+    va_b = base + pair[1] * 4096
+    attacker.clflush(va_a)
+    attacker.clflush(va_b)
+    attacker.nop(10)
+    attacker.touch(va_a)
+    latency = attacker.timed_read(va_b)
+    assert latency >= machine.config.dram.row_conflict_cycles
+
+
+def test_timed_median(attacker):
+    va = attacker.mmap(1, populate=True)
+    attacker.touch(va)
+    assert timed_median(attacker, va, trials=5) < 30

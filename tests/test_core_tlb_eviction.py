@@ -1,0 +1,98 @@
+"""TLB eviction sets: construction, Algorithm 1, the Figure-3 shape."""
+
+import pytest
+
+from repro.core.tlb_eviction import (
+    TLBEvictionSetBuilder,
+    find_minimal_tlb_eviction_size,
+    profile_tlb_miss_rate,
+    tlb_miss_rate_by_size,
+)
+
+
+@pytest.fixture
+def builder(attacker, facts):
+    return TLBEvictionSetBuilder(attacker, facts)
+
+
+def test_sets_are_congruent(attacker, facts, builder):
+    target = attacker.mmap(1, populate=True)
+    eviction_set = builder.build(target, 12)
+    assert len(eviction_set) == 12
+    vpn = target >> 12
+    t1 = facts.tlb_l1_set_of(vpn)
+    # Every page shares the target's L1 set (the doubly-congruent design).
+    assert all(facts.tlb_l1_set_of(va >> 12) == t1 for va in eviction_set)
+    t2 = facts.tlb_l2_set_of(vpn)
+    l2_congruent = [va for va in eviction_set if facts.tlb_l2_set_of(va >> 12) == t2]
+    assert len(l2_congruent) >= 6
+
+
+def test_sets_nest(attacker, builder):
+    target = attacker.mmap(1, populate=True)
+    small = builder.build(target, 8)
+    large = builder.build(target, 12)
+    assert set(small) <= set(large)
+
+
+def test_full_size_set_evicts(attacker, inspector, builder):
+    target = attacker.mmap(1, populate=True)
+    eviction_set = builder.build(target, 12)
+    rate = profile_tlb_miss_rate(attacker, inspector, target, eviction_set, trials=40)
+    assert rate >= 0.9
+
+
+def test_small_set_fails_to_evict(attacker, inspector, builder):
+    target = attacker.mmap(1, populate=True)
+    eviction_set = builder.build(target, 4)
+    rate = profile_tlb_miss_rate(attacker, inspector, target, eviction_set, trials=40)
+    assert rate <= 0.6
+
+
+def test_figure3_shape(attacker, inspector, builder):
+    """Reliable eviction needs more pages than the 8 combined ways."""
+    rates = tlb_miss_rate_by_size(
+        attacker, inspector, builder, sizes=(8, 12, 14), trials=60
+    )
+    assert rates[12] >= 0.9
+    assert rates[14] >= 0.9
+    assert rates[8] < rates[12]
+
+
+def test_algorithm1_minimal_size(attacker, inspector, builder, facts):
+    minimal = find_minimal_tlb_eviction_size(attacker, inspector, builder, trials=50)
+    assert facts.tlb_total_ways < minimal <= 2 * facts.tlb_total_ways
+
+
+def test_flood_covers_all_sets(attacker, facts, builder):
+    flood = builder.build_flood(per_set=facts.tlb_l1_ways + 1)
+    l1_sets = {facts.tlb_l1_set_of(va >> 12) for va in flood}
+    l2_sets = {facts.tlb_l2_set_of(va >> 12) for va in flood}
+    assert l1_sets == set(range(facts.tlb_l1_sets))
+    assert l2_sets == set(range(facts.tlb_l2_sets))
+    assert builder.build_flood() is builder.build_flood()  # cached
+
+
+def test_flood_actually_flushes(attacker, inspector, builder):
+    target = attacker.mmap(1, populate=True)
+    attacker.touch(target)
+    assert inspector.tlb_holds(attacker.process, target)
+    builder.flush(builder.build_flood())
+    assert not inspector.tlb_holds(attacker.process, target)
+
+
+def test_prep_cycles_accounted(attacker, builder):
+    target = attacker.mmap(1, populate=True)
+    before = builder.prep_cycles
+    builder.build(target, 12)
+    assert builder.prep_cycles > before
+    assert builder.pages_mapped >= 12
+
+
+def test_huge_eviction_set(attacker, facts, builder):
+    target = attacker.mmap(1, huge=True, populate=True)
+    eviction_set = builder.build_huge(target, 6)
+    assert len(eviction_set) == 6
+    spn = target >> 21
+    target_set = facts.tlb_huge_set_of(spn)
+    assert all(facts.tlb_huge_set_of(va >> 21) == target_set for va in eviction_set)

@@ -1,0 +1,134 @@
+"""Placement policies: zones, guards, invariants."""
+
+import pytest
+
+from repro.defenses import (
+    CATTPolicy,
+    CTAPolicy,
+    RIPRHPolicy,
+    StockPolicy,
+    ZebRAMPolicy,
+    ZonePool,
+)
+from repro.defenses.base import frames_per_row
+from repro.errors import ConfigError, OutOfMemory
+from repro.machine import Machine
+from repro.machine.configs import tiny_test_config
+
+
+def boot(policy):
+    machine = Machine(tiny_test_config(), policy=policy)
+    return machine, machine.boot_process()
+
+
+# ----------------------------------------------------------------------
+# ZonePool
+
+
+def test_zone_pool_spans_extents():
+    pool = ZonePool([(0, 4), (100, 4)], max_order=2)
+    frames = [pool.alloc(0) for _ in range(8)]
+    assert frames == [0, 1, 2, 3, 100, 101, 102, 103]
+    with pytest.raises(OutOfMemory):
+        pool.alloc(0)
+
+
+def test_zone_pool_free_returns_to_owner():
+    pool = ZonePool([(0, 4), (100, 4)], max_order=2)
+    for _ in range(8):
+        pool.alloc(0)
+    pool.free(101, 0)
+    assert pool.alloc(0) == 101
+
+
+def test_zone_pool_validation():
+    with pytest.raises(ConfigError):
+        ZonePool([])
+    with pytest.raises(ConfigError):
+        ZonePool([(0, 4), (2, 4)])  # overlap
+    pool = ZonePool([(10, 4)])
+    with pytest.raises(ConfigError):
+        pool.free(2, 0)
+
+
+def test_zone_pool_reserve_and_nth():
+    pool = ZonePool([(0, 4), (100, 4)], max_order=2)
+    assert pool.nth_frame(5) == 101
+    assert pool.reserve(101)
+    assert not pool.reserve(101)
+    assert not pool.reserve(50)  # outside
+    frames = [pool.alloc(0) for _ in range(7)]
+    assert 101 not in frames
+
+
+# ----------------------------------------------------------------------
+# policy placement invariants
+
+
+def test_stock_policy_shares_one_pool():
+    machine, process = boot(StockPolicy())
+    user = machine.policy.alloc_user_frame(process)
+    table = machine.policy.alloc_pagetable_frame()
+    assert abs(user - table) < 8  # same pool, adjacent allocations
+
+
+def test_catt_separates_kernel_and_user_rows():
+    policy = CATTPolicy(kernel_fraction=0.25, guard_rows=1)
+    machine, process = boot(policy)
+    per_row = frames_per_row(machine.geometry)
+    user_rows = set()
+    table_rows = set()
+    for _ in range(64):
+        user_rows.add(machine.policy.alloc_user_frame(process) // per_row)
+        table_rows.add(machine.policy.alloc_pagetable_frame() // per_row)
+    assert max(table_rows) + policy.guard_rows < min(user_rows)
+    assert policy.protects_kernel_from_user_rows()
+
+
+def test_riprh_isolates_processes():
+    machine, _ = boot(RIPRHPolicy(chunk_rows=2, guard_rows=1))
+    a = machine.kernel.create_process()
+    b = machine.kernel.create_process()
+    per_row = frames_per_row(machine.geometry)
+    rows_a = {machine.policy.alloc_user_frame(a) // per_row for _ in range(32)}
+    rows_b = {machine.policy.alloc_user_frame(b) // per_row for _ in range(32)}
+    assert not rows_a & rows_b
+    # Guard rows keep the two processes' rows non-adjacent.
+    assert all(abs(ra - rb) > 1 for ra in rows_a for rb in rows_b)
+
+
+def test_cta_pagetables_above_everything():
+    policy = CTAPolicy()
+    machine, process = boot(policy)
+    table = machine.policy.alloc_pagetable_frame()
+    user = machine.policy.alloc_user_frame(process)
+    kernel = machine.policy.alloc_kernel_frame()
+    assert table >= policy.pagetable_first_frame
+    assert user < policy.pagetable_first_frame
+    assert kernel < policy.pagetable_first_frame
+
+
+def test_cta_pt_region_is_true_cell_only():
+    policy = CTAPolicy()
+    machine, _ = boot(policy)
+    pt_row = policy.pagetable_first_frame // frames_per_row(machine.geometry)
+    for row in range(pt_row, pt_row + 5):
+        cells = machine.fault_model.cells_for_row(0, row)
+        assert all(cell.one_to_zero for cell in cells)
+
+
+def test_zebram_only_even_rows():
+    machine, process = boot(ZebRAMPolicy())
+    per_row = frames_per_row(machine.geometry)
+    for _ in range(100):
+        frame = machine.policy.alloc_user_frame(process)
+        assert (frame // per_row) % 2 == 0
+    table = machine.policy.alloc_pagetable_frame()
+    assert (table // per_row) % 2 == 0
+
+
+def test_free_returns_frames(tiny_config=None):
+    machine, process = boot(StockPolicy())
+    frame = machine.policy.alloc_user_frame(process)
+    machine.policy.free_frame(frame, "user")
+    assert machine.policy.alloc_user_frame(process) == frame

@@ -1,0 +1,89 @@
+"""Rowhammer fault-model sampling."""
+
+import pytest
+
+from repro.dram.faults import FaultModel
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def model():
+    return FaultModel(chunk_bytes=8192, cells_per_row_mean=10.0, seed=3)
+
+
+def test_cells_deterministic(model):
+    again = FaultModel(chunk_bytes=8192, cells_per_row_mean=10.0, seed=3)
+    for bank, row in ((0, 1), (5, 99)):
+        ours = [(c.bit_index, c.threshold, c.one_to_zero) for c in model.cells_for_row(bank, row)]
+        theirs = [(c.bit_index, c.threshold, c.one_to_zero) for c in again.cells_for_row(bank, row)]
+        assert ours == theirs
+
+
+def test_cells_vary_by_location(model):
+    a = [c.bit_index for c in model.cells_for_row(0, 1)]
+    b = [c.bit_index for c in model.cells_for_row(0, 2)]
+    assert a != b
+
+
+def test_cells_sorted_by_threshold(model):
+    cells = model.cells_for_row(2, 7)
+    thresholds = [c.threshold for c in cells]
+    assert thresholds == sorted(thresholds)
+
+
+def test_thresholds_in_range(model):
+    for row in range(20):
+        for cell in model.cells_for_row(0, row):
+            assert model.threshold_lo <= cell.threshold <= model.threshold_hi
+            assert 0 <= cell.bit_index < 8192 * 8
+
+
+def test_mean_cell_count_plausible(model):
+    total = sum(len(model.cells_for_row(0, row)) for row in range(200))
+    assert 6.0 < total / 200 < 14.0  # Poisson(10) sample mean
+
+
+def test_true_cell_rows_forced():
+    model = FaultModel(chunk_bytes=8192, cells_per_row_mean=20.0, true_cell_fraction=0.2, seed=1)
+    model.mark_true_cell_rows(50, 60)
+    for row in range(50, 60):
+        assert all(c.one_to_zero for c in model.cells_for_row(0, row))
+    # Outside the range the anti-cell majority remains.
+    outside = [c.one_to_zero for row in range(0, 40) for c in model.cells_for_row(0, row)]
+    assert any(not flag for flag in outside)
+
+
+def test_mark_true_cells_invalidates_cache():
+    model = FaultModel(chunk_bytes=8192, cells_per_row_mean=30.0, true_cell_fraction=0.0, seed=2)
+    before = model.cells_for_row(0, 70)
+    assert any(not c.one_to_zero for c in before)
+    model.mark_true_cell_rows(70, 71)
+    after = model.cells_for_row(0, 70)
+    assert all(c.one_to_zero for c in after)
+
+
+def test_effective_disturbance_synergy():
+    model = FaultModel(chunk_bytes=8192, synergy=2)
+    assert model.effective_disturbance(100, 100) == 400
+    assert model.effective_disturbance(100, 0) == 100
+    assert model.effective_disturbance(0, 100) == 100
+    assert model.effective_disturbance(50, 100) == 250
+
+
+def test_max_iteration_cycles_cliff():
+    model = FaultModel(chunk_bytes=8192, threshold_lo=2000, synergy=2)
+    assert model.max_iteration_cycles(1_000_000) == 2000
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        FaultModel(chunk_bytes=8192, threshold_lo=0)
+    with pytest.raises(ConfigError):
+        FaultModel(chunk_bytes=8192, threshold_lo=10, threshold_hi=5)
+    with pytest.raises(ConfigError):
+        FaultModel(chunk_bytes=8192, true_cell_fraction=1.5)
+    with pytest.raises(ConfigError):
+        FaultModel(chunk_bytes=8192, cells_per_row_mean=-1)
+    model = FaultModel(chunk_bytes=8192)
+    with pytest.raises(ConfigError):
+        model.mark_true_cell_rows(10, 10)

@@ -1,0 +1,74 @@
+"""DRAM address-mapping geometry."""
+
+import pytest
+
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import ConfigError
+from repro.utils.units import MiB
+
+
+@pytest.fixture
+def geometry():
+    return DRAMGeometry(64 * MiB)
+
+
+def test_row_span_is_256k(geometry):
+    assert geometry.row_span_bytes == 256 * 1024
+    assert geometry.rows == 64 * MiB // (256 * 1024)
+
+
+def test_decode_encode_roundtrip(geometry):
+    for paddr in (0, 64, 8192, 123456, 64 * MiB - 8):
+        location = geometry.decode(paddr)
+        base = geometry.encode(location.bank, location.row, location.column)
+        assert base == paddr
+
+
+def test_same_lower_bits_same_bank(geometry):
+    """The pair-construction property: +row_span*2 keeps the bank."""
+    paddr = 0x12345 & ~0x3F
+    other = paddr + 2 * geometry.row_span_bytes
+    assert geometry.same_bank(paddr, other)
+    assert geometry.row_of(other) == geometry.row_of(paddr) + 2
+
+
+def test_all_banks_touched_within_one_row_span(geometry):
+    banks = {
+        geometry.bank_of(chunk * geometry.chunk_bytes)
+        for chunk in range(geometry.banks)
+    }
+    assert banks == set(range(geometry.banks))
+
+
+def test_row_xor_mask_changes_bank_mapping():
+    plain = DRAMGeometry(64 * MiB, row_xor_mask=0)
+    mirrored = DRAMGeometry(64 * MiB, row_xor_mask=0b11)
+    paddr = 3 * plain.row_span_bytes  # row 3
+    assert plain.bank_of(paddr) != mirrored.bank_of(paddr)
+    # Still invertible.
+    location = mirrored.decode(paddr)
+    assert mirrored.encode(location.bank, location.row, location.column) == paddr
+
+
+def test_neighbours_clipped(geometry):
+    assert geometry.neighbours(0) == [1]
+    assert geometry.neighbours(geometry.rows - 1) == [geometry.rows - 2]
+    assert geometry.neighbours(5) == [4, 6]
+
+
+def test_encode_validates(geometry):
+    with pytest.raises(ConfigError):
+        geometry.encode(geometry.banks, 0)
+    with pytest.raises(ConfigError):
+        geometry.encode(0, geometry.rows)
+    with pytest.raises(ConfigError):
+        geometry.encode(0, 0, geometry.chunk_bytes)
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigError):
+        DRAMGeometry(64 * MiB, banks=20)
+    with pytest.raises(ConfigError):
+        DRAMGeometry(64 * MiB + 1)
+    with pytest.raises(ConfigError):
+        DRAMGeometry(64 * MiB, row_xor_mask=1 << 10)

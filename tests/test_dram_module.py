@@ -1,0 +1,211 @@
+"""DRAM module: row buffer, refresh windows, disturbance, flips."""
+
+import pytest
+
+from repro.dram.faults import FaultModel
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.module import DRAMModule
+from repro.dram.timing import DRAMTimings
+from repro.mem.physmem import PhysicalMemory
+from repro.utils.rng import DeterministicRng
+from repro.utils.units import MiB
+
+WINDOW = 100_000
+
+
+def make_module(
+    cells=0.0,
+    threshold_lo=100,
+    threshold_hi=200,
+    true_fraction=0.5,
+    idle_close=0,
+    row_policy="open",
+):
+    geometry = DRAMGeometry(16 * MiB)
+    physmem = PhysicalMemory(16 * MiB)
+    fault_model = FaultModel(
+        chunk_bytes=8192,
+        cells_per_row_mean=cells,
+        threshold_lo=threshold_lo,
+        threshold_hi=threshold_hi,
+        true_cell_fraction=true_fraction,
+        seed=12,
+    )
+    module = DRAMModule(
+        geometry,
+        DRAMTimings(
+            row_hit_cycles=40,
+            row_empty_cycles=55,
+            row_conflict_cycles=80,
+            idle_close_cycles=idle_close,
+            row_policy=row_policy,
+        ),
+        fault_model,
+        physmem,
+        WINDOW,
+        DeterministicRng(4),
+    )
+    return module, geometry, physmem
+
+
+def test_row_hit_empty_conflict_cases():
+    module, geometry, _ = make_module()
+    row0 = geometry.encode(0, 10, 0)
+    row1 = geometry.encode(0, 11, 0)
+    case, latency = module.access(row0, 0)
+    assert case == "empty" and latency == 55
+    case, latency = module.access(row0 + 64, 1)
+    assert case == "hit" and latency == 40
+    case, latency = module.access(row1, 2)
+    assert case == "conflict" and latency == 80
+
+
+def test_banks_independent():
+    module, geometry, _ = make_module()
+    a = geometry.encode(0, 10, 0)
+    b = geometry.encode(1, 11, 0)
+    module.access(a, 0)
+    case, _ = module.access(b, 1)
+    assert case == "empty"  # different bank: no conflict
+    case, _ = module.access(a, 2)
+    assert case == "hit"
+
+
+def test_idle_close():
+    module, geometry, _ = make_module(idle_close=100)
+    paddr = geometry.encode(0, 10, 0)
+    module.access(paddr, 0)
+    case, _ = module.access(paddr, 50)
+    assert case == "hit"
+    case, latency = module.access(paddr, 500)
+    assert case == "empty" and latency == 55
+
+
+def test_closed_policy_always_activates():
+    module, geometry, _ = make_module(row_policy="closed")
+    paddr = geometry.encode(0, 10, 0)
+    module.access(paddr, 0)
+    case, _ = module.access(paddr, 1)
+    assert case == "empty"  # the controller precharged after each access
+    assert module.activations_of_bank(geometry.bank_of(paddr)) == 2
+
+
+def test_double_sided_flips_one_to_zero():
+    module, geometry, physmem = make_module(cells=40.0, true_fraction=1.0)
+    bank, victim = 0, 20
+    low = geometry.encode(bank, victim - 1, 0)
+    high = geometry.encode(bank, victim + 1, 0)
+    # Give the victim row all-ones content so true cells can fire.
+    for offset in range(0, geometry.chunk_bytes, 8):
+        physmem.write_word(geometry.encode(bank, victim, offset), 0xFFFFFFFFFFFFFFFF)
+    now = 0
+    for _ in range(120):
+        module.access(low, now)
+        now += 10
+        module.access(high, now)
+        now += 10
+    assert module.flip_count() > 0
+    for flip in module.flips:
+        assert flip.row == victim
+        assert flip.one_to_zero
+
+
+def test_row_buffer_hits_do_not_disturb():
+    module, geometry, physmem = make_module(cells=40.0, true_fraction=1.0)
+    bank, victim = 0, 20
+    low = geometry.encode(bank, victim - 1, 0)
+    for offset in range(0, geometry.chunk_bytes, 8):
+        physmem.write_word(geometry.encode(bank, victim, offset), 0xFFFFFFFFFFFFFFFF)
+    # Hammering one open row only re-hits the buffer: one activation.
+    for i in range(500):
+        module.access(low, i * 10)
+    assert module.activations_of_bank(bank) == 1
+    assert module.flip_count() == 0
+
+
+def test_refresh_window_resets_disturbance():
+    module, geometry, physmem = make_module(cells=40.0, true_fraction=1.0, threshold_lo=150, threshold_hi=300)
+    bank, victim = 0, 20
+    low = geometry.encode(bank, victim - 1, 0)
+    high = geometry.encode(bank, victim + 1, 0)
+    for offset in range(0, geometry.chunk_bytes, 8):
+        physmem.write_word(geometry.encode(bank, victim, offset), 0xFFFFFFFFFFFFFFFF)
+    # 30 alternations per window (effective 120 < 150), over many windows.
+    now = 0
+    for _ in range(20):
+        for _ in range(30):
+            module.access(low, now)
+            module.access(high, now + 1)
+            now += 10
+        now += WINDOW  # jump to the next refresh window
+    assert module.flip_count() == 0
+
+
+def test_anti_cells_flip_zero_words():
+    module, geometry, physmem = make_module(cells=40.0, true_fraction=0.0, threshold_lo=50, threshold_hi=100)
+    bank, victim = 0, 30
+    low = geometry.encode(bank, victim - 1, 0)
+    high = geometry.encode(bank, victim + 1, 0)
+    now = 0
+    for _ in range(60):
+        module.access(low, now)
+        module.access(high, now + 1)
+        now += 10
+    assert module.flip_count() > 0
+    for flip in module.flips:
+        assert not flip.one_to_zero
+        assert physmem.read_bit(flip.paddr, flip.bit) == 1
+
+
+def test_row_buffer_statistics():
+    module, geometry, _ = make_module()
+    paddr = geometry.encode(0, 10, 0)
+    module.access(paddr, 0)  # empty
+    module.access(paddr, 1)  # hit
+    module.access(geometry.encode(0, 11, 0), 2)  # conflict
+    assert module.case_counts == {"hit": 1, "empty": 1, "conflict": 1}
+    assert module.row_buffer_hit_rate() == pytest.approx(1 / 3)
+
+
+def test_refresh_rows_clears_disturbance():
+    module, geometry, physmem = make_module(cells=40.0, true_fraction=1.0)
+    bank, victim = 0, 20
+    low = geometry.encode(bank, victim - 1, 0)
+    high = geometry.encode(bank, victim + 1, 0)
+    for offset in range(0, geometry.chunk_bytes, 8):
+        physmem.write_word(geometry.encode(bank, victim, offset), 0xFFFFFFFFFFFFFFFF)
+    now = 0
+    for _ in range(300):
+        module.access(low, now)
+        module.access(high, now + 1)
+        # A vigilant mitigation refreshing every iteration...
+        module.refresh_rows(bank, (victim,))
+        now += 10
+    # ... keeps the victim from ever accumulating to a flip.
+    assert module.flip_count() == 0
+
+
+def test_staggered_refresh_clears_per_row():
+    geometry = DRAMGeometry(16 * MiB)
+    physmem = PhysicalMemory(16 * MiB)
+    fault_model = FaultModel(chunk_bytes=8192, cells_per_row_mean=0.0, seed=1)
+    module = DRAMModule(
+        geometry,
+        DRAMTimings(idle_close_cycles=0),
+        fault_model,
+        physmem,
+        WINDOW,
+        DeterministicRng(4),
+        staggered_refresh=True,
+    )
+    low = geometry.encode(0, 9, 0)
+    high = geometry.encode(0, 11, 0)
+    for i in range(20):
+        module.access(low, i * 10)
+        module.access(high, i * 10 + 5)
+    bank = module._banks[0]
+    assert bank.victims[10].acts_low == 20
+    # Jump past every row's rolling refresh slot: counters clear lazily.
+    module.access(low, 5 * WINDOW)
+    module.access(high, 5 * WINDOW + 5)
+    assert bank.victims[10].acts_low <= 1

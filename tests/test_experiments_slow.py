@@ -1,0 +1,65 @@
+"""Slow smoke tests for the heavyweight experiment runners."""
+
+import pytest
+
+from repro.analysis import run_escalation, table2
+from repro.core.pthammer import PThammerConfig
+from repro.defenses import ZebRAMPolicy
+from repro.machine.configs import tiny_test_config
+
+
+def tiny():
+    return tiny_test_config(seed=1)
+
+
+@pytest.mark.slow
+def test_table2_runner_single_machine():
+    result = table2(
+        config_fns=(tiny,),
+        page_settings=(True,),
+        attack_config=PThammerConfig(spray_slots=224, pair_sample=6, max_pairs=4),
+    )
+    assert len(result.rows) == 1
+    row = result.rows[0]
+    assert row.page_setting == "superpage"
+    assert row.llc_prep_s > 0
+    assert row.first_flip_s is None or row.first_flip_s > 0
+    assert "Table II" in result.render()
+
+
+@pytest.mark.slow
+def test_run_escalation_records_ground_truth():
+    result = run_escalation(
+        tiny,
+        attack_config=PThammerConfig(spray_slots=256, pair_sample=16, max_pairs=14),
+        defense_name="stock",
+    )
+    assert result.defense == "stock"
+    assert result.ground_truth_flips >= result.flips_observed
+    assert result.host_seconds > 0
+    assert len(result.row()) == 8
+
+
+@pytest.mark.slow
+def test_run_escalation_with_policy_object():
+    result = run_escalation(
+        tiny,
+        policy=ZebRAMPolicy(),
+        attack_config=PThammerConfig(
+            spray_slots=192, pair_sample=6, max_pairs=2, superpages=False
+        ),
+        defense_name="zebram",
+    )
+    assert not result.escalated
+    assert result.flips_observed == 0
+
+
+def test_defense_registry_consistency():
+    """The defense classes used by the matrix are the exported ones."""
+    from repro.defenses import ALL_POLICIES, StockPolicy
+
+    names = [cls.name for cls in ALL_POLICIES]
+    assert names == ["stock", "catt", "rip-rh", "cta", "zebram"]
+    assert ALL_POLICIES[0] is StockPolicy
+    for cls in ALL_POLICIES:
+        assert cls.summary

@@ -1,0 +1,62 @@
+"""Full-size Table-I presets actually function end to end.
+
+Everything else runs at reduced scale for speed; this (slow) module
+boots the real 8 GiB / 3 MiB-LLC Lenovo T420 preset and exercises the
+attack machinery on it: sparse physical memory keeps the footprint
+reasonable, and the lazy eviction-set pool keeps the run in tens of
+host seconds.
+"""
+
+import pytest
+
+from repro.core import PThammerAttack, PThammerConfig
+from repro.core.pthammer import PThammerReport
+from repro.machine import AttackerView, Inspector, Machine
+from repro.machine.configs import lenovo_t420
+from repro.utils.units import GiB
+
+
+@pytest.mark.slow
+def test_full_size_t420_attack_machinery():
+    config = lenovo_t420()
+    machine = Machine(config)
+    assert machine.physmem.size_bytes == 8 * GiB
+    attacker = AttackerView(machine, machine.boot_process())
+    inspector = Inspector(machine)
+
+    attack = PThammerAttack(
+        attacker,
+        PThammerConfig(spray_slots=192, pair_sample=8, max_pairs=2,
+                       windows_per_pair=1.2),
+    )
+    report = PThammerReport(machine_name=config.name, superpages=True)
+    attack.prepare(report)
+
+    # The pool covers the spray's L1PTE offset with full-size geometry:
+    # 2048/64 set classes x 2 slices = 64 eviction sets of 13 lines.
+    assert attack.pool.set_count() == 64
+    for eviction_set in attack.pool.sets_for_offset(1):
+        assert len(eviction_set.lines) == 13
+
+    pairs, llc_sets = attack.find_pairs(report)
+    assert report.candidate_pairs > 0
+    assert pairs, "no same-bank pairs on the full-size machine"
+    pair = pairs[0]
+    pte_a = inspector.l1pte_paddr(attacker.process, pair.va_a)
+    pte_b = inspector.l1pte_paddr(attacker.process, pair.va_b)
+    loc_a = inspector.dram_location(pte_a)
+    loc_b = inspector.dram_location(pte_b)
+    assert loc_a.bank == loc_b.bank
+    assert abs(loc_a.row - loc_b.row) == 2
+
+    # Hammer briefly: rounds must stay under the full-size flip budget.
+    attack.hammer_pairs(report, pairs[:1], llc_sets)
+    assert report.round_costs
+    mean_cost = sum(report.round_costs) / len(report.round_costs)
+    cliff = machine.fault_model.max_iteration_cycles(
+        config.dram.refresh_interval_cycles
+    )
+    assert mean_cost < cliff
+
+    # Host-memory sanity: sparse frames, not 8 GiB resident.
+    assert machine.physmem.materialized_frames() < 600_000

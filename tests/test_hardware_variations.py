@@ -1,0 +1,103 @@
+"""Section-V hardware variants at the unit level."""
+
+from repro.cache.hierarchy import L1, L2, LLC, MEM, CacheHierarchy
+from repro.machine import Machine
+from repro.machine.configs import CacheConfig, tiny_test_config
+from repro.mmu.tlb import TLB
+from repro.machine.configs import TLBConfig
+from repro.utils.rng import DeterministicRng
+
+
+def make_hierarchy(**overrides):
+    config = CacheConfig(
+        l1_sets=4,
+        l1_ways=2,
+        l2_sets=8,
+        l2_ways=2,
+        llc_sets_per_slice=16,
+        llc_slices=2,
+        llc_ways=4,
+        l1_policy="true_lru",
+        l2_policy="true_lru",
+        policy="true_lru",
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return CacheHierarchy(config, DeterministicRng(2))
+
+
+def test_non_inclusive_fill_bypasses_llc():
+    hierarchy = make_hierarchy(inclusive=False)
+    assert hierarchy.access(0x1000) == MEM
+    assert not hierarchy.line_cached_in_llc(0x1000)
+    assert hierarchy.access(0x1000) == L1
+
+
+def test_non_inclusive_l2_victims_land_in_llc():
+    hierarchy = make_hierarchy(inclusive=False)
+    base = 0x0
+    # Fill one L2 set (2 ways) past capacity; victims drop into the LLC.
+    for k in range(3):
+        hierarchy.access(base + k * 8 * 64)  # same L2 set (line % 8 == 0)
+    assert hierarchy.line_cached_in_llc(base)
+    assert hierarchy.access(base) == LLC
+
+
+def test_randomized_index_breaks_offset_congruence():
+    plain = make_hierarchy()
+    keyed = make_hierarchy(llc_index_key=0xFEED)
+    # Offset-congruent lines share an index without the key...
+    lines = [k * 16 for k in range(6)]  # same set index, slices vary
+    plain_indices = {plain._llc_index(line) % 16 for line in lines}
+    assert plain_indices == {0}
+    # ... and scatter with it.
+    keyed_indices = {keyed._llc_index(line) for line in lines}
+    assert len(keyed_indices) > 3
+
+
+def test_randomized_index_still_caches_correctly():
+    hierarchy = make_hierarchy(llc_index_key=0xFEED)
+    assert hierarchy.access(0x4000) == MEM
+    assert hierarchy.access(0x4000) == L1
+    hierarchy.flush_line(0x4000)
+    assert hierarchy.access(0x4000) == MEM
+
+
+def test_secret_tlb_mapping_diverges_from_linear():
+    config = TLBConfig(l1d_mapping=("secret", 0x9), l2s_mapping=("secret", 0xA))
+    tlb = TLB(config, DeterministicRng(1))
+    linear_matches = sum(
+        1 for vpn in range(256) if tlb.l1_set_of(vpn) == vpn % config.l1d_sets
+    )
+    # A keyed mapping agrees with the linear guess only by chance.
+    assert linear_matches < 256 // 4
+    # It is still a deterministic function.
+    assert tlb.l1_set_of(77) == tlb.l1_set_of(77)
+
+
+def test_secret_tlb_still_functions():
+    config = tiny_test_config()
+    config.tlb.l1d_mapping = ("secret", 0x111)
+    config.tlb.l2s_mapping = ("secret", 0x222)
+    machine = Machine(config)
+    process = machine.boot_process()
+    va = machine.kernel.sys_mmap(process, 1, populate=True)
+    machine.access(process, va)
+    assert machine.access(process, va).translation_source in ("tlb_l1", "tlb_l2")
+
+
+def test_attacker_facts_guess_linear_for_secret_mappings():
+    from repro.core.uarch import UarchFacts
+
+    config = tiny_test_config()
+    config.tlb.l1d_mapping = ("secret", 0x111)
+    facts = UarchFacts.from_config(config)
+    machine = Machine(config)
+    # The attacker's guess disagrees with the machine's real mapping
+    # for most pages — which is exactly why the defense works.
+    disagreements = sum(
+        1
+        for vpn in range(128)
+        if facts.tlb_l1_set_of(vpn) != machine.tlb.l1_set_of(vpn)
+    )
+    assert disagreements > 64

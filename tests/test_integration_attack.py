@@ -1,0 +1,166 @@
+"""End-to-end PThammer runs: the paper's headline results.
+
+These are the slowest tests in the suite (tens of seconds each); they
+drive the complete unprivileged attack against simulated machines and
+verify the paper's claims hold in shape:
+
+* IV-F  — kernel privilege escalation on an undefended kernel;
+* IV-G1 — CATT is bypassed;
+* IV-G3 — CTA's monotonic layer holds (no L1PT capture) yet the cred
+          spray roots a process;
+* §V    — ZebRAM actually stops the attack.
+"""
+
+import pytest
+
+from repro.core import PThammerAttack, PThammerConfig
+from repro.defenses import CATTPolicy, CTAPolicy, ZebRAMPolicy
+from repro.machine import AttackerView, Inspector, Machine
+from repro.machine.configs import tiny_test_config
+
+
+def run_attack(config, policy=None, **attack_kw):
+    machine = Machine(config, policy=policy)
+    attacker = AttackerView(machine, machine.boot_process())
+    report = PThammerAttack(attacker, PThammerConfig(**attack_kw)).run()
+    return machine, attacker, report
+
+
+@pytest.mark.slow
+def test_section_4f_privilege_escalation_stock():
+    machine, attacker, report = run_attack(
+        tiny_test_config(seed=1),
+        spray_slots=256,
+        pair_sample=16,
+        max_pairs=14,
+    )
+    assert report.total_flips > 0
+    assert report.cycles_to_first_flip is not None
+    assert report.escalated
+    assert report.outcome.method == "l1pt"
+    assert attacker.getuid() == 0
+    # Evaluation cross-check: the DRAM module really flipped bits.
+    assert Inspector(machine).flip_count() >= report.total_flips
+
+
+@pytest.mark.slow
+def test_section_4g1_catt_bypassed():
+    machine, attacker, report = run_attack(
+        tiny_test_config(seed=5, cells_per_row_mean=40.0),
+        policy=CATTPolicy(kernel_fraction=0.1),
+        spray_slots=1000,
+        pair_sample=20,
+        max_pairs=12,
+    )
+    assert report.escalated
+    assert attacker.getuid() == 0
+    # All hammering happened inside CATT's protected kernel partition:
+    # every flip hit a kernel-zone row the attacker cannot touch.
+    inspector = Inspector(machine)
+    per_row = machine.geometry.row_span_bytes >> 12
+    kernel_top = 0.1 * machine.geometry.rows + 2
+    for flip in inspector.flips():
+        assert flip.row <= kernel_top
+
+
+@pytest.mark.slow
+def test_section_4g3_cta_monotonicity_holds_but_creds_fall():
+    machine, attacker, report = run_attack(
+        tiny_test_config(seed=5, cells_per_row_mean=40.0),
+        policy=CTAPolicy(),
+        spray_slots=800,
+        pair_sample=20,
+        max_pairs=12,
+        cred_spray_processes=1500,
+    )
+    # Layer 2 holds: no page-table capture, and every flip *inside the
+    # screened page-table region* is 1 -> 0 (incidental flips in the
+    # unscreened shared pool may go either way).
+    assert report.outcome.captures["l1pt"] == 0
+    inspector = Inspector(machine)
+    pt_start_row = machine.policy.pagetable_first_frame // (
+        machine.geometry.row_span_bytes >> 12
+    )
+    pt_flips = [f for f in inspector.flips() if f.row >= pt_start_row]
+    assert pt_flips, "the hammered rows must be in the PT region"
+    assert all(flip.one_to_zero for flip in pt_flips)
+    # But the bypass works: a family cred was rewritten to root.
+    assert report.escalated
+    assert report.outcome.method == "cred"
+    rooted = machine.kernel.processes[report.outcome.rooted_pid]
+    assert machine.kernel.sys_getuid(rooted) == 0
+
+
+@pytest.mark.slow
+def test_section_5_zebram_stops_pthammer():
+    machine, attacker, report = run_attack(
+        tiny_test_config(seed=5, cells_per_row_mean=40.0),
+        policy=ZebRAMPolicy(),
+        superpages=False,
+        spray_slots=256,
+        pair_sample=12,
+        max_pairs=6,
+    )
+    assert not report.escalated
+    # The attacker observes nothing: every physical flip lands in an
+    # odd (unallocated guard) row, exactly ZebRAM's design.
+    assert report.total_flips == 0
+    for flip in Inspector(machine).flips():
+        assert flip.row % 2 == 1
+    assert attacker.getuid() == 1000
+
+
+@pytest.mark.slow
+def test_superpage_and_regular_settings_both_work():
+    """Both of the paper's system settings produce flips (Table II)."""
+    for superpages in (True, False):
+        machine, attacker, report = run_attack(
+            tiny_test_config(seed=1),
+            superpages=superpages,
+            spray_slots=256,
+            pair_sample=12,
+            max_pairs=10,
+        )
+        assert report.total_flips > 0, "no flips with superpages=%s" % superpages
+        assert report.round_costs, "never hammered"
+
+
+@pytest.mark.slow
+def test_figure1_thesis_explicit_vs_implicit_under_catt():
+    """The paper's core claim (Figure 1), as one contrast:
+
+    on the same CATT-defended machine, explicit hammering cannot put a
+    single flip into the kernel partition (the guard row absorbs edge
+    disturbance), while PThammer's implicit accesses flip kernel rows
+    and escalate.
+    """
+    from repro.core import RowhammerTestTool, UarchFacts
+    from repro.defenses import CATTPolicy
+
+    policy = CATTPolicy(kernel_fraction=0.1)
+    machine = Machine(
+        tiny_test_config(seed=5, cells_per_row_mean=40.0), policy=policy
+    )
+    attacker = AttackerView(machine, machine.boot_process())
+    inspector = Inspector(machine)
+    boundary = int(machine.geometry.rows * policy.kernel_fraction)
+
+    tool = RowhammerTestTool(
+        attacker, inspector, UarchFacts.from_config(machine.config), buffer_pages=256
+    )
+    tool.time_to_first_flip(0, 6 * machine.config.dram.refresh_interval_cycles)
+    explicit_flips = inspector.flips()
+    assert explicit_flips, "the vulnerable DIMM must flip under explicit hammering"
+    assert all(f.row >= boundary for f in explicit_flips), (
+        "explicit disturbance must stay in guard/user rows"
+    )
+
+    before = inspector.flip_count()
+    report = PThammerAttack(
+        attacker,
+        PThammerConfig(spray_slots=1000, pair_sample=20, max_pairs=12),
+    ).run()
+    implicit_flips = inspector.flips()[before:]
+    kernel_flips = [f for f in implicit_flips if f.row < boundary]
+    assert kernel_flips, "PThammer must flip rows inside the kernel partition"
+    assert report.escalated

@@ -1,0 +1,83 @@
+"""Buddy allocator: contiguity, alignment, merges, reserve."""
+
+import pytest
+
+from repro.errors import ConfigError, OutOfMemory
+from repro.kernel.buddy import BuddyAllocator
+
+
+def test_sequential_allocations_are_consecutive():
+    buddy = BuddyAllocator(0, 1024)
+    frames = [buddy.alloc(0) for _ in range(100)]
+    assert frames == list(range(100))
+
+
+def test_alloc_alignment():
+    buddy = BuddyAllocator(0, 1024)
+    block = buddy.alloc(4)
+    assert block % 16 == 0
+
+
+def test_exhaustion():
+    buddy = BuddyAllocator(0, 4, max_order=2)
+    buddy.alloc(2)
+    with pytest.raises(OutOfMemory):
+        buddy.alloc(0)
+
+
+def test_free_and_merge_restores_large_blocks():
+    buddy = BuddyAllocator(0, 16, max_order=4)
+    frames = [buddy.alloc(0) for _ in range(16)]
+    for frame in frames:
+        buddy.free(frame, 0)
+    assert buddy.alloc(4) == 0  # fully merged back
+
+
+def test_free_validation():
+    buddy = BuddyAllocator(0, 16, max_order=4)
+    frame = buddy.alloc(0)
+    buddy.free(frame, 0)
+    with pytest.raises(ConfigError):
+        buddy.free(frame, 0)  # double free
+    with pytest.raises(ConfigError):
+        buddy.free(99, 0)  # out of range
+    with pytest.raises(ConfigError):
+        BuddyAllocator(0, 16).free(1, 1)  # misaligned for order
+
+
+def test_reserve_specific_frame():
+    buddy = BuddyAllocator(0, 64, max_order=6)
+    assert buddy.reserve(17)
+    frames = [buddy.alloc(0) for _ in range(63)]
+    assert 17 not in frames
+    assert not buddy.reserve(17)  # already taken
+
+
+def test_alloc_skips_reserved_holes_in_order():
+    buddy = BuddyAllocator(0, 32, max_order=5)
+    for frame in (3, 4, 5):
+        buddy.reserve(frame)
+    frames = [buddy.alloc(0) for _ in range(10)]
+    assert frames == [0, 1, 2, 6, 7, 8, 9, 10, 11, 12]
+
+
+def test_allocated_accounting():
+    buddy = BuddyAllocator(0, 64, max_order=6)
+    buddy.alloc(3)
+    assert buddy.allocated == 8
+    assert buddy.free_frames() == 56
+
+
+def test_nonzero_start():
+    buddy = BuddyAllocator(100, 28, max_order=4)
+    first = buddy.alloc(0)
+    assert first == 100
+    assert buddy.contains(100)
+    assert not buddy.contains(99)
+
+
+def test_construction_validation():
+    with pytest.raises(ConfigError):
+        BuddyAllocator(0, 0)
+    with pytest.raises(ConfigError):
+        BuddyAllocator(0, 8, max_order=-1)

@@ -1,0 +1,94 @@
+"""Kernel page-table management."""
+
+import pytest
+
+from repro.kernel.pagetable import MappingError, PageTableManager
+from repro.mem.physmem import PhysicalMemory
+from repro.utils.units import MiB
+
+
+@pytest.fixture
+def ptm():
+    memory = PhysicalMemory(16 * MiB)
+    frames = iter(range(10, 4000))
+    return PageTableManager(
+        memory,
+        warm_cache=lambda paddr: None,
+        alloc_table_frame=lambda: next(frames),
+        frame_mask=(16 * MiB >> 12) - 1,
+    )
+
+
+def test_map_and_lookup(ptm):
+    cr3 = ptm.create_root()
+    ptm.map_page(cr3, 0x1000_0000_0000, 777)
+    assert ptm.lookup(cr3, 0x1000_0000_0000) == (777, 1)
+    assert ptm.lookup(cr3, 0x1000_0000_0800) == (777, 1)  # same page
+    assert ptm.lookup(cr3, 0x1000_0000_1000) is None
+
+
+def test_double_map_rejected(ptm):
+    cr3 = ptm.create_root()
+    ptm.map_page(cr3, 0x1000_0000_0000, 777)
+    with pytest.raises(MappingError):
+        ptm.map_page(cr3, 0x1000_0000_0000, 778)
+
+
+def test_unmap(ptm):
+    cr3 = ptm.create_root()
+    ptm.map_page(cr3, 0x1000_0000_0000, 777)
+    assert ptm.unmap_page(cr3, 0x1000_0000_0000) == 777
+    assert ptm.lookup(cr3, 0x1000_0000_0000) is None
+    with pytest.raises(MappingError):
+        ptm.unmap_page(cr3, 0x1000_0000_0000)
+
+
+def test_table_inventory(ptm):
+    cr3 = ptm.create_root()
+    assert ptm.l1pt_count() == 0
+    ptm.map_page(cr3, 0x1000_0000_0000, 1)
+    assert ptm.l1pt_count() == 1
+    ptm.map_page(cr3, 0x1000_0000_1000, 2)  # same L1PT
+    assert ptm.l1pt_count() == 1
+    ptm.map_page(cr3, 0x1000_0020_0000, 3)  # next 2 MiB region
+    assert ptm.l1pt_count() == 2
+
+
+def test_l1pt_frame_and_l1pte_paddr(ptm):
+    cr3 = ptm.create_root()
+    va = 0x1000_0000_0000
+    ptm.map_page(cr3, va, 99)
+    l1pt = ptm.l1pt_frame_of(cr3, va)
+    assert l1pt in ptm.table_frames[1]
+    pte_paddr = ptm.l1pte_paddr_of(cr3, va)
+    assert pte_paddr >> 12 == l1pt
+    # The word at that address decodes back to frame 99.
+    from repro.mmu.pte import pte_frame
+
+    assert pte_frame(ptm.physmem.read_word(pte_paddr)) == 99
+
+
+def test_superpage_mapping(ptm):
+    cr3 = ptm.create_root()
+    va = 0x2000_0000_0000
+    ptm.map_superpage(cr3, va, 512)
+    frame, level = ptm.lookup(cr3, va + 5 * 4096)
+    assert level == 2
+    assert frame == 512 + 5
+    assert ptm.l1pt_frame_of(cr3, va) is None
+    with pytest.raises(MappingError):
+        ptm.map_page(cr3, va, 3)  # covered by the superpage
+
+
+def test_superpage_validation(ptm):
+    cr3 = ptm.create_root()
+    with pytest.raises(MappingError):
+        ptm.map_superpage(cr3, 0x1000, 512)  # misaligned va
+    with pytest.raises(MappingError):
+        ptm.map_superpage(cr3, 0x2000_0000_0000, 513)  # misaligned frame
+
+
+def test_write_entry_bounds(ptm):
+    cr3 = ptm.create_root()
+    with pytest.raises(MappingError):
+        ptm.write_entry(cr3, 512, 0)

@@ -1,0 +1,80 @@
+"""Address spaces, VMAs, and shared-memory objects (unit level)."""
+
+import pytest
+
+from repro.errors import ConfigError, SegmentationFault
+from repro.kernel.process import (
+    USER_MMAP_BASE,
+    AddressSpace,
+    SharedMemory,
+    VMA,
+    page_align,
+    page_number,
+)
+from repro.params import PAGE_SIZE, SUPERPAGE_SIZE
+
+
+def test_vma_bounds_and_contains():
+    vma = VMA(0x1000_0000_0000, 4)
+    assert vma.end == 0x1000_0000_0000 + 4 * PAGE_SIZE
+    assert vma.contains(vma.start)
+    assert vma.contains(vma.end - 1)
+    assert not vma.contains(vma.end)
+    assert vma.page_index(vma.start + 2 * PAGE_SIZE + 5) == 2
+
+
+def test_huge_vma_granularity():
+    vma = VMA(0x1000_0000_0000, 2, huge=True)
+    assert vma.end == 0x1000_0000_0000 + 2 * SUPERPAGE_SIZE
+    assert vma.page_index(vma.start + SUPERPAGE_SIZE) == 1
+
+
+def test_vma_backing_page_cycles_shm():
+    shm = SharedMemory(1, 3)
+    vma = VMA(0x1000_0000_0000, 10, shm=shm, shm_offset=2)
+    assert vma.backing_page(vma.start) == 2
+    assert vma.backing_page(vma.start + PAGE_SIZE) == 0
+    assert vma.backing_page(vma.start + 4 * PAGE_SIZE) == 0
+
+
+def test_anonymous_vma_has_no_backing():
+    vma = VMA(0x1000_0000_0000, 1)
+    with pytest.raises(ConfigError):
+        vma.backing_page(vma.start)
+
+
+def test_shared_memory_validation():
+    with pytest.raises(ConfigError):
+        SharedMemory(1, 0)
+
+
+def test_address_space_overlap_rejected():
+    space = AddressSpace(1, cr3=10)
+    space.add_vma(VMA(0x1000_0000_0000, 4))
+    with pytest.raises(SegmentationFault):
+        space.add_vma(VMA(0x1000_0000_2000, 4))
+    # Adjacent is fine.
+    space.add_vma(VMA(0x1000_0000_4000, 1))
+
+
+def test_address_space_find_and_remove():
+    space = AddressSpace(1, cr3=10)
+    vma = VMA(0x1000_0000_0000, 2)
+    space.add_vma(vma)
+    assert space.find_vma(vma.start + PAGE_SIZE) is vma
+    assert space.find_vma(0x2000_0000_0000) is None
+    assert space.remove_vma(vma.start) is vma
+    assert space.remove_vma(vma.start) is None
+
+
+def test_pick_free_range_advances():
+    space = AddressSpace(1, cr3=10)
+    first = space.pick_free_range(PAGE_SIZE)
+    second = space.pick_free_range(PAGE_SIZE)
+    assert first == USER_MMAP_BASE
+    assert second > first
+
+
+def test_page_helpers():
+    assert page_align(0x1234) == 0x1000
+    assert page_number(0x1234) == 1

@@ -1,0 +1,136 @@
+"""Kernel services: processes, creds, mmap/munmap, demand paging, shm."""
+
+import pytest
+
+from repro.errors import ConfigError, SegmentationFault
+from repro.kernel.cred import CRED_MAGIC, CREDS_PER_PAGE
+from repro.machine import Machine
+from repro.machine.configs import tiny_test_config
+
+
+@pytest.fixture
+def booted():
+    machine = Machine(tiny_test_config())
+    return machine, machine.boot_process()
+
+
+def test_process_creation_and_uid(booted):
+    machine, process = booted
+    assert machine.kernel.sys_getuid(process) == 1000
+    child = machine.kernel.sys_spawn(process)
+    assert child.pid != process.pid
+    assert machine.kernel.sys_getuid(child) == 1000
+
+
+def test_cred_slab_packing(booted):
+    machine, process = booted
+    children = [machine.kernel.sys_spawn(process) for _ in range(CREDS_PER_PAGE + 3)]
+    slabs = machine.kernel.creds.slab_frames
+    assert len(slabs) >= 2
+    # Every cred starts with the magic.
+    for child in children:
+        assert machine.physmem.read_word(child.cred_paddr) == CRED_MAGIC
+
+
+def test_cred_uid_rewrite_visible_to_getuid(booted):
+    machine, process = booted
+    machine.physmem.write_word(process.cred_paddr + 8, 0)
+    assert machine.kernel.sys_getuid(process) == 0
+
+
+def test_mmap_populate_creates_l1pts(booted):
+    machine, process = booted
+    before = machine.ptm.l1pt_count()
+    machine.kernel.sys_mmap(process, 4, fixed_addr=0x2000_0000_0000, populate=True)
+    assert machine.ptm.l1pt_count() == before + 1
+
+
+def test_mmap_fixed_validation(booted):
+    machine, process = booted
+    with pytest.raises(SegmentationFault):
+        machine.kernel.sys_mmap(process, 1, fixed_addr=0x123)  # misaligned
+    with pytest.raises(SegmentationFault):
+        machine.kernel.sys_mmap(process, 1, fixed_addr=0x10)  # outside user range
+    with pytest.raises(ConfigError):
+        machine.kernel.sys_mmap(process, 0)
+
+
+def test_overlapping_fixed_mmap_rejected(booted):
+    machine, process = booted
+    machine.kernel.sys_mmap(process, 4, fixed_addr=0x2000_0000_0000)
+    with pytest.raises(SegmentationFault):
+        machine.kernel.sys_mmap(process, 1, fixed_addr=0x2000_0000_2000)
+
+
+def test_shared_memory_dedup(booted):
+    machine, process = booted
+    shm = machine.kernel.sys_create_shm(2)
+    va1 = machine.kernel.sys_mmap(process, 2, shm=shm, populate=True)
+    va2 = machine.kernel.sys_mmap(process, 2, shm=shm, populate=True)
+    frame1 = machine.ptm.lookup(process.cr3, va1)[0]
+    frame2 = machine.ptm.lookup(process.cr3, va2)[0]
+    assert frame1 == frame2
+    assert len(shm.frames) == 2
+
+
+def test_shm_offset_cycles(booted):
+    machine, process = booted
+    shm = machine.kernel.sys_create_shm(2)
+    va1 = machine.kernel.sys_mmap(process, 1, shm=shm, shm_offset=0, populate=True)
+    va2 = machine.kernel.sys_mmap(process, 1, shm=shm, shm_offset=1, populate=True)
+    assert machine.ptm.lookup(process.cr3, va1)[0] == shm.frames[0]
+    assert machine.ptm.lookup(process.cr3, va2)[0] == shm.frames[1]
+
+
+def test_munmap_releases(booted):
+    machine, process = booted
+    va = machine.kernel.sys_mmap(process, 2, populate=True)
+    machine.kernel.sys_munmap(process, va)
+    assert machine.ptm.lookup(process.cr3, va) is None
+    with pytest.raises(SegmentationFault):
+        machine.access(process, va)
+    with pytest.raises(SegmentationFault):
+        machine.kernel.sys_munmap(process, va)
+
+
+def test_heal_restores_cleared_present_bit(booted):
+    machine, process = booted
+    va = machine.kernel.sys_mmap(process, 1, populate=True)
+    frame = machine.ptm.lookup(process.cr3, va)[0]
+    machine.access(process, va, write=True, value=0x1234)
+    # Simulate a disturbance flip clearing the present bit.
+    pte_paddr = machine.ptm.l1pte_paddr_of(process.cr3, va)
+    entry = machine.physmem.read_word(pte_paddr)
+    machine.physmem.write_word(pte_paddr, entry & ~1)
+    machine.tlb.flush_all()
+    result = machine.access(process, va)
+    assert result.value == 0x1234
+    assert machine.ptm.lookup(process.cr3, va)[0] == frame
+
+
+def test_max_map_count(booted):
+    machine, process = booted
+    machine.kernel.max_map_count = 3
+    for _ in range(3):
+        machine.kernel.sys_mmap(process, 1)
+    with pytest.raises(SegmentationFault):
+        machine.kernel.sys_mmap(process, 1)
+
+
+def test_mprotect_blocks_and_restores_writes(booted):
+    machine, process = booted
+    va = machine.kernel.sys_mmap(process, 2, populate=True)
+    machine.access(process, va, write=True, value=1)
+    machine.kernel.sys_mprotect(process, va, writable=False)
+    with pytest.raises(SegmentationFault):
+        machine.access(process, va, write=True, value=2)
+    assert machine.access(process, va).value == 1  # reads still fine
+    machine.kernel.sys_mprotect(process, va, writable=True)
+    machine.access(process, va, write=True, value=3)
+    assert machine.access(process, va).value == 3
+
+
+def test_mprotect_validates_region(booted):
+    machine, process = booted
+    with pytest.raises(SegmentationFault):
+        machine.kernel.sys_mprotect(process, 0x4000_0000_0000, writable=False)

@@ -1,0 +1,59 @@
+"""PTE encode/decode and the attacker's PTE-pattern heuristic."""
+
+from repro.mmu.pte import (
+    PTE_PRESENT,
+    PTE_PS,
+    PTE_USER,
+    PTE_WRITABLE,
+    looks_like_pte,
+    make_pte,
+    pte_frame,
+    pte_is_superpage,
+    pte_present,
+    pte_user,
+    pte_writable,
+)
+
+
+def test_roundtrip():
+    entry = make_pte(0x12345)
+    assert pte_frame(entry) == 0x12345
+    assert pte_present(entry)
+    assert pte_writable(entry)
+    assert pte_user(entry)
+    assert not pte_is_superpage(entry)
+
+
+def test_flags():
+    entry = make_pte(7, present=False, writable=False, user=False, ps=True)
+    assert not pte_present(entry)
+    assert not pte_writable(entry)
+    assert not pte_user(entry)
+    assert pte_is_superpage(entry)
+    assert entry & PTE_PS
+
+
+def test_frame_field_width():
+    huge_frame = (1 << 36) - 1
+    assert pte_frame(make_pte(huge_frame)) == huge_frame
+    # Overflowing frames are truncated to the field.
+    assert pte_frame(make_pte(1 << 36)) == 0
+
+
+def test_flag_bits_values():
+    assert PTE_PRESENT == 1
+    assert PTE_WRITABLE == 2
+    assert PTE_USER == 4
+
+
+def test_looks_like_pte_accepts_sprayed_entries():
+    assert looks_like_pte(make_pte(1234))
+    assert looks_like_pte(make_pte(1234, writable=False))
+
+
+def test_looks_like_pte_rejects_data():
+    assert not looks_like_pte(0)
+    assert not looks_like_pte(0xFFFFFFFFFFFFFFFF)  # high garbage bits
+    marker = 0x9E3779B97F4A7C15 | 1
+    assert not looks_like_pte(marker)
+    assert not looks_like_pte(make_pte(5, user=False))  # kernel-only entry

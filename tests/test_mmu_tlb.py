@@ -1,0 +1,86 @@
+"""Two-level TLB with Gras-style set mappings."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.configs import TLBConfig
+from repro.mmu.tlb import TLB, TLB_L1, TLB_L2, TLB_MISS
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def tlb():
+    return TLB(TLBConfig(), DeterministicRng(3))
+
+
+def test_miss_then_hit(tlb):
+    assert tlb.lookup(1, 100) == (TLB_MISS, None)
+    tlb.insert(1, 100, 555)
+    level, frame = tlb.lookup(1, 100)
+    assert level == TLB_L1 and frame == 555
+
+
+def test_asid_isolation(tlb):
+    tlb.insert(1, 100, 555)
+    assert tlb.lookup(2, 100) == (TLB_MISS, None)
+
+
+def test_l2_hit_promotes(tlb):
+    tlb.insert(1, 100, 555)
+    # Thrash vpn 100's L1 set (vpn % 16 == 4) with distinct vpns.
+    for k in range(1, 9):
+        tlb.insert(1, 100 + 16 * k, k)
+    level, frame = tlb.lookup(1, 100)
+    assert frame == 555
+    assert level in (TLB_L1, TLB_L2)
+
+
+def test_invalidate(tlb):
+    tlb.insert(1, 100, 555)
+    tlb.invalidate(1, 100)
+    assert tlb.lookup(1, 100) == (TLB_MISS, None)
+
+
+def test_flush_all(tlb):
+    tlb.insert(1, 100, 555)
+    tlb.insert(2, 7, 9)
+    tlb.flush_all()
+    assert tlb.lookup(1, 100) == (TLB_MISS, None)
+    assert tlb.lookup(2, 7) == (TLB_MISS, None)
+
+
+def test_huge_entries_separate(tlb):
+    tlb.insert_huge(1, 50, 1024)
+    level, frame = tlb.lookup_huge(1, 50)
+    assert level == TLB_L1 and frame == 1024
+    # 4 KiB lookup of an overlapping vpn does not alias.
+    assert tlb.lookup(1, 50 << 9) == (TLB_MISS, None)
+
+
+def test_set_mappings():
+    tlb = TLB(TLBConfig(), DeterministicRng(1))
+    assert tlb.l1_set_of(0x12345) == 0x12345 % 16
+    vpn = 0x4321
+    assert tlb.l2_set_of(vpn) == (vpn ^ (vpn >> 7)) & 127
+
+
+def test_capacity_eviction():
+    tlb = TLB(TLBConfig(), DeterministicRng(5))
+    # Fill one L1 set and its L2 set with many doubly-congruent vpns.
+    target = 160
+    tlb.insert(1, target, 1)
+    l1_set = tlb.l1_set_of(target)
+    l2_set = tlb.l2_set_of(target)
+    inserted = 0
+    vpn = target + 1
+    while inserted < 32:
+        if tlb.l1_set_of(vpn) == l1_set and tlb.l2_set_of(vpn) == l2_set:
+            tlb.insert(1, vpn, vpn)
+            inserted += 1
+        vpn += 1
+    assert not tlb.holds(1, target)
+
+
+def test_unknown_mapping_spec():
+    with pytest.raises(ConfigError):
+        TLB(TLBConfig(l1d_mapping="bogus"), DeterministicRng(1))

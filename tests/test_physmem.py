@@ -1,0 +1,89 @@
+"""Sparse physical-memory store."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem.physmem import PhysicalMemory
+from repro.utils.units import MiB
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(4 * MiB)
+
+
+def test_reads_default_zero(memory):
+    assert memory.read_word(0) == 0
+    assert memory.read_word(4 * MiB - 8) == 0
+    assert not memory.is_materialized(0)
+
+
+def test_write_read_roundtrip(memory):
+    memory.write_word(0x1230, 0xDEADBEEF)
+    assert memory.read_word(0x1230) == 0xDEADBEEF
+    assert memory.is_materialized(0x1230 >> 12)
+
+
+def test_write_truncates_to_64_bits(memory):
+    memory.write_word(0, (1 << 70) | 5)
+    assert memory.read_word(0) == 5
+
+
+def test_unaligned_reads_use_containing_word(memory):
+    memory.write_word(0x100, 0xAABBCCDD)
+    assert memory.read_word(0x103) == 0xAABBCCDD
+
+
+def test_bit_operations(memory):
+    memory.write_word(0x2000, 0)
+    memory.toggle_bit(0x2003, 5)  # byte 3, bit 5 -> word bit 29
+    assert memory.read_word(0x2000) == 1 << 29
+    assert memory.read_bit(0x2003, 5) == 1
+    memory.toggle_bit(0x2003, 5)
+    assert memory.read_word(0x2000) == 0
+
+
+def test_bit_bounds(memory):
+    with pytest.raises(MemoryError_):
+        memory.read_bit(0, 8)
+    with pytest.raises(MemoryError_):
+        memory.toggle_bit(0, -1)
+
+
+def test_out_of_range(memory):
+    with pytest.raises(MemoryError_):
+        memory.read_word(4 * MiB)
+    with pytest.raises(MemoryError_):
+        memory.write_word(-8, 1)
+
+
+def test_fill_frame(memory):
+    memory.fill_frame(3, 0x77)
+    assert memory.read_word(3 * 4096) == 0x77
+    assert memory.read_word(3 * 4096 + 4088) == 0x77
+
+
+def test_frame_view_mutation(memory):
+    view = memory.frame_view(5)
+    view[0] = 99
+    assert memory.read_word(5 * 4096) == 99
+
+
+def test_copy_frame_words(memory):
+    assert memory.copy_frame_words(9) == [0] * 512
+    memory.write_word(9 * 4096 + 16, 4)
+    snapshot = memory.copy_frame_words(9)
+    assert snapshot[2] == 4
+
+
+def test_materialized_accounting(memory):
+    baseline = memory.materialized_frames()
+    memory.write_word(0x7000, 1)
+    assert memory.materialized_frames() == baseline + 1
+
+
+def test_invalid_size():
+    with pytest.raises(MemoryError_):
+        PhysicalMemory(5000)
+    with pytest.raises(MemoryError_):
+        PhysicalMemory(0)

@@ -1,0 +1,80 @@
+"""Property-based tests: buddy allocator invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutOfMemory
+from repro.kernel.buddy import BuddyAllocator
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(0, 3)),
+        max_size=60,
+    )
+)
+def test_no_double_handout_and_accounting(ops):
+    """Random alloc/free traffic never hands out overlapping blocks."""
+    buddy = BuddyAllocator(0, 256, max_order=5)
+    live = {}  # start frame -> order
+    for op, order in ops:
+        if op == "alloc":
+            try:
+                frame = buddy.alloc(order)
+            except OutOfMemory:
+                continue
+            span = set(range(frame, frame + (1 << order)))
+            for other, other_order in live.items():
+                other_span = set(range(other, other + (1 << other_order)))
+                assert not span & other_span, "overlapping allocation"
+            live[frame] = order
+        elif live:
+            frame = sorted(live)[order % len(live)]
+            buddy.free(frame, live.pop(frame))
+        expected = sum(1 << o for o in live.values())
+        assert buddy.allocated == expected
+        assert buddy.free_frames() == 256 - expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(count=st.integers(1, 200))
+def test_burst_allocations_ascend(count):
+    buddy = BuddyAllocator(0, 256, max_order=6)
+    frames = [buddy.alloc(0) for _ in range(min(count, 256))]
+    assert frames == sorted(frames)
+    assert len(set(frames)) == len(frames)
+
+
+@settings(max_examples=40, deadline=None)
+@given(reserved=st.sets(st.integers(0, 127), max_size=30))
+def test_reserved_frames_never_allocated(reserved):
+    buddy = BuddyAllocator(0, 128, max_order=5)
+    actually_reserved = {f for f in reserved if buddy.reserve(f)}
+    assert actually_reserved == set(reserved)
+    handed_out = set()
+    while True:
+        try:
+            handed_out.add(buddy.alloc(0))
+        except OutOfMemory:
+            break
+    assert not handed_out & actually_reserved
+    assert handed_out | actually_reserved == set(range(128))
+
+
+@settings(max_examples=30, deadline=None)
+@given(order=st.integers(0, 5))
+def test_alloc_alignment_property(order):
+    buddy = BuddyAllocator(0, 256, max_order=5)
+    frame = buddy.alloc(order)
+    assert frame % (1 << order) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(frees=st.permutations(list(range(32))))
+def test_full_free_restores_max_block(frees):
+    buddy = BuddyAllocator(0, 32, max_order=5)
+    for _ in range(32):
+        buddy.alloc(0)
+    for frame in frees:
+        buddy.free(frame, 0)
+    assert buddy.alloc(5) == 0

@@ -1,0 +1,123 @@
+"""Property-based tests at the machine level: translation correctness
+and robustness under arbitrary page-table corruption."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError, SegmentationFault
+from repro.machine import AttackerView, Machine
+from repro.machine.configs import tiny_test_config
+from repro.mmu.tlb import TLB
+from repro.machine.configs import TLBConfig
+from repro.utils.rng import DeterministicRng
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    page_offsets=st.lists(st.integers(0, 4095), min_size=1, max_size=8),
+    seed=st.integers(1, 1000),
+)
+def test_translation_matches_ground_truth(page_offsets, seed):
+    """machine.access and the software walk agree on physical frames."""
+    machine = Machine(tiny_test_config(seed=seed))
+    process = machine.boot_process()
+    attacker = AttackerView(machine, process)
+    va = attacker.mmap(4, populate=True)
+    for offset in page_offsets:
+        vaddr = va + (offset % 4) * 4096 + (offset & ~7) % 4096
+        result = machine.access(process, vaddr)
+        truth = machine.ptm.lookup(process.cr3, vaddr)
+        assert truth is not None
+        assert result.paddr >> 12 == truth[0]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    corruptions=st.lists(
+        st.tuples(st.integers(0, 511), st.integers(0, 63)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_machine_survives_arbitrary_pte_corruption(corruptions):
+    """Random bit flips in live page tables never crash the simulator.
+
+    Every access after corruption either succeeds or raises
+    SegmentationFault — the two outcomes a real machine/process has —
+    never an internal error.  This is the safety net for rowhammer
+    chaos: flips land in arbitrary PTE bits.
+    """
+    machine = Machine(tiny_test_config(seed=77))
+    process = machine.boot_process()
+    attacker = AttackerView(machine, process)
+    va = attacker.mmap(8, populate=True)
+    l1pt = machine.ptm.l1pt_frame_of(process.cr3, va)
+    for entry_index, bit in corruptions:
+        machine.physmem.toggle_bit((l1pt << 12) + entry_index * 8 + (bit // 8), bit % 8)
+    machine.tlb.flush_all()
+    machine.walker.flush_structure_caches()
+    for page in range(8):
+        try:
+            value = attacker.read(va + page * 4096)
+            assert isinstance(value, int)
+        except SegmentationFault:
+            pass  # a legitimate outcome of corruption
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    corruptions=st.lists(
+        st.tuples(st.integers(2, 4), st.integers(0, 511), st.integers(0, 63)),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_machine_survives_upper_level_corruption(corruptions):
+    """Flips in PDEs/PDPTEs/PML4Es are also survivable."""
+    machine = Machine(tiny_test_config(seed=78))
+    process = machine.boot_process()
+    attacker = AttackerView(machine, process)
+    va = attacker.mmap(4, populate=True)
+    tables = {
+        2: sorted(machine.ptm.table_frames[2]),
+        3: sorted(machine.ptm.table_frames[3]),
+        4: sorted(machine.ptm.table_frames[4]),
+    }
+    for level, entry_index, bit in corruptions:
+        frames = tables[level]
+        if not frames:
+            continue
+        frame = frames[entry_index % len(frames)]
+        machine.physmem.toggle_bit(
+            (frame << 12) + entry_index * 8 + (bit // 8), bit % 8
+        )
+    machine.tlb.flush_all()
+    machine.walker.flush_structure_caches()
+    for page in range(4):
+        try:
+            attacker.read(va + page * 4096)
+        except ReproError:
+            pass  # SegmentationFault or a mapping error via healing
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    vpns=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=40, unique=True)
+)
+def test_tlb_insert_then_holds(vpns):
+    """Freshly inserted translations are immediately resident and correct."""
+    tlb = TLB(TLBConfig(), DeterministicRng(5))
+    for vpn in vpns:
+        tlb.insert(1, vpn, vpn + 7)
+        level, frame = tlb.lookup(1, vpn)
+        assert frame == vpn + 7
+
+
+@settings(max_examples=30, deadline=None)
+@given(vpns=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=20, unique=True))
+def test_tlb_invalidate_removes(vpns):
+    tlb = TLB(TLBConfig(), DeterministicRng(6))
+    for vpn in vpns:
+        tlb.insert(1, vpn, 1)
+    for vpn in vpns:
+        tlb.invalidate(1, vpn)
+        assert not tlb.holds(1, vpn)

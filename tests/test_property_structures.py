@@ -1,0 +1,142 @@
+"""Property-based tests: caches, geometry, physmem, PTEs, RNG."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.dram.geometry import DRAMGeometry
+from repro.mem.physmem import PhysicalMemory
+from repro.mmu.pte import make_pte, pte_frame, pte_present
+from repro.utils.bitops import parity
+from repro.utils.rng import DeterministicRng, hash64
+from repro.utils.units import MiB
+
+# ----------------------------------------------------------------------
+# set-associative cache invariants
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    tags=st.lists(st.integers(0, 40), min_size=1, max_size=120),
+    policy=st.sampled_from(["true_lru", "bit_plru", "noisy_lru", "random"]),
+)
+def test_cache_never_exceeds_capacity_and_keeps_mru(tags, policy):
+    cache = SetAssociativeCache(4, 3, policy, DeterministicRng(1), name="p")
+    for tag in tags:
+        set_index = tag % 4
+        cache.insert(set_index, tag)
+        # The just-inserted tag must be resident.
+        assert cache.contains(set_index, tag)
+        assert len(cache.resident_tags(set_index)) <= 3
+    assert cache.occupancy() <= 12
+
+
+@settings(max_examples=50, deadline=None)
+@given(tags=st.lists(st.integers(0, 30), min_size=1, max_size=60))
+def test_cache_eviction_returns_resident_tag(tags):
+    cache = SetAssociativeCache(2, 2, "true_lru", DeterministicRng(2), name="p")
+    resident = {0: set(), 1: set()}
+    for tag in tags:
+        set_index = tag % 2
+        evicted = cache.insert(set_index, tag)
+        if evicted is not None:
+            assert evicted in resident[set_index]
+            resident[set_index].discard(evicted)
+        resident[set_index].add(tag)
+
+
+# ----------------------------------------------------------------------
+# DRAM geometry round trips
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    paddr=st.integers(0, 64 * MiB - 1),
+    xor_mask=st.sampled_from([0, 1, 0b11, 0b1111]),
+)
+def test_geometry_decode_encode_roundtrip(paddr, xor_mask):
+    geometry = DRAMGeometry(64 * MiB, row_xor_mask=xor_mask)
+    location = geometry.decode(paddr)
+    assert geometry.encode(location.bank, location.row, location.column) == paddr
+    assert 0 <= location.bank < geometry.banks
+    assert 0 <= location.row < geometry.rows
+
+
+@settings(max_examples=50, deadline=None)
+@given(row=st.integers(0, 255), bank=st.integers(0, 31))
+def test_geometry_encode_decode_roundtrip(row, bank):
+    geometry = DRAMGeometry(64 * MiB)
+    paddr = geometry.encode(bank, row, 0)
+    location = geometry.decode(paddr)
+    assert (location.bank, location.row) == (bank, row)
+
+
+# ----------------------------------------------------------------------
+# physical memory
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, (4 * MiB // 8) - 1), st.integers(0, (1 << 64) - 1)),
+        max_size=40,
+    )
+)
+def test_physmem_last_write_wins(writes):
+    memory = PhysicalMemory(4 * MiB)
+    shadow = {}
+    for word_index, value in writes:
+        memory.write_word(word_index * 8, value)
+        shadow[word_index] = value
+    for word_index, value in shadow.items():
+        assert memory.read_word(word_index * 8) == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(paddr=st.integers(0, 4 * MiB - 1), bit=st.integers(0, 7))
+def test_physmem_double_toggle_is_identity(paddr, bit):
+    memory = PhysicalMemory(4 * MiB)
+    memory.write_word(paddr & ~7, 0x5A5A5A5A5A5A5A5A)
+    before = memory.read_word(paddr & ~7)
+    memory.toggle_bit(paddr, bit)
+    assert memory.read_word(paddr & ~7) != before
+    memory.toggle_bit(paddr, bit)
+    assert memory.read_word(paddr & ~7) == before
+
+
+# ----------------------------------------------------------------------
+# PTEs
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    frame=st.integers(0, (1 << 36) - 1),
+    writable=st.booleans(),
+    user=st.booleans(),
+)
+def test_pte_roundtrip_property(frame, writable, user):
+    entry = make_pte(frame, writable=writable, user=user)
+    assert pte_frame(entry) == frame
+    assert pte_present(entry)
+
+
+# ----------------------------------------------------------------------
+# RNG / parity
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.integers(0, (1 << 64) - 1))
+def test_parity_matches_popcount(value):
+    assert parity(value) == bin(value).count("1") % 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(0, 1 << 32), min_size=1, max_size=5))
+def test_hash64_pure(keys):
+    assert hash64(*keys) == hash64(*keys)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1 << 32), bound=st.integers(1, 1000))
+def test_rng_randint_in_bounds(seed, bound):
+    rng = DeterministicRng(seed)
+    assert all(0 <= rng.randint(bound) < bound for _ in range(20))

@@ -1,0 +1,53 @@
+"""The documented public API surface stays importable and coherent."""
+
+import repro
+import repro.analysis
+import repro.cache
+import repro.core
+import repro.defenses
+import repro.dram
+import repro.kernel
+import repro.machine
+import repro.mem
+import repro.mmu
+import repro.utils
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__
+
+
+def test_readme_quickstart_names():
+    # The exact names the README's quickstart uses.
+    from repro import AttackerView, Machine, tiny_test_config  # noqa: F401
+    from repro.core import PThammerAttack, PThammerConfig  # noqa: F401
+
+
+def test_subpackage_all_lists_resolve():
+    for module in (
+        repro.analysis,
+        repro.cache,
+        repro.core,
+        repro.defenses,
+        repro.dram,
+        repro.kernel,
+        repro.machine,
+        repro.mem,
+        repro.mmu,
+        repro.utils,
+    ):
+        for name in module.__all__:
+            assert hasattr(module, name), (module.__name__, name)
+
+
+def test_public_items_have_docstrings():
+    for module in (repro.core, repro.defenses, repro.machine, repro.dram):
+        for name in module.__all__:
+            item = getattr(module, name)
+            if callable(item):
+                assert item.__doc__, "%s.%s lacks a docstring" % (
+                    module.__name__,
+                    name,
+                )

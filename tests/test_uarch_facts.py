@@ -1,0 +1,44 @@
+"""UarchFacts: the attacker's datasheet knowledge."""
+
+from repro.core.uarch import UarchFacts
+from repro.machine.configs import dell_e6420, lenovo_t420, tiny_test_config
+
+
+def test_from_config_mirrors_machine():
+    config = lenovo_t420()
+    facts = UarchFacts.from_config(config)
+    assert facts.tlb_l1_sets == config.tlb.l1d_sets
+    assert facts.llc_ways == 12
+    assert facts.llc_bytes == config.llc_bytes()
+    assert facts.row_span_bytes == 256 * 1024
+    assert facts.refresh_interval_cycles == config.dram.refresh_interval_cycles
+
+
+def test_total_ways():
+    facts = UarchFacts.from_config(lenovo_t420())
+    assert facts.tlb_total_ways == 8
+
+
+def test_pair_stride():
+    facts = UarchFacts.from_config(lenovo_t420())
+    va_stride, pa_stride = facts.pair_stride_bytes()
+    assert va_stride == 2 * 256 * 1024 * 512  # 256 MiB
+    assert pa_stride == 2 * 256 * 1024  # two row indices
+
+
+def test_mappings_match_tlb():
+    config = tiny_test_config()
+    facts = UarchFacts.from_config(config)
+    from repro.machine import Machine
+
+    machine = Machine(config)
+    for vpn in (0, 17, 12345, 0xFFFFF):
+        assert facts.tlb_l1_set_of(vpn) == machine.tlb.l1_set_of(vpn)
+        assert facts.tlb_l2_set_of(vpn) == machine.tlb.l2_set_of(vpn)
+
+
+def test_dell_larger_llc():
+    lenovo = UarchFacts.from_config(lenovo_t420())
+    dell = UarchFacts.from_config(dell_e6420())
+    assert dell.llc_ways > lenovo.llc_ways
+    assert dell.llc_bytes > lenovo.llc_bytes

@@ -1,0 +1,62 @@
+"""Units helpers and the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    OutOfMemory,
+    PrivilegeError,
+    ReproError,
+    SegmentationFault,
+)
+from repro.utils.units import (
+    GiB,
+    KiB,
+    MiB,
+    cycles_to_seconds,
+    format_duration,
+    format_size,
+    seconds_to_cycles,
+)
+
+
+def test_unit_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+
+
+def test_cycle_conversions_roundtrip():
+    cycles = 2_600_000_000
+    seconds = cycles_to_seconds(cycles, 2.6)
+    assert seconds == pytest.approx(1.0)
+    assert seconds_to_cycles(seconds, 2.6) == cycles
+
+
+def test_format_duration_units():
+    assert format_duration(5e-6).endswith("us")
+    assert format_duration(5e-3).endswith("ms")
+    assert format_duration(5.0).endswith("s")
+    assert format_duration(600.0).endswith("m")
+    assert format_duration(600.0).startswith("10.0")
+
+
+def test_format_size():
+    assert format_size(512) == "512 B"
+    assert format_size(3 * KiB) == "3 KiB"
+    assert format_size(3 * MiB) == "3 MiB"
+    assert format_size(8 * GiB) == "8 GiB"
+
+
+def test_exception_hierarchy():
+    assert issubclass(ConfigError, ReproError)
+    assert issubclass(OutOfMemory, ReproError)
+    assert issubclass(SegmentationFault, ReproError)
+    assert issubclass(PrivilegeError, ReproError)
+
+
+def test_segfault_message():
+    fault = SegmentationFault(0xDEAD000, "unmapped")
+    assert fault.vaddr == 0xDEAD000
+    assert "0xdead000" in str(fault)
+    assert fault.reason == "unmapped"

@@ -1,0 +1,67 @@
+"""Bit-manipulation helpers."""
+
+import pytest
+
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    bit,
+    extract_bits,
+    is_power_of_two,
+    log2_exact,
+    parity,
+    set_bit,
+    toggle_bit,
+)
+
+
+def test_bit():
+    assert bit(0b1010, 1) == 1
+    assert bit(0b1010, 0) == 0
+    assert bit(1 << 40, 40) == 1
+
+
+def test_parity_known_values():
+    assert parity(0) == 0
+    assert parity(1) == 1
+    assert parity(0b11) == 0
+    assert parity(0b111) == 1
+    assert parity(0xFFFFFFFFFFFFFFFF) == 0
+
+
+def test_parity_single_bits():
+    for position in range(64):
+        assert parity(1 << position) == 1
+
+
+def test_set_and_toggle_bit():
+    assert set_bit(0, 5, 1) == 32
+    assert set_bit(32, 5, 0) == 0
+    assert toggle_bit(0, 3) == 8
+    assert toggle_bit(8, 3) == 0
+
+
+def test_extract_bits():
+    value = 0b1011_0010
+    assert extract_bits(value, [0, 4, 5, 7]) == 0b1110
+
+
+def test_align():
+    assert align_down(4097, 4096) == 4096
+    assert align_up(4097, 4096) == 8192
+    assert align_up(4096, 4096) == 4096
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(4096)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(12)
+    assert not is_power_of_two(-4)
+
+
+def test_log2_exact():
+    assert log2_exact(1) == 0
+    assert log2_exact(4096) == 12
+    with pytest.raises(ValueError):
+        log2_exact(12)

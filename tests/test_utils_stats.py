@@ -1,0 +1,67 @@
+"""Streaming stats, percentiles, histograms."""
+
+import pytest
+
+from repro.utils.stats import Histogram, RunningStats, median, percentile
+
+
+def test_running_stats_basics():
+    stats = RunningStats()
+    stats.extend([1, 2, 3, 4, 5])
+    assert stats.count == 5
+    assert stats.mean == pytest.approx(3.0)
+    assert stats.minimum == 1
+    assert stats.maximum == 5
+    assert stats.variance == pytest.approx(2.5)
+    assert stats.stddev == pytest.approx(2.5 ** 0.5)
+
+
+def test_running_stats_single_value():
+    stats = RunningStats()
+    stats.add(7)
+    assert stats.variance == 0.0
+    assert stats.mean == 7
+
+
+def test_percentile_interpolation():
+    values = [10, 20, 30, 40]
+    assert percentile(values, 0.0) == 10
+    assert percentile(values, 1.0) == 40
+    assert percentile(values, 0.5) == pytest.approx(25.0)
+    assert median([5]) == 5
+
+
+def test_percentile_errors():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1], 1.5)
+
+
+def test_histogram_counts():
+    histogram = Histogram(0, 100, 10)
+    histogram.extend([5, 15, 15, 95, -1, 100])
+    assert histogram.counts[0] == 1
+    assert histogram.counts[1] == 2
+    assert histogram.counts[9] == 1
+    assert histogram.underflow == 1
+    assert histogram.overflow == 1
+    assert histogram.total == 6
+
+
+def test_histogram_edges():
+    histogram = Histogram(0, 10, 5)
+    assert histogram.bin_edges() == [0, 2, 4, 6, 8, 10]
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram(5, 5, 3)
+    with pytest.raises(ValueError):
+        Histogram(0, 10, 0)
+
+
+def test_histogram_fraction_within():
+    histogram = Histogram(0, 100, 10)
+    histogram.extend([5, 15, 25, 35])
+    assert histogram.fraction_within(0, 20) == pytest.approx(0.5)

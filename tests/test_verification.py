@@ -1,0 +1,69 @@
+"""Ground-truth verification helpers."""
+
+import pytest
+
+from repro.analysis.verification import (
+    eviction_set_congruence,
+    flips_by_row_range,
+    is_double_sided_pair,
+    pair_placement,
+    spray_contiguity,
+)
+from repro.core.llc_offline import physically_congruent_lines
+from repro.core.llc_pool import EvictionSet
+from repro.core.pair_finding import CandidatePair
+from repro.core.spray import PageTableSpray
+
+
+@pytest.fixture
+def spray(attacker):
+    return PageTableSpray(attacker, slots=160, shm_pages=4).execute()
+
+
+def test_eviction_set_congruence_scores(attacker, inspector):
+    target = attacker.mmap(1, populate=True)
+    frame = inspector.frame_of(attacker.process, target)
+    lines = physically_congruent_lines(attacker, inspector, target, 6)
+    perfect = EvictionSet(lines, 0)
+    assert eviction_set_congruence(
+        inspector, attacker.process, perfect, frame << 12
+    ) == 1.0
+    # Diluted with non-congruent lines the score drops proportionally.
+    noise = attacker.mmap(4, populate=True)
+    diluted = EvictionSet(lines[:3] + [noise, noise + 4096, noise + 8192], 0)
+    score = eviction_set_congruence(inspector, attacker.process, diluted, frame << 12)
+    assert score <= 0.67
+
+
+def test_pair_placement_and_double_sided(machine, attacker, inspector, facts, spray):
+    from repro.core.pair_finding import slot_stride_for_pairs
+
+    stride = slot_stride_for_pairs(facts)
+    pair = CandidatePair(4, 4 + stride, spray.target_va(4), spray.target_va(4 + stride))
+    same_bank, delta = pair_placement(inspector, attacker.process, pair)
+    assert isinstance(same_bank, bool)
+    if same_bank and delta == 2:
+        assert is_double_sided_pair(inspector, attacker.process, pair)
+    near = CandidatePair(4, 5, spray.target_va(4), spray.target_va(5))
+    assert not is_double_sided_pair(inspector, attacker.process, near)
+
+
+def test_spray_contiguity_near_perfect(machine, attacker, inspector, facts, spray):
+    rate = spray_contiguity(inspector, attacker.process, spray, facts)
+    assert rate >= 0.85
+
+
+def test_flips_by_row_range(machine, inspector):
+    # Inject synthetic flips through the module's own mechanism.
+    geometry = machine.geometry
+    machine.physmem.fill_frame(geometry.encode(0, 20, 0) >> 12, 0xFFFFFFFFFFFFFFFF)
+    low = geometry.encode(0, 19, 0)
+    high = geometry.encode(0, 21, 0)
+    now = 0
+    for _ in range(900):
+        machine.dram.access(low, now)
+        machine.dram.access(high, now + 1)
+        now += 10
+    counts = flips_by_row_range(inspector, {"victim": (20, 21)})
+    assert counts["victim"] == inspector.flip_count() - counts["other"]
+    assert sum(counts.values()) == inspector.flip_count()
