@@ -1,0 +1,69 @@
+"""Observability overhead: disabled tracing must stay under 5%.
+
+Companion to ``tests/test_observe_overhead.py`` at benchmark scale: a
+larger attack, so the guard count reflects the hot loops the scaled
+experiments actually run.  Methodology is the same deterministic
+decomposition — exact guard-evaluation count times measured per-check
+cost, compared against the attack's wall time — because two wall-time
+measurements of separate runs cannot resolve 5% reliably.
+"""
+
+import time
+
+from repro.core import PThammerAttack, PThammerConfig
+from repro.machine import AttackerView, Machine
+from repro.machine.configs import tiny_test_config
+from repro.observe import TraceBus
+
+ATTACK = PThammerConfig(spray_slots=256, pair_sample=16, max_pairs=14)
+
+
+class CountingBus(TraceBus):
+    """Disabled bus counting every ``enabled`` read (see tests/)."""
+
+    def __init__(self):
+        self.checks = 0
+        super().__init__()
+
+    @property
+    def enabled(self):
+        self.checks += 1
+        return False
+
+    @enabled.setter
+    def enabled(self, value):
+        if value:
+            raise AssertionError("the counting bus must stay disabled")
+
+
+def _per_check_seconds(iterations=2_000_000):
+    bus = TraceBus()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if bus.enabled:
+            raise AssertionError("unreachable")
+    return (time.perf_counter() - start) / iterations
+
+
+def test_disabled_tracing_overhead(once, benchmark):
+    counting = CountingBus()
+
+    def run():
+        machine = Machine(tiny_test_config(seed=1), trace=counting)
+        attacker = AttackerView(machine, machine.boot_process())
+        start = time.perf_counter()
+        report = PThammerAttack(attacker, ATTACK).run()
+        return report, time.perf_counter() - start
+
+    report, attack_seconds = once(run)
+    assert report.escalated
+    assert counting.events == [], "counting bus must record nothing"
+
+    guard_seconds = counting.checks * _per_check_seconds()
+    ratio = guard_seconds / attack_seconds
+    benchmark.extra_info["guard_checks"] = counting.checks
+    benchmark.extra_info["guard_overhead_pct"] = round(100.0 * ratio, 3)
+    assert ratio < 0.05, (
+        "disabled-tracing guards cost %.2f%% of a %.1f s attack"
+        % (100.0 * ratio, attack_seconds)
+    )

@@ -1,0 +1,306 @@
+"""Trace profiling and JSONL export (docs/OBSERVABILITY.md).
+
+Consumes the structured trace a machine records
+(:class:`repro.observe.TraceBus`) and produces what the paper's
+measurement sections produce for real hardware:
+
+* :func:`profile_trace` — the per-phase, per-component virtual-cycle
+  breakdown behind ``repro attack --profile`` (Table II, but sourced
+  from the event stream instead of hand-placed timers);
+* :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — a lossless
+  JSON-lines trace file for offline analysis, with a schema documented
+  in ``docs/OBSERVABILITY.md`` and verified by a round-trip test.
+
+Both work on a live bus or on a :class:`TraceRecord` read back from
+disk — the profiler only needs ``.events`` and ``.spans``.
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.report import render_table
+from repro.errors import ConfigError
+from repro.observe.events import (
+    ACCESS,
+    CACHE_EVICT,
+    DRAM_ACTIVATE,
+    DRAM_FLIP,
+    TLB_MISS,
+    WALK_FETCH,
+    Event,
+    Span,
+)
+from repro.utils.units import cycles_to_seconds
+
+#: JSONL trace-file schema version (bump on incompatible change).
+TRACE_SCHEMA_VERSION = 1
+
+#: Fields every event line carries besides the kind-specific payload.
+_EVENT_BASE_KEYS = ("type", "kind", "component", "cycle")
+
+
+class TraceRecord:
+    """A trace read back from JSONL: the file-shaped twin of TraceBus."""
+
+    def __init__(self, events, spans, meta=None):
+        self.events = events
+        self.spans = spans
+        #: The header line's payload (schema version, machine, counts).
+        self.meta = meta or {}
+
+    def __repr__(self):
+        return "TraceRecord(events=%d, spans=%d)" % (len(self.events), len(self.spans))
+
+
+def write_trace_jsonl(trace, destination, machine=None):
+    """Write a trace as JSON lines; returns the number of lines written.
+
+    ``destination`` is a path or a file-like object.  Line order:
+    one header, then every span, then every event (each in recording
+    order).  All values are ints and strings, so the export is lossless
+    and `read_trace_jsonl` round-trips it exactly.
+    """
+    own = isinstance(destination, str)
+    handle = open(destination, "w") if own else destination
+    lines = 0
+    try:
+        header = {
+            "type": "header",
+            "schema": TRACE_SCHEMA_VERSION,
+            "machine": machine,
+            "events": len(trace.events),
+            "spans": len(trace.spans),
+            "dropped": getattr(trace, "dropped", 0),
+        }
+        handle.write(json.dumps(header) + "\n")
+        lines += 1
+        for span in trace.spans:
+            handle.write(json.dumps(span.to_dict()) + "\n")
+            lines += 1
+        for event in trace.events:
+            handle.write(json.dumps(event.to_dict()) + "\n")
+            lines += 1
+    finally:
+        if own:
+            handle.close()
+    return lines
+
+
+def read_trace_jsonl(source):
+    """Read a JSONL trace file back into a :class:`TraceRecord`."""
+    own = isinstance(source, str)
+    handle = open(source, "r") if own else source
+    events, spans, meta = [], [], {}
+    try:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "header":
+                if record.get("schema") != TRACE_SCHEMA_VERSION:
+                    raise ConfigError(
+                        "unsupported trace schema %r (this build reads %d)"
+                        % (record.get("schema"), TRACE_SCHEMA_VERSION)
+                    )
+                meta = record
+            elif kind == "span":
+                spans.append(
+                    Span(
+                        record["name"],
+                        record["start"],
+                        record["end"],
+                        record.get("depth", 0),
+                    )
+                )
+            elif kind == "event":
+                fields = {
+                    key: value
+                    for key, value in record.items()
+                    if key not in _EVENT_BASE_KEYS
+                }
+                events.append(
+                    Event(record["kind"], record["component"], record["cycle"], fields)
+                )
+            else:
+                raise ConfigError("unknown trace line type %r" % kind)
+    finally:
+        if own:
+            handle.close()
+    return TraceRecord(events, spans, meta)
+
+
+# ----------------------------------------------------------------------
+# per-phase / per-component profile
+
+
+@dataclass
+class PhaseProfile:
+    """Aggregates for one phase (a depth-0 span) of the trace."""
+
+    name: str
+    start: int
+    end: int
+    #: component -> cycles attributed (from events carrying a ``cycles``
+    #: field: walk fetches, DRAM accesses, machine access latencies).
+    component_cycles: Dict[str, int] = field(default_factory=dict)
+    #: component -> event count.
+    component_events: Dict[str, int] = field(default_factory=dict)
+    #: kind -> event count.
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cycles(self):
+        """Wall length of the phase on the virtual clock."""
+        return self.end - self.start
+
+    def count(self, kind):
+        """Number of events of ``kind`` inside this phase."""
+        return self.kind_counts.get(kind, 0)
+
+
+@dataclass
+class ProfileResult:
+    """The ``--profile`` output: where virtual cycles went, by phase.
+
+    ``phases`` covers the depth-0 spans in execution order, plus a
+    trailing ``(outside phases)`` row when events fall outside every
+    span (e.g. tracing enabled before the attack started).
+    """
+
+    machine: Optional[str]
+    phases: List[PhaseProfile]
+    components: List[str]
+    total_events: int
+    freq_ghz: Optional[float] = None
+
+    def total_cycles(self):
+        """Sum of phase lengths (synthetic rows excluded)."""
+        return sum(p.cycles for p in self.phases if p.end >= p.start)
+
+    def cycle_components(self):
+        """Components that actually accumulated cycles (column set)."""
+        return [
+            component
+            for component in self.components
+            if any(p.component_cycles.get(component) for p in self.phases)
+        ]
+
+    def render(self):
+        """Per-phase, per-component cycle breakdown + event counts."""
+        total = self.total_cycles() or 1
+        columns = self.cycle_components()
+        cycle_rows = []
+        for phase in self.phases:
+            row = [phase.name, phase.cycles, "%4.1f%%" % (100.0 * phase.cycles / total)]
+            for component in columns:
+                row.append(phase.component_cycles.get(component, 0))
+            cycle_rows.append(row)
+        headers = ["phase", "cycles", "share"] + [
+            "%s-cyc" % component for component in columns
+        ]
+        title = "trace profile"
+        if self.machine:
+            title += " — %s" % self.machine
+        if self.freq_ghz:
+            title += " (%.3f ms simulated)" % (
+                1000.0 * cycles_to_seconds(total, self.freq_ghz)
+            )
+        blocks = [render_table(headers, cycle_rows, title=title)]
+
+        count_rows = [
+            [
+                phase.name,
+                phase.count(ACCESS),
+                phase.count(TLB_MISS),
+                phase.count(WALK_FETCH),
+                phase.count(CACHE_EVICT),
+                phase.count(DRAM_ACTIVATE),
+                phase.count(DRAM_FLIP),
+            ]
+            for phase in self.phases
+        ]
+        blocks.append(
+            render_table(
+                [
+                    "phase",
+                    "accesses",
+                    "tlb-miss",
+                    "walk-fetch",
+                    "llc-evict",
+                    "dram-act",
+                    "flips",
+                ],
+                count_rows,
+                title="event counts by phase",
+            )
+        )
+        footer = "%d events total" % self.total_events
+        if not self.total_events:
+            footer += " — enable tracing (machine.trace.enable() or the"
+            footer += " --profile/--trace CLI flags) to populate the profile"
+        blocks.append(footer)
+        return "\n\n".join(blocks)
+
+
+#: Synthetic phase name for events outside every depth-0 span.
+OUTSIDE_PHASE = "(outside phases)"
+
+
+def profile_trace(trace, machine=None, freq_ghz=None):
+    """Aggregate a trace into a :class:`ProfileResult`.
+
+    ``trace`` is a live :class:`~repro.observe.TraceBus` or a
+    :class:`TraceRecord`.  Events are attributed to the first depth-0
+    span containing their timestamp; cycles come from each event's
+    ``cycles`` field (PTE fetches, DRAM accesses) and, for the
+    ``machine`` component, the access's total ``latency``.
+
+    Note the nesting: a machine access's latency *includes* its walk's
+    fetch cycles, which in turn include the DRAM cycles of fetches that
+    missed the caches — the columns answer "how many cycles passed
+    through this component", not a disjoint partition.
+    """
+    phases = [
+        PhaseProfile(span.name, span.start, span.end)
+        for span in trace.spans
+        if span.depth == 0 and span.end is not None
+    ]
+    outside = PhaseProfile(OUTSIDE_PHASE, 0, -1)
+    components = []
+    for event in trace.events:
+        phase = _phase_of(phases, event.cycle, outside)
+        component = event.component
+        cycles = event.fields.get("cycles")
+        if cycles is None and event.kind == ACCESS:
+            cycles = event.fields.get("latency")
+        if cycles:
+            phase.component_cycles[component] = (
+                phase.component_cycles.get(component, 0) + cycles
+            )
+        phase.component_events[component] = (
+            phase.component_events.get(component, 0) + 1
+        )
+        phase.kind_counts[event.kind] = phase.kind_counts.get(event.kind, 0) + 1
+        if component not in components:
+            components.append(component)
+    if outside.kind_counts:
+        phases = phases + [outside]
+    return ProfileResult(
+        machine=machine,
+        phases=phases,
+        components=components,
+        total_events=len(trace.events),
+        freq_ghz=freq_ghz,
+    )
+
+
+def _phase_of(phases, cycle, outside):
+    """First phase whose span contains ``cycle`` (linear scan is fine:
+    attacks have a handful of phases)."""
+    for phase in phases:
+        if phase.start <= cycle <= phase.end:
+            return phase
+    return outside

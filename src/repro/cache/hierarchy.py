@@ -12,6 +12,8 @@ L1PTE line at all.
 """
 
 from repro.cache.setassoc import SetAssociativeCache
+from repro.observe import CACHE_EVICT, NULL_TRACE
+from repro.observe import CACHE as CACHE_COMPONENT
 from repro.utils.rng import hash64
 from repro.cache.slices import SliceHash
 from repro.params import LINE_SHIFT
@@ -23,8 +25,10 @@ L1, L2, LLC, MEM = "l1", "l2", "llc", "mem"
 class CacheHierarchy:
     """L1D + L2 + sliced inclusive LLC, addressed by physical address."""
 
-    def __init__(self, config, rng):
+    def __init__(self, config, rng, trace=None):
         self.config = config
+        #: Trace bus for structured events (docs/OBSERVABILITY.md).
+        self._trace = trace if trace is not None else NULL_TRACE
         self.l1 = SetAssociativeCache(
             config.l1_sets, config.l1_ways, config.l1_policy, rng.fork(1), name="L1D"
         )
@@ -104,6 +108,8 @@ class CacheHierarchy:
 
     def _back_invalidate(self, line):
         """Drop an LLC-evicted line from the inner levels (inclusivity)."""
+        if self._trace.enabled:
+            self._trace.emit(CACHE_EVICT, CACHE_COMPONENT, line=line)
         dropped_l1 = self.l1.invalidate(line & self._l1_mask, line)
         dropped_l2 = self.l2.invalidate(line & self._l2_mask, line)
         if dropped_l1 or dropped_l2:

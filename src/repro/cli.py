@@ -87,6 +87,11 @@ def _cmd_attack(args):
         max_pairs=args.pairs,
         cred_spray_processes=args.cred_spray,
     )
+    profiling = getattr(args, "profile", False)
+    trace_path = getattr(args, "trace", None)
+    trace_file = _open_trace_destination(trace_path)
+    if profiling or trace_path:
+        machine.trace.enable()
     print(
         "PThammer vs %s (defense: %s); attacker uid=%d"
         % (config.name, args.defense, attacker.getuid())
@@ -101,7 +106,36 @@ def _cmd_attack(args):
         "uid after attack: %d | ground-truth flips: %d | host %.1fs"
         % (attacker.getuid(), Inspector(machine).flip_count(), time.time() - started)
     )
+    if profiling:
+        from repro.analysis import profile_trace
+
+        print()
+        print(
+            profile_trace(
+                machine.trace, machine=config.name, freq_ghz=config.cpu.freq_ghz
+            ).render()
+        )
+    if trace_file is not None:
+        from repro.analysis import write_trace_jsonl
+
+        with trace_file:
+            lines = write_trace_jsonl(machine.trace, trace_file, machine=config.name)
+        print("wrote %d trace lines to %s" % (lines, trace_path))
     return 0 if report.escalated == (args.defense not in ("zebram",)) else 1
+
+
+def _open_trace_destination(path):
+    """Open a JSONL destination up-front, before the attack runs.
+
+    A bad path should fail in milliseconds, not after a multi-minute
+    attack has already completed.
+    """
+    if path is None:
+        return None
+    try:
+        return open(path, "w")
+    except OSError as exc:
+        raise SystemExit("repro: cannot write trace file %s: %s" % (path, exc))
 
 
 def _cmd_render(result):
@@ -127,6 +161,29 @@ def main(argv=None):
         "--regular-pages",
         action="store_true",
         help="use the regular-page setting instead of superpages",
+    )
+    attack.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable tracing and print the per-phase cycle breakdown",
+    )
+    attack.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="enable tracing and write the JSONL trace to FILE",
+    )
+
+    trace_cmd = commands.add_parser(
+        "trace", help="run the attack with tracing on; export and profile it"
+    )
+    _machine_arg(trace_cmd)
+    trace_cmd.add_argument("--defense", choices=sorted(DEFENSES), default="none")
+    trace_cmd.add_argument("--slots", type=int, default=256, help="spray slots")
+    trace_cmd.add_argument("--pairs", type=int, default=12, help="pairs to hammer")
+    trace_cmd.add_argument("--seed", type=int, default=None)
+    trace_cmd.add_argument(
+        "--out", metavar="FILE", default=None, help="JSONL trace destination"
     )
 
     commands.add_parser("table1", help="Table I: machine configurations")
@@ -163,6 +220,8 @@ def main(argv=None):
 
     if args.command == "attack":
         return _cmd_attack(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "table1":
         return _cmd_render(table1())
     if args.command == "figure3":
@@ -189,6 +248,45 @@ def main(argv=None):
         return _cmd_mitigations()
     if args.command == "validate":
         return _cmd_validate()
+    return 0
+
+
+def _cmd_trace(args):
+    """Run one traced attack; print the profile, optionally export JSONL."""
+    from repro.analysis import profile_trace, write_trace_jsonl
+
+    config = MACHINES[args.machine]()
+    if args.seed is not None:
+        config.seed = args.seed
+    out_file = _open_trace_destination(args.out)
+    machine = Machine(config, policy=DEFENSES[args.defense]())
+    attacker = AttackerView(machine, machine.boot_process())
+    machine.trace.enable()
+    print("tracing PThammer vs %s (defense: %s) ..." % (config.name, args.defense))
+    report = PThammerAttack(
+        attacker,
+        PThammerConfig(
+            spray_slots=args.slots, pair_sample=args.pairs, max_pairs=args.pairs
+        ),
+    ).run()
+    print(report.summary())
+    print()
+    print(
+        profile_trace(
+            machine.trace, machine=config.name, freq_ghz=config.cpu.freq_ghz
+        ).render()
+    )
+    counts = machine.trace.counts_by_kind()
+    print()
+    print("events by kind:")
+    for kind in sorted(counts):
+        print("  %-16s %10d" % (kind, counts[kind]))
+    if machine.trace.dropped:
+        print("  (%d events dropped beyond the buffer limit)" % machine.trace.dropped)
+    if out_file is not None:
+        with out_file:
+            lines = write_trace_jsonl(machine.trace, out_file, machine=config.name)
+        print("wrote %d trace lines to %s" % (lines, args.out))
     return 0
 
 

@@ -17,6 +17,9 @@ sweep.
 
 from repro.core.layout import PROBE_DATA_OFFSET
 
+#: Span name under which each round lands on the trace bus.
+HAMMER_ROUND_SPAN = "hammer-round"
+
 
 class HammerTarget:
     """One side of a double-sided pair with its eviction sets."""
@@ -38,11 +41,14 @@ class DoubleSidedHammer:
     LLC (Section V).
     """
 
-    def __init__(self, attacker, target_a, target_b, llc_sweeps=1):
+    def __init__(self, attacker, target_a, target_b, llc_sweeps=1, trace=None):
         self.attacker = attacker
         self.target_a = target_a
         self.target_b = target_b
         self.llc_sweeps = llc_sweeps
+        #: Optional trace bus; when set, every round is recorded as a
+        #: ``hammer-round`` span (PThammerAttack passes the machine's).
+        self.trace = trace
 
     def round(self, nop_padding=0):
         """One double-sided iteration; returns its cost in cycles."""
@@ -58,7 +64,10 @@ class DoubleSidedHammer:
             touch(target.va + PROBE_DATA_OFFSET)
         if nop_padding:
             attacker.nop(nop_padding)
-        return attacker.rdtsc() - start
+        end = attacker.rdtsc()
+        if self.trace is not None:
+            self.trace.add_span(HAMMER_ROUND_SPAN, start, end)
+        return end - start
 
     def run(self, rounds, nop_padding=0):
         """``rounds`` iterations; returns the per-round cycle costs."""

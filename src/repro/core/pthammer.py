@@ -13,11 +13,10 @@ Phases, each timed on the virtual clock for the Table-II breakdown:
    verified pair, scanning the spray for flips, escalating on capture.
 """
 
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.core.hammer import DoubleSidedHammer, HammerTarget
+from repro.core.hammer import HAMMER_ROUND_SPAN, DoubleSidedHammer, HammerTarget
 from repro.core.llc_eviction import l1pte_line_offset, select_llc_eviction_set
 from repro.core.llc_pool import LLCPoolBuilder
 from repro.core.massage import MemoryMassage
@@ -27,6 +26,7 @@ from repro.core.spray import PageTableSpray
 from repro.core.timing_probe import calibrate_latency_threshold
 from repro.core.tlb_eviction import TLBEvictionSetBuilder
 from repro.core.uarch import UarchFacts
+from repro.observe import NULL_TRACE, TraceBus
 from repro.utils.stats import RunningStats
 
 
@@ -161,22 +161,27 @@ class PThammerReport:
         return "\n".join(lines)
 
 
-@contextmanager
-def _timed_phase(report, attacker, name):
-    """Record one phase's virtual-cycle span on the report timeline."""
-    start = attacker.rdtsc()
-    try:
-        yield
-    finally:
-        report.timeline.append((name, start, attacker.rdtsc()))
-
-
 class PThammerAttack:
-    """Drives the whole attack against one machine via its AttackerView."""
+    """Drives the whole attack against one machine via its AttackerView.
+
+    Phase boundaries are recorded as span scopes on the machine's trace
+    bus (:mod:`repro.observe`): the depth-0 spans become
+    ``report.timeline`` and the per-round ``hammer-round`` spans become
+    ``report.round_costs`` — when full event tracing is enabled
+    (``machine.trace.enable()``), the same spans let
+    :func:`repro.analysis.profile_trace` attribute every TLB/LLC/DRAM
+    event to the phase that caused it.
+    """
 
     def __init__(self, attacker, config=None, facts=None):
         self.attacker = attacker
         self.config = config if config is not None else PThammerConfig()
+        machine = getattr(attacker, "_machine", None)
+        #: The machine's trace bus; spans are recorded even when event
+        #: tracing is off (they cost a handful of appends per phase).
+        self.trace = getattr(machine, "trace", None)
+        if self.trace is None or self.trace is NULL_TRACE:
+            self.trace = TraceBus()
         # Datasheet knowledge for the machine under attack; reading it
         # from the machine config mirrors looking it up in published
         # reverse-engineering results (see repro.core.uarch).
@@ -197,21 +202,23 @@ class PThammerAttack:
         """Phases 1-4: calibration, eviction machinery, spray."""
         attacker = self.attacker
         config = self.config
-        start = attacker.rdtsc()
-        self.threshold = calibrate_latency_threshold(attacker)
-        report.calibrate_cycles = attacker.rdtsc() - start
+        trace = self.trace
+        with trace.span("calibrate") as span:
+            self.threshold = calibrate_latency_threshold(attacker)
+        report.calibrate_cycles = span.cycles
 
         for _ in range(config.cred_spray_processes):
             self.children.append(attacker.spawn())
 
         if config.massage:
-            MemoryMassage(attacker).soak_small_blocks()
+            with trace.span("massage"):
+                MemoryMassage(attacker).soak_small_blocks()
 
-        start = attacker.rdtsc()
-        self.spray = PageTableSpray(
-            attacker, config.spray_slots, shm_pages=config.shm_pages
-        ).execute()
-        report.spray_cycles = attacker.rdtsc() - start
+        with trace.span("spray") as span:
+            self.spray = PageTableSpray(
+                attacker, config.spray_slots, shm_pages=config.shm_pages
+            ).execute()
+        report.spray_cycles = span.cycles
 
         set_size = (
             config.llc_eviction_size
@@ -222,9 +229,10 @@ class PThammerAttack:
         offsets = None if config.full_pool else [
             l1pte_line_offset(self.spray.target_va(0))
         ]
-        self.pool = builder.prepare(
-            superpages=config.superpages, line_offsets=offsets
-        )
+        with trace.span("llc-prep"):
+            self.pool = builder.prepare(
+                superpages=config.superpages, line_offsets=offsets
+            )
         report.llc_prep_cycles = self.pool.prep_cycles
         report.tlb_prep_cycles = self.tlb_builder.prep_cycles
 
@@ -274,7 +282,22 @@ class PThammerAttack:
         return chosen
 
     def hammer_pairs(self, report, pairs, llc_sets):
-        """Phase 6: hammer, check, escalate."""
+        """Phase 6: hammer, check, escalate.
+
+        Per-round costs land on the trace bus as ``hammer-round`` spans
+        (Figure 6's data); ``report.round_costs`` is derived from them
+        on the way out, including the early escalation return.
+        """
+        first_span = len(self.trace.spans)
+        try:
+            self._hammer_pairs(report, pairs, llc_sets)
+        finally:
+            report.round_costs = [
+                span.cycles
+                for span in self.trace.spans_named(HAMMER_ROUND_SPAN, first_span)
+            ]
+
+    def _hammer_pairs(self, report, pairs, llc_sets):
         attacker = self.attacker
         config = self.config
         outcome = EscalationOutcome()
@@ -303,7 +326,11 @@ class PThammerAttack:
             record.selection_cycles = attacker.rdtsc() - start
 
             hammer = DoubleSidedHammer(
-                attacker, target_a, target_b, llc_sweeps=config.llc_sweeps
+                attacker,
+                target_a,
+                target_b,
+                llc_sweeps=config.llc_sweeps,
+                trace=self.trace,
             )
             start = attacker.rdtsc()
             costs = hammer.run_for_cycles(budget)
@@ -311,7 +338,6 @@ class PThammerAttack:
             record.rounds = len(costs)
             if costs:
                 record.round_cost_mean = sum(costs) / len(costs)
-            report.round_costs.extend(costs)
 
             start = attacker.rdtsc()
             mismatches = self._safe_scan()
@@ -342,25 +368,36 @@ class PThammerAttack:
         report = PThammerReport(
             machine_name=self.facts_name(), superpages=self.config.superpages
         )
-        with _timed_phase(report, self.attacker, "prepare"):
-            self.prepare(report)
-        if self.pool.set_count() == 0:
-            report.outcome = EscalationOutcome()
-            report.outcome.note(
-                "LLC eviction-set construction failed: no congruent line "
-                "groups found (randomised cache indexing defeats the attack)"
-            )
-            return report
+        trace = self.trace
+        first_span = len(trace.spans)
         try:
-            with _timed_phase(report, self.attacker, "pair-search"):
-                pairs, llc_sets = self.find_pairs(report)
-        except LookupError as error:
-            report.outcome = EscalationOutcome()
-            report.outcome.note("eviction-set selection failed: %s" % error)
+            with trace.span("prepare"):
+                self.prepare(report)
+            if self.pool.set_count() == 0:
+                report.outcome = EscalationOutcome()
+                report.outcome.note(
+                    "LLC eviction-set construction failed: no congruent line "
+                    "groups found (randomised cache indexing defeats the attack)"
+                )
+                return report
+            try:
+                with trace.span("pair-search"):
+                    pairs, llc_sets = self.find_pairs(report)
+            except LookupError as error:
+                report.outcome = EscalationOutcome()
+                report.outcome.note("eviction-set selection failed: %s" % error)
+                return report
+            with trace.span("hammer-check"):
+                self.hammer_pairs(report, pairs, llc_sets)
             return report
-        with _timed_phase(report, self.attacker, "hammer-check"):
-            self.hammer_pairs(report, pairs, llc_sets)
-        return report
+        finally:
+            # The machine-readable Table-II breakdown: this run's
+            # top-level phase scopes, straight off the trace.
+            report.timeline = [
+                (span.name, span.start, span.end)
+                for span in trace.spans[first_span:]
+                if span.depth == 0 and span.end is not None
+            ]
 
     def facts_name(self):
         """Best-effort machine name for reports."""

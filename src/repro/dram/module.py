@@ -10,6 +10,14 @@ aggressors conflict in the same bank and close each other's rows.
 """
 
 from repro.dram.bank import BankState
+from repro.observe import (
+    DRAM_ACTIVATE,
+    DRAM_FLIP,
+    DRAM_HIT,
+    DRAM_REFRESH,
+    NULL_TRACE,
+)
+from repro.observe import DRAM as DRAM_COMPONENT
 
 
 class FlipEvent:
@@ -54,7 +62,10 @@ class DRAMModule:
         rng,
         trr_threshold=0,
         staggered_refresh=False,
+        trace=None,
     ):
+        #: Trace bus for structured events (docs/OBSERVABILITY.md).
+        self._trace = trace if trace is not None else NULL_TRACE
         self.geometry = geometry
         self.timings = timings
         self.fault_model = fault_model
@@ -97,6 +108,14 @@ class DRAMModule:
             window = now // self.refresh_interval_cycles
             if bank.window_index != window:
                 bank.begin_window(window)
+                if self._trace.enabled:
+                    self._trace.emit(
+                        DRAM_REFRESH,
+                        DRAM_COMPONENT,
+                        bank=bank_index,
+                        mode="window",
+                        window=window,
+                    )
 
         idle_close = self.timings.idle_close_cycles
         if (
@@ -120,7 +139,17 @@ class DRAMModule:
         ):
             bank.open_row = None
 
-        return case, self.timings.latency(case)
+        latency = self.timings.latency(case)
+        if self._trace.enabled:
+            self._trace.emit(
+                DRAM_HIT if case == "hit" else DRAM_ACTIVATE,
+                DRAM_COMPONENT,
+                bank=bank_index,
+                row=row,
+                case=case,
+                cycles=latency,
+            )
+        return case, latency
 
     def _staggered_refresh(self, bank, row, now):
         """Reset disturbance of victims whose rolling refresh passed.
@@ -152,6 +181,14 @@ class DRAMModule:
                 # disturbance below can push any cell over threshold.
                 self.refresh_rows(bank_index, (row - 1, row + 1))
                 self.trr_refreshes += 1
+                if self._trace.enabled:
+                    self._trace.emit(
+                        DRAM_REFRESH,
+                        DRAM_COMPONENT,
+                        bank=bank_index,
+                        mode="trr",
+                        row=row,
+                    )
                 count = 0
             bank.act_counts[row] = count
         geometry = self.geometry
@@ -193,6 +230,15 @@ class DRAMModule:
         if current != wanted:
             return
         self.physmem.toggle_bit(paddr, bit)
+        if self._trace.enabled:
+            self._trace.emit(
+                DRAM_FLIP,
+                DRAM_COMPONENT,
+                paddr=paddr,
+                bit=bit,
+                bank=bank_index,
+                row=victim_row,
+            )
         self.flips.append(
             FlipEvent(paddr, bit, bank_index, victim_row, self._now, cell.one_to_zero)
         )

@@ -61,11 +61,19 @@ class Inspector:
         """Number of flips so far."""
         return self.machine.dram.flip_count()
 
-    # -- performance counters ---------------------------------------------
+    # -- performance counters and observability ---------------------------
 
     def perf_snapshot(self):
         """Snapshot all PMCs."""
         return self.machine.perf.snapshot()
+
+    def metrics(self):
+        """The machine's full metrics registry (counters + histograms)."""
+        return self.machine.metrics
+
+    def trace(self):
+        """The machine's trace bus (enable it to record events)."""
+        return self.machine.trace
 
     def tlb_miss_delta(self, before):
         """dtlb_load_misses.miss_causes_a_walk since a snapshot."""

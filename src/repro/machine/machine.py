@@ -24,6 +24,7 @@ from repro.machine.perf import (
     PerfCounters,
 )
 from repro.mem.physmem import PhysicalMemory
+from repro.observe import ACCESS, FAULT, MACHINE, MetricsRegistry, TraceBus
 from repro.mmu.tlb import TLB
 from repro.mmu.walker import PageFault, PageTableWalker
 from repro.params import PAGE_SHIFT
@@ -47,11 +48,18 @@ class AccessResult:
 class Machine:
     """One booted machine, ready to run processes and take hits."""
 
-    def __init__(self, config, policy=None):
+    def __init__(self, config, policy=None, trace=None):
         config.validate()
         self.config = config
         self.rng = DeterministicRng(config.seed)
         self.cycles = 0
+
+        #: Structured trace bus shared by every layer (off by default;
+        #: ``machine.trace.enable()`` opts in — docs/OBSERVABILITY.md).
+        self.trace = trace if trace is not None else TraceBus()
+        self.trace.clock = lambda: self.cycles
+        #: Metrics registry; ``machine.perf`` is a PMC-flavoured view of it.
+        self.metrics = MetricsRegistry()
 
         self.physmem = PhysicalMemory(config.dram.size_bytes)
         self.geometry = DRAMGeometry(
@@ -85,10 +93,13 @@ class Machine:
             self.rng.fork("dram"),
             trr_threshold=config.dram.trr_threshold,
             staggered_refresh=config.dram.staggered_refresh,
+            trace=self.trace,
         )
-        self.caches = CacheHierarchy(config.cache, self.rng.fork("cache"))
-        self.tlb = TLB(config.tlb, self.rng.fork("tlb"))
-        self.perf = PerfCounters()
+        self.caches = CacheHierarchy(
+            config.cache, self.rng.fork("cache"), trace=self.trace
+        )
+        self.tlb = TLB(config.tlb, self.rng.fork("tlb"), trace=self.trace)
+        self.perf = PerfCounters(self.metrics)
 
         self._paddr_mask = config.dram.size_bytes - 1
         frame_mask = (config.dram.size_bytes >> PAGE_SHIFT) - 1
@@ -101,6 +112,7 @@ class Machine:
             config.cpu,
             frame_mask,
             self.perf,
+            trace=self.trace,
         )
 
         self.policy = policy if policy is not None else StockPolicy()
@@ -192,6 +204,8 @@ class Machine:
                 break
             except PageFault:
                 self.perf.inc(PAGE_FAULTS)
+                if self.trace.enabled:
+                    self.trace.emit(FAULT, MACHINE, vaddr=vaddr, write=write)
                 retries += 1
                 if retries > 4:
                     # The mapping cannot be repaired (e.g. a corrupted
@@ -210,6 +224,16 @@ class Machine:
         else:
             read_back = self.physmem.read_word(paddr & ~7)
         self.cycles += latency
+        if self.trace.enabled:
+            self.trace.emit(
+                ACCESS,
+                MACHINE,
+                vaddr=vaddr,
+                paddr=paddr,
+                latency=latency,
+                source=walk.source,
+                level=cache_level,
+            )
         return AccessResult(paddr, latency, read_back, walk.source, cache_level)
 
     #: Flat per-read cycle charge for bulk scans: a TLB-missing,

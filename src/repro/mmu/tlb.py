@@ -15,6 +15,8 @@ separate structures, as on real hardware.
 """
 
 from repro.cache.setassoc import SetAssociativeCache
+from repro.observe import NULL_TRACE, TLB_EVICT, TLB_HIT
+from repro.observe import TLB as TLB_COMPONENT
 from repro.utils.rng import hash64
 from repro.errors import ConfigError
 from repro.params import PAGE_SHIFT, SUPERPAGE_SHIFT
@@ -46,8 +48,11 @@ def _make_set_mapping(spec, sets):
 class TLB:
     """L1 dTLB + L2 sTLB for 4 KiB pages, plus an L1 structure for 2 MiB."""
 
-    def __init__(self, config, rng):
+    def __init__(self, config, rng, trace=None):
         self.config = config
+        #: Trace bus for structured events (docs/OBSERVABILITY.md);
+        #: machines pass theirs, standalone TLBs get the inert default.
+        self._trace = trace if trace is not None else NULL_TRACE
         self.l1 = SetAssociativeCache(
             config.l1d_sets, config.l1d_ways, config.policy, rng.fork(1), name="L1dTLB"
         )
@@ -72,10 +77,14 @@ class TLB:
         """Probe the 4 KiB structures; return (level, frame-or-None)."""
         tag = (as_id, vpn)
         if self.l1.lookup(self.l1_set_of(vpn), tag):
+            if self._trace.enabled:
+                self._trace.emit(TLB_HIT, TLB_COMPONENT, level=TLB_L1, vpn=vpn)
             return TLB_L1, self._frames[tag]
         if self.l2.lookup(self.l2_set_of(vpn), tag):
             # Promote into the first level, as hardware refills do.
             self._install(self.l1, self.l1_set_of(vpn), tag)
+            if self._trace.enabled:
+                self._trace.emit(TLB_HIT, TLB_COMPONENT, level=TLB_L2, vpn=vpn)
             return TLB_L2, self._frames[tag]
         return TLB_MISS, None
 
@@ -83,6 +92,10 @@ class TLB:
         """Probe the 2 MiB structure; return (level, frame-or-None)."""
         tag = (as_id, superpage_number, "huge")
         if self.l1_huge.lookup(self.huge_set_of(superpage_number), tag):
+            if self._trace.enabled:
+                self._trace.emit(
+                    TLB_HIT, TLB_COMPONENT, level="tlb_huge", vpn=superpage_number
+                )
             return TLB_L1, self._frames[tag]
         return TLB_MISS, None
 
@@ -102,6 +115,10 @@ class TLB:
     def _install(self, structure, set_index, tag):
         evicted = structure.insert(set_index, tag)
         if evicted is not None:
+            if self._trace.enabled:
+                self._trace.emit(
+                    TLB_EVICT, TLB_COMPONENT, structure=structure.name, set=set_index
+                )
             self._maybe_drop_frame(evicted)
 
     def _maybe_drop_frame(self, tag):

@@ -15,6 +15,8 @@ of a kernel page-table address per touch of the target.
 
 from repro.errors import ReproError
 from repro.mmu.paging_cache import PagingStructureCache
+from repro.observe import NULL_TRACE, TLB_MISS as TLB_MISS_EVENT, WALK_FETCH
+from repro.observe import TLB as TLB_COMPONENT, WALKER
 from repro.mmu.pte import (
     pte_frame,
     pte_is_superpage,
@@ -54,8 +56,13 @@ class WalkResult:
 class PageTableWalker:
     """MMU translation front end: TLBs + paging-structure caches + walks."""
 
-    def __init__(self, tlb, psc_config, physmem, phys_access, timings, frame_mask, perf):
+    def __init__(
+        self, tlb, psc_config, physmem, phys_access, timings, frame_mask, perf,
+        trace=None,
+    ):
         self.tlb = tlb
+        #: Trace bus for structured events (docs/OBSERVABILITY.md).
+        self._trace = trace if trace is not None else NULL_TRACE
         self.physmem = physmem
         #: Callable (paddr) -> (cache_level, latency); the machine's
         #: physical-access path, shared with ordinary data accesses.
@@ -100,6 +107,8 @@ class PageTableWalker:
     def _walk(self, as_id, cr3_frame, vaddr, for_write):
         """Resolve a TLB miss from the deepest paging-structure-cache hit."""
         self.perf.inc("dtlb_load_misses.miss_causes_a_walk")
+        if self._trace.enabled:
+            self._trace.emit(TLB_MISS_EVENT, TLB_COMPONENT, vpn=vaddr >> PAGE_SHIFT)
         latency = self.timings.walk_base
         fetches = []
 
@@ -160,6 +169,15 @@ class PageTableWalker:
         entry_paddr = (table_frame << PAGE_SHIFT) | (table_index(vaddr, level) << 3)
         cache_level, cost = self.phys_access(entry_paddr)
         fetches.append((level, cache_level))
+        if self._trace.enabled:
+            self._trace.emit(
+                WALK_FETCH,
+                WALKER,
+                pt_level=level,
+                served=cache_level,
+                cycles=cost,
+                paddr=entry_paddr,
+            )
         return self.physmem.read_word(entry_paddr), cost
 
     def flush_structure_caches(self):

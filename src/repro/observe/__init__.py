@@ -1,0 +1,73 @@
+"""Observability layer: structured tracing, spans, and metrics.
+
+This package sits *below* the machine in the dependency order — it
+knows nothing about caches, TLBs, or DRAM; those layers emit into it.
+See ``docs/OBSERVABILITY.md`` for the event taxonomy, the metrics
+API, the JSONL trace-file schema, and a worked example correlating a
+Figure-6 hammer round with its TLB/LLC/DRAM events.
+
+Typical use::
+
+    machine = Machine(tiny_test_config())
+    machine.trace.enable()                      # opt in to events
+    ... run the attack ...
+    machine.trace.counts_by_kind()              # quick look
+    write_trace_jsonl(machine.trace, "out.jsonl")   # repro.analysis
+"""
+
+from repro.observe.bus import NULL_TRACE, NullTrace, TraceBus
+from repro.observe.events import (
+    ACCESS,
+    ALL_KINDS,
+    ATTACK,
+    CACHE,
+    DRAM,
+    MACHINE,
+    TLB,
+    WALKER,
+    CACHE_EVICT,
+    DRAM_ACTIVATE,
+    DRAM_FLIP,
+    DRAM_HIT,
+    DRAM_REFRESH,
+    FAULT,
+    SPAN_BEGIN,
+    SPAN_END,
+    TLB_EVICT,
+    TLB_HIT,
+    TLB_MISS,
+    WALK_FETCH,
+    Event,
+    Span,
+)
+from repro.observe.metrics import CycleHistogram, MetricsRegistry
+
+__all__ = [
+    "ACCESS",
+    "ALL_KINDS",
+    "ATTACK",
+    "CACHE",
+    "CACHE_EVICT",
+    "DRAM",
+    "MACHINE",
+    "TLB",
+    "WALKER",
+    "CycleHistogram",
+    "DRAM_ACTIVATE",
+    "DRAM_FLIP",
+    "DRAM_HIT",
+    "DRAM_REFRESH",
+    "Event",
+    "FAULT",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "NullTrace",
+    "SPAN_BEGIN",
+    "SPAN_END",
+    "Span",
+    "TLB_EVICT",
+    "TLB_HIT",
+    "TLB_MISS",
+    "TraceBus",
+    "WALK_FETCH",
+]

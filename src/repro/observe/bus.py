@@ -1,0 +1,209 @@
+"""The trace bus: a low-overhead, opt-in event stream.
+
+Design rule (enforced by the overhead benchmark in ``benchmarks/``):
+when tracing is disabled, an instrumented hot path pays exactly one
+attribute read and branch —
+
+    if self._trace.enabled:
+        self._trace.emit(...)
+
+``enabled`` is a plain boolean attribute, never a property, so the
+guard compiles to a dict lookup.  Every emitting component receives the
+machine's bus at construction time (or the shared :data:`NULL_TRACE`
+when built standalone), so there is no global state and two machines
+never share a trace.
+
+Spans (phase scopes) are different: they are recorded *unconditionally*
+on :attr:`TraceBus.spans` because they occur a handful of times per
+attack phase — that is what lets ``report.timeline`` and
+``report.round_costs`` always derive from the trace, while the
+per-access event firehose stays opt-in.
+"""
+
+from repro.observe.events import SPAN_BEGIN, SPAN_END, ATTACK, Event, Span
+
+
+def _zero_clock():
+    """Default clock for buses not yet attached to a machine."""
+    return 0
+
+
+class TraceBus:
+    """Structured event sink shared by every layer of one machine.
+
+    The bus owns the virtual clock reference (``clock`` is a callable
+    returning the current cycle; :class:`~repro.machine.machine.Machine`
+    points it at its own cycle counter), so emit sites never need to
+    thread timestamps through.
+    """
+
+    #: Default cap on buffered events; beyond it events are counted in
+    #: ``dropped`` instead of stored, bounding memory on long runs.
+    DEFAULT_LIMIT = 2_000_000
+
+    def __init__(self, limit=DEFAULT_LIMIT):
+        #: The single hot-path guard.  Callers must check this before
+        #: calling :meth:`emit`.
+        self.enabled = False
+        self.events = []
+        self.spans = []
+        self.dropped = 0
+        self.clock = _zero_clock
+        self._limit = limit
+        self._subscribers = []
+        self._depth = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self):
+        """Start recording events (spans are always recorded)."""
+        self.enabled = True
+
+    def disable(self):
+        """Stop recording events; the buffer is kept."""
+        self.enabled = False
+
+    def clear(self):
+        """Drop all buffered events and spans (between experiments)."""
+        self.events = []
+        self.spans = []
+        self.dropped = 0
+
+    # -- events ----------------------------------------------------------
+
+    def emit(self, kind, component, **fields):
+        """Record one event at the current virtual cycle.
+
+        Only call under an ``if bus.enabled:`` guard — the guard, not
+        this method, is the disabled-path cost contract.
+        """
+        event = Event(kind, component, self.clock(), fields)
+        if len(self.events) < self._limit:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+        if self._subscribers:
+            for subscriber in self._subscribers:
+                subscriber(event)
+        return event
+
+    def subscribe(self, callback):
+        """Stream events to ``callback(event)`` as they are emitted."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback):
+        """Remove a streaming subscriber."""
+        self._subscribers.remove(callback)
+
+    # -- spans -----------------------------------------------------------
+
+    def span(self, name):
+        """Open a phase scope; use as a context manager.
+
+        Nested spans get increasing ``depth``; the attack's Table-II
+        timeline is the depth-0 spans.  Span begin/end also surface as
+        events when event tracing is enabled, so a JSONL trace carries
+        the phase structure inline.
+        """
+        return _SpanScope(self, name)
+
+    def add_span(self, name, start, end):
+        """Record an already-measured span (e.g. one hammer round)."""
+        span = Span(name, start, end, self._depth)
+        self.spans.append(span)
+        return span
+
+    def spans_named(self, name, start_index=0):
+        """All closed spans with ``name``, from ``start_index`` on."""
+        return [
+            span
+            for span in self.spans[start_index:]
+            if span.name == name and span.end is not None
+        ]
+
+    # -- queries ---------------------------------------------------------
+
+    def events_between(self, start, end):
+        """Events whose timestamp falls in ``[start, end]``."""
+        return [event for event in self.events if start <= event.cycle <= end]
+
+    def counts_by_kind(self):
+        """Histogram of event kinds (diagnostics and tests)."""
+        counts = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def __len__(self):
+        return len(self.events)
+
+    def __repr__(self):
+        return "TraceBus(enabled=%s, events=%d, spans=%d, dropped=%d)" % (
+            self.enabled,
+            len(self.events),
+            len(self.spans),
+            self.dropped,
+        )
+
+
+class _SpanScope:
+    """Context manager recording one span on a bus."""
+
+    __slots__ = ("_bus", "_span")
+
+    def __init__(self, bus, name):
+        self._bus = bus
+        self._span = Span(name, bus.clock(), None, bus._depth)
+
+    def __enter__(self):
+        bus = self._bus
+        span = self._span
+        bus.spans.append(span)
+        bus._depth += 1
+        if bus.enabled:
+            bus.emit(SPAN_BEGIN, ATTACK, name=span.name, depth=span.depth)
+        return span
+
+    def __exit__(self, exc_type, exc, tb):
+        bus = self._bus
+        span = self._span
+        span.end = bus.clock()
+        bus._depth -= 1
+        if bus.enabled:
+            bus.emit(SPAN_END, ATTACK, name=span.name, depth=span.depth)
+        return False
+
+
+class NullTrace:
+    """Inert bus for components constructed outside a machine.
+
+    ``enabled`` is always False and cannot be switched on; attempting to is
+    a usage error (enable the owning machine's bus instead).
+    """
+
+    enabled = False
+
+    def emit(self, kind, component, **fields):
+        """No-op (only reachable if a caller skipped the guard)."""
+        return None
+
+    def add_span(self, name, start, end):
+        """No-op; standalone components keep no span history."""
+        return None
+
+    def span(self, name):
+        raise RuntimeError(
+            "cannot open spans on the null trace; construct the component "
+            "with a real TraceBus (machines wire one automatically)"
+        )
+
+    def enable(self):
+        raise RuntimeError(
+            "cannot enable the shared null trace; pass trace=TraceBus() "
+            "to the component (machines wire one automatically)"
+        )
+
+
+#: Shared inert bus; the default ``trace`` of standalone components.
+NULL_TRACE = NullTrace()

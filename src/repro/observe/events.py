@@ -1,0 +1,167 @@
+"""Event taxonomy for the structured trace (see docs/OBSERVABILITY.md).
+
+The paper's methodology is measurement: Section III calibrates
+eviction-set sizes from Intel PMCs, Table II reports per-phase costs,
+and Figure 6 reports per-round hammer latencies.  The trace layer makes
+the simulated machine observable at the same grain — every
+microarchitecturally meaningful step (a TLB miss, a page-table-entry
+fetch, a DRAM row activation, a bit flip) can be emitted as one
+structured :class:`Event` on the shared :class:`~repro.observe.bus.TraceBus`.
+
+Kinds are dotted strings grouped by the emitting subsystem; the full
+taxonomy with per-kind fields is tabulated in ``docs/OBSERVABILITY.md``.
+"""
+
+# -- machine-level events ------------------------------------------------
+#: One completed user-level load/store (fields: vaddr, paddr, latency,
+#: source, level).
+ACCESS = "access"
+#: A page fault taken and serviced by the kernel (fields: vaddr, write).
+FAULT = "fault"
+
+# -- TLB events ----------------------------------------------------------
+#: Translation served by a TLB structure (fields: level, vpn).
+TLB_HIT = "tlb.hit"
+#: Full TLB miss — a page-table walk begins (fields: vpn).
+TLB_MISS = "tlb.miss"
+#: A TLB entry lost its slot to a new insertion (fields: structure).
+TLB_EVICT = "tlb.evict"
+
+# -- page-table-walker events --------------------------------------------
+#: One page-table-entry fetch through the data caches (fields: pt_level,
+#: served, cycles, paddr).
+WALK_FETCH = "walk.fetch"
+
+# -- data-cache events ---------------------------------------------------
+#: An LLC eviction back-invalidating the inner levels (fields: line).
+CACHE_EVICT = "cache.evict"
+
+# -- DRAM events ---------------------------------------------------------
+#: A row activation — the unit of rowhammer disturbance (fields: bank,
+#: row, case, cycles).
+DRAM_ACTIVATE = "dram.activate"
+#: A request served by the open row, no activation (fields: bank, row,
+#: cycles).
+DRAM_HIT = "dram.hit"
+#: Disturbance state cleared by refresh (fields: bank, mode, window or
+#: rows).
+DRAM_REFRESH = "dram.refresh"
+#: A disturbance-induced bit flip materialised in physical memory
+#: (fields: paddr, bit, bank, row).
+DRAM_FLIP = "dram.flip"
+
+# -- span events ---------------------------------------------------------
+#: A phase scope opened/closed (fields: name, depth); spans are *also*
+#: always recorded on ``TraceBus.spans`` even when event tracing is off.
+SPAN_BEGIN = "span.begin"
+SPAN_END = "span.end"
+
+#: Component tags: the subsystem an event describes.
+MACHINE, TLB, WALKER, CACHE, DRAM, ATTACK = (
+    "machine",
+    "tlb",
+    "walker",
+    "cache",
+    "dram",
+    "attack",
+)
+
+#: Every kind above, for validation and documentation tooling.
+ALL_KINDS = (
+    ACCESS,
+    FAULT,
+    TLB_HIT,
+    TLB_MISS,
+    TLB_EVICT,
+    WALK_FETCH,
+    CACHE_EVICT,
+    DRAM_ACTIVATE,
+    DRAM_HIT,
+    DRAM_REFRESH,
+    DRAM_FLIP,
+    SPAN_BEGIN,
+    SPAN_END,
+)
+
+
+class Event:
+    """One structured trace record.
+
+    ``cycle`` is the virtual-clock timestamp (the machine's ``rdtsc``
+    at the start of the instruction that produced the event), so events
+    are naturally ordered and can be correlated with span ranges.
+    ``fields`` holds the kind-specific payload (plain ints/strings only,
+    so the JSONL export is lossless).
+    """
+
+    __slots__ = ("kind", "component", "cycle", "fields")
+
+    def __init__(self, kind, component, cycle, fields):
+        self.kind = kind
+        self.component = component
+        self.cycle = cycle
+        self.fields = fields
+
+    def to_dict(self):
+        """Flat dict for the JSONL trace-file schema."""
+        record = {
+            "type": "event",
+            "kind": self.kind,
+            "component": self.component,
+            "cycle": self.cycle,
+        }
+        record.update(self.fields)
+        return record
+
+    def __repr__(self):
+        return "Event(%s, %s, cycle=%d, %r)" % (
+            self.kind,
+            self.component,
+            self.cycle,
+            self.fields,
+        )
+
+
+class Span:
+    """A named [start, end] range on the virtual clock.
+
+    Spans implement the phase scopes of :class:`PThammerAttack` (the
+    Table-II timeline) and the per-round hammer costs (Figure 6).  They
+    are recorded unconditionally — a handful of appends per attack is
+    free — while high-frequency events stay opt-in.
+    """
+
+    __slots__ = ("name", "start", "end", "depth")
+
+    def __init__(self, name, start, end=None, depth=0):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.depth = depth
+
+    @property
+    def cycles(self):
+        """Span length on the virtual clock (0 while still open)."""
+        return 0 if self.end is None else self.end - self.start
+
+    def contains(self, cycle):
+        """Whether a timestamp falls inside this (closed) span."""
+        return self.end is not None and self.start <= cycle <= self.end
+
+    def to_dict(self):
+        """Flat dict for the JSONL trace-file schema."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "depth": self.depth,
+        }
+
+    def __repr__(self):
+        return "Span(%s, %s..%s, depth=%d)" % (
+            self.name,
+            self.start,
+            self.end,
+            self.depth,
+        )

@@ -1,0 +1,167 @@
+"""Metrics registry: counters, histograms, and timers.
+
+This replaces and supersedes the original 44-line ``PerfCounters``
+dict (which survives as a thin compatibility shim in
+:mod:`repro.machine.perf`).  Three instrument types:
+
+* **counters** — monotonic named integers; the PMC emulation
+  (``dtlb_load_misses.miss_causes_a_walk`` etc.) lives here.
+* **histograms** — power-of-two-bucketed distributions for latencies
+  and costs; count/sum/min/max plus bucket counts, so percentilish
+  summaries cost O(64) memory regardless of sample count.
+* **timers** — context managers measuring a virtual-cycle span into a
+  histogram.
+
+All instruments are created on first use; names are free-form dotted
+strings (``"hammer.round_cycles"``).  A registry belongs to one
+machine (``machine.metrics``) but standalone use is fine too.
+"""
+
+from repro.errors import ConfigError
+
+
+class CycleHistogram:
+    """Power-of-two-bucketed distribution of non-negative values.
+
+    Bucket ``i`` counts values with bit length ``i``, i.e. value 0 in
+    bucket 0, values ``[2**(i-1), 2**i)`` in bucket ``i`` — the right
+    resolution for cycle costs spanning decades (an L1 hit is ~4
+    cycles, a row-conflict DRAM access ~hundreds).
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+        #: bucket index (``int.bit_length`` of the value) -> count.
+        self.buckets = {}
+
+    def observe(self, value):
+        """Fold one observation in."""
+        if value < 0:
+            raise ConfigError("histograms take non-negative values, got %r" % value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        bucket = int(value).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self):
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_bounds(self, bucket):
+        """The half-open value range ``[lo, hi)`` of one bucket."""
+        if bucket == 0:
+            return 0, 1
+        return 1 << (bucket - 1), 1 << bucket
+
+    def summary(self):
+        """One-line human-readable recap."""
+        if not self.count:
+            return "empty"
+        return "n=%d mean=%.1f min=%d max=%d" % (
+            self.count,
+            self.mean,
+            self.minimum,
+            self.maximum,
+        )
+
+
+class _Timer:
+    """Context manager observing a clocked span into a histogram."""
+
+    __slots__ = ("_histogram", "_clock", "_start")
+
+    def __init__(self, histogram, clock):
+        self._histogram = histogram
+        self._clock = clock
+        self._start = 0
+
+    def __enter__(self):
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._histogram.observe(self._clock() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Named counters and histograms with snapshot/delta support."""
+
+    def __init__(self):
+        self._counters = {}
+        self._histograms = {}
+        #: Bumped by :meth:`reset`; snapshots taken before a reset are
+        #: recognisably stale (see ``PerfCounters.delta``).
+        self.generation = 0
+
+    # -- counters --------------------------------------------------------
+
+    def inc(self, name, amount=1):
+        """Add to a counter, creating it at zero."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def read(self, name):
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self):
+        """Copy of all counters."""
+        return dict(self._counters)
+
+    # -- histograms ------------------------------------------------------
+
+    def observe(self, name, value):
+        """Fold a value into a histogram, creating it on first use."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = CycleHistogram()
+        histogram.observe(value)
+
+    def histogram(self, name):
+        """The histogram named ``name``, creating it empty on demand."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = CycleHistogram()
+        return histogram
+
+    def histograms(self):
+        """Mapping of all live histograms (shared objects, not copies)."""
+        return dict(self._histograms)
+
+    def timer(self, name, clock):
+        """Context manager timing a span of ``clock`` into ``name``."""
+        return _Timer(self.histogram(name), clock)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reset(self):
+        """Zero all instruments and invalidate earlier snapshots."""
+        self._counters.clear()
+        self._histograms.clear()
+        self.generation += 1
+
+    def render(self):
+        """Plain-text dump of every instrument, sorted by name."""
+        lines = []
+        for name in sorted(self._counters):
+            lines.append("%-44s %12d" % (name, self._counters[name]))
+        for name in sorted(self._histograms):
+            lines.append("%-44s %s" % (name, self._histograms[name].summary()))
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def __repr__(self):
+        return "MetricsRegistry(counters=%d, histograms=%d, generation=%d)" % (
+            len(self._counters),
+            len(self._histograms),
+            self.generation,
+        )

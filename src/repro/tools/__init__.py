@@ -1,0 +1,6 @@
+"""Repository tooling: small maintenance commands run as modules.
+
+These are developer/CI utilities, not part of the simulation — e.g.
+``python -m repro.tools.check_docs`` validates that every intra-repo
+reference in the Markdown docs points at a file that exists.
+"""

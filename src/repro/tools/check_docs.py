@@ -1,0 +1,134 @@
+"""Docs link checker: fail on broken intra-repo references.
+
+Usage (CI and local)::
+
+    python -m repro.tools.check_docs [--root PATH]
+
+Scans every Markdown file in the repository root and ``docs/``
+(recursively) for two kinds of intra-repo references:
+
+* Markdown links ``[text](target)`` whose target is not an external
+  URL or a pure anchor — resolved relative to the referencing file,
+  then against the repository root;
+* backtick-quoted paths like ```docs/API.md``` or ```src/repro/observe/```
+  whose first segment is a top-level repository entry — these are how
+  the prose refers to files, and they rot just as easily as links.
+
+Exit status 0 when everything resolves, 1 with a listing of broken
+references otherwise.  Kept dependency-free so it runs anywhere the
+package does; wired into the test suite (``tests/test_tools_check_docs.py``)
+so a broken reference fails tier-1.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+#: [text](target) — target captured; images share the syntax.
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: `path/like/this` — conservative: no spaces, at least one slash or a
+#: .md suffix, characters that occur in paths only.
+_BACKTICK_PATH = re.compile(r"`([A-Za-z0-9_.\-/]+)`")
+#: Schemes (and pseudo-targets) that are not filesystem references.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _markdown_files(root):
+    """Top-level *.md plus everything under docs/, sorted for stable output."""
+    found = []
+    for name in sorted(os.listdir(root)):
+        if name.endswith(".md") and os.path.isfile(os.path.join(root, name)):
+            found.append(os.path.join(root, name))
+    docs = os.path.join(root, "docs")
+    for dirpath, _dirnames, filenames in os.walk(docs):
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return found
+
+
+def _resolves(target, source_dir, root):
+    """Whether a reference resolves relative to its file or the repo root."""
+    return os.path.exists(os.path.join(source_dir, target)) or os.path.exists(
+        os.path.join(root, target)
+    )
+
+
+def _link_targets(text):
+    """Intra-repo targets of all Markdown links in ``text``."""
+    targets = []
+    for target in _MD_LINK.findall(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]  # strip anchors
+        if target:
+            targets.append(target)
+    return targets
+
+
+def _backtick_targets(text, root):
+    """Backticked tokens that look like repo paths (first segment exists)."""
+    top_level = set(os.listdir(root))
+    targets = []
+    for token in _BACKTICK_PATH.findall(text):
+        if "/" not in token and not token.endswith(".md"):
+            continue
+        if token.startswith("/") or ".." in token.split("/"):
+            continue
+        first = token.split("/", 1)[0]
+        # Only claim tokens rooted at a real top-level entry; anything
+        # else (module paths, URLs fragments, flags) is prose.
+        if first not in top_level:
+            continue
+        targets.append(token.rstrip("/"))
+    return targets
+
+
+def check_repository(root):
+    """Return a list of (file, reference) pairs that do not resolve."""
+    broken = []
+    for path in _markdown_files(root):
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        source_dir = os.path.dirname(path)
+        seen = set()
+        for target in _link_targets(text) + _backtick_targets(text, root):
+            if target in seen:
+                continue
+            seen.add(target)
+            if not _resolves(target, source_dir, root):
+                broken.append((os.path.relpath(path, root), target))
+    return broken
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.check_docs",
+        description="fail on broken intra-repo references in docs/ and README",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: auto-detected from this file)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root
+    if root is None:
+        # src/repro/tools/check_docs.py -> repository root, three up from src/.
+        here = os.path.dirname(os.path.abspath(__file__))
+        root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    files = _markdown_files(root)
+    broken = check_repository(root)
+    if broken:
+        print("broken intra-repo references:")
+        for path, target in broken:
+            print("  %s -> %s" % (path, target))
+        print("%d broken reference(s) in %d file(s) scanned" % (len(broken), len(files)))
+        return 1
+    print("docs ok: %d Markdown file(s), no broken intra-repo references" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

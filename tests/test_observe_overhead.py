@@ -1,0 +1,105 @@
+"""Disabled-tracing overhead guard (tier-1, marked ``overhead``).
+
+The observability contract (docs/OBSERVABILITY.md): with tracing off,
+every instrumented hot path pays exactly one boolean attribute check
+per would-be event.  Measuring a full attack twice and comparing wall
+times is far too noisy for a 5% bound on shared CI hardware, so the
+quantitative check is deterministic instead:
+
+1. run the attack with a bus whose ``enabled`` read *counts* itself,
+   giving the exact number of guard evaluations the attack performs;
+2. measure the real per-check cost of the guard pattern in a tight
+   loop on a plain :class:`TraceBus`;
+3. assert ``checks x per-check`` stays under 5% of the measured attack
+   wall time.
+
+A separate correctness check asserts the disabled path records
+literally nothing.
+"""
+
+import time
+
+import pytest
+
+from repro.core import PThammerAttack, PThammerConfig
+from repro.machine import AttackerView, Machine
+from repro.machine.configs import tiny_test_config
+from repro.observe import TraceBus
+
+ATTACK = PThammerConfig(spray_slots=192, pair_sample=8, max_pairs=4)
+
+
+class CountingBus(TraceBus):
+    """A disabled TraceBus whose ``enabled`` reads are counted.
+
+    Overriding the attribute with a property costs more per check than
+    the production plain attribute, so the count is exact while the
+    attack itself only gets slower — conservative in the right
+    direction.
+    """
+
+    def __init__(self):
+        self.checks = 0
+        super().__init__()
+
+    @property
+    def enabled(self):
+        self.checks += 1
+        return False
+
+    @enabled.setter
+    def enabled(self, value):
+        if value:
+            raise AssertionError("the counting bus must stay disabled")
+
+
+def _run_attack(trace=None):
+    machine = Machine(tiny_test_config(seed=3), trace=trace)
+    attacker = AttackerView(machine, machine.boot_process())
+    start = time.perf_counter()
+    report = PThammerAttack(attacker, ATTACK).run()
+    elapsed = time.perf_counter() - start
+    return machine, report, elapsed
+
+
+def _per_check_seconds(iterations=2_000_000):
+    """Cost of one ``if bus.enabled:`` guard on the production bus."""
+    bus = TraceBus()
+    assert bus.enabled is False
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if bus.enabled:
+            raise AssertionError("unreachable")
+    return (time.perf_counter() - start) / iterations
+
+
+@pytest.mark.overhead
+def test_disabled_tracing_records_nothing():
+    machine, report, _elapsed = _run_attack()
+    assert machine.trace.events == []
+    assert machine.trace.dropped == 0
+    # Spans still recorded: the report's timeline depends on them.
+    assert report.timeline
+
+
+@pytest.mark.overhead
+def test_disabled_guard_cost_is_under_five_percent():
+    counting = CountingBus()
+    _machine, _report, counted_elapsed = _run_attack(trace=counting)
+    assert counting.checks > 0, "the attack must exercise instrumented paths"
+
+    _machine2, _report2, plain_elapsed = _run_attack()
+    attack_seconds = min(counted_elapsed, plain_elapsed)
+
+    guard_seconds = counting.checks * _per_check_seconds()
+    ratio = guard_seconds / attack_seconds
+    assert ratio < 0.05, (
+        "disabled-tracing guards cost %.2f%% of the attack "
+        "(%d checks, %.1f ns each, %.2f s attack)"
+        % (
+            100.0 * ratio,
+            counting.checks,
+            1e9 * guard_seconds / counting.checks,
+            attack_seconds,
+        )
+    )

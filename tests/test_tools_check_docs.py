@@ -1,0 +1,76 @@
+"""The docs link checker — and the repo's own docs passing it."""
+
+import os
+
+from repro.tools import check_docs
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _write(root, relpath, text):
+    path = os.path.join(root, relpath)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def test_repository_docs_have_no_broken_references():
+    broken = check_docs.check_repository(REPO_ROOT)
+    assert broken == [], "broken intra-repo doc references: %r" % broken
+
+
+def test_detects_broken_markdown_link(tmp_path):
+    root = str(tmp_path)
+    _write(root, "README.md", "see [the API](docs/API.md)\n")
+    assert check_docs.check_repository(root) == [("README.md", "docs/API.md")]
+    _write(root, "docs/API.md", "# api\n")
+    assert check_docs.check_repository(root) == []
+
+
+def test_links_resolve_relative_to_their_file(tmp_path):
+    root = str(tmp_path)
+    _write(root, "docs/GUIDE.md", "[up](../README.md) and [sib](OTHER.md)\n")
+    _write(root, "docs/OTHER.md", "x\n")
+    _write(root, "README.md", "x\n")
+    assert check_docs.check_repository(root) == []
+
+
+def test_external_urls_and_anchors_are_ignored(tmp_path):
+    root = str(tmp_path)
+    _write(
+        root,
+        "README.md",
+        "[a](https://example.com/x.md) [b](#section) [c](mailto:x@y.z)\n",
+    )
+    assert check_docs.check_repository(root) == []
+
+
+def test_anchor_suffixes_are_stripped(tmp_path):
+    root = str(tmp_path)
+    _write(root, "README.md", "[a](docs/GUIDE.md#section)\n")
+    _write(root, "docs/GUIDE.md", "# guide\n")
+    assert check_docs.check_repository(root) == []
+
+
+def test_backtick_paths_are_checked(tmp_path):
+    root = str(tmp_path)
+    _write(root, "README.md", "outputs live in `docs/missing/` here\n")
+    _write(root, "docs/present.md", "x\n")
+    assert check_docs.check_repository(root) == [("README.md", "docs/missing")]
+
+
+def test_backtick_prose_is_not_claimed(tmp_path):
+    root = str(tmp_path)
+    # Module paths, flags, and expressions must not be treated as files.
+    _write(root, "README.md", "`repro.observe.TraceBus` and `--profile` and `a/b`\n")
+    assert check_docs.check_repository(root) == []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    root = str(tmp_path)
+    _write(root, "README.md", "[bad](nope.md)\n")
+    assert check_docs.main(["--root", root]) == 1
+    assert "nope.md" in capsys.readouterr().out
+    _write(root, "nope.md", "x\n")
+    assert check_docs.main(["--root", root]) == 0
+    assert "docs ok" in capsys.readouterr().out
