@@ -44,3 +44,15 @@ def once(benchmark):
         return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
 
     return runner
+
+
+def run_registered(name, options=None, jobs=1):
+    """Dispatch one registered experiment through the engine.
+
+    The benchmark harness goes through the same registry the CLI uses,
+    so a spec that drifts from its historical serial behaviour fails
+    here, loudly.
+    """
+    from repro.analysis.engine import run_experiment
+
+    return run_experiment(name, options, jobs=jobs).result

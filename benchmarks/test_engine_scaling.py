@@ -1,0 +1,31 @@
+"""Engine fan-out: ``--jobs N`` must never change a rendered result.
+
+Runs Table II serially and through a 4-worker pool and asserts the
+rendered outputs are byte-identical (the engine's determinism
+contract).  Wall-clock for both runs lands in ``extra_info`` so a
+multi-core runner can read the speedup off ``bench_output.txt``; no
+speed assertion is made here because CI cores are not guaranteed.
+"""
+
+from conftest import emit
+
+from repro.analysis.engine import run_experiment
+from repro.core.pthammer import PThammerConfig
+from repro.machine.configs import dell_e6420_scaled, lenovo_t420_scaled
+
+
+def test_table2_parallel_matches_serial(once, benchmark):
+    options = {
+        "config_fns": (lenovo_t420_scaled, dell_e6420_scaled),
+        "attack_config": PThammerConfig(spray_slots=384, pair_sample=10, max_pairs=8),
+    }
+    serial = run_experiment("table2", options, jobs=1)
+    parallel = once(run_experiment, "table2", options, jobs=4)
+    emit(parallel.result)
+    assert parallel.result.render() == serial.result.render()
+    assert parallel.completed and serial.completed
+    benchmark.extra_info["serial_s"] = round(serial.host_seconds, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel.host_seconds, 3)
+    benchmark.extra_info["speedup"] = round(
+        serial.host_seconds / max(parallel.host_seconds, 1e-9), 2
+    )

@@ -4,14 +4,19 @@ Paper shape: eviction sets of >= 12 pages achieve consistently high
 miss rates; below 12 the success drops significantly.
 """
 
-from conftest import emit
+from conftest import emit, run_registered
 
-from repro.analysis import figure3
 from repro.machine.configs import SCALED_MACHINES
 
 
 def test_figure3_tlb_eviction_knee(once, benchmark):
-    result = emit(once(figure3, config_fns=SCALED_MACHINES, sizes=range(8, 17), trials=80))
+    result = emit(
+        once(
+            run_registered,
+            "figure3",
+            {"config_fns": SCALED_MACHINES, "sizes": range(8, 17), "trials": 80},
+        )
+    )
     for machine, points in result.series.items():
         # Reliable at 12+ pages...
         for size in (12, 13, 14, 15, 16):
@@ -24,6 +29,10 @@ def test_figure3_tlb_eviction_knee(once, benchmark):
         # machine in the paper's Figure 3 as well).
         assert points[8] < 0.9, machine
         assert points[8] <= points[12] - 0.05, machine
+        # min_reliable_size returns None when even the largest size is
+        # unreliable — that would be a real regression here, so guard
+        # explicitly before comparing.
         reliable = result.min_reliable_size(machine, level=0.9)
-        assert reliable is not None and 9 <= reliable <= 13, (machine, reliable)
+        assert reliable is not None, "%s: no reliable eviction-set size" % machine
+        assert 9 <= reliable <= 13, (machine, reliable)
         benchmark.extra_info[machine] = reliable

@@ -6,14 +6,15 @@ the Lenovos, 16 on the Dell) and collapses below it — which is why the
 attack uses associativity + 1 lines.
 """
 
-from conftest import emit
+from conftest import emit, run_registered
 
-from repro.analysis import figure4
 from repro.machine.configs import SCALED_MACHINES
 
 
 def test_figure4_llc_eviction_knee(once, benchmark):
-    result = emit(once(figure4, config_fns=SCALED_MACHINES, trials=80))
+    result = emit(
+        once(run_registered, "figure4", {"config_fns": SCALED_MACHINES, "trials": 80})
+    )
     ways_by_machine = {
         "Lenovo T420 (scaled)": 12,
         "Lenovo X230 (scaled)": 12,
@@ -25,7 +26,13 @@ def test_figure4_llc_eviction_knee(once, benchmark):
         assert points[ways + 3] >= 0.9, machine
         assert points[ways] < points[ways + 1], machine  # the knee
         assert points[ways - 2] <= 0.3, machine  # collapse below
+        # Guard the None return: if no size reaches 90%, eviction on
+        # this machine regressed outright.
+        reliable = result.min_reliable_size(machine, level=0.9)
+        assert reliable is not None, "%s: no reliable eviction-set size" % machine
+        assert reliable <= ways + 1, (machine, reliable)
         benchmark.extra_info[machine] = {
             "assoc": ways,
             "rate_at_assoc_plus_1": points[ways + 1],
+            "min_reliable_size": reliable,
         }

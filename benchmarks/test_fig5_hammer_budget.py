@@ -6,24 +6,26 @@ paper's machines; the cliff scales with our refresh window and
 thresholds) no flip is ever observed.
 """
 
-from conftest import emit
+from conftest import emit, run_registered
 
-from repro.analysis import figure5
 from repro.machine.configs import lenovo_t420_scaled
 
 
 def test_figure5_budget_cliff(once, benchmark):
     paddings = (0, 400, 800, 1200, 1700, 2400, 3400)
 
-    def run():
-        return figure5(
-            lenovo_t420_scaled,
-            paddings=paddings,
-            budget_windows=12,
-            buffer_pages=256,
+    result = emit(
+        once(
+            run_registered,
+            "figure5",
+            {
+                "config_fn": lenovo_t420_scaled,
+                "paddings": paddings,
+                "budget_windows": 12,
+                "buffer_pages": 256,
+            },
         )
-
-    result = emit(once(run))
+    )
     series = result.series
     # Fast iterations flip.
     assert series[0] is not None

@@ -5,9 +5,8 @@ the Figure-5 budget; the Dell's rounds are costlier than the Lenovos'
 (its 17-line eviction sets mean 34 LLC accesses per round vs 26).
 """
 
-from conftest import emit
+from conftest import emit, run_registered
 
-from repro.analysis import figure6
 from repro.machine import Machine
 from repro.machine.configs import dell_e6420_scaled, lenovo_t420_scaled
 
@@ -17,8 +16,14 @@ def test_figure6_round_costs(once, benchmark):
         results = {}
         for config_fn in (lenovo_t420_scaled, dell_e6420_scaled):
             for superpages in (True, False):
-                result = figure6(
-                    config_fn, superpages=superpages, rounds=50, spray_slots=384
+                result = run_registered(
+                    "figure6",
+                    {
+                        "config_fn": config_fn,
+                        "superpages": superpages,
+                        "rounds": 50,
+                        "spray_slots": 384,
+                    },
                 )
                 results[(result.machine, result.page_setting)] = result
         return results

@@ -12,13 +12,11 @@ Expected outcomes (the paper's findings, reproduced in shape):
 * ZebRAM  — stops the attack: every flip lands in a guard row (§V).
 """
 
-from conftest import emit
-
-from repro.analysis.experiments import section_4g_defenses
+from conftest import emit, run_registered
 
 
 def test_defense_matrix(once, benchmark):
-    matrix = emit(once(section_4g_defenses))
+    matrix = emit(once(run_registered, "defenses"))
     by_name = {r.defense: r for r in matrix.results}
 
     assert by_name["stock"].escalated and by_name["stock"].method == "l1pt"

@@ -10,23 +10,25 @@ Paper shape assertions:
 * hammering produces a first flip in both settings.
 """
 
-from conftest import emit
+from conftest import emit, run_registered
 
-from repro.analysis import table2
 from repro.core.pthammer import PThammerConfig
 from repro.machine.configs import lenovo_t420_scaled, dell_e6420_scaled
 
 
 def test_table2_phase_costs(once, benchmark):
-    def run():
-        return table2(
-            config_fns=(lenovo_t420_scaled, dell_e6420_scaled),
-            attack_config=PThammerConfig(
-                spray_slots=384, pair_sample=10, max_pairs=8
-            ),
+    result = emit(
+        once(
+            run_registered,
+            "table2",
+            {
+                "config_fns": (lenovo_t420_scaled, dell_e6420_scaled),
+                "attack_config": PThammerConfig(
+                    spray_slots=384, pair_sample=10, max_pairs=8
+                ),
+            },
         )
-
-    result = emit(once(run))
+    )
     by_key = {(r.machine, r.page_setting): r for r in result.rows}
     assert len(by_key) == 4
     for (machine, setting), row in by_key.items():

@@ -1,18 +1,43 @@
 """Sections IV-G and V: PThammer against the software-only defenses.
 
 Boots five machines — undefended, CATT, RIP-RH, CTA, ZebRAM — runs the
-same unprivileged attack against each, and prints the outcome matrix.
-Expect a few minutes of host time.
+same unprivileged attack against each through the experiment engine,
+and prints the outcome matrix.  The five runs are independent, so
+``--jobs 5`` fans them across worker processes; ``--checkpoint`` makes
+an interrupted evaluation resumable.  Expect a few minutes of host time
+serially.
 
     python examples/defense_evaluation.py
+    python examples/defense_evaluation.py --jobs 5
+    python examples/defense_evaluation.py --checkpoint defenses.jsonl --resume
 """
 
-from repro.analysis.experiments import section_4g_defenses
+import argparse
+import sys
+
+from repro.analysis.engine import run_experiment
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--checkpoint", metavar="FILE", default=None)
+    parser.add_argument("--resume", action="store_true")
+    args = parser.parse_args(argv)
+
     print("running PThammer against five kernels (a few minutes) ...")
-    matrix = section_4g_defenses()
+    run = run_experiment(
+        "defenses",
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        progress=lambda done, total, outcome: print(
+            "  [%d/%d] %s done (host %.0fs)"
+            % (done, total, outcome.key, outcome.host_seconds),
+            file=sys.stderr,
+        ),
+    )
+    matrix = run.result
     for result in matrix.results:
         print(
             "  %-7s escalated=%-5s method=%-5s flips=%d (host %.0fs)"
@@ -26,6 +51,8 @@ def main():
         )
     print()
     print(matrix.render())
+    print()
+    print(run.summary())
     print()
     print("Paper's findings, reproduced in shape:")
     print(" * CATT and RIP-RH fall to L1PT capture — the MMU hammers for us.")

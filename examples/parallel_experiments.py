@@ -1,0 +1,58 @@
+"""The experiment engine: fan-out, checkpointing, and resume.
+
+Walks through the three things the engine adds over calling experiment
+runners directly:
+
+1. parallel fan-out — ``jobs=N`` spreads independent tasks over forked
+   worker processes with bit-identical results;
+2. checkpoint streaming — every finished task lands in a JSONL file the
+   moment it completes;
+3. resume — a second run with ``resume=True`` skips the tasks already
+   on disk (here demonstrated with ``max_tasks`` standing in for a
+   killed run).
+
+Everything runs at tiny scale, so the whole demo takes seconds.
+
+    python examples/parallel_experiments.py
+"""
+
+import os
+import tempfile
+
+from repro.analysis.engine import load_checkpoint, run_experiment
+from repro.machine.configs import tiny_test_config
+
+OPTIONS = {
+    "config_fns": (tiny_test_config, lambda: tiny_test_config(seed=9)),
+    "sizes": (8, 10, 12, 14),
+    "trials": 20,
+}
+
+
+def main():
+    print("== 1. serial vs parallel (identical results) ==")
+    serial = run_experiment("figure3", OPTIONS, jobs=1)
+    parallel = run_experiment("figure3", OPTIONS, jobs=2)
+    assert serial.result.render() == parallel.result.render()
+    print(parallel.result.render())
+    print("serial:   %s" % serial.summary())
+    print("parallel: %s" % parallel.summary())
+
+    print()
+    print("== 2. checkpointed run, interrupted after one task ==")
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-engine-"), "figure3.jsonl")
+    partial = run_experiment("figure3", OPTIONS, checkpoint=path, max_tasks=1)
+    print("interrupted: %s" % partial.summary())
+    header, records = load_checkpoint(path)
+    print("checkpoint %s holds %d/%d task(s)" % (path, len(records), header["tasks"]))
+
+    print()
+    print("== 3. resume completes the remaining tasks ==")
+    resumed = run_experiment("figure3", OPTIONS, checkpoint=path, resume=True)
+    assert resumed.result.render() == serial.result.render()
+    print("resumed:  %s" % resumed.summary())
+    print("resumed output matches the uninterrupted run bit-for-bit")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,494 @@
+"""Parallel experiment engine: specs, a registry, fan-out, checkpoints.
+
+Every paper artifact decomposes into independent *(machine config,
+trial, seed)* tasks; this module executes such task lists — serially or
+across a process pool — behind one API (see
+``docs/EXPERIMENT_ENGINE.md`` for the full protocol, the
+seed-derivation scheme, and the checkpoint schema):
+
+    from repro.analysis.engine import run_experiment
+
+    outcome = run_experiment("figure3", jobs=4)
+    print(outcome.result.render())
+
+Design points:
+
+* **ExperimentSpec** — the unified description of one experiment:
+  a name, a task-list builder, a per-task run function returning plain
+  JSON-serialisable data, and a reduce function folding the per-task
+  data (in task order) into the experiment's result object.  Specs are
+  registered by name (:func:`register_experiment`); the CLI and the
+  benchmark harness dispatch through the registry.
+* **Determinism** — tasks carry deterministically derived seeds
+  (:func:`derive_seed`), run on freshly booted machines, and share no
+  state, so ``jobs=N`` produces bit-identical aggregated results for
+  every ``N``.  Per-task data is canonicalised through a JSON round
+  trip even when no checkpoint is written, so resumed and uninterrupted
+  runs cannot diverge on representation (e.g. int vs str dict keys).
+* **Checkpoints** — with ``checkpoint=PATH`` every finished task is
+  streamed to a JSONL file as it completes; ``resume=True`` skips the
+  tasks already on disk.  A truncated final line (a killed run) is
+  ignored on load, so resuming after a crash is always safe.
+* **Metrics** — machines booted inside a task register their
+  :class:`~repro.observe.MetricsRegistry` with the engine (via
+  ``ExperimentContext``); each task returns a merged snapshot and the
+  run outcome aggregates all of them into one run-level registry.
+
+Workers are forked (POSIX), so spec options may contain arbitrary
+callables (machine-config factories, placement policies); only task
+payloads and per-task results must be picklable/JSON-serialisable.
+Where ``fork`` is unavailable the engine silently degrades to serial
+execution — results are identical either way.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.observe import MetricsRegistry
+
+#: Bump when the checkpoint line format changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Tasks and specs
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of experiment work.
+
+    ``key`` must be unique within the experiment's task list and stable
+    across runs — it is how checkpoints recognise finished work.
+    ``payload`` is spec-defined (keep it JSON-serialisable); ``seed``
+    is filled by the engine via :func:`derive_seed` when left ``None``.
+    """
+
+    key: str
+    payload: Any = None
+    seed: Optional[int] = None
+
+
+@dataclass
+class ExperimentSpec:
+    """The unified experiment protocol: name, tasks, run fn, reduce fn.
+
+    * ``build_tasks(options)`` returns the full task list.
+    * ``run_task(task, options)`` executes one task and returns plain
+      JSON-serialisable data (no machine objects, no dataclasses).
+    * ``reduce(data, options)`` folds the per-task data — always in
+      task-list order, regardless of completion order — into the
+      experiment's result object.
+
+    The CLI hooks are optional: ``cli_configure(parser)`` adds the
+    experiment's own flags to its subparser, ``cli_options(args)``
+    translates parsed flags into an options dict, and ``smoke_argv``
+    lists tiny-scale CLI arguments used by the registry smoke test
+    (``tests/test_cli_smoke.py``) so every registered experiment stays
+    runnable end-to-end.
+    """
+
+    name: str
+    title: str
+    build_tasks: Callable[[dict], List[Task]]
+    run_task: Callable[[Task, dict], Any]
+    reduce: Callable[[List[Any], dict], Any]
+    defaults: Dict[str, Any] = field(default_factory=dict)
+    cli_configure: Optional[Callable] = None
+    cli_options: Optional[Callable] = None
+    smoke_argv: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec):
+    """Add a spec to the global registry; returns it for chaining."""
+    if spec.name in _REGISTRY:
+        raise ConfigError("experiment %r is already registered" % spec.name)
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_experiment(name):
+    """Look a registered spec up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown experiment %r (registered: %s)"
+            % (name, ", ".join(sorted(_REGISTRY)) or "none")
+        )
+
+
+def experiment_names():
+    """Sorted names of every registered experiment."""
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Deterministic seed derivation
+
+
+def derive_seed(root_seed, *parts, bits=32):
+    """Derive a per-task seed from a root seed and identifying parts.
+
+    SHA-256 over ``root:part:part:...`` truncated to ``bits`` bits —
+    stable across processes, platforms, and Python versions (unlike
+    ``hash()``), and statistically independent for different part
+    tuples, so fanned-out trials never share RNG streams by accident.
+    """
+    material = ":".join([str(root_seed)] + [str(part) for part in parts])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & ((1 << bits) - 1)
+
+
+# ----------------------------------------------------------------------
+# Per-task metrics capture
+
+#: Stack of active capture lists; ExperimentContext reports into it.
+_ACTIVE_CAPTURES = []
+
+
+def observe_machine_metrics(registry):
+    """Register a machine's metrics registry with the running task.
+
+    Called by ``ExperimentContext`` (and anything else that boots
+    machines inside ``run_task``); a no-op outside the engine.
+    """
+    for capture in _ACTIVE_CAPTURES:
+        capture.append(registry)
+
+
+# ----------------------------------------------------------------------
+# Task execution
+
+
+@dataclass
+class TaskOutcome:
+    """One finished task: canonical data plus its metrics snapshot."""
+
+    key: str
+    seed: Optional[int]
+    data: Any
+    metrics: Optional[dict]
+    host_seconds: float
+    resumed: bool = False
+
+
+def _execute_task(spec, options, task):
+    """Run one task, capturing metrics and canonicalising the data."""
+    started = time.time()
+    registries = []
+    _ACTIVE_CAPTURES.append(registries)
+    try:
+        data = spec.run_task(task, options)
+    finally:
+        _ACTIVE_CAPTURES.pop()
+    try:
+        data = json.loads(json.dumps(data))
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            "experiment %r task %r returned non-JSON-serialisable data: %s"
+            % (spec.name, task.key, exc)
+        )
+    metrics = None
+    if registries:
+        merged = MetricsRegistry()
+        for registry in registries:
+            merged.merge_snapshot(registry.snapshot())
+        metrics = merged.snapshot()
+    return TaskOutcome(
+        key=task.key,
+        seed=task.seed,
+        data=data,
+        metrics=metrics,
+        host_seconds=time.time() - started,
+    )
+
+
+#: (spec, options) inherited by forked pool workers; options may hold
+#: closures, which fork shares for free where pickling could not.
+_WORKER_STATE = None
+
+
+def _pool_entry(task):
+    spec, options = _WORKER_STATE
+    return _execute_task(spec, options, task)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+
+
+def _fingerprint(spec_name, tasks):
+    """Hash identifying a (spec, task list) shape for resume safety."""
+    digest = hashlib.sha256(spec_name.encode("utf-8"))
+    for task in tasks:
+        digest.update(b"\x00")
+        digest.update(task.key.encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def load_checkpoint(path):
+    """Read a checkpoint: ``(header, {key: record})``.
+
+    Tolerates a truncated or corrupt trailing line — the signature of a
+    killed run — by ignoring any line that fails to parse.  Raises
+    :class:`ConfigError` when the header itself is unusable.
+    """
+    header = None
+    records = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn write from an interrupted run
+            if entry.get("kind") == "header":
+                header = entry
+            elif entry.get("kind") == "task" and "key" in entry and "data" in entry:
+                records[entry["key"]] = entry
+    if header is None:
+        raise ConfigError("checkpoint %s has no header line" % path)
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise ConfigError(
+            "checkpoint %s is version %r; this engine writes version %d"
+            % (path, header.get("version"), CHECKPOINT_VERSION)
+        )
+    return header, records
+
+
+class _CheckpointWriter:
+    """Streams header and task lines to a JSONL file, flushing each."""
+
+    def __init__(self, path, append):
+        self._handle = open(path, "a" if append else "w", encoding="utf-8")
+
+    def write_header(self, spec_name, tasks):
+        self._write(
+            {
+                "kind": "header",
+                "version": CHECKPOINT_VERSION,
+                "experiment": spec_name,
+                "tasks": len(tasks),
+                "fingerprint": _fingerprint(spec_name, tasks),
+            }
+        )
+
+    def write_task(self, outcome):
+        self._write(
+            {
+                "kind": "task",
+                "key": outcome.key,
+                "seed": outcome.seed,
+                "host_seconds": round(outcome.host_seconds, 6),
+                "data": outcome.data,
+                "metrics": outcome.metrics,
+            }
+        )
+
+    def _write(self, entry):
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self):
+        self._handle.close()
+
+
+def _load_resume_state(path, spec, tasks):
+    """Outcomes recoverable from ``path`` for this exact task list."""
+    if not os.path.exists(path):
+        return {}
+    header, records = load_checkpoint(path)
+    if header.get("experiment") != spec.name:
+        raise ConfigError(
+            "checkpoint %s belongs to experiment %r, not %r"
+            % (path, header.get("experiment"), spec.name)
+        )
+    if header.get("fingerprint") != _fingerprint(spec.name, tasks):
+        raise ConfigError(
+            "checkpoint %s was written for a different task list; "
+            "rerun without --resume to start fresh" % path
+        )
+    keys = {task.key for task in tasks}
+    return {
+        key: TaskOutcome(
+            key=key,
+            seed=record.get("seed"),
+            data=record["data"],
+            metrics=record.get("metrics"),
+            host_seconds=record.get("host_seconds", 0.0),
+            resumed=True,
+        )
+        for key, record in records.items()
+        if key in keys
+    }
+
+
+# ----------------------------------------------------------------------
+# The engine
+
+
+@dataclass
+class RunOutcome:
+    """Everything one engine invocation produced.
+
+    ``result`` is the spec's reduced result object (``None`` when the
+    run is incomplete, i.e. ``max_tasks`` stopped it early); ``metrics``
+    aggregates every completed task's machine-metrics snapshots.
+    """
+
+    experiment: str
+    result: Any
+    completed: bool
+    outcomes: List[TaskOutcome]
+    tasks_total: int
+    tasks_run: int
+    tasks_resumed: int
+    jobs: int
+    host_seconds: float
+    metrics: MetricsRegistry
+
+    def summary(self):
+        """One-line recap for progress displays and logs."""
+        state = "complete" if self.completed else (
+            "incomplete (%d/%d tasks)" % (len(self.outcomes), self.tasks_total)
+        )
+        return (
+            "%s: %s; ran %d task(s) (%d resumed) with %d job(s) in %.1fs"
+            % (
+                self.experiment,
+                state,
+                self.tasks_run,
+                self.tasks_resumed,
+                self.jobs,
+                self.host_seconds,
+            )
+        )
+
+
+def _fork_available():
+    return hasattr(os, "fork") and "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_experiment(
+    spec,
+    options=None,
+    jobs=1,
+    checkpoint=None,
+    resume=False,
+    max_tasks=None,
+    progress=None,
+):
+    """Execute an experiment through the engine; returns a RunOutcome.
+
+    ``spec`` is a registered experiment name or an
+    :class:`ExperimentSpec` instance (ad-hoc specs need not be
+    registered).  ``options`` overrides the spec's defaults.  ``jobs``
+    is the worker-process count (1 = in-process serial; results are
+    bit-identical either way).  ``checkpoint``/``resume`` stream and
+    recover per-task results as JSONL.  ``max_tasks`` bounds how many
+    *pending* tasks this invocation runs — an intentionally partial
+    run returns ``completed=False`` with ``result=None`` and can be
+    finished later with ``resume=True``.  ``progress`` is an optional
+    ``callback(done_count, total, outcome)``.
+    """
+    if isinstance(spec, str):
+        spec = get_experiment(spec)
+    merged_options = dict(spec.defaults)
+    merged_options.update(options or {})
+    options = merged_options
+
+    started = time.time()
+    tasks = list(spec.build_tasks(options))
+    if not tasks:
+        raise ConfigError("experiment %r built an empty task list" % spec.name)
+    seen = set()
+    for task in tasks:
+        if task.key in seen:
+            raise ConfigError(
+                "experiment %r has a duplicate task key %r" % (spec.name, task.key)
+            )
+        seen.add(task.key)
+    root_seed = options.get("seed", 0)
+    tasks = [
+        task if task.seed is not None
+        else replace(task, seed=derive_seed(root_seed, spec.name, task.key))
+        for task in tasks
+    ]
+
+    done = {}
+    if checkpoint and resume:
+        done = _load_resume_state(checkpoint, spec, tasks)
+    pending = [task for task in tasks if task.key not in done]
+    if max_tasks is not None:
+        pending = pending[: max(0, max_tasks)]
+
+    writer = None
+    if checkpoint:
+        writer = _CheckpointWriter(checkpoint, append=bool(done))
+        if not done:
+            writer.write_header(spec.name, tasks)
+
+    effective_jobs = max(1, min(jobs, len(pending))) if pending else 1
+    outcomes_by_key = dict(done)
+    finished = len(done)
+    total = len(tasks)
+
+    def _record(outcome):
+        nonlocal finished
+        outcomes_by_key[outcome.key] = outcome
+        finished += 1
+        if writer is not None:
+            writer.write_task(outcome)
+        if progress is not None:
+            progress(finished, total, outcome)
+
+    global _WORKER_STATE
+    try:
+        if effective_jobs > 1 and _fork_available():
+            context = multiprocessing.get_context("fork")
+            _WORKER_STATE = (spec, options)
+            try:
+                with context.Pool(processes=effective_jobs) as pool:
+                    for outcome in pool.imap_unordered(_pool_entry, pending):
+                        _record(outcome)
+            finally:
+                _WORKER_STATE = None
+        else:
+            effective_jobs = 1
+            for task in pending:
+                _record(_execute_task(spec, options, task))
+    finally:
+        if writer is not None:
+            writer.close()
+
+    completed = len(outcomes_by_key) == total
+    ordered = [outcomes_by_key[task.key] for task in tasks if task.key in outcomes_by_key]
+    metrics = MetricsRegistry()
+    for outcome in ordered:
+        if outcome.metrics:
+            metrics.merge_snapshot(outcome.metrics)
+    result = spec.reduce([o.data for o in ordered], options) if completed else None
+    return RunOutcome(
+        experiment=spec.name,
+        result=result,
+        completed=completed,
+        outcomes=ordered,
+        tasks_total=total,
+        tasks_run=len(pending),
+        tasks_resumed=len(done),
+        jobs=effective_jobs,
+        host_seconds=time.time() - started,
+        metrics=metrics,
+    )

@@ -1,16 +1,27 @@
-"""Experiment runners: one function per table/figure of the paper.
+"""Experiment specs and runners: one registered spec per paper artifact.
 
-Each runner builds fresh machines, drives the attack (or the relevant
-sub-phase), and returns a result object with the measured numbers plus
-a ``render()`` producing the same rows/series the paper reports.  The
-benchmark harness and the examples are thin wrappers around these.
+Every table/figure/section study is an :class:`ExperimentSpec` — a
+task-list builder, a per-task run function (each task boots its own
+machines), and a reduce function — registered by name in
+:mod:`repro.analysis.engine`.  The CLI and the benchmark harness
+dispatch through that registry; fan-out, checkpointing, and resume are
+the engine's job, not the experiments'.
+
+The original free functions (``table1`` ... ``run_escalation``) survive
+as thin deprecated shims with unchanged signatures and return types;
+they run their spec through the engine with ``jobs=1``, which
+reproduces the historical serial results bit-for-bit.
 """
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from repro.analysis import engine as _engine
+from repro.analysis.engine import ExperimentSpec, Task, register_experiment, run_experiment
 from repro.analysis.report import render_series, render_table
+from repro.analysis.result import ExperimentResult
 from repro.core.explicit import RowhammerTestTool
 from repro.core.hammer import DoubleSidedHammer, HammerTarget
 from repro.core.llc_eviction import selection_false_positive_rate
@@ -18,25 +29,121 @@ from repro.core.llc_offline import llc_miss_rate_by_size
 from repro.core.pthammer import PThammerAttack, PThammerConfig, PThammerReport
 from repro.core.tlb_eviction import TLBEvictionSetBuilder, tlb_miss_rate_by_size
 from repro.core.uarch import UarchFacts
-from repro.defenses import CATTPolicy, CTAPolicy, RIPRHPolicy, StockPolicy, ZebRAMPolicy
+from repro.defenses import (
+    DEFENSE_PRESETS,
+    CATTPolicy,
+    CTAPolicy,
+    RIPRHPolicy,
+    StockPolicy,
+    ZebRAMPolicy,
+)
+from repro.errors import ConfigError
 from repro.machine import AttackerView, Inspector, Machine
-from repro.machine.configs import SCALED_MACHINES, TABLE1_MACHINES, tiny_test_config
+from repro.machine.configs import (
+    MACHINE_PRESETS,
+    SCALED_MACHINES,
+    TABLE1_MACHINES,
+    machine_preset,
+    tiny_test_config,
+)
 from repro.utils.stats import Histogram, RunningStats, percentile
 from repro.utils.units import cycles_to_seconds, format_duration, format_size
 
 
 class ExperimentContext:
-    """One booted machine with an attacker, an inspector, and the facts."""
+    """One booted machine with an attacker, an inspector, and the facts.
+
+    Contexts report their machine's metrics registry to the experiment
+    engine, so machines booted inside an engine task contribute to the
+    run-level metrics aggregation automatically.
+    """
 
     def __init__(self, config, policy=None):
         self.machine = Machine(config, policy=policy)
         self.attacker = AttackerView(self.machine, self.machine.boot_process())
         self.inspector = Inspector(self.machine)
         self.facts = UarchFacts.from_config(config)
+        _engine.observe_machine_metrics(self.machine.metrics)
 
     def seconds(self, cycles):
         """Virtual cycles -> seconds at this machine's clock."""
         return cycles_to_seconds(cycles, self.machine.config.cpu.freq_ghz)
+
+
+def _deprecated_shim(name, spec_name=None):
+    warnings.warn(
+        "repro.analysis.%s() is a deprecated shim; dispatch through "
+        "run_experiment(%r) (repro.analysis.engine) instead"
+        % (name, spec_name or name),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared spec helpers
+
+
+def _machine_tasks(config_fns, extra=None):
+    """One task per machine config factory, keyed by index and name."""
+    tasks = []
+    for index, config_fn in enumerate(config_fns):
+        name = config_fn().name
+        payload = {"index": index, "machine": name}
+        if extra:
+            payload.update(extra)
+        tasks.append(Task(key="%d:%s" % (index, name), payload=payload))
+    return tasks
+
+
+def _single_machine_tasks(options, experiment):
+    """The one-task list for experiments that run a single machine."""
+    config_fn = options.get("config_fn")
+    if config_fn is None:
+        raise ConfigError(
+            "experiment %r needs a machine (options['config_fn'], "
+            "or --machine on the CLI)" % experiment
+        )
+    return [Task(key=config_fn().name, payload={"machine": config_fn().name})]
+
+
+def _parse_machines(value):
+    """Comma-separated preset names -> tuple of config factories."""
+    names = [token.strip() for token in value.split(",") if token.strip()]
+    if not names:
+        raise ConfigError("--machines needs at least one preset name")
+    return tuple(machine_preset(name) for name in names)
+
+
+def _parse_sizes(value):
+    """``8-16`` (inclusive range) or ``8,12,16`` -> tuple of ints."""
+    value = value.strip()
+    if "-" in value and "," not in value:
+        lo, hi = value.split("-", 1)
+        return tuple(range(int(lo), int(hi) + 1))
+    sizes = tuple(int(token) for token in value.split(",") if token.strip())
+    if not sizes:
+        raise ConfigError("--sizes needs at least one eviction-set size")
+    return sizes
+
+
+def _machines_flag(parser, default_help="the three scaled Table-I machines"):
+    parser.add_argument(
+        "--machines",
+        metavar="LIST",
+        default=None,
+        help="comma-separated machine presets from {%s} (default: %s)"
+        % (",".join(sorted(MACHINE_PRESETS)), default_help),
+    )
+
+
+def _machine_flag(parser, default):
+    parser.add_argument(
+        "--machine",
+        choices=sorted(MACHINE_PRESETS),
+        default=default,
+        help="machine preset (default: %(default)s)",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -44,7 +151,7 @@ class ExperimentContext:
 
 
 @dataclass
-class Table1Result:
+class Table1Result(ExperimentResult):
     rows: List[tuple]
 
     def render(self):
@@ -54,23 +161,47 @@ class Table1Result:
             title="Table I: system configurations",
         )
 
+    def to_rows(self):
+        return ("machine", "cpu_arch", "tlb_assoc", "llc", "dram"), list(self.rows)
+
+
+def _table1_run(task, options):
+    config = options["config_fns"][task.payload["index"]]()
+    tlb = config.tlb
+    return [
+        config.name,
+        "%.1f GHz" % config.cpu.freq_ghz,
+        "%d-way L1d, %d-way L2s" % (tlb.l1d_ways, tlb.l2s_ways),
+        "%d-way, %s" % (config.cache.llc_ways, format_size(config.llc_bytes())),
+        format_size(config.dram.size_bytes),
+    ]
+
+
+def _table1_cli_options(args):
+    return {"config_fns": _parse_machines(args.machines)} if args.machines else {}
+
+
+TABLE1_SPEC = register_experiment(
+    ExperimentSpec(
+        name="table1",
+        title="Table I: machine configurations",
+        build_tasks=lambda options: _machine_tasks(options["config_fns"]),
+        run_task=_table1_run,
+        reduce=lambda data, options: Table1Result([tuple(row) for row in data]),
+        defaults={"config_fns": TABLE1_MACHINES},
+        cli_configure=lambda parser: _machines_flag(
+            parser, default_help="the three full-size Table-I machines"
+        ),
+        cli_options=_table1_cli_options,
+        smoke_argv=("--machines", "tiny"),
+    )
+)
+
 
 def table1(config_fns=TABLE1_MACHINES):
-    """Reproduce Table I from the machine presets."""
-    rows = []
-    for config_fn in config_fns:
-        config = config_fn()
-        tlb = config.tlb
-        rows.append(
-            (
-                config.name,
-                "%.1f GHz" % config.cpu.freq_ghz,
-                "%d-way L1d, %d-way L2s" % (tlb.l1d_ways, tlb.l2s_ways),
-                "%d-way, %s" % (config.cache.llc_ways, format_size(config.llc_bytes())),
-                format_size(config.dram.size_bytes),
-            )
-        )
-    return Table1Result(rows)
+    """Reproduce Table I from the machine presets (deprecated shim)."""
+    _deprecated_shim("table1")
+    return run_experiment(TABLE1_SPEC, {"config_fns": config_fns}).result
 
 
 # ----------------------------------------------------------------------
@@ -78,7 +209,7 @@ def table1(config_fns=TABLE1_MACHINES):
 
 
 @dataclass
-class EvictionSweepResult:
+class EvictionSweepResult(ExperimentResult):
     name: str
     series: Dict[str, Dict[int, float]]  # machine -> size -> miss rate
     knee: Dict[str, int] = field(default_factory=dict)
@@ -96,8 +227,30 @@ class EvictionSweepResult:
             )
         return "\n".join(parts)
 
+    def to_rows(self):
+        rows = [
+            (machine, size, rate)
+            for machine, points in self.series.items()
+            for size, rate in sorted(points.items())
+        ]
+        if not rows:
+            raise ConfigError("sweep result has no series")
+        return ("machine", "size", "miss_rate"), rows
+
     def min_reliable_size(self, machine, level=0.95):
-        """Smallest size whose rate and all larger sizes stay >= level."""
+        """Smallest size whose rate and all larger sizes stay >= level.
+
+        Returns ``None`` when even the largest measured size misses
+        ``level`` — eviction on that machine is unreliable at every
+        size, which is a finding, not an error; callers must handle it
+        (see :meth:`require_reliable_size` for the raising variant).
+        Unknown machine names raise :class:`ConfigError`.
+        """
+        if machine not in self.series:
+            raise ConfigError(
+                "no series for machine %r (have: %s)"
+                % (machine, ", ".join(sorted(self.series)))
+            )
         points = self.series[machine]
         reliable = None
         for size in sorted(points, reverse=True):
@@ -107,32 +260,135 @@ class EvictionSweepResult:
                 break
         return reliable
 
+    def require_reliable_size(self, machine, level=0.95):
+        """Like :meth:`min_reliable_size` but raises instead of None."""
+        size = self.min_reliable_size(machine, level=level)
+        if size is None:
+            raise ConfigError(
+                "%s: no eviction-set size reaches a %.0f%% rate on %r"
+                % (self.name, 100 * level, machine)
+            )
+        return size
+
+
+def _figure3_run(task, options):
+    context = ExperimentContext(options["config_fns"][task.payload["index"]]())
+    builder = TLBEvictionSetBuilder(context.attacker, context.facts)
+    points = tlb_miss_rate_by_size(
+        context.attacker,
+        context.inspector,
+        builder,
+        task.payload["sizes"],
+        trials=task.payload["trials"],
+    )
+    return {"machine": context.machine.config.name, "points": points}
+
+
+def _figure4_run(task, options):
+    context = ExperimentContext(options["config_fns"][task.payload["index"]]())
+    sizes = task.payload["sizes"]
+    if sizes is None:
+        sizes = range(9, 2 * context.facts.llc_ways + 1)
+    points = llc_miss_rate_by_size(
+        context.attacker,
+        context.inspector,
+        context.facts,
+        sizes,
+        trials=task.payload["trials"],
+    )
+    return {"machine": context.machine.config.name, "points": points}
+
+
+def _sweep_reduce(title):
+    def reduce(data, options):
+        series = {}
+        for entry in data:
+            series[entry["machine"]] = {
+                int(size): rate for size, rate in entry["points"].items()
+            }
+        return EvictionSweepResult(title, series)
+
+    return reduce
+
+
+def _sweep_tasks(options):
+    sizes = options["sizes"]
+    return _machine_tasks(
+        options["config_fns"],
+        extra={
+            "sizes": None if sizes is None else [int(size) for size in sizes],
+            "trials": options["trials"],
+        },
+    )
+
+
+def _sweep_cli_configure(parser):
+    _machines_flag(parser)
+    parser.add_argument(
+        "--sizes",
+        metavar="SPEC",
+        default=None,
+        help="eviction-set sizes, '8-16' or '8,12,16' (default: per experiment)",
+    )
+    parser.add_argument("--trials", type=int, default=60)
+
+
+def _sweep_cli_options(args):
+    options = {"trials": args.trials}
+    if args.machines:
+        options["config_fns"] = _parse_machines(args.machines)
+    if args.sizes:
+        options["sizes"] = _parse_sizes(args.sizes)
+    return options
+
+
+FIGURE3_SPEC = register_experiment(
+    ExperimentSpec(
+        name="figure3",
+        title="Figure 3: TLB miss rate vs eviction-set size",
+        build_tasks=_sweep_tasks,
+        run_task=_figure3_run,
+        reduce=_sweep_reduce("Figure 3: TLB eviction"),
+        defaults={
+            "config_fns": SCALED_MACHINES,
+            "sizes": tuple(range(8, 17)),
+            "trials": 80,
+        },
+        cli_configure=_sweep_cli_configure,
+        cli_options=_sweep_cli_options,
+        smoke_argv=("--machines", "tiny", "--sizes", "8,12", "--trials", "10"),
+    )
+)
+
+FIGURE4_SPEC = register_experiment(
+    ExperimentSpec(
+        name="figure4",
+        title="Figure 4: LLC miss rate vs eviction-set size",
+        build_tasks=_sweep_tasks,
+        run_task=_figure4_run,
+        reduce=_sweep_reduce("Figure 4: LLC eviction"),
+        defaults={"config_fns": SCALED_MACHINES, "sizes": None, "trials": 80},
+        cli_configure=_sweep_cli_configure,
+        cli_options=_sweep_cli_options,
+        smoke_argv=("--machines", "tiny", "--sizes", "10,13", "--trials", "10"),
+    )
+)
+
 
 def figure3(config_fns=SCALED_MACHINES, sizes=range(8, 17), trials=80):
-    """Figure 3: TLB miss rate vs eviction-set size, per machine."""
-    series = {}
-    for config_fn in config_fns:
-        context = ExperimentContext(config_fn())
-        builder = TLBEvictionSetBuilder(context.attacker, context.facts)
-        series[context.machine.config.name] = tlb_miss_rate_by_size(
-            context.attacker, context.inspector, builder, sizes, trials=trials
-        )
-    return EvictionSweepResult("Figure 3: TLB eviction", series)
+    """Figure 3: TLB miss rate vs eviction-set size (deprecated shim)."""
+    _deprecated_shim("figure3")
+    return run_experiment(
+        FIGURE3_SPEC, {"config_fns": config_fns, "sizes": sizes, "trials": trials}
+    ).result
 
 
 def figure4(config_fns=SCALED_MACHINES, sizes=None, trials=80):
-    """Figure 4: LLC miss rate vs eviction-set size, per machine."""
-    series = {}
-    for config_fn in config_fns:
-        context = ExperimentContext(config_fn())
-        if sizes is None:
-            machine_sizes = range(9, 2 * context.facts.llc_ways + 1)
-        else:
-            machine_sizes = sizes
-        series[context.machine.config.name] = llc_miss_rate_by_size(
-            context.attacker, context.inspector, context.facts, machine_sizes, trials=trials
-        )
-    return EvictionSweepResult("Figure 4: LLC eviction", series)
+    """Figure 4: LLC miss rate vs eviction-set size (deprecated shim)."""
+    _deprecated_shim("figure4")
+    return run_experiment(
+        FIGURE4_SPEC, {"config_fns": config_fns, "sizes": sizes, "trials": trials}
+    ).result
 
 
 # ----------------------------------------------------------------------
@@ -153,7 +409,7 @@ class Table2Row:
 
 
 @dataclass
-class Table2Result:
+class Table2Result(ExperimentResult):
     rows: List[Table2Row]
 
     def render(self):
@@ -186,42 +442,125 @@ class Table2Result:
             title="Table II: PThammer phase costs (virtual time)",
         )
 
-
-def table2(
-    config_fns=SCALED_MACHINES,
-    page_settings=(True, False),
-    attack_config=None,
-):
-    """Table II: per-phase virtual-time costs, both page settings."""
-    rows = []
-    for config_fn in config_fns:
-        for superpages in page_settings:
-            context = ExperimentContext(config_fn())
-            config = attack_config or PThammerConfig()
-            config.superpages = superpages
-            attack = PThammerAttack(context.attacker, config)
-            report = attack.run()
-            tlb_select = (
-                attack.tlb_builder.prep_cycles / max(1, attack.tlb_builder.pages_mapped)
+    def to_rows(self):
+        rows = [
+            (
+                row.machine,
+                row.page_setting,
+                row.tlb_prep_s,
+                row.llc_prep_s,
+                row.tlb_select_s,
+                row.llc_select_s,
+                row.hammer_s,
+                row.check_s,
+                "" if row.first_flip_s is None else row.first_flip_s,
             )
-            rows.append(
-                Table2Row(
-                    machine=context.machine.config.name,
-                    page_setting="superpage" if superpages else "regular",
-                    tlb_prep_s=context.seconds(report.tlb_prep_cycles),
-                    llc_prep_s=context.seconds(report.llc_prep_cycles),
-                    tlb_select_s=context.seconds(int(tlb_select)),
-                    llc_select_s=context.seconds(int(report.mean_selection_cycles())),
-                    hammer_s=context.seconds(int(report.mean_hammer_cycles())),
-                    check_s=context.seconds(int(report.mean_check_cycles())),
-                    first_flip_s=(
-                        context.seconds(report.cycles_to_first_flip)
-                        if report.cycles_to_first_flip
-                        else None
-                    ),
+            for row in self.rows
+        ]
+        return (
+            (
+                "machine",
+                "pages",
+                "tlb_prep_s",
+                "llc_prep_s",
+                "tlb_select_s",
+                "llc_select_s",
+                "hammer_s",
+                "check_s",
+                "first_flip_s",
+            ),
+            rows,
+        )
+
+
+def _table2_tasks(options):
+    tasks = []
+    for index, config_fn in enumerate(options["config_fns"]):
+        name = config_fn().name
+        for superpages in options["page_settings"]:
+            setting = "superpage" if superpages else "regular"
+            tasks.append(
+                Task(
+                    key="%d:%s:%s" % (index, name, setting),
+                    payload={
+                        "index": index,
+                        "machine": name,
+                        "superpages": bool(superpages),
+                    },
                 )
             )
-    return Table2Result(rows)
+    return tasks
+
+
+def _table2_run(task, options):
+    context = ExperimentContext(options["config_fns"][task.payload["index"]]())
+    base = options.get("attack_config")
+    config = replace(base) if base is not None else PThammerConfig()
+    config.superpages = task.payload["superpages"]
+    attack = PThammerAttack(context.attacker, config)
+    report = attack.run()
+    tlb_select = attack.tlb_builder.prep_cycles / max(1, attack.tlb_builder.pages_mapped)
+    return {
+        "machine": context.machine.config.name,
+        "page_setting": "superpage" if task.payload["superpages"] else "regular",
+        "tlb_prep_s": context.seconds(report.tlb_prep_cycles),
+        "llc_prep_s": context.seconds(report.llc_prep_cycles),
+        "tlb_select_s": context.seconds(int(tlb_select)),
+        "llc_select_s": context.seconds(int(report.mean_selection_cycles())),
+        "hammer_s": context.seconds(int(report.mean_hammer_cycles())),
+        "check_s": context.seconds(int(report.mean_check_cycles())),
+        "first_flip_s": (
+            context.seconds(report.cycles_to_first_flip)
+            if report.cycles_to_first_flip
+            else None
+        ),
+    }
+
+
+def _table2_cli_configure(parser):
+    _machines_flag(parser)
+    parser.add_argument("--slots", type=int, default=384)
+
+
+def _table2_cli_options(args):
+    options = {
+        "attack_config": PThammerConfig(spray_slots=args.slots, max_pairs=8)
+    }
+    if args.machines:
+        options["config_fns"] = _parse_machines(args.machines)
+    return options
+
+
+TABLE2_SPEC = register_experiment(
+    ExperimentSpec(
+        name="table2",
+        title="Table II: attack phase costs",
+        build_tasks=_table2_tasks,
+        run_task=_table2_run,
+        reduce=lambda data, options: Table2Result([Table2Row(**row) for row in data]),
+        defaults={
+            "config_fns": SCALED_MACHINES,
+            "page_settings": (True, False),
+            "attack_config": None,
+        },
+        cli_configure=_table2_cli_configure,
+        cli_options=_table2_cli_options,
+        smoke_argv=("--machines", "tiny", "--slots", "224"),
+    )
+)
+
+
+def table2(config_fns=SCALED_MACHINES, page_settings=(True, False), attack_config=None):
+    """Table II: per-phase virtual-time costs (deprecated shim)."""
+    _deprecated_shim("table2")
+    return run_experiment(
+        TABLE2_SPEC,
+        {
+            "config_fns": config_fns,
+            "page_settings": page_settings,
+            "attack_config": attack_config,
+        },
+    ).result
 
 
 # ----------------------------------------------------------------------
@@ -229,7 +568,7 @@ def table2(
 
 
 @dataclass
-class SelectionResult:
+class SelectionResult(ExperimentResult):
     machine: str
     false_positive_rate: float
     targets: int
@@ -240,9 +579,14 @@ class SelectionResult:
             % (self.machine, 100 * self.false_positive_rate, self.targets)
         )
 
+    def to_rows(self):
+        return (
+            ("machine", "false_positive_rate", "targets"),
+            [(self.machine, self.false_positive_rate, self.targets)],
+        )
 
-def section_4c_selection(config_fn, targets=16, superpages=True):
-    """Section IV-C: Algorithm-2 selection false-positive rate (<= 6%)."""
+
+def _section_4c_data(config_fn, targets, superpages):
     context = ExperimentContext(config_fn())
     attack = PThammerAttack(
         context.attacker,
@@ -262,7 +606,45 @@ def section_4c_selection(config_fn, targets=16, superpages=True):
         target_vas,
         attack.config.tlb_eviction_size,
     )
-    return SelectionResult(context.machine.config.name, rate, len(target_vas))
+    return {
+        "machine": context.machine.config.name,
+        "false_positive_rate": rate,
+        "targets": len(target_vas),
+    }
+
+
+def _sec4c_cli_configure(parser):
+    _machine_flag(parser, default="t420-scaled")
+    parser.add_argument("--targets", type=int, default=16)
+
+
+SEC4C_SPEC = register_experiment(
+    ExperimentSpec(
+        name="sec4c",
+        title="Section IV-C: Algorithm-2 selection false positives",
+        build_tasks=lambda options: _single_machine_tasks(options, "sec4c"),
+        run_task=lambda task, options: _section_4c_data(
+            options["config_fn"], options["targets"], options["superpages"]
+        ),
+        reduce=lambda data, options: SelectionResult(**data[0]),
+        defaults={"config_fn": None, "targets": 16, "superpages": True},
+        cli_configure=_sec4c_cli_configure,
+        cli_options=lambda args: {
+            "config_fn": machine_preset(args.machine),
+            "targets": args.targets,
+        },
+        smoke_argv=("--machine", "tiny", "--targets", "4"),
+    )
+)
+
+
+def section_4c_selection(config_fn, targets=16, superpages=True):
+    """Section IV-C selection false-positive rate (deprecated shim)."""
+    _deprecated_shim("section_4c_selection", "sec4c")
+    return run_experiment(
+        SEC4C_SPEC,
+        {"config_fn": config_fn, "targets": targets, "superpages": superpages},
+    ).result
 
 
 # ----------------------------------------------------------------------
@@ -270,7 +652,7 @@ def section_4c_selection(config_fn, targets=16, superpages=True):
 
 
 @dataclass
-class PairStatsResult:
+class PairStatsResult(ExperimentResult):
     machine: str
     candidates: int
     flagged_slow: int
@@ -290,13 +672,29 @@ class PairStatsResult:
             )
         )
 
+    def to_rows(self):
+        return (
+            (
+                "machine",
+                "candidates",
+                "flagged_slow",
+                "slow_same_bank_rate",
+                "same_bank_victim_rate",
+            ),
+            [
+                (
+                    self.machine,
+                    self.candidates,
+                    self.flagged_slow,
+                    self.slow_same_bank_rate,
+                    self.same_bank_victim_rate,
+                )
+            ],
+        )
 
-def section_4d_pairs(config_fn, sample=32, spray_slots=512):
-    """Section IV-D: timing-flagged pairs vs DRAM ground truth.
 
-    The paper: >95% of slow pairs share a bank; 90% of those are one
-    victim row apart.
-    """
+def _section_4d_data(config_fn, sample, spray_slots):
+    """Section IV-D measurement as plain data (engine task body)."""
     from repro.core.pair_finding import PairFinder
 
     context = ExperimentContext(config_fn())
@@ -334,13 +732,53 @@ def section_4d_pairs(config_fn, sample=32, spray_slots=512):
             same_bank += 1
             if abs(loc_a.row - loc_b.row) == 2:
                 victim_apart += 1
-    return PairStatsResult(
-        machine=context.machine.config.name,
-        candidates=len(candidates),
-        flagged_slow=len(slow),
-        slow_same_bank_rate=same_bank / len(slow) if slow else 0.0,
-        same_bank_victim_rate=victim_apart / same_bank if same_bank else 0.0,
+    return {
+        "machine": context.machine.config.name,
+        "candidates": len(candidates),
+        "flagged_slow": len(slow),
+        "slow_same_bank_rate": same_bank / len(slow) if slow else 0.0,
+        "same_bank_victim_rate": victim_apart / same_bank if same_bank else 0.0,
+    }
+
+
+def _sec4d_cli_configure(parser):
+    _machine_flag(parser, default="t420-scaled")
+    parser.add_argument("--sample", type=int, default=32)
+    parser.add_argument("--slots", type=int, default=512)
+
+
+SEC4D_SPEC = register_experiment(
+    ExperimentSpec(
+        name="sec4d",
+        title="Section IV-D: pair-construction hit rates",
+        build_tasks=lambda options: _single_machine_tasks(options, "sec4d"),
+        run_task=lambda task, options: _section_4d_data(
+            options["config_fn"], options["sample"], options["spray_slots"]
+        ),
+        reduce=lambda data, options: PairStatsResult(**data[0]),
+        defaults={"config_fn": None, "sample": 32, "spray_slots": 512},
+        cli_configure=_sec4d_cli_configure,
+        cli_options=lambda args: {
+            "config_fn": machine_preset(args.machine),
+            "sample": args.sample,
+            "spray_slots": args.slots,
+        },
+        smoke_argv=("--machine", "tiny", "--sample", "6", "--slots", "224"),
     )
+)
+
+
+def section_4d_pairs(config_fn, sample=32, spray_slots=512):
+    """Section IV-D: timing-flagged pairs vs ground truth (deprecated shim).
+
+    The paper: >95% of slow pairs share a bank; 90% of those are one
+    victim row apart.
+    """
+    _deprecated_shim("section_4d_pairs", "sec4d")
+    return run_experiment(
+        SEC4D_SPEC,
+        {"config_fn": config_fn, "sample": sample, "spray_slots": spray_slots},
+    ).result
 
 
 # ----------------------------------------------------------------------
@@ -348,7 +786,7 @@ def section_4d_pairs(config_fn, sample=32, spray_slots=512):
 
 
 @dataclass
-class Figure5Result:
+class Figure5Result(ExperimentResult):
     machine: str
     series: Dict[int, Optional[float]]  # padding -> seconds-to-flip or None
     cliff_cycles: int
@@ -363,28 +801,101 @@ class Figure5Result:
             y_format="%.4f",
         )
 
+    def to_rows(self):
+        rows = [
+            (padding, "" if seconds is None else seconds)
+            for padding, seconds in sorted(self.series.items())
+        ]
+        return ("nop_padding_cycles", "seconds_to_first_flip"), rows
+
+
+def _figure5_run(task, options):
+    """One machine's padding sweep (a single engine task: the paddings
+    share one machine so flips accumulate exactly as the paper's
+    calibration tool does)."""
+    context = ExperimentContext(options["config_fn"]())
+    config = context.machine.config
+    budget = options["budget_windows"] * config.dram.refresh_interval_cycles
+    tool = RowhammerTestTool(
+        context.attacker,
+        context.inspector,
+        context.facts,
+        buffer_pages=options["buffer_pages"],
+    )
+    series = {}
+    for padding in options["paddings"]:
+        cycles = tool.time_to_first_flip(padding, budget)
+        series[int(padding)] = context.seconds(cycles) if cycles is not None else None
+    cliff = context.machine.fault_model.max_iteration_cycles(
+        config.dram.refresh_interval_cycles
+    )
+    return {"machine": config.name, "series": series, "cliff_cycles": cliff}
+
+
+def _figure5_cli_configure(parser):
+    _machine_flag(parser, default="t420-scaled")
+    parser.add_argument(
+        "--paddings",
+        metavar="LIST",
+        default=None,
+        help="comma-separated NOP paddings in cycles (default: the paper's)",
+    )
+    parser.add_argument("--buffer-pages", type=int, default=256)
+
+
+def _figure5_cli_options(args):
+    options = {
+        "config_fn": machine_preset(args.machine),
+        "buffer_pages": args.buffer_pages,
+    }
+    if args.paddings:
+        options["paddings"] = tuple(
+            int(token) for token in args.paddings.split(",") if token.strip()
+        )
+    return options
+
+
+FIGURE5_SPEC = register_experiment(
+    ExperimentSpec(
+        name="figure5",
+        title="Figure 5: hammer-budget cliff",
+        build_tasks=lambda options: _single_machine_tasks(options, "figure5"),
+        run_task=_figure5_run,
+        reduce=lambda data, options: Figure5Result(
+            data[0]["machine"],
+            {int(padding): s for padding, s in data[0]["series"].items()},
+            data[0]["cliff_cycles"],
+        ),
+        defaults={
+            "config_fn": None,
+            "paddings": (0, 300, 600, 900, 1200, 1800, 2600),
+            "budget_windows": 6,
+            "buffer_pages": 1024,
+        },
+        cli_configure=_figure5_cli_configure,
+        cli_options=_figure5_cli_options,
+        smoke_argv=("--machine", "tiny", "--paddings", "0,900", "--buffer-pages", "256"),
+    )
+)
+
 
 def figure5(config_fn, paddings=(0, 300, 600, 900, 1200, 1800, 2600), budget_windows=6,
             buffer_pages=1024):
-    """Figure 5: slower hammer iterations take longer to flip, then never.
+    """Figure 5: slower iterations flip later, then never (deprecated shim).
 
     Uses the rowhammer-test tool replica (explicit clflush hammering)
     with NOP padding, exactly like the paper's calibration.
     """
-    context = ExperimentContext(config_fn())
-    config = context.machine.config
-    budget = budget_windows * config.dram.refresh_interval_cycles
-    tool = RowhammerTestTool(
-        context.attacker, context.inspector, context.facts, buffer_pages=buffer_pages
-    )
-    series = {}
-    for padding in paddings:
-        cycles = tool.time_to_first_flip(padding, budget)
-        series[padding] = context.seconds(cycles) if cycles is not None else None
-    cliff = context.machine.fault_model.max_iteration_cycles(
-        config.dram.refresh_interval_cycles
-    )
-    return Figure5Result(config.name, series, cliff)
+    _deprecated_shim("figure5")
+    return run_experiment(
+        FIGURE5_SPEC,
+        {
+            "config_fn": config_fn,
+            "paddings": paddings,
+            "budget_windows": budget_windows,
+            "buffer_pages": buffer_pages,
+        },
+    ).result
 
 
 # ----------------------------------------------------------------------
@@ -392,7 +903,7 @@ def figure5(config_fn, paddings=(0, 300, 600, 900, 1200, 1800, 2600), budget_win
 
 
 @dataclass
-class Figure6Result:
+class Figure6Result(ExperimentResult):
     machine: str
     page_setting: str
     costs: List[int]
@@ -421,16 +932,27 @@ class Figure6Result:
             )
         return "\n".join(lines)
 
+    def to_rows(self):
+        rows = [
+            (self.machine, self.page_setting, index, cost)
+            for index, cost in enumerate(self.costs)
+        ]
+        return ("machine", "pages", "round", "cycles"), rows
+
     def p95(self):
         return percentile(self.costs, 0.95)
 
 
-def figure6(config_fn, superpages=True, rounds=50, spray_slots=512):
-    """Figure 6: the cycle cost of each of 50 double-sided rounds."""
-    context = ExperimentContext(config_fn())
+def _figure6_run(task, options):
+    context = ExperimentContext(options["config_fn"]())
+    superpages = options["superpages"]
     attack = PThammerAttack(
         context.attacker,
-        PThammerConfig(superpages=superpages, spray_slots=spray_slots, pair_sample=8),
+        PThammerConfig(
+            superpages=superpages,
+            spray_slots=options["spray_slots"],
+            pair_sample=8,
+        ),
     )
     report = PThammerReport(machine_name=context.machine.config.name, superpages=superpages)
     attack.prepare(report)
@@ -444,12 +966,58 @@ def figure6(config_fn, superpages=True, rounds=50, spray_slots=512):
         HammerTarget(pair.va_a, attack.tlb_builder.build(pair.va_a, size), llc_sets[pair.va_a]),
         HammerTarget(pair.va_b, attack.tlb_builder.build(pair.va_b, size), llc_sets[pair.va_b]),
     )
-    costs = hammer.run(rounds)
-    return Figure6Result(
-        context.machine.config.name,
-        "super" if superpages else "regular",
-        costs,
+    costs = hammer.run(options["rounds"])
+    return {
+        "machine": context.machine.config.name,
+        "page_setting": "super" if superpages else "regular",
+        "costs": costs,
+    }
+
+
+def _figure6_cli_configure(parser):
+    _machine_flag(parser, default="t420-scaled")
+    parser.add_argument("--regular-pages", action="store_true")
+    parser.add_argument("--rounds", type=int, default=50)
+    parser.add_argument("--slots", type=int, default=512)
+
+
+FIGURE6_SPEC = register_experiment(
+    ExperimentSpec(
+        name="figure6",
+        title="Figure 6: per-round cycle distribution",
+        build_tasks=lambda options: _single_machine_tasks(options, "figure6"),
+        run_task=_figure6_run,
+        reduce=lambda data, options: Figure6Result(**data[0]),
+        defaults={
+            "config_fn": None,
+            "superpages": True,
+            "rounds": 50,
+            "spray_slots": 512,
+        },
+        cli_configure=_figure6_cli_configure,
+        cli_options=lambda args: {
+            "config_fn": machine_preset(args.machine),
+            "superpages": not args.regular_pages,
+            "rounds": args.rounds,
+            "spray_slots": args.slots,
+        },
+        smoke_argv=("--machine", "tiny", "--rounds", "10", "--slots", "224"),
     )
+)
+
+
+def figure6(config_fn, superpages=True, rounds=50, spray_slots=512):
+    """Figure 6: per-round double-sided hammer cycles (deprecated shim)."""
+    _deprecated_shim("figure6")
+    return run_experiment(
+        FIGURE6_SPEC,
+        {
+            "config_fn": config_fn,
+            "superpages": superpages,
+            "rounds": rounds,
+            "spray_slots": spray_slots,
+        },
+    ).result
 
 
 # ----------------------------------------------------------------------
@@ -457,7 +1025,7 @@ def figure6(config_fn, superpages=True, rounds=50, spray_slots=512):
 
 
 @dataclass
-class EscalationResult:
+class EscalationResult(ExperimentResult):
     machine: str
     defense: str
     escalated: bool
@@ -467,6 +1035,21 @@ class EscalationResult:
     ground_truth_flips: int
     first_flip_s: Optional[float]
     host_seconds: float
+
+    def render(self):
+        return (
+            "Escalation [%s, defense=%s]: escalated=%s method=%s "
+            "flips=%d gt-flips=%d first-flip=%s"
+            % (
+                self.machine,
+                self.defense,
+                "yes" if self.escalated else "no",
+                self.method or "-",
+                self.flips_observed,
+                self.ground_truth_flips,
+                format_duration(self.first_flip_s) if self.first_flip_s else "(none)",
+            )
+        )
 
     def row(self):
         return (
@@ -480,9 +1063,34 @@ class EscalationResult:
             format_duration(self.first_flip_s) if self.first_flip_s else "(none)",
         )
 
+    def csv_row(self):
+        return (
+            self.defense,
+            int(self.escalated),
+            self.method or "",
+            self.flips_observed,
+            self.captures.get("l1pt", 0),
+            self.captures.get("cred", 0),
+            self.ground_truth_flips,
+        )
+
+    def to_rows(self):
+        return _DEFENSE_CSV_HEADER, [self.csv_row()]
+
+
+_DEFENSE_CSV_HEADER = (
+    "defense",
+    "escalated",
+    "method",
+    "flips_observed",
+    "l1pt_captures",
+    "cred_captures",
+    "ground_truth_flips",
+)
+
 
 @dataclass
-class DefenseMatrixResult:
+class DefenseMatrixResult(ExperimentResult):
     machine: str
     results: List[EscalationResult]
 
@@ -503,42 +1111,111 @@ class DefenseMatrixResult:
             % self.machine,
         )
 
+    def to_rows(self):
+        return _DEFENSE_CSV_HEADER, [r.csv_row() for r in self.results]
 
-def run_escalation(config_fn, policy=None, attack_config=None, defense_name="stock"):
-    """Run the full attack under one placement policy."""
+
+def _run_escalation_data(config_fn, policy, attack_config, defense_name):
+    """One full attack under one placement policy, as plain data."""
     started = time.time()
     config = config_fn()
     context = ExperimentContext(config, policy=policy)
     attack = PThammerAttack(context.attacker, attack_config or PThammerConfig())
     report = attack.run()
     outcome = report.outcome
-    return EscalationResult(
-        machine=config.name,
-        defense=defense_name,
-        escalated=report.escalated,
-        method=outcome.method if outcome else None,
-        flips_observed=report.total_flips,
-        captures=dict(outcome.captures) if outcome else {},
-        ground_truth_flips=context.inspector.flip_count(),
-        first_flip_s=(
+    return {
+        "machine": config.name,
+        "defense": defense_name,
+        "escalated": report.escalated,
+        "method": outcome.method if outcome else None,
+        "flips_observed": report.total_flips,
+        "captures": dict(outcome.captures) if outcome else {},
+        "ground_truth_flips": context.inspector.flip_count(),
+        "first_flip_s": (
             context.seconds(report.cycles_to_first_flip)
             if report.cycles_to_first_flip
             else None
         ),
-        host_seconds=time.time() - started,
+        "host_seconds": time.time() - started,
+    }
+
+
+def _escalation_cli_configure(parser):
+    _machine_flag(parser, default="tiny")
+    parser.add_argument("--defense", choices=sorted(DEFENSE_PRESETS), default="none")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--slots", type=int, default=None, help="spray slots")
+    parser.add_argument("--pairs", type=int, default=None, help="pairs to hammer")
+
+
+def _escalation_cli_options(args):
+    config_fn = machine_preset(args.machine)
+    if args.seed is not None:
+        base_fn, seed = config_fn, args.seed
+
+        def config_fn():
+            config = base_fn()
+            config.seed = seed
+            return config
+
+    attack_config = None
+    if args.slots is not None or args.pairs is not None:
+        attack_config = PThammerConfig()
+        if args.slots is not None:
+            attack_config.spray_slots = args.slots
+        if args.pairs is not None:
+            attack_config.pair_sample = args.pairs
+            attack_config.max_pairs = args.pairs
+    return {
+        "config_fn": config_fn,
+        "policy": DEFENSE_PRESETS[args.defense](),
+        "attack_config": attack_config,
+        "defense_name": args.defense,
+    }
+
+
+ESCALATION_SPEC = register_experiment(
+    ExperimentSpec(
+        name="escalation",
+        title="Sections IV-F: one full escalation run",
+        build_tasks=lambda options: _single_machine_tasks(options, "escalation"),
+        run_task=lambda task, options: _run_escalation_data(
+            options["config_fn"],
+            options["policy"],
+            options["attack_config"],
+            options["defense_name"],
+        ),
+        reduce=lambda data, options: EscalationResult(**data[0]),
+        defaults={
+            "config_fn": None,
+            "policy": None,
+            "attack_config": None,
+            "defense_name": "stock",
+        },
+        cli_configure=_escalation_cli_configure,
+        cli_options=_escalation_cli_options,
+        smoke_argv=("--machine", "tiny", "--seed", "1", "--slots", "256",
+                    "--pairs", "14"),
     )
+)
 
 
-def section_4g_defenses(base_seed=1, dense_seed=5):
-    """Sections IV-F/G + §V: the attack against every placement policy.
+def run_escalation(config_fn, policy=None, attack_config=None, defense_name="stock"):
+    """Run the full attack under one placement policy (deprecated shim)."""
+    _deprecated_shim("run_escalation", "escalation")
+    return run_experiment(
+        ESCALATION_SPEC,
+        {
+            "config_fn": config_fn,
+            "policy": policy,
+            "attack_config": attack_config,
+            "defense_name": defense_name,
+        },
+    ).result
 
-    Runs the verified per-defense setups (knobs documented inline) on
-    tiny-scale machines.  Expected shape — the paper's findings:
 
-    * stock, CATT, RIP-RH — escalation via L1PT capture;
-    * CTA — no L1PT capture ever (true-cell monotonicity holds), but
-      escalation via the cred spray;
-    * ZebRAM — no exploitable flips (the paper's acknowledged limit).
+def _defense_runs(base_seed, dense_seed):
+    """The verified per-defense setups (knobs documented inline).
 
     CATT/RIP-RH/CTA runs use a densely vulnerable DIMM and a
     zone-filling spray: placement defenses concentrate page tables, and
@@ -546,7 +1223,7 @@ def section_4g_defenses(base_seed=1, dense_seed=5):
     region the spray occupies (see EXPERIMENTS.md note 3).
     """
     dense = lambda: tiny_test_config_dense(dense_seed)
-    runs = [
+    return [
         (
             "stock",
             lambda: tiny_test_config(seed=base_seed),
@@ -585,17 +1262,84 @@ def section_4g_defenses(base_seed=1, dense_seed=5):
             ),
         ),
     ]
-    results = []
-    for name, config_fn, policy, attack_config in runs:
-        results.append(
-            run_escalation(
-                config_fn,
-                policy=policy,
-                attack_config=attack_config,
-                defense_name=name,
+
+
+def _defenses_tasks(options):
+    runs = _defense_runs(options["base_seed"], options["dense_seed"])
+    names = [name for name, _, _, _ in runs]
+    only = options.get("only")
+    if only:
+        unknown = sorted(set(only) - set(names))
+        if unknown:
+            raise ConfigError(
+                "unknown defenses %s (matrix: %s)" % (unknown, ", ".join(names))
             )
+        names = [name for name in names if name in set(only)]
+    return [Task(key=name, payload={"defense": name}) for name in names]
+
+
+def _defenses_run(task, options):
+    for name, config_fn, policy, attack_config in _defense_runs(
+        options["base_seed"], options["dense_seed"]
+    ):
+        if name == task.payload["defense"]:
+            return _run_escalation_data(config_fn, policy, attack_config, name)
+    raise ConfigError("defense %r is not in the matrix" % task.payload["defense"])
+
+
+def _defenses_cli_configure(parser):
+    parser.add_argument(
+        "--only",
+        metavar="LIST",
+        default=None,
+        help="comma-separated subset of the defense matrix "
+        "(stock,catt,rip-rh,cta,zebram)",
+    )
+    parser.add_argument("--base-seed", type=int, default=1)
+    parser.add_argument("--dense-seed", type=int, default=5)
+
+
+def _defenses_cli_options(args):
+    options = {"base_seed": args.base_seed, "dense_seed": args.dense_seed}
+    if args.only:
+        options["only"] = tuple(
+            token.strip() for token in args.only.split(",") if token.strip()
         )
-    return DefenseMatrixResult("tiny-test", results)
+    return options
+
+
+DEFENSES_SPEC = register_experiment(
+    ExperimentSpec(
+        name="defenses",
+        title="Sections IV-G/V: the five-defense matrix",
+        build_tasks=_defenses_tasks,
+        run_task=_defenses_run,
+        reduce=lambda data, options: DefenseMatrixResult(
+            "tiny-test", [EscalationResult(**row) for row in data]
+        ),
+        defaults={"base_seed": 1, "dense_seed": 5, "only": None},
+        cli_configure=_defenses_cli_configure,
+        cli_options=_defenses_cli_options,
+        smoke_argv=("--only", "stock"),
+    )
+)
+
+
+def section_4g_defenses(base_seed=1, dense_seed=5):
+    """Sections IV-F/G + §V defense matrix (deprecated shim).
+
+    Runs the verified per-defense setups on tiny-scale machines.
+    Expected shape — the paper's findings:
+
+    * stock, CATT, RIP-RH — escalation via L1PT capture;
+    * CTA — no L1PT capture ever (true-cell monotonicity holds), but
+      escalation via the cred spray;
+    * ZebRAM — no exploitable flips (the paper's acknowledged limit).
+    """
+    _deprecated_shim("section_4g_defenses", "defenses")
+    return run_experiment(
+        DEFENSES_SPEC, {"base_seed": base_seed, "dense_seed": dense_seed}
+    ).result
 
 
 def tiny_test_config_dense(seed):

@@ -7,119 +7,40 @@ gnuplot, a spreadsheet) can regenerate the graphics:
 
     result = figure3()
     write_sweep_csv(result, "fig3.csv")
+
+Every result object now derives from
+:class:`repro.analysis.result.ExperimentResult`, so
+``result.write_csv(destination)`` is the one code path behind all of
+these; the per-shape writers survive as thin aliases for callers that
+predate the common result API.
 """
 
-import csv
 import io
-
-from repro.errors import ConfigError
-
-
-def _write(path_or_buffer, rows, header):
-    """Write rows to a path or file-like object; returns the row count."""
-    own = isinstance(path_or_buffer, str)
-    handle = open(path_or_buffer, "w", newline="") if own else path_or_buffer
-    try:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        for row in rows:
-            writer.writerow(row)
-    finally:
-        if own:
-            handle.close()
-    return len(rows)
 
 
 def write_sweep_csv(result, destination):
     """Figures 3/4: (machine, eviction-set size, miss rate) rows."""
-    rows = [
-        (machine, size, rate)
-        for machine, points in result.series.items()
-        for size, rate in sorted(points.items())
-    ]
-    if not rows:
-        raise ConfigError("sweep result has no series")
-    return _write(destination, rows, ("machine", "size", "miss_rate"))
+    return result.write_csv(destination)
 
 
 def write_figure5_csv(result, destination):
     """Figure 5: (padding cycles, seconds-to-flip or empty) rows."""
-    rows = [
-        (padding, "" if seconds is None else seconds)
-        for padding, seconds in sorted(result.series.items())
-    ]
-    return _write(destination, rows, ("nop_padding_cycles", "seconds_to_first_flip"))
+    return result.write_csv(destination)
 
 
 def write_figure6_csv(result, destination):
     """Figure 6: (machine, page setting, round index, cycles) rows."""
-    rows = [
-        (result.machine, result.page_setting, index, cost)
-        for index, cost in enumerate(result.costs)
-    ]
-    return _write(destination, rows, ("machine", "pages", "round", "cycles"))
+    return result.write_csv(destination)
 
 
 def write_table2_csv(result, destination):
     """Table II rows with per-phase seconds."""
-    rows = [
-        (
-            row.machine,
-            row.page_setting,
-            row.tlb_prep_s,
-            row.llc_prep_s,
-            row.tlb_select_s,
-            row.llc_select_s,
-            row.hammer_s,
-            row.check_s,
-            "" if row.first_flip_s is None else row.first_flip_s,
-        )
-        for row in result.rows
-    ]
-    return _write(
-        destination,
-        rows,
-        (
-            "machine",
-            "pages",
-            "tlb_prep_s",
-            "llc_prep_s",
-            "tlb_select_s",
-            "llc_select_s",
-            "hammer_s",
-            "check_s",
-            "first_flip_s",
-        ),
-    )
+    return result.write_csv(destination)
 
 
 def write_defense_matrix_csv(result, destination):
     """Sections IV-F/G matrix rows."""
-    rows = [
-        (
-            r.defense,
-            int(r.escalated),
-            r.method or "",
-            r.flips_observed,
-            r.captures.get("l1pt", 0),
-            r.captures.get("cred", 0),
-            r.ground_truth_flips,
-        )
-        for r in result.results
-    ]
-    return _write(
-        destination,
-        rows,
-        (
-            "defense",
-            "escalated",
-            "method",
-            "flips_observed",
-            "l1pt_captures",
-            "cred_captures",
-            "ground_truth_flips",
-        ),
-    )
+    return result.write_csv(destination)
 
 
 def to_csv_string(writer_fn, result):

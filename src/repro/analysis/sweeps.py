@@ -4,24 +4,65 @@ The reproduction's fault model and boot-noise model have free
 parameters (DESIGN.md §5/§6 document their calibration); these sweeps
 show how the headline results move as those parameters do — the
 sensitivity analysis behind EXPERIMENTS.md's deviation notes.
+
+Sweeps execute through the experiment engine
+(:mod:`repro.analysis.engine`), so every point can fan out across
+worker processes and checkpoint/resume like a registered experiment —
+``sweep_parameter(..., jobs=4, checkpoint="sweep.jsonl")``.
 """
 
-from repro.analysis.experiments import ExperimentContext, section_4d_pairs
+from repro.analysis.engine import ExperimentSpec, Task, run_experiment
+from repro.analysis.experiments import ExperimentContext, _section_4d_data
 from repro.core.hammer import DoubleSidedHammer, HammerTarget
 from repro.core.pthammer import PThammerAttack, PThammerConfig, PThammerReport
 from repro.machine.configs import tiny_test_config
 
 
-def sweep_parameter(make_config, values, metric):
+def _sweep_tasks(options):
+    return [
+        Task(key="%d:%s" % (index, value), payload={"index": index})
+        for index, value in enumerate(options["values"])
+    ]
+
+
+def _sweep_run(task, options):
+    value = options["values"][task.payload["index"]]
+    return options["metric"](options["make_config"](value))
+
+
+def _sweep_reduce(data, options):
+    return {value: point for value, point in zip(options["values"], data)}
+
+
+#: The ad-hoc (unregistered) spec behind :func:`sweep_parameter` — a
+#: sweep's values/metric are caller state, so it never goes in the
+#: global registry.
+_SWEEP_SPEC = ExperimentSpec(
+    name="sweep",
+    title="parameter sweep",
+    build_tasks=_sweep_tasks,
+    run_task=_sweep_run,
+    reduce=_sweep_reduce,
+)
+
+
+def sweep_parameter(make_config, values, metric, jobs=1, checkpoint=None, resume=False):
     """Evaluate ``metric(config)`` for each parameter value.
 
     ``make_config(value)`` builds a machine config per point; returns
-    ``{value: metric result}`` in input order.
+    ``{value: metric result}`` in input order.  Points run through the
+    experiment engine, so ``jobs`` fans them across processes and
+    ``checkpoint``/``resume`` make interrupted sweeps restartable —
+    which also means metric results must be JSON-serialisable (numbers,
+    strings, lists, dicts).
     """
-    return {value: metric(make_config(value)) for value in values}
+    options = {"make_config": make_config, "values": list(values), "metric": metric}
+    return run_experiment(
+        _SWEEP_SPEC, options, jobs=jobs, checkpoint=checkpoint, resume=resume
+    ).result
 
 
-def flips_vs_threshold(thresholds=(600, 1000, 1600, 2600), seed=2):
+def flips_vs_threshold(thresholds=(600, 1000, 1600, 2600), seed=2, jobs=1):
     """Ground-truth flips from a fixed hammer budget vs cell threshold.
 
     Shows the fault-model side of Figure 5: as cells get harder (higher
@@ -62,10 +103,10 @@ def flips_vs_threshold(thresholds=(600, 1000, 1600, 2600), seed=2):
         hammer.run_for_cycles(2 * config.dram.refresh_interval_cycles)
         return context.machine.dram.flip_count()
 
-    return sweep_parameter(make_config, thresholds, metric)
+    return sweep_parameter(make_config, thresholds, metric, jobs=jobs)
 
 
-def pair_rate_vs_fragmentation(fractions=(0.0, 0.004, 0.02, 0.05), seed=3):
+def pair_rate_vs_fragmentation(fractions=(0.0, 0.004, 0.02, 0.05), seed=3, jobs=1):
     """Section IV-D same-bank rate vs boot-time fragmentation.
 
     Supports EXPERIMENTS.md note 4: the simulated pair-construction hit
@@ -73,14 +114,13 @@ def pair_rate_vs_fragmentation(fractions=(0.0, 0.004, 0.02, 0.05), seed=3):
     below) the paper's 95 % as boot noise grows.
     """
 
-    def metric_for(fraction):
-        result = section_4d_pairs(
-            lambda: tiny_test_config(seed=seed, boot_fragmentation=fraction),
-            sample=16,
-            spray_slots=384,
-        )
-        if result.candidates == 0:
-            return 0.0
-        return result.flagged_slow / result.candidates
+    def make_config(fraction):
+        return tiny_test_config(seed=seed, boot_fragmentation=fraction)
 
-    return {fraction: metric_for(fraction) for fraction in fractions}
+    def metric(config):
+        data = _section_4d_data(lambda: config, sample=16, spray_slots=384)
+        if data["candidates"] == 0:
+            return 0.0
+        return data["flagged_slow"] / data["candidates"]
+
+    return sweep_parameter(make_config, fractions, metric, jobs=jobs)

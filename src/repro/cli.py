@@ -1,13 +1,22 @@
 """Command-line interface: run the attack and regenerate experiments.
 
+Every registered experiment (``repro.analysis.engine`` registry) gets a
+subcommand with common engine flags — ``--jobs N`` fans tasks across
+worker processes, ``--checkpoint FILE`` streams per-task results to a
+JSONL file, and ``--resume`` skips tasks that file already holds.
+Rendered results go to stdout; progress and the run summary go to
+stderr, so the rendered output is byte-identical whatever ``--jobs`` is.
+
 Examples::
 
     python -m repro attack --machine t420-scaled
     python -m repro attack --machine tiny --defense catt --slots 1000
     python -m repro table1
-    python -m repro figure3 --trials 60
+    python -m repro figure3 --trials 60 --jobs 3
+    python -m repro table2 --jobs 4 --checkpoint table2.jsonl
+    python -m repro table2 --jobs 4 --checkpoint table2.jsonl --resume
     python -m repro figure5 --machine t420-scaled
-    python -m repro defenses
+    python -m repro defenses --jobs 5
     python -m repro mitigations
 """
 
@@ -15,53 +24,18 @@ import argparse
 import sys
 import time
 
-from repro.analysis import (
-    figure3,
-    figure4,
-    figure5,
-    figure6,
-    run_escalation,
-    section_4c_selection,
-    section_4d_pairs,
-    table1,
-    table2,
-)
+from repro.analysis.engine import experiment_names, get_experiment, run_experiment
 from repro.core.pthammer import PThammerAttack, PThammerConfig
-from repro.defenses import (
-    CATTPolicy,
-    CTAPolicy,
-    RIPRHPolicy,
-    StockPolicy,
-    ZebRAMPolicy,
-)
+from repro.defenses import DEFENSE_PRESETS
+from repro.errors import ConfigError
 from repro.machine import AttackerView, Inspector, Machine
-from repro.machine.configs import (
-    dell_e6420,
-    dell_e6420_scaled,
-    lenovo_t420,
-    lenovo_t420_scaled,
-    lenovo_x230,
-    lenovo_x230_scaled,
-    tiny_test_config,
-)
+from repro.machine.configs import MACHINE_PRESETS, tiny_test_config
 
-MACHINES = {
-    "tiny": tiny_test_config,
-    "t420-scaled": lenovo_t420_scaled,
-    "x230-scaled": lenovo_x230_scaled,
-    "e6420-scaled": dell_e6420_scaled,
-    "t420": lenovo_t420,
-    "x230": lenovo_x230,
-    "e6420": dell_e6420,
-}
-
-DEFENSES = {
-    "none": lambda: StockPolicy(),
-    "catt": lambda: CATTPolicy(kernel_fraction=0.1),
-    "rip-rh": lambda: RIPRHPolicy(kernel_fraction=0.1),
-    "cta": lambda: CTAPolicy(),
-    "zebram": lambda: ZebRAMPolicy(),
-}
+#: Preset vocabularies (canonical homes: repro.machine.configs and
+#: repro.defenses).  The aliases keep the CLI's historical import
+#: surface — ``from repro.cli import MACHINES, DEFENSES`` — working.
+MACHINES = MACHINE_PRESETS
+DEFENSES = DEFENSE_PRESETS
 
 
 def _machine_arg(parser, default="tiny"):
@@ -71,6 +45,56 @@ def _machine_arg(parser, default="tiny"):
         default=default,
         help="machine preset (default: %(default)s)",
     )
+
+
+def _engine_args(parser):
+    group = parser.add_argument_group("engine")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent tasks (default: 1)",
+    )
+    group.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="stream per-task results to this JSONL file",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip tasks already recorded in --checkpoint",
+    )
+
+
+def _cmd_experiment(args):
+    """Dispatch one registered experiment through the engine."""
+    spec = get_experiment(args.command)
+
+    def progress(done, total, outcome):
+        print(
+            "  [%d/%d] %s (%.1fs)" % (done, total, outcome.key, outcome.host_seconds),
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        options = spec.cli_options(args) if spec.cli_options else {}
+        run = run_experiment(
+            spec,
+            options,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            progress=progress,
+        )
+    except ConfigError as exc:
+        print("repro: %s" % exc, file=sys.stderr)
+        return 2
+    print(run.result.render())
+    print(run.summary(), file=sys.stderr)
+    return 0
 
 
 def _cmd_attack(args):
@@ -138,11 +162,6 @@ def _open_trace_destination(path):
         raise SystemExit("repro: cannot write trace file %s: %s" % (path, exc))
 
 
-def _cmd_render(result):
-    print(result.render())
-    return 0
-
-
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -186,31 +205,16 @@ def main(argv=None):
         "--out", metavar="FILE", default=None, help="JSONL trace destination"
     )
 
-    commands.add_parser("table1", help="Table I: machine configurations")
+    # One subcommand per registered experiment; each spec contributes its
+    # own flags, the engine contributes --jobs/--checkpoint/--resume.
+    experiments = set(experiment_names())
+    for name in experiment_names():
+        spec = get_experiment(name)
+        sub = commands.add_parser(name, help=spec.title)
+        if spec.cli_configure:
+            spec.cli_configure(sub)
+        _engine_args(sub)
 
-    fig3 = commands.add_parser("figure3", help="TLB eviction-set sweep")
-    fig3.add_argument("--trials", type=int, default=60)
-
-    fig4 = commands.add_parser("figure4", help="LLC eviction-set sweep")
-    fig4.add_argument("--trials", type=int, default=60)
-
-    table2_cmd = commands.add_parser("table2", help="attack phase costs")
-    table2_cmd.add_argument("--slots", type=int, default=384)
-
-    fig5 = commands.add_parser("figure5", help="hammer-budget cliff")
-    _machine_arg(fig5, default="t420-scaled")
-
-    fig6 = commands.add_parser("figure6", help="per-round cycle distribution")
-    _machine_arg(fig6, default="t420-scaled")
-    fig6.add_argument("--regular-pages", action="store_true")
-
-    sec4c = commands.add_parser("sec4c", help="Algorithm-2 false positives")
-    _machine_arg(sec4c, default="t420-scaled")
-
-    sec4d = commands.add_parser("sec4d", help="pair-construction hit rates")
-    _machine_arg(sec4d, default="t420-scaled")
-
-    commands.add_parser("defenses", help="Sections IV-G/V defense matrix")
     commands.add_parser("mitigations", help="Section V mitigation matrix")
     commands.add_parser(
         "validate", help="quick self-check: knees, pairs, and one escalation"
@@ -222,28 +226,8 @@ def main(argv=None):
         return _cmd_attack(args)
     if args.command == "trace":
         return _cmd_trace(args)
-    if args.command == "table1":
-        return _cmd_render(table1())
-    if args.command == "figure3":
-        return _cmd_render(figure3(trials=args.trials))
-    if args.command == "figure4":
-        return _cmd_render(figure4(trials=args.trials))
-    if args.command == "table2":
-        return _cmd_render(
-            table2(attack_config=PThammerConfig(spray_slots=args.slots, max_pairs=8))
-        )
-    if args.command == "figure5":
-        return _cmd_render(figure5(MACHINES[args.machine], buffer_pages=256))
-    if args.command == "figure6":
-        return _cmd_render(
-            figure6(MACHINES[args.machine], superpages=not args.regular_pages)
-        )
-    if args.command == "sec4c":
-        return _cmd_render(section_4c_selection(MACHINES[args.machine]))
-    if args.command == "sec4d":
-        return _cmd_render(section_4d_pairs(MACHINES[args.machine]))
-    if args.command == "defenses":
-        return _cmd_defenses()
+    if args.command in experiments:
+        return _cmd_experiment(args)
     if args.command == "mitigations":
         return _cmd_mitigations()
     if args.command == "validate":
@@ -292,7 +276,6 @@ def _cmd_trace(args):
 
 def _cmd_validate():
     """Fast end-to-end self-check of the reproduction's key shapes."""
-    from repro.analysis import section_4d_pairs
     from repro.core.tlb_eviction import TLBEvictionSetBuilder, tlb_miss_rate_by_size
     from repro.core.llc_offline import llc_miss_rate_by_size
     from repro.core.uarch import UarchFacts
@@ -325,7 +308,10 @@ def _cmd_validate():
     )
 
     print("validating pair construction ...")
-    pairs = section_4d_pairs(lambda: tiny_test_config(), sample=10, spray_slots=256)
+    pairs = run_experiment(
+        "sec4d",
+        {"config_fn": lambda: tiny_test_config(), "sample": 10, "spray_slots": 256},
+    ).result
     check("sec4d: slow pairs same-bank", pairs.slow_same_bank_rate >= 0.8)
 
     print("validating escalation (one seed) ...")
@@ -339,15 +325,6 @@ def _cmd_validate():
 
     print("%d checks failed" % len(failures) if failures else "all checks passed")
     return 1 if failures else 0
-
-
-def _cmd_defenses():
-    """The Sections IV-G/V matrix (canonical runner in repro.analysis)."""
-    from repro.analysis.experiments import section_4g_defenses
-
-    print("running the five-defense matrix (a few minutes) ...", flush=True)
-    print(section_4g_defenses().render())
-    return 0
 
 
 def _cmd_mitigations():

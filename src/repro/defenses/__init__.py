@@ -10,8 +10,31 @@ from repro.defenses.zebram import ZebRAMPolicy
 #: All evaluated policies, undefended baseline first.
 ALL_POLICIES = (StockPolicy, CATTPolicy, RIPRHPolicy, CTAPolicy, ZebRAMPolicy)
 
+#: Defense name -> policy factory with the evaluated knob settings
+#: (Sections IV-G/V); shared by the CLI and the experiment engine.
+DEFENSE_PRESETS = {
+    "none": lambda: StockPolicy(),
+    "catt": lambda: CATTPolicy(kernel_fraction=0.1),
+    "rip-rh": lambda: RIPRHPolicy(kernel_fraction=0.1),
+    "cta": lambda: CTAPolicy(),
+    "zebram": lambda: ZebRAMPolicy(),
+}
+
+
+def defense_preset(name):
+    """The policy factory for a defense name; KeyError message included."""
+    try:
+        return DEFENSE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown defense %r (known: %s)" % (name, ", ".join(sorted(DEFENSE_PRESETS)))
+        )
+
+
 __all__ = [
     "ALL_POLICIES",
+    "DEFENSE_PRESETS",
+    "defense_preset",
     "AnvilDetector",
     "CATTPolicy",
     "CTAPolicy",

@@ -288,3 +288,27 @@ def tiny_test_config(seed=1, **overrides):
     if overrides:
         raise ConfigError("unknown overrides: %s" % sorted(overrides))
     return config.validate()
+
+
+#: Preset name -> config factory; the CLI's ``--machine``/``--machines``
+#: vocabulary and the experiment engine's task payloads both speak it.
+MACHINE_PRESETS = {
+    "tiny": tiny_test_config,
+    "t420-scaled": lenovo_t420_scaled,
+    "x230-scaled": lenovo_x230_scaled,
+    "e6420-scaled": dell_e6420_scaled,
+    "t420": lenovo_t420,
+    "x230": lenovo_x230,
+    "e6420": dell_e6420,
+}
+
+
+def machine_preset(name):
+    """The config factory for a preset name; ConfigError when unknown."""
+    try:
+        return MACHINE_PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown machine preset %r (known: %s)"
+            % (name, ", ".join(sorted(MACHINE_PRESETS)))
+        )

@@ -63,6 +63,36 @@ class CycleHistogram:
             return 0, 1
         return 1 << (bucket - 1), 1 << bucket
 
+    def snapshot(self):
+        """JSON-serialisable dump of this histogram's state.
+
+        Bucket indices become strings (JSON object keys), so a snapshot
+        survives a ``json.dumps``/``loads`` round trip unchanged —
+        that is what the experiment engine ships across process
+        boundaries and stores in run checkpoints.
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "buckets": {str(bucket): n for bucket, n in self.buckets.items()},
+        }
+
+    def merge_snapshot(self, snapshot):
+        """Fold a :meth:`snapshot` (possibly from another process) in."""
+        if not snapshot["count"]:
+            return
+        self.count += snapshot["count"]
+        self.total += snapshot["total"]
+        if self.minimum is None or snapshot["minimum"] < self.minimum:
+            self.minimum = snapshot["minimum"]
+        if self.maximum is None or snapshot["maximum"] > self.maximum:
+            self.maximum = snapshot["maximum"]
+        for bucket, n in snapshot["buckets"].items():
+            bucket = int(bucket)
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+
     def summary(self):
         """One-line human-readable recap."""
         if not self.count:
@@ -141,6 +171,37 @@ class MetricsRegistry:
     def timer(self, name, clock):
         """Context manager timing a span of ``clock`` into ``name``."""
         return _Timer(self.histogram(name), clock)
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self):
+        """JSON-serialisable dump of every instrument.
+
+        ``{"counters": {name: value}, "histograms": {name: histogram
+        snapshot}}`` — the unit the experiment engine collects from each
+        worker machine and folds into a run-level registry with
+        :meth:`merge_snapshot`.
+        """
+        return {
+            "counters": dict(self._counters),
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot):
+        """Fold a :meth:`snapshot` from another registry (or process) in.
+
+        Counters add; histograms merge count/total/min/max and bucket
+        counts.  Merging is associative and commutative, so any
+        aggregation order over a set of worker snapshots produces the
+        same run-level registry.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, histogram_snapshot in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_snapshot(histogram_snapshot)
 
     # -- lifecycle -------------------------------------------------------
 

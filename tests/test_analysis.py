@@ -63,6 +63,20 @@ def test_min_reliable_size_logic():
     assert reliable == 10  # everything passes at level 0
 
 
+def test_min_reliable_size_returns_none_when_unreliable():
+    from repro.analysis import EvictionSweepResult
+    from repro.errors import ConfigError
+
+    result = EvictionSweepResult("fig", {"m": {8: 0.1, 12: 0.4, 16: 0.6}})
+    # Even the largest size misses the level: a finding, not an error.
+    assert result.min_reliable_size("m", level=0.95) is None
+    with pytest.raises(ConfigError):
+        result.require_reliable_size("m", level=0.95)
+    # Unknown machine names are an error, not a silent None.
+    with pytest.raises(ConfigError):
+        result.min_reliable_size("no-such-machine")
+
+
 def test_figure6_runner_small():
     result = figure6(tiny, rounds=20, spray_slots=224)
     assert len(result.costs) == 20

@@ -1,0 +1,34 @@
+"""Registry smoke: every registered experiment runs end-to-end via CLI.
+
+Each spec declares tiny-scale ``smoke_argv``; this suite runs
+``python -m repro <experiment> <smoke_argv> --jobs 2`` for every name
+in the registry, so an experiment that drifts out of the registry, the
+CLI wiring, or the engine breaks loudly here.
+"""
+
+import pytest
+
+from repro.analysis.engine import experiment_names, get_experiment
+from repro.cli import main
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", experiment_names())
+def test_registered_experiment_smokes_through_cli(name, capsys):
+    spec = get_experiment(name)
+    assert spec.smoke_argv, "spec %r must declare smoke_argv" % name
+    code = main([name] + list(spec.smoke_argv) + ["--jobs", "2"])
+    out = capsys.readouterr().out
+    assert code == 0, name
+    assert out.strip(), "experiment %r rendered nothing" % name
+
+
+@pytest.mark.slow
+def test_smoke_checkpoint_resume_through_cli(tmp_path, capsys):
+    path = str(tmp_path / "smoke.jsonl")
+    argv = ["figure3", "--machines", "tiny", "--sizes", "8,12", "--trials", "10"]
+    assert main(argv + ["--checkpoint", path]) == 0
+    first = capsys.readouterr().out
+    assert main(argv + ["--checkpoint", path, "--resume"]) == 0
+    second = capsys.readouterr().out
+    assert first == second

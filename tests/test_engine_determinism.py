@@ -1,0 +1,70 @@
+"""Engine determinism: jobs-N parity and kill/resume equivalence.
+
+The engine's contract is that fan-out and checkpointing are invisible
+in the results: ``jobs=4`` renders byte-identically to ``jobs=1``, and
+a killed-then-resumed checkpointed run reproduces the uninterrupted
+run exactly.  These tests enforce that contract on real experiments at
+tiny scale.
+"""
+
+import pytest
+
+from repro.analysis.engine import run_experiment
+from repro.machine.configs import tiny_test_config
+
+FIGURE3_OPTIONS = {
+    "config_fns": (
+        tiny_test_config,
+        lambda: tiny_test_config(seed=9),
+        lambda: tiny_test_config(seed=23),
+    ),
+    "sizes": (8, 12),
+    "trials": 15,
+}
+
+SEC4D_OPTIONS = {
+    "config_fn": lambda: tiny_test_config(seed=2),
+    "sample": 6,
+    "spray_slots": 224,
+}
+
+
+@pytest.mark.slow
+def test_figure3_jobs4_matches_jobs1():
+    serial = run_experiment("figure3", FIGURE3_OPTIONS, jobs=1)
+    parallel = run_experiment("figure3", FIGURE3_OPTIONS, jobs=4)
+    assert serial.result.render() == parallel.result.render()
+    assert serial.result.series == parallel.result.series
+
+
+@pytest.mark.slow
+def test_sec4d_jobs4_matches_jobs1():
+    serial = run_experiment("sec4d", SEC4D_OPTIONS, jobs=1)
+    parallel = run_experiment("sec4d", SEC4D_OPTIONS, jobs=4)
+    assert serial.result.render() == parallel.result.render()
+    assert serial.result == parallel.result
+
+
+@pytest.mark.slow
+def test_killed_then_resumed_matches_uninterrupted(tmp_path):
+    path = str(tmp_path / "figure3.jsonl")
+    uninterrupted = run_experiment("figure3", FIGURE3_OPTIONS)
+    # A run that dies after one task (max_tasks stands in for a kill) ...
+    partial = run_experiment("figure3", FIGURE3_OPTIONS, checkpoint=path, max_tasks=1)
+    assert not partial.completed and partial.result is None
+    # ... resumes from the checkpoint and reproduces the result exactly.
+    resumed = run_experiment(
+        "figure3", FIGURE3_OPTIONS, checkpoint=path, resume=True, jobs=2
+    )
+    assert resumed.completed
+    assert resumed.tasks_resumed == 1
+    assert resumed.tasks_run == len(FIGURE3_OPTIONS["config_fns"]) - 1
+    assert resumed.result.render() == uninterrupted.result.render()
+    assert resumed.result.series == uninterrupted.result.series
+
+
+@pytest.mark.slow
+def test_parallel_metrics_match_serial_totals():
+    serial = run_experiment("figure3", FIGURE3_OPTIONS, jobs=1)
+    parallel = run_experiment("figure3", FIGURE3_OPTIONS, jobs=4)
+    assert serial.metrics.snapshot() == parallel.metrics.snapshot()

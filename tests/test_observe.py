@@ -263,6 +263,47 @@ def test_machine_metrics_back_perf_counters(machine, attacker):
     assert machine.perf.read(DTLB_MISS_WALK) == machine.metrics.read(DTLB_MISS_WALK)
 
 
+def test_histogram_snapshot_merge_round_trip():
+    import json
+
+    source = CycleHistogram()
+    for value in (1, 3, 200):
+        source.observe(value)
+    # Snapshots are JSON-able (str bucket keys) and survive a round trip.
+    snapshot = json.loads(json.dumps(source.snapshot()))
+    target = CycleHistogram()
+    target.observe(7)
+    target.merge_snapshot(snapshot)
+    assert target.count == 4
+    assert target.minimum == 1 and target.maximum == 200
+    assert target.total == 211
+    # Merging an empty snapshot is a no-op (minimum must not clobber).
+    before = target.snapshot()
+    target.merge_snapshot(CycleHistogram().snapshot())
+    assert target.snapshot() == before
+
+
+def test_registry_snapshot_merge_is_commutative():
+    a = MetricsRegistry()
+    a.inc("walks", 3)
+    a.observe("lat", 10)
+    b = MetricsRegistry()
+    b.inc("walks", 2)
+    b.inc("loads", 1)
+    b.observe("lat", 500)
+
+    ab = MetricsRegistry()
+    ab.merge_snapshot(a.snapshot())
+    ab.merge_snapshot(b.snapshot())
+    ba = MetricsRegistry()
+    ba.merge_snapshot(b.snapshot())
+    ba.merge_snapshot(a.snapshot())
+    assert ab.snapshot() == ba.snapshot()
+    assert ab.read("walks") == 5 and ab.read("loads") == 1
+    assert ab.histogram("lat").count == 2
+    assert ab.histogram("lat").maximum == 500
+
+
 # ----------------------------------------------------------------------
 # PerfCounters.delta across reset
 
