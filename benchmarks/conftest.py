@@ -8,6 +8,12 @@ fall — rather than absolute numbers (see EXPERIMENTS.md).
 pytest captures in-test output on success, so ``emit`` additionally
 queues every rendering and a terminal-summary hook replays them after
 the run — that is what lands in ``bench_output.txt``.
+
+Every passing benchmark is also recorded into the run ledger
+(``.repro/runs/``, see ``docs/RUN_LEDGER.md``) as a ``benchmark``-kind
+record named by its test id, so per-benchmark wall-time trajectories
+accumulate across revisions and ``repro runs diff`` can compare any
+two of them.
 """
 
 import sys
@@ -15,6 +21,26 @@ import sys
 import pytest
 
 _RENDERS = []
+_RECORDED = []
+
+
+def pytest_runtest_logreport(report):
+    """Append one ledger record per passing benchmark call phase."""
+    if report.when != "call" or not report.passed:
+        return
+    try:
+        from repro.observe.ledger import BENCHMARK_RUN, RunLedger, RunRecord
+
+        record = RunRecord.new(
+            BENCHMARK_RUN,
+            report.nodeid,
+            timings={"host_seconds": round(report.duration, 6)},
+            outcome={"passed": True},
+        )
+        RunLedger().record(record)
+        _RECORDED.append(record.run_id)
+    except Exception as exc:  # the ledger must never fail a benchmark
+        print("ledger: could not record %s: %s" % (report.nodeid, exc), file=sys.stderr)
 
 
 def emit(result):
@@ -27,6 +53,13 @@ def emit(result):
 
 def pytest_terminal_summary(terminalreporter):
     """Replay every emitted table/figure once capture is released."""
+    if _RECORDED:
+        from repro.observe.ledger import RunLedger
+
+        terminalreporter.write_line(
+            "recorded %d benchmark run(s) into %s"
+            % (len(_RECORDED), RunLedger().root)
+        )
     if not _RENDERS:
         return
     terminalreporter.section("regenerated tables and figures")

@@ -1,0 +1,291 @@
+"""The quick benchmark suite behind ``repro bench``.
+
+A handful of tiny-scale, seconds-fast workloads — one end-to-end
+attack plus the hottest experiment paths — each of which produces a
+ledger-ready performance record: host wall time, virtual-cycle phase
+breakdown, the machine's metrics snapshot, and the outcome numbers
+that must not silently drift (ground-truth flips, escalation).
+
+Workflow (see ``docs/RUN_LEDGER.md``)::
+
+    repro bench --record --baseline main     # name today's numbers
+    ... hack on the hot paths ...
+    repro bench --compare main               # nonzero exit on regression
+
+Comparison is direction-aware: ``time.*``/``phase.*``/histogram
+metrics regress *upward*, flip counts regress *downward*.  Host wall
+time is noisy across machines, which is why the default tolerance is
+a generous 25% and why the virtual-cycle metrics — deterministic for
+a given seed — are recorded alongside it: a virtual-cycle regression
+is real at any tolerance.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.observe.ledger import (
+    BENCHMARK_RUN,
+    RunRecord,
+    config_fingerprint,
+    diff_records,
+)
+
+#: Default regression tolerance (fraction of the baseline value).
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass
+class BenchSpec:
+    """One registered benchmark: a name, a title, and a runner.
+
+    ``runner()`` executes the workload and returns a plain dict with
+    any of the keys ``machine``, ``config_fingerprint``, ``timings``
+    (extra scalars beside the harness-measured ``host_seconds``),
+    ``phases``, ``metrics`` (a ``MetricsRegistry.snapshot()``), and
+    ``outcome``.
+    """
+
+    name: str
+    title: str
+    runner: Callable[[], dict]
+
+
+@dataclass
+class BenchResult:
+    """One finished benchmark, ready to persist or compare."""
+
+    name: str
+    title: str
+    host_seconds: float
+    machine: Optional[str] = None
+    config_fingerprint: Optional[str] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+    phases: List[dict] = field(default_factory=list)
+    metrics: Optional[dict] = None
+    outcome: Dict[str, float] = field(default_factory=dict)
+
+    def to_record(self, label=None):
+        """A ledger :class:`RunRecord` (kind ``benchmark``)."""
+        timings = {"host_seconds": round(self.host_seconds, 6)}
+        timings.update(self.timings)
+        return RunRecord.new(
+            BENCHMARK_RUN,
+            self.name,
+            label=label,
+            machine=self.machine,
+            config_fingerprint=self.config_fingerprint,
+            timings=timings,
+            phases=self.phases,
+            metrics=self.metrics,
+            outcome=self.outcome,
+        )
+
+    def summary_line(self):
+        virtual = self.timings.get("virtual_cycles")
+        return "%-18s %8.2fs %s%s" % (
+            self.name,
+            self.host_seconds,
+            "%d virtual cycles" % virtual if virtual else "",
+            "  flips=%d" % self.outcome["flips"] if "flips" in self.outcome else "",
+        )
+
+
+_BENCH_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register_bench(spec):
+    """Add a benchmark to the suite; returns it for chaining."""
+    if spec.name in _BENCH_REGISTRY:
+        raise ConfigError("benchmark %r is already registered" % spec.name)
+    _BENCH_REGISTRY[spec.name] = spec
+    return spec
+
+
+def bench_names():
+    """Sorted names of every registered benchmark."""
+    return sorted(_BENCH_REGISTRY)
+
+
+def get_bench(name):
+    """Look a registered benchmark up by name."""
+    try:
+        return _BENCH_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown benchmark %r (registered: %s)"
+            % (name, ", ".join(bench_names()) or "none")
+        )
+
+
+def run_bench(name):
+    """Run one benchmark; returns a :class:`BenchResult`."""
+    spec = get_bench(name)
+    started = time.perf_counter()
+    payload = spec.runner() or {}
+    host_seconds = time.perf_counter() - started
+    return BenchResult(
+        name=spec.name,
+        title=spec.title,
+        host_seconds=host_seconds,
+        machine=payload.get("machine"),
+        config_fingerprint=payload.get("config_fingerprint"),
+        timings=payload.get("timings", {}),
+        phases=payload.get("phases", []),
+        metrics=payload.get("metrics"),
+        outcome=payload.get("outcome", {}),
+    )
+
+
+def run_suite(names=None):
+    """Run the whole suite (or ``names``), in registration-name order."""
+    return [run_bench(name) for name in (names or bench_names())]
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+
+
+def _comparable(name):
+    """Metrics worth gating on: timings, phase costs, latency summaries,
+    and the attack-health numbers (flips, escalation)."""
+    return (
+        name.startswith(("time.", "phase."))
+        or name.endswith((".mean", ".p50", ".p95", ".p99"))
+        or "flip" in name
+        or "escalated" in name
+    )
+
+
+@dataclass
+class BenchComparison:
+    """The suite compared against one named baseline."""
+
+    baseline: str
+    diffs: List[object]  # RunDiff per benchmark that had a baseline
+    missing: List[str]  # benchmarks with no baseline record
+
+    def regressions(self):
+        return [delta for diff in self.diffs for delta in diff.regressions()]
+
+    def render(self):
+        lines = []
+        for diff in self.diffs:
+            lines.append(diff.render())
+            lines.append("")
+        for name in self.missing:
+            lines.append(
+                "%s: no baseline %r recorded — run `repro bench --record "
+                "--baseline %s` first" % (name, self.baseline, self.baseline)
+            )
+        regressions = self.regressions()
+        lines.append(
+            "baseline %r: %d benchmark(s) compared, %d missing, %d regression(s)"
+            % (self.baseline, len(self.diffs), len(self.missing), len(regressions))
+        )
+        return "\n".join(lines)
+
+
+def compare_to_baseline(ledger, baseline, results, tolerance=DEFAULT_TOLERANCE):
+    """Diff fresh :class:`BenchResult`\\ s against a recorded baseline.
+
+    For every result, the most recent ledger record with kind
+    ``benchmark``, the same name, and ``label == baseline`` is the
+    reference; results without one land in ``missing`` (not a
+    regression — record the baseline first).
+    """
+    diffs = []
+    missing = []
+    for result in results:
+        reference = ledger.latest(
+            kind=BENCHMARK_RUN, name=result.name, label=baseline
+        )
+        if reference is None:
+            missing.append(result.name)
+            continue
+        diffs.append(
+            diff_records(
+                reference,
+                result.to_record(),
+                tolerance=tolerance,
+                metrics=_comparable,
+            )
+        )
+    return BenchComparison(baseline=baseline, diffs=diffs, missing=missing)
+
+
+# ----------------------------------------------------------------------
+# The suite: tiny-scale, seconds-fast, deterministic seeds
+
+
+def _attack_bench():
+    from repro.core.pthammer import PThammerAttack, PThammerConfig
+    from repro.machine import AttackerView, Inspector, Machine
+    from repro.machine.configs import tiny_test_config
+
+    config = tiny_test_config(seed=1)
+    machine = Machine(config)
+    attacker = AttackerView(machine, machine.boot_process())
+    report = PThammerAttack(
+        attacker, PThammerConfig(spray_slots=256, pair_sample=12, max_pairs=8)
+    ).run()
+    return {
+        "machine": config.name,
+        "config_fingerprint": config_fingerprint(config),
+        "timings": {"virtual_cycles": machine.cycles},
+        "phases": [
+            {"name": name, "start": start, "end": end, "cycles": end - start}
+            for name, start, end in report.timeline
+        ],
+        "metrics": machine.metrics.snapshot(),
+        "outcome": {
+            "flips": Inspector(machine).flip_count(),
+            "escalated": report.escalated,
+        },
+    }
+
+
+def _experiment_bench(name, options_fn):
+    """A registered-experiment benchmark sharing the engine code path."""
+
+    def runner():
+        from repro.analysis.engine import run_experiment
+        from repro.machine.configs import tiny_test_config
+
+        run = run_experiment(name, options_fn(tiny_test_config))
+        return {
+            "machine": "tiny-test",
+            "config_fingerprint": config_fingerprint(tiny_test_config()),
+            "metrics": run.metrics.snapshot(),
+            "outcome": {"completed": run.completed, "tasks": run.tasks_total},
+        }
+
+    return runner
+
+
+register_bench(BenchSpec("attack-tiny", "end-to-end PThammer attack", _attack_bench))
+register_bench(
+    BenchSpec(
+        "figure3-tiny",
+        "TLB eviction sweep through the engine",
+        _experiment_bench(
+            "figure3",
+            lambda tiny: {
+                "config_fns": (tiny,),
+                "sizes": (8, 12),
+                "trials": 10,
+            },
+        ),
+    )
+)
+register_bench(
+    BenchSpec(
+        "sec4d-tiny",
+        "pair construction statistics",
+        _experiment_bench(
+            "sec4d",
+            lambda tiny: {"config_fn": tiny, "sample": 6, "spray_slots": 256},
+        ),
+    )
+)

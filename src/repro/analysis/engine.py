@@ -172,7 +172,14 @@ def observe_machine_metrics(registry):
 
 @dataclass
 class TaskOutcome:
-    """One finished task: canonical data plus its metrics snapshot."""
+    """One finished task: canonical data plus its metrics snapshot.
+
+    ``error`` is ``None`` for a successful task; under
+    ``keep_going=True`` a task whose ``run_task`` raised is captured
+    here (``"ExceptionType: message"``) with ``data=None`` instead of
+    aborting the run.  ``worker`` is the pid of the process that ran
+    the task — serial runs report the parent's own pid.
+    """
 
     key: str
     seed: Optional[int]
@@ -180,15 +187,29 @@ class TaskOutcome:
     metrics: Optional[dict]
     host_seconds: float
     resumed: bool = False
+    error: Optional[str] = None
+    worker: Optional[int] = None
 
 
-def _execute_task(spec, options, task):
+def _execute_task(spec, options, task, capture_errors=False):
     """Run one task, capturing metrics and canonicalising the data."""
     started = time.time()
     registries = []
     _ACTIVE_CAPTURES.append(registries)
     try:
         data = spec.run_task(task, options)
+    except Exception as exc:
+        if not capture_errors:
+            raise
+        return TaskOutcome(
+            key=task.key,
+            seed=task.seed,
+            data=None,
+            metrics=None,
+            host_seconds=time.time() - started,
+            error="%s: %s" % (type(exc).__name__, exc),
+            worker=os.getpid(),
+        )
     finally:
         _ACTIVE_CAPTURES.pop()
     try:
@@ -210,17 +231,19 @@ def _execute_task(spec, options, task):
         data=data,
         metrics=metrics,
         host_seconds=time.time() - started,
+        worker=os.getpid(),
     )
 
 
-#: (spec, options) inherited by forked pool workers; options may hold
-#: closures, which fork shares for free where pickling could not.
+#: (spec, options, capture_errors) inherited by forked pool workers;
+#: options may hold closures, which fork shares for free where
+#: pickling could not.
 _WORKER_STATE = None
 
 
 def _pool_entry(task):
-    spec, options = _WORKER_STATE
-    return _execute_task(spec, options, task)
+    spec, options, capture_errors = _WORKER_STATE
+    return _execute_task(spec, options, task, capture_errors)
 
 
 # ----------------------------------------------------------------------
@@ -239,25 +262,42 @@ def _fingerprint(spec_name, tasks):
 def load_checkpoint(path):
     """Read a checkpoint: ``(header, {key: record})``.
 
-    Tolerates a truncated or corrupt trailing line — the signature of a
-    killed run — by ignoring any line that fails to parse.  Raises
-    :class:`ConfigError` when the header itself is unusable.
+    Tolerates a corrupt or truncated *final* line — the signature of a
+    killed run, whose next write never finished — by ignoring it.  A
+    corrupt line with valid lines after it cannot be a torn trailing
+    write: it means the file was edited or damaged, and silently
+    skipping it would make ``--resume`` recompute (or worse, mis-merge)
+    work that looked safely recorded.  That case raises a
+    :class:`ConfigError` naming the file and line number, as does an
+    unusable header.
     """
     header = None
     records = {}
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                continue  # torn write from an interrupted run
-            if entry.get("kind") == "header":
-                header = entry
-            elif entry.get("kind") == "task" and "key" in entry and "data" in entry:
-                records[entry["key"]] = entry
+        lines = handle.read().splitlines()
+    content_numbers = [
+        number for number, line in enumerate(lines, 1) if line.strip()
+    ]
+    last_content = content_numbers[-1] if content_numbers else 0
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            if number == last_content:
+                continue  # torn trailing write from an interrupted run
+            raise ConfigError(
+                "checkpoint %s line %d is corrupt (not valid JSON) but is "
+                "followed by intact lines; the file was damaged after "
+                "writing — restore it or rerun without --resume"
+                % (path, number)
+            )
+        if entry.get("kind") == "header":
+            header = entry
+        elif entry.get("kind") == "task" and "key" in entry and "data" in entry:
+            records[entry["key"]] = entry
     if header is None:
         raise ConfigError("checkpoint %s has no header line" % path)
     if header.get("version") != CHECKPOINT_VERSION:
@@ -344,8 +384,10 @@ class RunOutcome:
     """Everything one engine invocation produced.
 
     ``result`` is the spec's reduced result object (``None`` when the
-    run is incomplete, i.e. ``max_tasks`` stopped it early); ``metrics``
-    aggregates every completed task's machine-metrics snapshots.
+    run is incomplete — ``max_tasks`` stopped it early or
+    ``keep_going`` swallowed task failures); ``metrics`` aggregates
+    every completed task's machine-metrics snapshots.  ``run_id`` is
+    set when the run was recorded into a ledger.
     """
 
     experiment: str
@@ -358,22 +400,47 @@ class RunOutcome:
     jobs: int
     host_seconds: float
     metrics: MetricsRegistry
+    failures: int = 0
+    run_id: Optional[str] = None
 
     def summary(self):
         """One-line recap for progress displays and logs."""
         state = "complete" if self.completed else (
             "incomplete (%d/%d tasks)" % (len(self.outcomes), self.tasks_total)
         )
+        failed = ", %d failed" % self.failures if self.failures else ""
         return (
-            "%s: %s; ran %d task(s) (%d resumed) with %d job(s) in %.1fs"
+            "%s: %s; ran %d task(s) (%d resumed%s) with %d job(s) in %.1fs"
             % (
                 self.experiment,
                 state,
                 self.tasks_run,
                 self.tasks_resumed,
+                failed,
                 self.jobs,
                 self.host_seconds,
             )
+        )
+
+    def ledger_record(self, label=None, command=None):
+        """A :class:`~repro.observe.ledger.RunRecord` for this run."""
+        from repro.observe.ledger import EXPERIMENT_RUN, RunRecord
+
+        return RunRecord.new(
+            EXPERIMENT_RUN,
+            self.experiment,
+            label=label,
+            command=command,
+            timings={"host_seconds": round(self.host_seconds, 6)},
+            metrics=self.metrics.snapshot(),
+            outcome={
+                "completed": self.completed,
+                "tasks_total": self.tasks_total,
+                "tasks_run": self.tasks_run,
+                "tasks_resumed": self.tasks_resumed,
+                "failures": self.failures,
+                "jobs": self.jobs,
+            },
         )
 
 
@@ -389,6 +456,9 @@ def run_experiment(
     resume=False,
     max_tasks=None,
     progress=None,
+    keep_going=False,
+    ledger=None,
+    label=None,
 ):
     """Execute an experiment through the engine; returns a RunOutcome.
 
@@ -400,8 +470,23 @@ def run_experiment(
     recover per-task results as JSONL.  ``max_tasks`` bounds how many
     *pending* tasks this invocation runs — an intentionally partial
     run returns ``completed=False`` with ``result=None`` and can be
-    finished later with ``resume=True``.  ``progress`` is an optional
-    ``callback(done_count, total, outcome)``.
+    finished later with ``resume=True``.
+
+    ``progress`` is a ``callback(done_count, total, outcome)`` — a
+    plain callable, or a
+    :class:`~repro.analysis.telemetry.ProgressReporter` (anything with
+    ``begin``/``end`` methods), which additionally receives run
+    start/finish notifications for live status displays.
+
+    ``keep_going=True`` captures a task exception into its
+    ``TaskOutcome.error`` (progress still fires; the run finishes the
+    remaining tasks) instead of aborting; failed tasks are not written
+    to the checkpoint, so a later ``--resume`` retries exactly them.
+    A run with failures has ``completed=False`` and ``result=None``.
+
+    ``ledger`` (a :class:`~repro.observe.ledger.RunLedger` or a
+    directory path) appends a summary record of this run — labeled
+    ``label`` — and sets ``RunOutcome.run_id``.
     """
     if isinstance(spec, str):
         spec = get_experiment(spec)
@@ -441,24 +526,36 @@ def run_experiment(
             writer.write_header(spec.name, tasks)
 
     effective_jobs = max(1, min(jobs, len(pending))) if pending else 1
+    if effective_jobs > 1 and not _fork_available():
+        effective_jobs = 1
     outcomes_by_key = dict(done)
     finished = len(done)
+    failures = 0
     total = len(tasks)
 
+    if progress is not None and hasattr(progress, "begin"):
+        progress.begin(
+            spec.name, total=total, jobs=effective_jobs, resumed=len(done)
+        )
+
     def _record(outcome):
-        nonlocal finished
+        nonlocal finished, failures
         outcomes_by_key[outcome.key] = outcome
         finished += 1
-        if writer is not None:
+        if outcome.error is not None:
+            failures += 1
+        elif writer is not None:
+            # Failed tasks stay out of the checkpoint so --resume
+            # retries exactly them.
             writer.write_task(outcome)
         if progress is not None:
             progress(finished, total, outcome)
 
     global _WORKER_STATE
     try:
-        if effective_jobs > 1 and _fork_available():
+        if effective_jobs > 1:
             context = multiprocessing.get_context("fork")
-            _WORKER_STATE = (spec, options)
+            _WORKER_STATE = (spec, options, keep_going)
             try:
                 with context.Pool(processes=effective_jobs) as pool:
                     for outcome in pool.imap_unordered(_pool_entry, pending):
@@ -466,21 +563,20 @@ def run_experiment(
             finally:
                 _WORKER_STATE = None
         else:
-            effective_jobs = 1
             for task in pending:
-                _record(_execute_task(spec, options, task))
+                _record(_execute_task(spec, options, task, keep_going))
     finally:
         if writer is not None:
             writer.close()
 
-    completed = len(outcomes_by_key) == total
+    completed = len(outcomes_by_key) == total and failures == 0
     ordered = [outcomes_by_key[task.key] for task in tasks if task.key in outcomes_by_key]
     metrics = MetricsRegistry()
     for outcome in ordered:
         if outcome.metrics:
             metrics.merge_snapshot(outcome.metrics)
     result = spec.reduce([o.data for o in ordered], options) if completed else None
-    return RunOutcome(
+    run = RunOutcome(
         experiment=spec.name,
         result=result,
         completed=completed,
@@ -491,4 +587,16 @@ def run_experiment(
         jobs=effective_jobs,
         host_seconds=time.time() - started,
         metrics=metrics,
+        failures=failures,
     )
+    if ledger is not None:
+        from repro.observe.ledger import RunLedger
+
+        if isinstance(ledger, str):
+            ledger = RunLedger(ledger)
+        record = run.ledger_record(label=label)
+        ledger.record(record)
+        run.run_id = record.run_id
+    if progress is not None and hasattr(progress, "end"):
+        progress.end(run)
+    return run

@@ -46,7 +46,7 @@ from repro.machine.configs import (
     machine_preset,
     tiny_test_config,
 )
-from repro.utils.stats import Histogram, RunningStats, percentile
+from repro.utils.stats import Histogram, RunningStats, percentile_summary
 from repro.utils.units import cycles_to_seconds, format_duration, format_size
 
 
@@ -913,13 +913,18 @@ class Figure6Result(ExperimentResult):
         stats.extend(self.costs)
         histogram = Histogram(0, max(self.costs) + 100, 12)
         histogram.extend(self.costs)
+        quantiles = self.percentiles()
         lines = [
-            "Figure 6 [%s, %s pages]: %d rounds, mean %.0f, min %d, max %d cycles"
+            "Figure 6 [%s, %s pages]: %d rounds, mean %.0f, "
+            "p50 %.0f, p95 %.0f, p99 %.0f, min %d, max %d cycles"
             % (
                 self.machine,
                 self.page_setting,
                 stats.count,
                 stats.mean,
+                quantiles["p50"],
+                quantiles["p95"],
+                quantiles["p99"],
                 stats.minimum,
                 stats.maximum,
             )
@@ -939,8 +944,12 @@ class Figure6Result(ExperimentResult):
         ]
         return ("machine", "pages", "round", "cycles"), rows
 
+    def percentiles(self):
+        """Exact p50/p95/p99 over the raw per-round costs."""
+        return percentile_summary(self.costs)
+
     def p95(self):
-        return percentile(self.costs, 0.95)
+        return self.percentiles()["p95"]
 
 
 def _figure6_run(task, options):

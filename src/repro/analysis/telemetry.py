@@ -1,0 +1,146 @@
+"""Live engine telemetry: a TTY-aware progress reporter for runs.
+
+The engine's ``progress`` hook is a bare ``callback(finished, total,
+outcome)``.  :class:`ProgressReporter` is the batteries-included
+implementation the CLI installs: on a TTY it keeps one live status
+line on stderr (tasks done, per-worker in-flight view, throughput,
+ETA, failure count) redrawn in place; on a pipe it degrades to one
+plain line per finished task, so logs stay diffable.  Rendered results
+still go to stdout untouched — ``--jobs N`` output is byte-identical
+to serial whatever the reporter draws on stderr.
+
+The reporter is engine-agnostic state-wise: everything it knows
+arrives through the ``begin`` / ``__call__`` / ``end`` protocol
+(see :func:`repro.analysis.engine.run_experiment`), so tests can
+drive it with synthetic outcomes and a fake clock.
+"""
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """TTY-aware live progress on stderr for engine runs.
+
+    ``stream`` defaults to ``sys.stderr``; ``live`` (in-place redraw)
+    defaults to ``stream.isatty()``.  ``quiet=True`` suppresses all
+    output — the reporter still tracks counters, so a quiet run can
+    surface ``failures`` afterwards.  ``clock`` is injectable for
+    tests.
+    """
+
+    def __init__(self, stream=None, live=None, quiet=False, clock=time.monotonic):
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            isatty = getattr(self.stream, "isatty", lambda: False)
+            live = bool(isatty())
+        self.live = live
+        self.quiet = quiet
+        self.clock = clock
+        self.experiment = None
+        self.total = 0
+        self.jobs = 1
+        self.finished = 0
+        self.resumed = 0
+        self.failures = 0
+        self.started = None
+        #: worker pid -> key of the last task that pid completed; with
+        #: ``imap_unordered`` fan-out this is the closest observable
+        #: proxy for "what each worker is chewing on".
+        self.workers = {}
+        self._line_width = 0
+
+    # -- engine protocol -------------------------------------------------
+
+    def begin(self, experiment, total, jobs=1, resumed=0):
+        """Run started: remember the shape, draw the opening status."""
+        self.experiment = experiment
+        self.total = total
+        self.jobs = jobs
+        self.resumed = resumed
+        self.finished = resumed
+        self.failures = 0
+        self.workers = {}
+        self.started = self.clock()
+        if self.live:
+            self._draw(self.status_line())
+
+    def __call__(self, finished, total, outcome):
+        """One task finished (the engine's ``progress`` signature)."""
+        self.finished = finished
+        self.total = total
+        if outcome.error is not None:
+            self.failures += 1
+        if outcome.worker is not None:
+            self.workers[outcome.worker] = outcome.key
+        if self.quiet:
+            return
+        if self.live:
+            self._draw(self.status_line(last=outcome))
+        else:
+            state = "failed: %s" % outcome.error if outcome.error else (
+                "%.1fs" % outcome.host_seconds
+            )
+            self._print("  [%d/%d] %s (%s)" % (finished, total, outcome.key, state))
+
+    def end(self, run=None):
+        """Run finished: retire the live line, print the recap."""
+        if self.quiet:
+            return
+        if self.live:
+            self._draw("")  # clear the in-place status line
+        if run is not None:
+            self._print(run.summary())
+
+    # -- rendering -------------------------------------------------------
+
+    def status_line(self, last=None):
+        """The one-line live status: counts, rate, ETA, workers."""
+        if self.started is None:
+            elapsed = 1e-9
+        else:
+            elapsed = max(self.clock() - self.started, 1e-9)
+        done_here = self.finished - self.resumed
+        rate = done_here / elapsed
+        remaining = self.total - self.finished
+        if rate > 0 and remaining > 0:
+            eta = "eta %s" % _fmt_seconds(remaining / rate)
+        else:
+            eta = "eta --"
+        parts = [
+            "%s %d/%d" % (self.experiment, self.finished, self.total),
+            "%d worker(s)" % self.jobs,
+            "%.1f task/s" % rate,
+            eta,
+        ]
+        if self.resumed:
+            parts.append("%d resumed" % self.resumed)
+        if self.failures:
+            parts.append("%d FAILED" % self.failures)
+        if last is not None:
+            parts.append("last %s (%.1fs)" % (last.key, last.host_seconds))
+        elif self.workers:
+            busy = sorted(self.workers)
+            parts.append("workers %s" % ",".join(str(pid) for pid in busy))
+        return " | ".join(parts)
+
+    def _draw(self, text):
+        """Redraw the live line in place (pad over the previous one)."""
+        padded = text.ljust(self._line_width)
+        self._line_width = len(text)
+        self.stream.write("\r" + padded)
+        if not text:
+            self.stream.write("\r")
+        self.stream.flush()
+
+    def _print(self, text):
+        self.stream.write(text + "\n")
+        self.stream.flush()
+
+
+def _fmt_seconds(seconds):
+    if seconds < 60:
+        return "%.0fs" % seconds
+    if seconds < 3600:
+        return "%dm%02ds" % (seconds // 60, int(seconds) % 60)
+    return "%dh%02dm" % (seconds // 3600, int(seconds) % 3600 // 60)

@@ -4,8 +4,15 @@ Every registered experiment (``repro.analysis.engine`` registry) gets a
 subcommand with common engine flags — ``--jobs N`` fans tasks across
 worker processes, ``--checkpoint FILE`` streams per-task results to a
 JSONL file, and ``--resume`` skips tasks that file already holds.
-Rendered results go to stdout; progress and the run summary go to
-stderr, so the rendered output is byte-identical whatever ``--jobs`` is.
+Rendered results go to stdout; progress (a TTY-aware live status line)
+and the run summary go to stderr, so the rendered output is
+byte-identical whatever ``--jobs`` is.
+
+Attacks, experiments, and benchmarks record a run summary into the run
+ledger (``.repro/runs/``, override with ``REPRO_LEDGER_DIR``) unless
+``--no-record`` is given; ``repro runs list/show/diff`` inspects the
+records and ``repro bench --record/--compare`` gates performance
+against a named baseline.  See ``docs/RUN_LEDGER.md``.
 
 Examples::
 
@@ -18,6 +25,10 @@ Examples::
     python -m repro figure5 --machine t420-scaled
     python -m repro defenses --jobs 5
     python -m repro mitigations
+    python -m repro bench --record --baseline main
+    python -m repro bench --compare main
+    python -m repro runs list
+    python -m repro runs diff 20260806T101500-ab 20260806T104200-cd
 """
 
 import argparse
@@ -25,11 +36,19 @@ import sys
 import time
 
 from repro.analysis.engine import experiment_names, get_experiment, run_experiment
+from repro.analysis.telemetry import ProgressReporter
 from repro.core.pthammer import PThammerAttack, PThammerConfig
 from repro.defenses import DEFENSE_PRESETS
 from repro.errors import ConfigError
 from repro.machine import AttackerView, Inspector, Machine
 from repro.machine.configs import MACHINE_PRESETS, tiny_test_config
+from repro.observe.ledger import (
+    ATTACK_RUN,
+    RunLedger,
+    RunRecord,
+    config_fingerprint,
+    diff_records,
+)
 
 #: Preset vocabularies (canonical homes: repro.machine.configs and
 #: repro.defenses).  The aliases keep the CLI's historical import
@@ -66,19 +85,33 @@ def _engine_args(parser):
         action="store_true",
         help="skip tasks already recorded in --checkpoint",
     )
+    _telemetry_args(group)
+
+
+def _telemetry_args(group):
+    group.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress and summary output on stderr",
+    )
+    group.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="disable the live progress display (keep the run summary)",
+    )
+    group.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not append this run to the run ledger",
+    )
 
 
 def _cmd_experiment(args):
     """Dispatch one registered experiment through the engine."""
     spec = get_experiment(args.command)
-
-    def progress(done, total, outcome):
-        print(
-            "  [%d/%d] %s (%.1fs)" % (done, total, outcome.key, outcome.host_seconds),
-            file=sys.stderr,
-            flush=True,
-        )
-
+    reporter = None
+    if not args.no_progress:
+        reporter = ProgressReporter(stream=sys.stderr, quiet=args.quiet)
     try:
         options = spec.cli_options(args) if spec.cli_options else {}
         run = run_experiment(
@@ -87,13 +120,18 @@ def _cmd_experiment(args):
             jobs=args.jobs,
             checkpoint=args.checkpoint,
             resume=args.resume,
-            progress=progress,
+            progress=reporter,
+            ledger=None if args.no_record else RunLedger(),
         )
     except ConfigError as exc:
         print("repro: %s" % exc, file=sys.stderr)
         return 2
     print(run.result.render())
-    print(run.summary(), file=sys.stderr)
+    if not args.quiet:
+        if reporter is None:  # reporter.end() already printed the summary
+            print(run.summary(), file=sys.stderr)
+        if run.run_id:
+            print("run recorded: %s" % run.run_id, file=sys.stderr)
     return 0
 
 
@@ -145,7 +183,34 @@ def _cmd_attack(args):
         with trace_file:
             lines = write_trace_jsonl(machine.trace, trace_file, machine=config.name)
         print("wrote %d trace lines to %s" % (lines, trace_path))
-    return 0 if report.escalated == (args.defense not in ("zebram",)) else 1
+    code = 0 if report.escalated == (args.defense not in ("zebram",)) else 1
+    if not getattr(args, "no_record", False):
+        record = RunRecord.new(
+            ATTACK_RUN,
+            "attack",
+            machine=config.name,
+            config_fingerprint=config_fingerprint(config),
+            command="repro attack --machine %s --defense %s"
+            % (args.machine, args.defense),
+            timings={
+                "host_seconds": round(time.time() - started, 6),
+                "virtual_cycles": machine.cycles,
+            },
+            phases=[
+                {"name": name, "start": start, "end": end, "cycles": end - start}
+                for name, start, end in report.timeline
+            ],
+            metrics=machine.metrics.snapshot(),
+            outcome={
+                "escalated": report.escalated,
+                "flips": Inspector(machine).flip_count(),
+                "uid_after": attacker.getuid(),
+                "exit_code": code,
+            },
+        )
+        RunLedger().record(record)
+        print("run recorded: %s" % record.run_id, file=sys.stderr)
+    return code
 
 
 def _open_trace_destination(path):
@@ -192,6 +257,11 @@ def main(argv=None):
         default=None,
         help="enable tracing and write the JSONL trace to FILE",
     )
+    attack.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not append this run to the run ledger",
+    )
 
     trace_cmd = commands.add_parser(
         "trace", help="run the attack with tracing on; export and profile it"
@@ -220,6 +290,60 @@ def main(argv=None):
         "validate", help="quick self-check: knees, pairs, and one escalation"
     )
 
+    runs = commands.add_parser("runs", help="inspect the run ledger")
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_commands.add_parser("list", help="list recorded runs")
+    runs_list.add_argument("--kind", default=None, help="filter by record kind")
+    runs_list.add_argument("--name", default=None, help="filter by run name")
+    runs_list.add_argument("--label", default=None, help="filter by baseline label")
+    runs_list.add_argument("--limit", type=int, default=20, help="newest N (default 20)")
+    runs_show = runs_commands.add_parser("show", help="show one run record")
+    runs_show.add_argument("run_id", help="run id (unique prefixes accepted)")
+    runs_diff = runs_commands.add_parser(
+        "diff", help="per-metric comparison of two runs; exit 1 on regression"
+    )
+    runs_diff.add_argument("before", help="baseline run id")
+    runs_diff.add_argument("after", help="candidate run id")
+    runs_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="allowed fractional drift before a metric regresses (default 0.1)",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="quick performance suite with baseline regression gating"
+    )
+    bench.add_argument("--list", action="store_true", help="list suite benchmarks")
+    bench.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="run only this benchmark (repeatable)",
+    )
+    bench.add_argument(
+        "--record", action="store_true", help="append results to the run ledger"
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="NAME",
+        default=None,
+        help="label recorded results as baseline NAME (with --record)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="diff results against baseline BASELINE; exit 3 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional drift before a metric regresses (default 0.25)",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "attack":
@@ -232,6 +356,121 @@ def main(argv=None):
         return _cmd_mitigations()
     if args.command == "validate":
         return _cmd_validate()
+    if args.command == "runs":
+        return _cmd_runs(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    return 0
+
+
+def _cmd_runs(args):
+    """``repro runs list|show|diff`` — inspect the run ledger."""
+    from repro.observe import MetricsRegistry
+
+    ledger = RunLedger()
+    try:
+        if args.runs_command == "list":
+            records = ledger.list(kind=args.kind, name=args.name, label=args.label)
+            if not records:
+                print("no runs recorded in %s" % ledger.root)
+                return 0
+            print(
+                "%-22s %-10s %-14s %-12s %-20s %8s %s"
+                % ("run id", "kind", "name", "machine",
+                   "recorded (UTC)", "host", "label")
+            )
+            for record in records[-max(args.limit, 0):]:
+                print(record.summary_line())
+            return 0
+        if args.runs_command == "show":
+            record = ledger.load(args.run_id)
+            print("run      %s" % record.run_id)
+            print("kind     %s  name %s" % (record.kind, record.name))
+            print("recorded %s" % record.created_utc)
+            for field_name in ("label", "git_rev", "machine", "config_fingerprint", "command"):
+                value = getattr(record, field_name)
+                if value:
+                    print("%-8s %s" % (field_name.replace("_", " "), value))
+            for key in sorted(record.timings):
+                print("timing   %-24s %s" % (key, record.timings[key]))
+            for phase in record.phases:
+                print(
+                    "phase    %-24s %12d cycles" % (phase["name"], phase["cycles"])
+                )
+            for key in sorted(record.outcome):
+                print("outcome  %-24s %s" % (key, record.outcome[key]))
+            if record.metrics:
+                registry = MetricsRegistry()
+                registry.merge_snapshot(record.metrics)
+                print("metrics:")
+                for line in registry.render().splitlines():
+                    print("  " + line)
+            return 0
+        if args.runs_command == "diff":
+            diff = diff_records(
+                ledger.load(args.before),
+                ledger.load(args.after),
+                tolerance=args.tolerance,
+            )
+            print(diff.render())
+            return 1 if diff.regressions() else 0
+    except ConfigError as exc:
+        print("repro: %s" % exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_bench(args):
+    """``repro bench`` — run the quick suite; record and/or gate it."""
+    from repro.analysis.bench import (
+        DEFAULT_TOLERANCE,
+        bench_names,
+        compare_to_baseline,
+        get_bench,
+        run_bench,
+    )
+
+    try:
+        if args.list:
+            for name in bench_names():
+                print("%-18s %s" % (name, get_bench(name).title))
+            return 0
+        names = list(args.only) if args.only else bench_names()
+        for name in names:
+            get_bench(name)  # unknown names fail before any work runs
+        ledger = RunLedger()
+        results = []
+        for name in names:
+            print("bench %s ..." % name, file=sys.stderr)
+            result = run_bench(name)
+            results.append(result)
+            print(result.summary_line())
+        if args.record:
+            for result in results:
+                record = result.to_record(label=args.baseline)
+                ledger.record(record)
+                print(
+                    "recorded %s as %s%s"
+                    % (
+                        result.name,
+                        record.run_id,
+                        " (baseline %s)" % args.baseline if args.baseline else "",
+                    ),
+                    file=sys.stderr,
+                )
+        if args.compare is not None:
+            tolerance = (
+                args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+            )
+            comparison = compare_to_baseline(
+                ledger, args.compare, results, tolerance=tolerance
+            )
+            print(comparison.render())
+            if comparison.regressions():
+                return 3
+    except ConfigError as exc:
+        print("repro: %s" % exc, file=sys.stderr)
+        return 2
     return 0
 
 

@@ -1,10 +1,13 @@
-"""Observability layer: structured tracing, spans, and metrics.
+"""Observability layer: tracing, spans, metrics, and the run ledger.
 
 This package sits *below* the machine in the dependency order — it
 knows nothing about caches, TLBs, or DRAM; those layers emit into it.
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, the metrics
 API, the JSONL trace-file schema, and a worked example correlating a
-Figure-6 hammer round with its TLB/LLC/DRAM events.
+Figure-6 hammer round with its TLB/LLC/DRAM events, and
+``docs/RUN_LEDGER.md`` for the persistent run-record store
+(:mod:`repro.observe.ledger`) behind ``repro runs`` and ``repro
+bench``.
 
 Typical use::
 
@@ -40,9 +43,39 @@ from repro.observe.events import (
     Event,
     Span,
 )
+from repro.observe.ledger import (
+    ATTACK_RUN,
+    BENCHMARK_RUN,
+    EXPERIMENT_RUN,
+    LEDGER_ENV_VAR,
+    LEDGER_SCHEMA_VERSION,
+    MetricDelta,
+    RunDiff,
+    RunLedger,
+    RunRecord,
+    config_fingerprint,
+    diff_records,
+    git_revision,
+    metric_direction,
+    new_run_id,
+)
 from repro.observe.metrics import CycleHistogram, MetricsRegistry
 
 __all__ = [
+    "ATTACK_RUN",
+    "BENCHMARK_RUN",
+    "EXPERIMENT_RUN",
+    "LEDGER_ENV_VAR",
+    "LEDGER_SCHEMA_VERSION",
+    "MetricDelta",
+    "RunDiff",
+    "RunLedger",
+    "RunRecord",
+    "config_fingerprint",
+    "diff_records",
+    "git_revision",
+    "metric_direction",
+    "new_run_id",
     "ACCESS",
     "ALL_KINDS",
     "ATTACK",

@@ -57,6 +57,51 @@ class CycleHistogram:
         """Arithmetic mean (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, fraction):
+        """Estimated ``fraction``-quantile from the bucket counts.
+
+        The rank convention matches :func:`repro.utils.stats.percentile`
+        (``fraction * (count - 1)``, linear interpolation); since only
+        bucket counts survive, the value is interpolated uniformly
+        within the bucket containing the rank and clamped to the
+        observed ``[minimum, maximum]``.  For buckets one power of two
+        wide the estimate is within a factor of two of the exact value
+        — plenty for regression tracking across runs.  Raises on an
+        empty histogram, like its exact counterpart.
+        """
+        if not self.count:
+            raise ConfigError("percentile of an empty histogram")
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError("fraction must be within [0, 1]")
+        # The extremes are tracked exactly; don't approximate them.
+        if fraction == 0.0:
+            return float(self.minimum)
+        if fraction == 1.0:
+            return float(self.maximum)
+        rank = fraction * (self.count - 1)
+        cumulative = 0
+        for bucket in sorted(self.buckets):
+            in_bucket = self.buckets[bucket]
+            if cumulative + in_bucket > rank:
+                lo, hi = self.bucket_bounds(bucket)
+                within = (rank - cumulative) / in_bucket
+                estimate = lo + (hi - lo) * within
+                return min(max(estimate, self.minimum), self.maximum)
+            cumulative += in_bucket
+        return float(self.maximum)
+
+    #: The percentile summaries rendered and persisted everywhere.
+    SUMMARY_PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+    def percentiles(self):
+        """``{"p50": ..., "p95": ..., "p99": ...}`` (empty dict if no data)."""
+        if not self.count:
+            return {}
+        return {
+            name: self.percentile(fraction)
+            for name, fraction in self.SUMMARY_PERCENTILES
+        }
+
     def bucket_bounds(self, bucket):
         """The half-open value range ``[lo, hi)`` of one bucket."""
         if bucket == 0:
@@ -70,6 +115,10 @@ class CycleHistogram:
         survives a ``json.dumps``/``loads`` round trip unchanged —
         that is what the experiment engine ships across process
         boundaries and stores in run checkpoints.
+
+        ``percentiles`` is derived (p50/p95/p99 estimates for run
+        ledger records and dashboards); :meth:`merge_snapshot` ignores
+        it and recomputes from the merged buckets.
         """
         return {
             "count": self.count,
@@ -77,6 +126,7 @@ class CycleHistogram:
             "minimum": self.minimum,
             "maximum": self.maximum,
             "buckets": {str(bucket): n for bucket, n in self.buckets.items()},
+            "percentiles": self.percentiles(),
         }
 
     def merge_snapshot(self, snapshot):
@@ -97,9 +147,13 @@ class CycleHistogram:
         """One-line human-readable recap."""
         if not self.count:
             return "empty"
-        return "n=%d mean=%.1f min=%d max=%d" % (
+        quantiles = self.percentiles()
+        return "n=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f min=%d max=%d" % (
             self.count,
             self.mean,
+            quantiles["p50"],
+            quantiles["p95"],
+            quantiles["p99"],
             self.minimum,
             self.maximum,
         )

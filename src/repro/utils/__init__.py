@@ -2,7 +2,7 @@
 
 from repro.utils.bitops import bit, parity, set_bit, toggle_bit
 from repro.utils.rng import DeterministicRng, hash64, hash_to_unit
-from repro.utils.stats import RunningStats, Histogram, percentile
+from repro.utils.stats import RunningStats, Histogram, median, percentile, percentile_summary
 from repro.utils.units import KiB, MiB, GiB, cycles_to_seconds, format_duration
 
 __all__ = [
@@ -17,8 +17,10 @@ __all__ = [
     "format_duration",
     "hash64",
     "hash_to_unit",
+    "median",
     "parity",
     "percentile",
+    "percentile_summary",
     "set_bit",
     "toggle_bit",
 ]

@@ -69,6 +69,17 @@ def median(values):
     return percentile(values, 0.5)
 
 
+def percentile_summary(values, fractions=(("p50", 0.50), ("p95", 0.95), ("p99", 0.99))):
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over raw values.
+
+    The exact-value counterpart of
+    ``repro.observe.CycleHistogram.percentiles()`` — same keys, same
+    rank convention — for code that still holds its raw samples
+    (e.g. ``Figure6Result.costs``).
+    """
+    return {name: percentile(values, fraction) for name, fraction in fractions}
+
+
 class Histogram:
     """Fixed-width binned histogram over a closed range.
 

@@ -7,6 +7,17 @@ from repro.machine import AttackerView, Inspector, Machine
 from repro.machine.configs import tiny_test_config
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    CLI commands append run records by default; without this, a test
+    invoking ``main([...])`` would write into the developer's real
+    ``.repro/runs``.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture
 def tiny_config():
     return tiny_test_config()

@@ -188,6 +188,21 @@ def test_resume_tolerates_torn_trailing_line(tmp_path):
     assert resumed.completed and resumed.tasks_resumed == 3
 
 
+def test_corrupt_non_trailing_line_is_an_error_naming_the_line(tmp_path):
+    path = str(tmp_path / "toy.jsonl")
+    run_experiment(_spec(), checkpoint=path, max_tasks=3)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[2] = '{"kind": "task", "key": "1", "da'  # damaged mid-file
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(ConfigError, match=r"line 3 is corrupt") as excinfo:
+        load_checkpoint(path)
+    assert path in str(excinfo.value)
+    # The same error must surface through a resume attempt.
+    with pytest.raises(ConfigError, match="corrupt"):
+        run_experiment(_spec(), checkpoint=path, resume=True)
+
+
 def test_resume_rejects_wrong_experiment(tmp_path):
     path = str(tmp_path / "toy.jsonl")
     run_experiment(_spec(), checkpoint=path)

@@ -1,0 +1,224 @@
+"""Engine telemetry: the progress path, failure capture, run records."""
+
+import io
+
+import pytest
+
+from repro.analysis.engine import ExperimentSpec, Task, load_checkpoint, run_experiment
+from repro.analysis.telemetry import ProgressReporter
+from repro.observe.ledger import EXPERIMENT_RUN, RunLedger
+
+
+def _spec(run=None, count=4, **kwargs):
+    return ExperimentSpec(
+        name="toy",
+        title="toy experiment",
+        build_tasks=lambda options: [Task(key=str(i), payload=i) for i in range(count)],
+        run_task=run or (lambda task, options: task.payload * 10),
+        reduce=lambda data, options: [d for d in data],
+        **kwargs,
+    )
+
+
+def _failing_run(task, options):
+    if task.payload == 2:
+        raise RuntimeError("boom on %s" % task.key)
+    return task.payload
+
+
+# ----------------------------------------------------------------------
+# the progress callback contract
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_progress_fires_once_per_task_with_monotonic_finished(jobs):
+    calls = []
+    run_experiment(
+        _spec(count=6),
+        jobs=jobs,
+        progress=lambda finished, total, outcome: calls.append((finished, total, outcome)),
+    )
+    assert len(calls) == 6
+    assert [finished for finished, _, _ in calls] == list(range(1, 7))
+    assert all(total == 6 for _, total, _ in calls)
+    assert sorted(outcome.key for _, _, outcome in calls) == [str(i) for i in range(6)]
+    assert all(outcome.error is None for _, _, outcome in calls)
+    assert all(outcome.worker is not None for _, _, outcome in calls)
+
+
+def test_progress_counts_resumed_tasks_in_finished(tmp_path):
+    path = str(tmp_path / "toy.jsonl")
+    run_experiment(_spec(), checkpoint=path, max_tasks=2)
+    calls = []
+    run_experiment(
+        _spec(),
+        checkpoint=path,
+        resume=True,
+        progress=lambda finished, total, outcome: calls.append((finished, outcome.key)),
+    )
+    # Two tasks were resumed from disk; progress starts above them.
+    assert calls == [(3, "2"), (4, "3")]
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_progress_sees_worker_failure_outcomes_with_keep_going(jobs):
+    calls = []
+    outcome = run_experiment(
+        _spec(run=_failing_run),
+        jobs=jobs,
+        keep_going=True,
+        progress=lambda finished, total, o: calls.append((finished, total, o)),
+    )
+    assert [finished for finished, _, _ in calls] == [1, 2, 3, 4]
+    assert all(total == 4 for _, total, _ in calls)
+    failures = [o for _, _, o in calls if o.error is not None]
+    assert len(failures) == 1
+    assert failures[0].key == "2"
+    assert "RuntimeError" in failures[0].error and "boom" in failures[0].error
+    assert outcome.failures == 1
+    assert not outcome.completed and outcome.result is None
+    assert "1 failed" in outcome.summary()
+
+
+def test_without_keep_going_task_errors_still_raise():
+    with pytest.raises(RuntimeError, match="boom"):
+        run_experiment(_spec(run=_failing_run))
+
+
+def test_failed_tasks_stay_out_of_checkpoint_and_are_retried(tmp_path):
+    path = str(tmp_path / "toy.jsonl")
+    first = run_experiment(_spec(run=_failing_run), checkpoint=path, keep_going=True)
+    assert first.failures == 1
+    _, records = load_checkpoint(path)
+    assert set(records) == {"0", "1", "3"}
+    # The retry (with the bug "fixed") resumes and runs exactly task 2.
+    calls = []
+    fixed = run_experiment(
+        _spec(run=lambda task, options: calls.append(task.key) or task.payload),
+        checkpoint=path,
+        resume=True,
+    )
+    assert calls == ["2"]
+    assert fixed.completed and fixed.failures == 0
+
+
+# ----------------------------------------------------------------------
+# ProgressReporter
+
+
+def _outcome(key, seconds=0.5, error=None, worker=123):
+    from repro.analysis.engine import TaskOutcome
+
+    return TaskOutcome(
+        key=key, seed=0, data=None, metrics=None,
+        host_seconds=seconds, error=error, worker=worker,
+    )
+
+
+def test_reporter_plain_mode_prints_one_line_per_task():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, live=False)
+    reporter.begin("toy", total=2, jobs=2)
+    reporter(1, 2, _outcome("a"))
+    reporter(2, 2, _outcome("b", error="RuntimeError: boom"))
+    lines = stream.getvalue().splitlines()
+    assert lines[0] == "  [1/2] a (0.5s)"
+    assert lines[1] == "  [2/2] b (failed: RuntimeError: boom)"
+    assert reporter.failures == 1
+
+
+def test_reporter_live_mode_redraws_in_place_and_reports_rate_eta():
+    ticks = iter([0.0, 0.0, 10.0, 20.0, 20.0])
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, live=True, clock=lambda: next(ticks))
+    reporter.begin("toy", total=4, jobs=2)
+    reporter(1, 4, _outcome("a", worker=11))
+    reporter(2, 4, _outcome("b", worker=12))
+    text = stream.getvalue()
+    assert "\r" in text and "\n" not in text  # in-place, no scroll
+    line = text.rsplit("\r", 1)[-1]
+    assert "toy 2/4" in line
+    assert "0.1 task/s" in line  # 2 tasks in 20 ticks
+    assert "eta 20s" in line  # 2 remaining at 0.1/s
+    assert "2 worker(s)" in line
+
+
+def test_reporter_defaults_to_live_only_on_a_tty():
+    class FakeTty(io.StringIO):
+        def isatty(self):
+            return True
+
+    assert ProgressReporter(stream=FakeTty()).live is True
+    assert ProgressReporter(stream=io.StringIO()).live is False
+
+
+def test_reporter_quiet_mode_emits_nothing_but_still_counts():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, live=False, quiet=True)
+    reporter.begin("toy", total=1, jobs=1)
+    reporter(1, 1, _outcome("a", error="E: x"))
+    reporter.end(run_experiment(_spec(count=1)))
+    assert stream.getvalue() == ""
+    assert reporter.failures == 1
+
+
+def test_reporter_end_prints_run_summary():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, live=False)
+    run = run_experiment(_spec(), progress=reporter)
+    assert run.summary() in stream.getvalue()
+
+
+def test_reporter_status_line_shows_failures():
+    reporter = ProgressReporter(stream=io.StringIO(), live=False)
+    reporter.begin("toy", total=3, jobs=1)
+    reporter(1, 3, _outcome("a", error="E: x"))
+    assert "1 FAILED" in reporter.status_line()
+
+
+# ----------------------------------------------------------------------
+# engine ledger records
+
+
+def test_engine_records_run_into_ledger(tmp_path):
+    ledger = RunLedger(str(tmp_path / "runs"))
+    run = run_experiment(_spec(), jobs=2, ledger=ledger, label="nightly")
+    assert run.run_id is not None
+    record = ledger.load(run.run_id)
+    assert record.kind == EXPERIMENT_RUN
+    assert record.name == "toy" and record.label == "nightly"
+    assert record.outcome["completed"] is True
+    assert record.outcome["tasks_total"] == 4
+    assert record.timings["host_seconds"] >= 0
+    assert record.git_rev is not None
+
+
+def test_engine_accepts_ledger_directory_path(tmp_path):
+    run = run_experiment(_spec(), ledger=str(tmp_path / "runs"))
+    assert RunLedger(str(tmp_path / "runs")).load(run.run_id).name == "toy"
+
+
+def test_no_ledger_means_no_run_id(tmp_path):
+    assert run_experiment(_spec()).run_id is None
+
+
+# ----------------------------------------------------------------------
+# the acceptance bar: telemetry must not perturb results
+
+
+def test_jobs4_renders_byte_identically_to_jobs1_with_telemetry(tmp_path):
+    from repro.machine.configs import tiny_test_config
+
+    options = {"config_fns": (tiny_test_config,), "sizes": (8, 12), "trials": 10}
+    runs = {}
+    for jobs in (1, 4):
+        reporter = ProgressReporter(stream=io.StringIO(), live=True)
+        runs[jobs] = run_experiment(
+            "figure3",
+            options,
+            jobs=jobs,
+            progress=reporter,
+            ledger=RunLedger(str(tmp_path / ("runs%d" % jobs))),
+        )
+    assert runs[1].result.render() == runs[4].result.render()
+    assert runs[1].metrics.snapshot() == runs[4].metrics.snapshot()

@@ -405,3 +405,54 @@ def test_profile_of_empty_trace_hints_at_enabling():
     result = profile_trace(TraceBus())
     assert result.total_events == 0
     assert "enable tracing" in result.render()
+
+
+def test_histogram_percentile_estimates_within_buckets():
+    from repro.utils.stats import percentile
+
+    histogram = CycleHistogram()
+    values = [1, 2, 3, 4, 50, 60, 70, 200, 300, 1000]
+    for value in values:
+        histogram.observe(value)
+    # Bucketed estimates track the exact rank statistic within the
+    # resolution of the power-of-two buckets (same rank convention).
+    for fraction in (0.0, 0.5, 0.95, 1.0):
+        exact = percentile(values, fraction)
+        estimate = histogram.percentile(fraction)
+        lo, hi = sorted((exact, estimate))
+        assert hi <= max(2 * lo, lo + 1)  # within one bucket's span
+    assert histogram.percentile(0.0) >= histogram.minimum
+    assert histogram.percentile(1.0) == histogram.maximum
+
+
+def test_histogram_percentile_single_value_is_exact():
+    histogram = CycleHistogram()
+    histogram.observe(42)
+    for fraction in (0.0, 0.5, 1.0):
+        assert histogram.percentile(fraction) == 42
+
+
+def test_histogram_percentile_errors():
+    histogram = CycleHistogram()
+    with pytest.raises(ConfigError):
+        histogram.percentile(0.5)
+    histogram.observe(1)
+    with pytest.raises(ConfigError):
+        histogram.percentile(1.5)
+
+
+def test_histogram_percentiles_in_snapshot_and_summary():
+    histogram = CycleHistogram()
+    for value in (4, 8, 300):
+        histogram.observe(value)
+    summary = histogram.percentiles()
+    assert sorted(summary) == ["p50", "p95", "p99"]
+    snapshot = histogram.snapshot()
+    assert snapshot["percentiles"] == summary
+    assert "p95" in histogram.summary()
+    assert CycleHistogram().percentiles() == {}
+    # The derived key must not confuse a merge.
+    other = CycleHistogram()
+    other.merge_snapshot(snapshot)
+    assert other.count == histogram.count
+    assert other.percentiles() == summary

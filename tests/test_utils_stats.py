@@ -65,3 +65,21 @@ def test_histogram_fraction_within():
     histogram = Histogram(0, 100, 10)
     histogram.extend([5, 15, 25, 35])
     assert histogram.fraction_within(0, 20) == pytest.approx(0.5)
+
+
+def test_percentile_summary_default_fractions():
+    from repro.utils.stats import percentile_summary
+
+    values = list(range(1, 101))
+    summary = percentile_summary(values)
+    assert sorted(summary) == ["p50", "p95", "p99"]
+    assert summary["p50"] == pytest.approx(percentile(values, 0.50))
+    assert summary["p95"] == pytest.approx(percentile(values, 0.95))
+    assert summary["p99"] == pytest.approx(percentile(values, 0.99))
+
+
+def test_percentile_summary_custom_fractions():
+    from repro.utils.stats import percentile_summary
+
+    summary = percentile_summary([10, 20, 30], fractions=(("p0", 0.0), ("p100", 1.0)))
+    assert summary == {"p0": 10, "p100": 30}
