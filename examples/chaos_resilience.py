@@ -1,0 +1,108 @@
+"""The attack under system noise: chaos profiles and self-healing.
+
+Runs the same seeded tiny-machine attack four times — no chaos, then
+under the ``quiet`` / ``desktop`` / ``server`` interference profiles —
+and reports, for each, whether the attack still completed and what
+recovery work the noise forced (retries, eviction-set rebuilds,
+degradations).  Everything is deterministic: re-running this script
+reproduces the byte-identical numbers.  Expect a couple of minutes of
+host time.
+
+    python examples/chaos_resilience.py
+    python examples/chaos_resilience.py --seed 11 --profiles desktop,server
+
+See docs/CHAOS.md for the noise-source catalogue and the recovery
+machinery this exercises.
+"""
+
+import argparse
+
+from repro.chaos import ChaosInjector, chaos_profile
+from repro.core import ATTACK_PHASES, PThammerAttack, PThammerConfig
+from repro.machine import AttackerView, Machine
+from repro.machine.configs import tiny_test_config
+
+SMALL = dict(spray_slots=256, pair_sample=16, max_pairs=14)
+
+
+def run_one(seed, profile):
+    machine = Machine(tiny_test_config(seed=seed))
+    if profile is not None:
+        machine.attach_chaos(ChaosInjector(chaos_profile(profile)))
+    attacker = AttackerView(machine, machine.boot_process())
+    attack = PThammerAttack(attacker, PThammerConfig(**SMALL))
+    report = attack.run()
+    counters = machine.metrics.counters()
+    return {
+        "profile": profile or "(none)",
+        "phases": len(report.phases_completed),
+        "escalated": report.escalated,
+        "flips": report.total_flips,
+        "cycles": machine.cycles,
+        "faults": counters.get("chaos.faults_injected", 0),
+        "churn": counters.get("chaos.churn.migrated", 0)
+        + counters.get("chaos.churn.dropped", 0),
+        "recoveries": sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("recovery.")
+            and name.count(".") == 1  # family counters only, no double count
+        ),
+        "degradations": list(report.degradations),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--profiles",
+        default="quiet,desktop,server",
+        help="comma-separated chaos profiles to run after the noiseless pass",
+    )
+    args = parser.parse_args(argv)
+
+    profiles = [None] + [p for p in args.profiles.split(",") if p]
+    print(
+        "PThammer on tiny (seed %d) under %d interference profiles ..."
+        % (args.seed, len(profiles) - 1)
+    )
+    print()
+    header = "%-9s %7s %10s %6s %12s %7s %6s %10s" % (
+        "profile", "phases", "escalated", "flips", "cycles",
+        "faults", "churn", "recoveries",
+    )
+    print(header)
+    print("-" * len(header))
+    rows = [run_one(args.seed, profile) for profile in profiles]
+    for row in rows:
+        print(
+            "%-9s %3d/%-3d %10s %6d %12d %7d %6d %10d"
+            % (
+                row["profile"],
+                row["phases"],
+                len(ATTACK_PHASES),
+                row["escalated"],
+                row["flips"],
+                row["cycles"],
+                row["faults"],
+                row["churn"],
+                row["recoveries"],
+            )
+        )
+        for note in row["degradations"]:
+            print("          degraded: %s" % note)
+    print()
+    print("Reading the table:")
+    print(" * (none) is the historical noiseless machine — the baseline.")
+    print(" * quiet arms the recovery machinery but must never fire it")
+    print("   (recoveries stays 0); the run differs from (none) only by")
+    print("   the injector's bookkeeping accesses.")
+    print(" * desktop/server inject real interference; the pipeline heals")
+    print("   (retries, rebuilds, resumes) and the attack still completes")
+    print("   every phase — possibly degraded, never crashed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

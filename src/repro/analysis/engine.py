@@ -45,12 +45,14 @@ import hashlib
 import json
 import multiprocessing
 import os
+import signal
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TaskTimeout
 from repro.observe import MetricsRegistry
+from repro.utils.rng import hash_to_unit
 
 #: Bump when the checkpoint line format changes incompatibly.
 CHECKPOINT_VERSION = 1
@@ -189,27 +191,94 @@ class TaskOutcome:
     resumed: bool = False
     error: Optional[str] = None
     worker: Optional[int] = None
+    #: In-place retries spent on retryable faults before success (or
+    #: before the error above was recorded).
+    retries: int = 0
 
 
-def _execute_task(spec, options, task, capture_errors=False):
-    """Run one task, capturing metrics and canonicalising the data."""
+def _alarm_scope(timeout):
+    """Arm a SIGALRM-based timeout; returns a restore callable.
+
+    A no-op (returns ``None``) where SIGALRM is unavailable (non-POSIX)
+    or off the main thread — the pool's hung-worker watchdog is the
+    backstop there.
+    """
+    if timeout is None or not hasattr(signal, "SIGALRM"):
+        return None
+    try:
+        old = signal.signal(
+            signal.SIGALRM,
+            lambda signum, frame: (_ for _ in ()).throw(
+                TaskTimeout("task exceeded %.1fs" % timeout)
+            ),
+        )
+    except ValueError:  # not the main thread
+        return None
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+
+    def restore():
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old)
+
+    return restore
+
+
+def _retry_sleep(task, attempt, backoff):
+    """Jittered exponential backoff before an in-place task retry.
+
+    The *duration* is derived deterministically from the task seed and
+    attempt number, so two runs of the same experiment back off
+    identically (sleep is wall time only; it cannot perturb results).
+    """
+    jitter = 0.5 + hash_to_unit(task.seed or 0, "engine-retry", attempt)
+    time.sleep(backoff * (2.0 ** attempt) * jitter)
+
+
+def _execute_task(
+    spec, options, task, capture_errors=False, retries=0, retry_backoff=0.05,
+    task_timeout=None,
+):
+    """Run one task, capturing metrics and canonicalising the data.
+
+    Exceptions whose ``retryable`` attribute is true (e.g.
+    :class:`~repro.errors.TransientFault` from a chaos profile) are
+    retried in place up to ``retries`` times under jittered exponential
+    backoff; other exceptions — and a retryable one that exhausts its
+    retries — propagate (or are captured when ``capture_errors``).
+    ``task_timeout`` bounds each *attempt* in host seconds via SIGALRM
+    where available; a timed-out attempt raises
+    :class:`~repro.errors.TaskTimeout` (not retryable).
+    """
     started = time.time()
     registries = []
+    spent = 0
     _ACTIVE_CAPTURES.append(registries)
     try:
-        data = spec.run_task(task, options)
-    except Exception as exc:
-        if not capture_errors:
-            raise
-        return TaskOutcome(
-            key=task.key,
-            seed=task.seed,
-            data=None,
-            metrics=None,
-            host_seconds=time.time() - started,
-            error="%s: %s" % (type(exc).__name__, exc),
-            worker=os.getpid(),
-        )
+        while True:
+            restore = _alarm_scope(task_timeout)
+            try:
+                data = spec.run_task(task, options)
+                break
+            except Exception as exc:
+                if getattr(exc, "retryable", False) and spent < retries:
+                    spent += 1
+                    _retry_sleep(task, spent, retry_backoff)
+                    continue
+                if not capture_errors:
+                    raise
+                return TaskOutcome(
+                    key=task.key,
+                    seed=task.seed,
+                    data=None,
+                    metrics=None,
+                    host_seconds=time.time() - started,
+                    error="%s: %s" % (type(exc).__name__, exc),
+                    worker=os.getpid(),
+                    retries=spent,
+                )
+            finally:
+                if restore is not None:
+                    restore()
     finally:
         _ACTIVE_CAPTURES.pop()
     try:
@@ -232,18 +301,24 @@ def _execute_task(spec, options, task, capture_errors=False):
         metrics=metrics,
         host_seconds=time.time() - started,
         worker=os.getpid(),
+        retries=spent,
     )
 
 
-#: (spec, options, capture_errors) inherited by forked pool workers;
-#: options may hold closures, which fork shares for free where
-#: pickling could not.
+#: (spec, options, capture_errors, retries, retry_backoff, task_timeout)
+#: inherited by forked pool workers; options may hold closures, which
+#: fork shares for free where pickling could not.
 _WORKER_STATE = None
 
 
 def _pool_entry(task):
-    spec, options, capture_errors = _WORKER_STATE
-    return _execute_task(spec, options, task, capture_errors)
+    spec, options, capture_errors, retries, retry_backoff, task_timeout = (
+        _WORKER_STATE
+    )
+    return _execute_task(
+        spec, options, task, capture_errors,
+        retries=retries, retry_backoff=retry_backoff, task_timeout=task_timeout,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -334,6 +409,7 @@ class _CheckpointWriter:
                 "host_seconds": round(outcome.host_seconds, 6),
                 "data": outcome.data,
                 "metrics": outcome.metrics,
+                "retries": outcome.retries,
             }
         )
 
@@ -369,6 +445,7 @@ def _load_resume_state(path, spec, tasks):
             metrics=record.get("metrics"),
             host_seconds=record.get("host_seconds", 0.0),
             resumed=True,
+            retries=record.get("retries", 0),
         )
         for key, record in records.items()
         if key in keys
@@ -459,6 +536,9 @@ def run_experiment(
     keep_going=False,
     ledger=None,
     label=None,
+    task_timeout=None,
+    retries=2,
+    retry_backoff=0.05,
 ):
     """Execute an experiment through the engine; returns a RunOutcome.
 
@@ -487,6 +567,18 @@ def run_experiment(
     ``ledger`` (a :class:`~repro.observe.ledger.RunLedger` or a
     directory path) appends a summary record of this run — labeled
     ``label`` — and sets ``RunOutcome.run_id``.
+
+    Resilience knobs: ``retries`` bounds *in-place* retries of a task
+    whose exception is marked ``retryable`` (chaos-injected
+    :class:`~repro.errors.TransientFault`\\ s) under jittered
+    exponential backoff starting at ``retry_backoff`` host seconds —
+    these fire on every run, not only under ``--resume``, and land in
+    ``TaskOutcome.retries``.  ``task_timeout`` bounds each attempt in
+    host seconds (SIGALRM where available); in pooled runs the parent
+    additionally watches for hung workers — a worker silent for the
+    whole timeout-plus-retries envelope gets the pool terminated, the
+    unfinished tasks marked failed (``keep_going``) or a
+    :class:`~repro.errors.TaskTimeout` raised.
     """
     if isinstance(spec, str):
         spec = get_experiment(spec)
@@ -555,16 +647,66 @@ def run_experiment(
     try:
         if effective_jobs > 1:
             context = multiprocessing.get_context("fork")
-            _WORKER_STATE = (spec, options, keep_going)
+            _WORKER_STATE = (
+                spec, options, keep_going, retries, retry_backoff, task_timeout
+            )
+            # A worker is "hung" once it has been silent longer than a
+            # full attempt envelope (every attempt plus every backoff)
+            # with slack; the in-worker SIGALRM should fire well before
+            # this, so tripping it means the worker is truly stuck.
+            watchdog = None
+            if task_timeout is not None:
+                watchdog = (
+                    task_timeout * (retries + 1)
+                    + retry_backoff * (2 ** (retries + 1))
+                    + 30.0
+                )
             try:
                 with context.Pool(processes=effective_jobs) as pool:
-                    for outcome in pool.imap_unordered(_pool_entry, pending):
-                        _record(outcome)
+                    iterator = pool.imap_unordered(_pool_entry, pending)
+                    try:
+                        while True:
+                            try:
+                                outcome = iterator.next(watchdog)
+                            except StopIteration:
+                                break
+                            _record(outcome)
+                    except multiprocessing.TimeoutError:
+                        pool.terminate()
+                        hung = [
+                            task for task in pending
+                            if task.key not in outcomes_by_key
+                        ]
+                        if not keep_going:
+                            raise TaskTimeout(
+                                "worker silent for %.0fs; %d task(s) "
+                                "unfinished (first: %r)"
+                                % (watchdog, len(hung), hung[0].key)
+                            )
+                        for task in hung:
+                            _record(
+                                TaskOutcome(
+                                    key=task.key,
+                                    seed=task.seed,
+                                    data=None,
+                                    metrics=None,
+                                    host_seconds=watchdog,
+                                    error="TaskTimeout: worker hung "
+                                    "(silent for %.0fs)" % watchdog,
+                                )
+                            )
             finally:
                 _WORKER_STATE = None
         else:
             for task in pending:
-                _record(_execute_task(spec, options, task, keep_going))
+                _record(
+                    _execute_task(
+                        spec, options, task, keep_going,
+                        retries=retries,
+                        retry_backoff=retry_backoff,
+                        task_timeout=task_timeout,
+                    )
+                )
     finally:
         if writer is not None:
             writer.close()

@@ -1,0 +1,55 @@
+"""System-noise injection: a deterministic interference layer.
+
+The paper's attack primitives assume a quiet machine — eviction sets
+stay congruent, timing thresholds hold, and sprayed page tables stay
+where the kernel put them.  TeleHammer formalises these as conditions
+that must *hold continuously*, and defenses like SoftTRR exploit
+exactly their fragility.  This package composes pluggable noise
+sources onto a :class:`~repro.machine.machine.Machine` so every attack
+phase (and the experiment engine above it) can be exercised — and made
+self-healing — under realistic interference:
+
+* **cache/TLB pollution** — a background process touching random sets
+  at a configured rate;
+* **timing jitter** — scheduler/SMI-style noise on observed latencies;
+* **page-table churn** — the kernel migrating or reclaiming a fraction
+  of live Level-1 page tables;
+* **transient faults** — a probability that any single access raises a
+  retryable :class:`~repro.errors.TransientFault`.
+
+Everything is seeded: the same machine seed, chaos profile, and access
+sequence produce bit-identical interference, so chaos runs stay
+reproducible across ``--jobs`` fan-out.  See ``docs/CHAOS.md``.
+
+Typical use::
+
+    machine = Machine(tiny_test_config())
+    machine.attach_chaos(ChaosInjector(chaos_profile("desktop")))
+    ... run the attack; recovery shows up in machine.metrics ...
+"""
+
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.profiles import CHAOS_PROFILES, ChaosConfig, chaos_profile
+from repro.chaos.sources import (
+    CachePollution,
+    NoiseSource,
+    PageTableChurn,
+    SOURCE_TYPES,
+    TLBPollution,
+    TimingJitter,
+    TransientFaultInjector,
+)
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "CachePollution",
+    "ChaosConfig",
+    "ChaosInjector",
+    "NoiseSource",
+    "PageTableChurn",
+    "SOURCE_TYPES",
+    "TLBPollution",
+    "TimingJitter",
+    "TransientFaultInjector",
+    "chaos_profile",
+]

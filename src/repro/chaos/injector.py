@@ -1,0 +1,72 @@
+"""The injector: binds a chaos profile onto one machine.
+
+One :class:`ChaosInjector` serves one :class:`Machine`
+(``machine.attach_chaos(injector)``).  On attach it forks a private
+RNG stream per source from ``hash64(machine seed, chaos seed, "chaos",
+source name)`` — fully determined by the two seeds, untouched by the
+machine's own streams — so:
+
+* the no-chaos simulation is byte-for-byte unchanged (the machine
+  consults the injector only through ``if self.chaos is not None``
+  guards);
+* the same (machine seed, profile) pair produces bit-identical
+  interference wherever it runs, including across ``--jobs`` fan-out.
+
+The injector also guards against re-entrancy: noise that itself
+touches the cache hierarchy must not recursively trigger more noise.
+"""
+
+from repro.errors import ConfigError
+from repro.utils.rng import DeterministicRng, hash64
+
+
+class ChaosInjector:
+    """Drives a profile's noise sources against one attached machine."""
+
+    def __init__(self, config):
+        self.config = config.validate()
+        self.machine = None
+        self.sources = config.build_sources()
+        self._streams = []
+        self._active = False
+
+    def attach(self, machine):
+        """Bind to ``machine`` (called by ``Machine.attach_chaos``)."""
+        if self.machine is not None and self.machine is not machine:
+            raise ConfigError(
+                "a ChaosInjector serves one machine; create a fresh one"
+            )
+        self.machine = machine
+        self._streams = [
+            DeterministicRng(
+                hash64(machine.config.seed, self.config.seed, "chaos", source.name)
+            )
+            for source in self.sources
+        ]
+        return self
+
+    def on_access(self, vaddr):
+        """Run every source's per-access hook; may raise TransientFault."""
+        if self._active:
+            return  # noise-induced activity must not trigger more noise
+        self._active = True
+        try:
+            machine = self.machine
+            for source, stream in zip(self.sources, self._streams):
+                source.on_access(machine, stream, vaddr)
+        finally:
+            self._active = False
+
+    def jitter_cycles(self):
+        """Total extra latency cycles the sources add to this access."""
+        machine = self.machine
+        total = 0
+        for source, stream in zip(self.sources, self._streams):
+            total += source.jitter(machine, stream)
+        return total
+
+    def __repr__(self):
+        return "ChaosInjector(%s, attached=%s)" % (
+            self.config.name,
+            self.machine is not None,
+        )

@@ -1,0 +1,133 @@
+"""Chaos profiles: named, validated bundles of noise-source settings.
+
+A :class:`ChaosConfig` is pure data — ``{source name: parameter
+dict}`` plus a seed — validated eagerly so a profile referencing an
+unknown source or a negative rate fails at construction, not mid-run.
+Three built-ins model the systems the attack would realistically run
+on:
+
+* ``quiet`` — the idealised machine every earlier experiment assumed;
+  all sources present, all rates zero (a control profile).
+* ``desktop`` — light interactive load: occasional cache/TLB
+  pollution, mild timing jitter, slow page-table churn, rare
+  transient faults.
+* ``server`` — a busy co-tenant machine: heavy pollution, frequent
+  churn, and enough jitter to make single-sample thresholds useless.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.chaos.sources import SOURCE_TYPES
+from repro.errors import ConfigError
+
+
+@dataclass
+class ChaosConfig:
+    """One interference scenario: seed plus per-source parameters."""
+
+    name: str = "custom"
+    #: Mixed into each source's RNG stream (together with the machine
+    #: seed), so the same profile produces different-but-deterministic
+    #: noise on differently seeded machines.
+    seed: int = 0
+    #: source name -> constructor kwargs (see repro.chaos.sources).
+    sources: Dict[str, dict] = field(default_factory=dict)
+
+    def validate(self):
+        """Check every source exists and its parameters construct."""
+        for source_name in self.sources:
+            if source_name not in SOURCE_TYPES:
+                raise ConfigError(
+                    "chaos profile %r references unknown source %r (known: %s)"
+                    % (self.name, source_name, ", ".join(sorted(SOURCE_TYPES)))
+                )
+        self.build_sources()  # constructor validation (rates, ranges)
+        return self
+
+    def build_sources(self):
+        """Fresh source instances in deterministic (sorted) order."""
+        return [
+            SOURCE_TYPES[source_name](**params)
+            for source_name, params in sorted(self.sources.items())
+        ]
+
+    def describe(self):
+        """Multi-line human-readable dump for ``repro chaos show``."""
+        lines = ["profile %s (seed %d)" % (self.name, self.seed)]
+        for source in self.build_sources():
+            params = source.params()
+            rendered = ", ".join(
+                "%s=%s" % (key, params[key]) for key in sorted(params)
+            )
+            lines.append("  %-18s %s" % (source.name, rendered))
+        return "\n".join(lines)
+
+
+def _quiet():
+    return ChaosConfig(
+        name="quiet",
+        seed=0xC0A5,
+        sources={
+            "cache_pollution": {"rate": 0.0, "lines": 8},
+            "tlb_pollution": {"rate": 0.0, "entries": 4},
+            "timing_jitter": {"rate": 0.0, "max_cycles": 8},
+            "page_table_churn": {"period_cycles": 1_000_000, "fraction": 0.0},
+            "transient_faults": {"probability": 0.0},
+        },
+    ).validate()
+
+
+def _desktop():
+    return ChaosConfig(
+        name="desktop",
+        seed=0xDE5C,
+        sources={
+            "cache_pollution": {"rate": 0.004, "lines": 16},
+            "tlb_pollution": {"rate": 0.002, "entries": 4},
+            "timing_jitter": {"rate": 0.05, "max_cycles": 8},
+            "page_table_churn": {
+                "period_cycles": 400_000,
+                "fraction": 0.03,
+                "drop_fraction": 0.25,
+            },
+            "transient_faults": {"probability": 1e-5},
+        },
+    ).validate()
+
+
+def _server():
+    return ChaosConfig(
+        name="server",
+        seed=0x5E12,
+        sources={
+            "cache_pollution": {"rate": 0.015, "lines": 32},
+            "tlb_pollution": {"rate": 0.008, "entries": 8},
+            "timing_jitter": {"rate": 0.15, "max_cycles": 20},
+            "page_table_churn": {
+                "period_cycles": 150_000,
+                "fraction": 0.08,
+                "drop_fraction": 0.4,
+            },
+            "transient_faults": {"probability": 5e-5},
+        },
+    ).validate()
+
+
+#: Profile name -> factory; the ``--chaos`` vocabulary.
+CHAOS_PROFILES = {
+    "quiet": _quiet,
+    "desktop": _desktop,
+    "server": _server,
+}
+
+
+def chaos_profile(name):
+    """The built-in profile called ``name``; ConfigError when unknown."""
+    try:
+        return CHAOS_PROFILES[name]()
+    except KeyError:
+        raise ConfigError(
+            "unknown chaos profile %r (known: %s)"
+            % (name, ", ".join(sorted(CHAOS_PROFILES)))
+        )

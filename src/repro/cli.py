@@ -85,6 +85,19 @@ def _engine_args(parser):
         action="store_true",
         help="skip tasks already recorded in --checkpoint",
     )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-task host-time limit; hung workers are detected and killed",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="in-place retries of retryable task faults (default: 2)",
+    )
     _telemetry_args(group)
 
 
@@ -122,6 +135,8 @@ def _cmd_experiment(args):
             resume=args.resume,
             progress=reporter,
             ledger=None if args.no_record else RunLedger(),
+            task_timeout=args.task_timeout,
+            retries=args.retries,
         )
     except ConfigError as exc:
         print("repro: %s" % exc, file=sys.stderr)
@@ -141,6 +156,11 @@ def _cmd_attack(args):
         config.seed = args.seed
     policy = DEFENSES[args.defense]()
     machine = Machine(config, policy=policy)
+    chaos_name = getattr(args, "chaos", None)
+    if chaos_name:
+        from repro.chaos import ChaosInjector, chaos_profile
+
+        machine.attach_chaos(ChaosInjector(chaos_profile(chaos_name)))
     attacker = AttackerView(machine, machine.boot_process())
     attack_config = PThammerConfig(
         superpages=not args.regular_pages,
@@ -155,15 +175,36 @@ def _cmd_attack(args):
     if profiling or trace_path:
         machine.trace.enable()
     print(
-        "PThammer vs %s (defense: %s); attacker uid=%d"
-        % (config.name, args.defense, attacker.getuid())
+        "PThammer vs %s (defense: %s%s); attacker uid=%d"
+        % (
+            config.name,
+            args.defense,
+            ", chaos: %s" % chaos_name if chaos_name else "",
+            attacker.getuid(),
+        )
     )
     started = time.time()
-    report = PThammerAttack(attacker, attack_config).run()
+    attack = PThammerAttack(attacker, attack_config)
+    report = attack.run()
     print(report.summary())
     if report.outcome:
         for note in report.outcome.details:
             print("  - %s" % note)
+    if chaos_name:
+        resilience_counters = {
+            name: value
+            for name, value in sorted(machine.metrics.counters().items())
+            if name.startswith(("chaos.", "recovery."))
+        }
+        print(
+            "chaos/recovery: %s"
+            % (
+                ", ".join(
+                    "%s=%d" % item for item in resilience_counters.items()
+                )
+                or "none"
+            )
+        )
     print(
         "uid after attack: %d | ground-truth flips: %d | host %.1fs"
         % (attacker.getuid(), Inspector(machine).flip_count(), time.time() - started)
@@ -190,8 +231,12 @@ def _cmd_attack(args):
             "attack",
             machine=config.name,
             config_fingerprint=config_fingerprint(config),
-            command="repro attack --machine %s --defense %s"
-            % (args.machine, args.defense),
+            command="repro attack --machine %s --defense %s%s"
+            % (
+                args.machine,
+                args.defense,
+                " --chaos %s" % chaos_name if chaos_name else "",
+            ),
             timings={
                 "host_seconds": round(time.time() - started, 6),
                 "virtual_cycles": machine.cycles,
@@ -206,6 +251,9 @@ def _cmd_attack(args):
                 "flips": Inspector(machine).flip_count(),
                 "uid_after": attacker.getuid(),
                 "exit_code": code,
+                "chaos": chaos_name,
+                "checkpoint": attack.checkpoint(),
+                "degradations": list(report.degradations),
             },
         )
         RunLedger().record(record)
@@ -258,10 +306,27 @@ def main(argv=None):
         help="enable tracing and write the JSONL trace to FILE",
     )
     attack.add_argument(
+        "--chaos",
+        metavar="PROFILE",
+        default=None,
+        help="inject system noise from a chaos profile "
+        "(see `repro chaos list`); enables the self-healing pipeline",
+    )
+    attack.add_argument(
         "--no-record",
         action="store_true",
         help="do not append this run to the run ledger",
     )
+
+    chaos_cmd = commands.add_parser(
+        "chaos", help="inspect the built-in system-noise profiles"
+    )
+    chaos_commands = chaos_cmd.add_subparsers(dest="chaos_command", required=True)
+    chaos_commands.add_parser("list", help="list the built-in chaos profiles")
+    chaos_show = chaos_commands.add_parser(
+        "show", help="show one profile's sources and parameters"
+    )
+    chaos_show.add_argument("profile", help="profile name (see `repro chaos list`)")
 
     trace_cmd = commands.add_parser(
         "trace", help="run the attack with tracing on; export and profile it"
@@ -348,6 +413,8 @@ def main(argv=None):
 
     if args.command == "attack":
         return _cmd_attack(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command in experiments:
@@ -360,6 +427,26 @@ def main(argv=None):
         return _cmd_runs(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    return 0
+
+
+def _cmd_chaos(args):
+    """``repro chaos list|show`` — inspect the noise profiles."""
+    from repro.chaos import CHAOS_PROFILES, chaos_profile
+
+    if args.chaos_command == "list":
+        for name in sorted(CHAOS_PROFILES):
+            profile = chaos_profile(name)
+            print(
+                "%-10s seed=0x%x, %d sources"
+                % (name, profile.seed, len(profile.sources))
+            )
+        return 0
+    try:
+        print(chaos_profile(args.profile).describe())
+    except ConfigError as exc:
+        print("repro: %s" % exc, file=sys.stderr)
+        return 2
     return 0
 
 

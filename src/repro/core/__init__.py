@@ -2,11 +2,12 @@
 
 from repro.core.drama import reverse_engineer_row_span
 from repro.core.explicit import ExplicitHammer, RowhammerTestTool, syscall_hammer
-from repro.core.hammer import DoubleSidedHammer, HammerTarget
+from repro.core.hammer import DoubleSidedHammer, HammerTarget, SingleSidedHammer
 from repro.core.llc_eviction import (
     l1pte_line_offset,
     select_llc_eviction_set,
     selection_false_positive_rate,
+    verify_eviction_set,
 )
 from repro.core.llc_offline import (
     find_minimal_llc_eviction_size,
@@ -23,10 +24,17 @@ from repro.core.privesc import (
     PrivilegeEscalator,
 )
 from repro.core.pthammer import (
+    ATTACK_PHASES,
     PairRecord,
     PThammerAttack,
     PThammerConfig,
     PThammerReport,
+)
+from repro.core.resilience import (
+    RECOVERABLE,
+    PhaseBudget,
+    RetryPolicy,
+    run_with_retry,
 )
 from repro.core.spray import PageTableSpray, SprayMismatch, marker_value
 from repro.core.timing_probe import LatencyThreshold, calibrate_latency_threshold
@@ -38,6 +46,7 @@ from repro.core.tlb_eviction import (
 from repro.core.uarch import UarchFacts
 
 __all__ = [
+    "ATTACK_PHASES",
     "CAPTURE_CRED",
     "CAPTURE_JUNK",
     "CAPTURE_L1PT",
@@ -57,8 +66,12 @@ __all__ = [
     "PageTableSpray",
     "PairFinder",
     "PairRecord",
+    "PhaseBudget",
     "PrivilegeEscalator",
+    "RECOVERABLE",
+    "RetryPolicy",
     "RowhammerTestTool",
+    "SingleSidedHammer",
     "SprayMismatch",
     "TLBEvictionSetBuilder",
     "UarchFacts",
@@ -69,9 +82,11 @@ __all__ = [
     "llc_miss_rate_by_size",
     "marker_value",
     "reverse_engineer_row_span",
+    "run_with_retry",
     "select_llc_eviction_set",
     "selection_false_positive_rate",
     "slot_stride_for_pairs",
     "syscall_hammer",
     "tlb_miss_rate_by_size",
+    "verify_eviction_set",
 ]

@@ -41,7 +41,9 @@ class DoubleSidedHammer:
     LLC (Section V).
     """
 
-    def __init__(self, attacker, target_a, target_b, llc_sweeps=1, trace=None):
+    def __init__(
+        self, attacker, target_a, target_b, llc_sweeps=1, trace=None, guard=None
+    ):
         self.attacker = attacker
         self.target_a = target_a
         self.target_b = target_b
@@ -49,6 +51,11 @@ class DoubleSidedHammer:
         #: Optional trace bus; when set, every round is recorded as a
         #: ``hammer-round`` span (PThammerAttack passes the machine's).
         self.trace = trace
+        #: Optional per-round retry hook (see LLCPoolBuilder): a burst
+        #: spans far too many accesses for burst-level retry to survive
+        #: realistic fault rates, so the self-healing pipeline retries
+        #: one round at a time.  None runs rounds plainly.
+        self._guard = guard if guard is not None else lambda operation: operation()
 
     def round(self, nop_padding=0):
         """One double-sided iteration; returns its cost in cycles."""
@@ -71,7 +78,9 @@ class DoubleSidedHammer:
 
     def run(self, rounds, nop_padding=0):
         """``rounds`` iterations; returns the per-round cycle costs."""
-        return [self.round(nop_padding) for _ in range(rounds)]
+        return [
+            self._guard(lambda: self.round(nop_padding)) for _ in range(rounds)
+        ]
 
     def run_for_cycles(self, budget_cycles, nop_padding=0):
         """Hammer until ``budget_cycles`` have elapsed; returns costs."""
@@ -79,5 +88,25 @@ class DoubleSidedHammer:
         deadline = attacker.rdtsc() + budget_cycles
         costs = []
         while attacker.rdtsc() < deadline:
-            costs.append(self.round(nop_padding))
+            costs.append(self._guard(lambda: self.round(nop_padding)))
         return costs
+
+
+class SingleSidedHammer(DoubleSidedHammer):
+    """Degraded fallback: implicit single-sided hammering of one target.
+
+    Used when pair construction finds no verified same-bank pair (or
+    the verified pairs decayed under system noise): both halves of the
+    round aim at the *same* target, so each round performs two implicit
+    activations of that one kernel row — the eviction sweeps between
+    the touches guarantee the second touch misses TLB and caches again.
+    No row-conflict or victim-sandwich guarantee, so flips are rarer
+    (the paper's double-sided construction remains strictly better),
+    but disturbance still accrues instead of the attack aborting.
+    """
+
+    def __init__(self, attacker, target, llc_sweeps=1, trace=None, guard=None):
+        super().__init__(
+            attacker, target, target, llc_sweeps=llc_sweeps, trace=trace,
+            guard=guard,
+        )

@@ -19,6 +19,11 @@ from repro.core.timing_probe import fenced_timed_read
 from repro.params import LINE_SHIFT, PAGE_SHIFT, table_index
 from repro.utils.stats import median
 
+# Data-line offset used when warming a sibling page during verification:
+# line class 32, clear of the page-aligned probe classes and of the
+# PROBE_DATA_OFFSET class (33).
+_WARM_DATA_OFFSET = 32 * 64
+
 
 def l1pte_line_offset(target_va):
     """Line offset (0..63) of the target's L1PTE inside its L1PT page.
@@ -48,6 +53,41 @@ def profile_eviction_set(
             attacker.touch(va)
         latencies.append(fenced_timed_read(attacker, target_va + PROBE_DATA_OFFSET))
     return median(latencies)
+
+
+def verify_eviction_set(
+    attacker, threshold, eviction_set, flush_translation, target_va, trials=3, sweeps=1
+):
+    """Attack-side health check: does the chosen set still work?
+
+    A set selected by Algorithm 2 can *degrade*: under system noise the
+    target's L1PT may be migrated to a frame whose L1PTE lands in a
+    different (set, slice), after which sweeping the old set no longer
+    pushes the target's walk to DRAM — the caller should re-select (and
+    possibly rebuild the offset's pool sets).
+
+    ``flush_translation`` must drop the target's TLB entry *reliably*
+    (the pipeline passes a sweep of the builder's flood set); it runs
+    *before* the candidate sweep each trial.  A flood's own page walks
+    trample the cache, so after flushing we re-warm the target's L1PTE
+    line through its *sibling page* (virtual bit 12 flipped): the
+    sibling's L1PT entry shares the same 64-byte PTE line but has its
+    own VPN, so the walk re-caches the line without restoring the
+    target's TLB entry.  Only a congruent candidate sweep then evicts
+    the freshly-warmed L1PTE, and the median over trials discriminates
+    cleanly: congruent sets walk to DRAM every trial, stale sets hit
+    the warm line.
+    """
+    warm_va = (target_va ^ (1 << PAGE_SHIFT)) + _WARM_DATA_OFFSET
+    latencies = []
+    for _ in range(trials):
+        flush_translation()
+        attacker.touch(warm_va)
+        for _ in range(sweeps):
+            for va in eviction_set.lines:
+                attacker.touch(va)
+        latencies.append(fenced_timed_read(attacker, target_va + PROBE_DATA_OFFSET))
+    return threshold.is_dram(median(latencies))
 
 
 def select_llc_eviction_set(

@@ -77,6 +77,16 @@ class LLCEvictionPool:
         """Total eviction sets in the pool."""
         return sum(len(sets) for sets in self._by_offset.values())
 
+    def replace_offset(self, line_offset, sets):
+        """Swap in freshly built sets for one line offset.
+
+        The self-healing path: when a chosen set stops evicting its
+        target (its backing lines were disturbed by system noise), the
+        pipeline rebuilds just that offset's sets and replaces the
+        stale ones here.
+        """
+        self._by_offset[line_offset] = list(sets)
+
 
 # ----------------------------------------------------------------------
 # conflict testing and reduction (attack-side, timing only)
@@ -154,13 +164,21 @@ def _split(items, parts):
 
 
 class LLCPoolBuilder:
-    """Builds the complete (or offset-restricted) eviction-set pool."""
+    """Builds the complete (or offset-restricted) eviction-set pool.
 
-    def __init__(self, attacker, facts, threshold, set_size):
+    ``guard`` is an optional hook wrapping each bounded unit of timing
+    work (one probe's coverage check or reduction): the self-healing
+    pipeline passes a retry-with-backoff wrapper so a recoverable fault
+    costs one unit, not the whole multi-minute preparation.  ``None``
+    (the default) runs everything plainly.
+    """
+
+    def __init__(self, attacker, facts, threshold, set_size, guard=None):
         self.attacker = attacker
         self.facts = facts
         self.threshold = threshold
         self.set_size = set_size
+        self._guard = guard if guard is not None else lambda operation: operation()
         self._region_cursor = LLC_BUFFER_REGION
 
     def _claim_region(self, length):
@@ -186,6 +204,19 @@ class LLCPoolBuilder:
         else:
             sets = self._prepare_regular(wanted)
         return LLCEvictionPool(sets, self.attacker.rdtsc() - start, superpages)
+
+    def rebuild_offset(self, superpages, line_offset):
+        """Re-run preparation for a single line offset in a fresh buffer.
+
+        Recovery primitive: returns new :class:`EvictionSet` objects
+        for ``line_offset`` (possibly empty if the timing is too noisy
+        to partition), leaving the existing pool untouched — the caller
+        decides whether to :meth:`LLCEvictionPool.replace_offset`.
+        """
+        wanted = {line_offset}
+        if superpages:
+            return self._prepare_superpage(wanted)
+        return self._prepare_regular(wanted)
 
     # -- superpage path (Liu et al.): set index known, find slices ------
 
@@ -264,13 +295,17 @@ class LLCPoolBuilder:
             if expected is not None and len(found) >= expected:
                 break
             probe = pool.pop(0)
-            if any(
-                evicts(self.attacker, self.threshold, probe, done.lines)
-                for done in found
+            if self._guard(
+                lambda probe=probe: any(
+                    evicts(self.attacker, self.threshold, probe, done.lines)
+                    for done in found
+                )
             ):
                 continue  # probe's (set, slice) already has a pool entry
-            reduced = reduce_to_minimal(
-                self.attacker, self.threshold, probe, pool, self.set_size
+            reduced = self._guard(
+                lambda probe=probe, pool=pool: reduce_to_minimal(
+                    self.attacker, self.threshold, probe, pool, self.set_size
+                )
             )
             if reduced is None:
                 # Not enough lines of the probe's (set, slice) remain.

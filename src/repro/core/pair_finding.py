@@ -59,6 +59,9 @@ class PairFinder:
         self.spray = spray
         self.tlb_builder = tlb_builder
         self.tlb_set_size = tlb_set_size
+        #: Ambiguous scores re-sampled by the adaptive path (recovery
+        #: accounting; the pipeline mirrors it into ``recovery.*``).
+        self.resamples = 0
 
     def candidate_pairs(self, limit=None):
         """Slot pairs at the pair stride, sampled across the whole spray.
@@ -97,6 +100,12 @@ class PairFinder:
         different rows.  (The first access's latency is polluted by
         whatever rows the eviction sweeps touched.)
         """
+        samples = self._score_rounds(pair, llc_set_a, llc_set_b, rounds)
+        pair.conflict_score = median(samples)
+        return pair.conflict_score
+
+    def _score_rounds(self, pair, llc_set_a, llc_set_b, rounds):
+        """``rounds`` raw second-walk latency samples for one pair."""
         attacker = self.attacker
         tlb_a = self.tlb_builder.build(pair.va_a, self.tlb_set_size)
         tlb_b = self.tlb_builder.build(pair.va_b, self.tlb_set_size)
@@ -113,8 +122,37 @@ class PairFinder:
             attacker.nop(FENCE_CYCLES)  # serialise: a must reach DRAM itself
             attacker.touch(pair.va_a + PROBE_DATA_OFFSET)
             samples.append(attacker.timed_read(pair.va_b + PROBE_DATA_OFFSET))
-        pair.conflict_score = median(samples)
-        return pair.conflict_score
+        return samples
+
+    def conflict_score_adaptive(
+        self,
+        pair,
+        llc_set_a,
+        llc_set_b,
+        conflict_level,
+        rounds=6,
+        max_rounds=18,
+        tolerance=10.0,
+    ):
+        """Score a pair, re-sampling while the verdict stays ambiguous.
+
+        Under timing jitter a handful of samples can leave the median
+        sitting right at the same-bank decision boundary
+        (``conflict_level - tolerance``, as used by
+        :meth:`split_by_conflict`).  Scores within ``tolerance`` of
+        that boundary are re-sampled — up to ``max_rounds`` total —
+        so noise widens the measurement instead of flipping the
+        classification.
+        """
+        samples = self._score_rounds(pair, llc_set_a, llc_set_b, rounds)
+        boundary = conflict_level - tolerance
+        score = median(samples)
+        while abs(score - boundary) <= tolerance and len(samples) < max_rounds:
+            samples.extend(self._score_rounds(pair, llc_set_a, llc_set_b, rounds))
+            score = median(samples)
+            self.resamples += 1
+        pair.conflict_score = score
+        return score
 
     def conflict_level(self, pages=256, samples=200, seed=0x9A12):
         """Calibrate the row-conflict latency on the attacker's own memory.

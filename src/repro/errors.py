@@ -32,3 +32,42 @@ class OutOfMemory(ReproError):
 
 class PrivilegeError(ReproError):
     """Unprivileged code invoked a privileged-only interface."""
+
+
+class TransientFault(ReproError):
+    """A retryable, environment-induced failure of one access.
+
+    Injected by the chaos layer (:mod:`repro.chaos`) to model the
+    sporadic disruptions a real attack run survives — an unlucky
+    preemption mid-measurement, an SMI, a scheduler migration.  The
+    operation did not happen; retrying it is always safe.  ``retryable``
+    is the marker recovery wrappers (and the experiment engine) test
+    for, so other error types can opt in to in-place retry too.
+    """
+
+    retryable = True
+
+    def __init__(self, vaddr=None, reason="injected transient fault"):
+        location = " at 0x%x" % vaddr if vaddr is not None else ""
+        super().__init__("%s%s" % (reason, location))
+        self.vaddr = vaddr
+        self.reason = reason
+
+
+class PhaseBudgetExceeded(ReproError):
+    """A self-healing attack phase ran out of its cycle/wall budget.
+
+    Raised by :class:`repro.core.resilience.PhaseBudget` so recovery
+    loops degrade (or give up cleanly) instead of spinning forever on a
+    machine too noisy for the current strategy.
+    """
+
+
+class TaskTimeout(ReproError):
+    """An experiment-engine task exceeded its wall-clock timeout.
+
+    In pool mode this signals hung-worker detection (no task completed
+    within the window); serially it interrupts the task via SIGALRM
+    where the platform allows.  Not retryable: a task that hangs once
+    will usually hang again.
+    """

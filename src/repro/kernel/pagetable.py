@@ -19,12 +19,19 @@ class MappingError(ReproError):
 class PageTableManager:
     """Creates and edits 4-level page tables stored in physical memory."""
 
-    def __init__(self, physmem, warm_cache, alloc_table_frame, frame_mask):
+    def __init__(
+        self, physmem, warm_cache, alloc_table_frame, frame_mask,
+        free_table_frame=None,
+    ):
         self.physmem = physmem
         #: Callable(paddr): models the CPU store leaving the entry cached.
         self.warm_cache = warm_cache
         #: Callable() -> frame for new page-table pages (placement policy).
         self.alloc_table_frame = alloc_table_frame
+        #: Callable(frame) returning a page-table frame to the allocator;
+        #: None leaks replaced frames (the pre-churn behaviour, fine for
+        #: the bounded table turnover of a quiet run).
+        self.free_table_frame = free_table_frame
         self.frame_mask = frame_mask
         #: level -> set of page-table frames, for evaluation.
         self.table_frames = {1: set(), 2: set(), 3: set(), 4: set()}
@@ -164,6 +171,72 @@ class PageTableManager:
         if l1pt is None:
             return None
         return (l1pt << PAGE_SHIFT) | (table_index(vaddr, 1) << 3)
+
+    def _pde_location(self, cr3, vaddr):
+        """The (L2 table frame, live L1PT frame) pair covering ``vaddr``.
+
+        Returns ``None`` when the region has no Level-1 table (absent
+        intermediates or a superpage mapping).
+        """
+        table = cr3
+        for level in (4, 3):
+            entry = self._read(table, vaddr, level)
+            if not pte_present(entry):
+                return None
+            table = pte_frame(entry) & self.frame_mask
+        entry = self._read(table, vaddr, 2)
+        if not pte_present(entry) or pte_is_superpage(entry):
+            return None
+        return table, pte_frame(entry) & self.frame_mask
+
+    def migrate_l1pt(self, cr3, vaddr):
+        """Move the L1PT covering ``vaddr`` to a fresh frame.
+
+        Models kernel page-table migration (compaction, NUMA balancing):
+        the 512 entries are copied, the parent PDE rewritten, and the
+        old frame zeroed so stale cached pointers cannot resolve through
+        it.  The *caller* is responsible for the TLB/paging-structure
+        shootdown, as the kernel would be.  Returns the new frame, or
+        ``None`` when the region has no L1PT.
+        """
+        located = self._pde_location(cr3, vaddr)
+        if located is None:
+            return None
+        l2_table, old = located
+        new = self.alloc_table_frame()
+        for index in range(PTES_PER_TABLE):
+            word = self.physmem.read_word((old << PAGE_SHIFT) | (index << 3))
+            self.physmem.write_word((new << PAGE_SHIFT) | (index << 3), word)
+        self.physmem.zero_frame(old)
+        self.write_entry(
+            l2_table, table_index(vaddr, 2), make_pte(new, user=True)
+        )
+        self.table_frames[1].discard(old)
+        self.table_frames[1].add(new)
+        if self.free_table_frame is not None:
+            # The kernel returns the vacated frame after the shootdown;
+            # without this, sustained churn would bleed the allocator dry.
+            self.free_table_frame(old)
+        return new
+
+    def drop_l1pt(self, cr3, vaddr):
+        """Clear the PDE covering ``vaddr``, reclaiming its L1PT.
+
+        Models kernel page-table reclaim: every 4 KiB mapping in the
+        2 MiB region vanishes at once.  Pages the kernel still considers
+        populated heal individually through the demand-fault path; the
+        old frame is zeroed and leaked (never reused) so stale walks
+        read absent entries instead of junk.  Returns the reclaimed
+        frame, or ``None`` when the region has no L1PT.
+        """
+        located = self._pde_location(cr3, vaddr)
+        if located is None:
+            return None
+        l2_table, old = located
+        self.physmem.zero_frame(old)
+        self.write_entry(l2_table, table_index(vaddr, 2), 0)
+        self.table_frames[1].discard(old)
+        return old
 
     def l1pt_count(self):
         """Number of live Level-1 page-table frames (spray accounting)."""

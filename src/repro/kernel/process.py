@@ -103,6 +103,10 @@ class AddressSpace:
     def vma_count(self):
         return len(self._vmas)
 
+    def vmas(self):
+        """All VMAs in ascending start order (kernel-side iteration)."""
+        return [self._vmas[start] for start in self._starts]
+
     def pick_free_range(self, length):
         """Bump-allocate a free region of ``length`` bytes (16 MiB aligned
         gaps keep sprays and buffers from abutting by accident)."""

@@ -157,6 +157,23 @@ class MachineConfig:
             raise ConfigError("inclusive LLC must be larger than L2")
         if self.dram.refresh_interval_cycles <= 0:
             raise ConfigError("refresh interval must be positive")
+        if self.fault.threshold_lo >= self.fault.threshold_hi:
+            raise ConfigError(
+                "fault threshold_lo (%d) must be below threshold_hi (%d)"
+                % (self.fault.threshold_lo, self.fault.threshold_hi)
+            )
+        if self.fault.cells_per_row_mean < 0:
+            raise ConfigError("fault cells_per_row_mean must be non-negative")
+        if not 0.0 <= self.fault.true_cell_fraction <= 1.0:
+            raise ConfigError("fault true_cell_fraction must be in [0, 1]")
+        if not 0.0 <= self.dram.preemptive_close_probability <= 1.0:
+            raise ConfigError(
+                "DRAM preemptive_close_probability must be in [0, 1]"
+            )
+        if self.cpu.noise_cycles < 0:
+            raise ConfigError("CPU noise_cycles must be non-negative")
+        if not 0.0 <= self.boot_fragmentation < 1.0:
+            raise ConfigError("boot_fragmentation must be in [0, 1)")
         return self
 
     def llc_bytes(self):

@@ -127,8 +127,14 @@ class Machine:
             self.caches.warm,
             self.policy.alloc_pagetable_frame,
             frame_mask,
+            free_table_frame=lambda frame: self.policy.free_frame(
+                frame, "pagetable"
+            ),
         )
         self.kernel = Kernel(self.physmem, self.ptm, self.policy, self.tlb.invalidate)
+        #: Optional system-noise injector (repro.chaos); None keeps the
+        #: access path byte-for-byte identical to the quiet machine.
+        self.chaos = None
         self._noise = config.cpu.noise_cycles
         self._noise_rng = self.rng.fork("noise")
         # Memory-level-parallelism bookkeeping (see CPUTimings).
@@ -191,6 +197,10 @@ class Machine:
         cpu = self.config.cpu
         self._instr_seq += 1
         self._dram_ops_this_instr = 0
+        if self.chaos is not None:
+            # May pollute caches/TLB, churn page tables, or raise a
+            # retryable TransientFault before the access even issues.
+            self.chaos.on_access(vaddr)
         latency = cpu.access_base
         if self._noise:
             latency += self._noise_rng.randint(self._noise + 1)
@@ -217,6 +227,8 @@ class Machine:
         paddr = walk.paddr & self._paddr_mask
         cache_level, data_latency = self._phys_access(paddr)
         latency += data_latency
+        if self.chaos is not None:
+            latency += self.chaos.jitter_cycles()
         self.perf.inc(LOADS)
         if write:
             self.physmem.write_word(paddr & ~7, value)
@@ -361,6 +373,18 @@ class Machine:
         for every request that reaches DRAM.
         """
         self.monitor = monitor
+
+    def attach_chaos(self, injector):
+        """Install a system-noise injector (see :mod:`repro.chaos`).
+
+        Binds the injector's RNG streams to this machine's seed and
+        enables the chaos hooks on the access path; ``None`` detaches.
+        """
+        if injector is None:
+            self.chaos = None
+            return None
+        self.chaos = injector.attach(self)
+        return self.chaos
 
     def boot_process(self, uid=1000):
         """Create a process (the attacker's shell, typically)."""

@@ -24,16 +24,24 @@ from repro.observe.events import (
     ALL_KINDS,
     ATTACK,
     CACHE,
+    CHAOS,
     DRAM,
     MACHINE,
     TLB,
     WALKER,
     CACHE_EVICT,
+    CHAOS_CHURN,
+    CHAOS_FAULT,
+    CHAOS_POLLUTE,
     DRAM_ACTIVATE,
     DRAM_FLIP,
     DRAM_HIT,
     DRAM_REFRESH,
     FAULT,
+    RECOVERY_FALLBACK,
+    RECOVERY_REBUILD,
+    RECOVERY_RESUME,
+    RECOVERY_RETRY,
     SPAN_BEGIN,
     SPAN_END,
     TLB_EVICT,
@@ -81,6 +89,10 @@ __all__ = [
     "ATTACK",
     "CACHE",
     "CACHE_EVICT",
+    "CHAOS",
+    "CHAOS_CHURN",
+    "CHAOS_FAULT",
+    "CHAOS_POLLUTE",
     "DRAM",
     "MACHINE",
     "TLB",
@@ -95,6 +107,10 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACE",
     "NullTrace",
+    "RECOVERY_FALLBACK",
+    "RECOVERY_REBUILD",
+    "RECOVERY_RESUME",
+    "RECOVERY_RETRY",
     "SPAN_BEGIN",
     "SPAN_END",
     "Span",

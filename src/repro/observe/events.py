@@ -50,6 +50,29 @@ DRAM_REFRESH = "dram.refresh"
 #: (fields: paddr, bit, bank, row).
 DRAM_FLIP = "dram.flip"
 
+# -- chaos events (system-noise injection, repro.chaos) ------------------
+#: A background-noise burst polluted shared state (fields: source,
+#: lines or entries).
+CHAOS_POLLUTE = "chaos.pollute"
+#: Kernel page-table churn ran (fields: migrated, dropped).
+CHAOS_CHURN = "chaos.churn"
+#: A transient fault was injected into one access (fields: vaddr).
+CHAOS_FAULT = "chaos.fault"
+
+# -- recovery events (self-healing pipeline) ------------------------------
+#: A phase or operation was retried after a recoverable error (fields:
+#: phase, attempt, error, backoff).
+RECOVERY_RETRY = "recovery.retry"
+#: An eviction set (TLB or LLC) was re-verified and rebuilt (fields:
+#: kind, target or offset).
+RECOVERY_REBUILD = "recovery.rebuild"
+#: The attack degraded to a weaker strategy instead of aborting
+#: (fields: strategy, reason).
+RECOVERY_FALLBACK = "recovery.fallback"
+#: A phase resumed from checkpointed state instead of re-running
+#: (fields: phase).
+RECOVERY_RESUME = "recovery.resume"
+
 # -- span events ---------------------------------------------------------
 #: A phase scope opened/closed (fields: name, depth); spans are *also*
 #: always recorded on ``TraceBus.spans`` even when event tracing is off.
@@ -57,13 +80,14 @@ SPAN_BEGIN = "span.begin"
 SPAN_END = "span.end"
 
 #: Component tags: the subsystem an event describes.
-MACHINE, TLB, WALKER, CACHE, DRAM, ATTACK = (
+MACHINE, TLB, WALKER, CACHE, DRAM, ATTACK, CHAOS = (
     "machine",
     "tlb",
     "walker",
     "cache",
     "dram",
     "attack",
+    "chaos",
 )
 
 #: Every kind above, for validation and documentation tooling.
@@ -79,6 +103,13 @@ ALL_KINDS = (
     DRAM_HIT,
     DRAM_REFRESH,
     DRAM_FLIP,
+    CHAOS_POLLUTE,
+    CHAOS_CHURN,
+    CHAOS_FAULT,
+    RECOVERY_RETRY,
+    RECOVERY_REBUILD,
+    RECOVERY_FALLBACK,
+    RECOVERY_RESUME,
     SPAN_BEGIN,
     SPAN_END,
 )

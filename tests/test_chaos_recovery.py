@@ -1,0 +1,336 @@
+"""Self-healing pipeline: retry primitives, re-verification, resume."""
+
+import pytest
+
+from repro.chaos import ChaosConfig, ChaosInjector, chaos_profile
+from repro.core.llc_eviction import l1pte_line_offset, verify_eviction_set
+from repro.core.llc_pool import LLCPoolBuilder
+from repro.core.pthammer import ATTACK_PHASES, PThammerAttack, PThammerConfig
+from repro.core.resilience import (
+    PhaseBudget,
+    RetryPolicy,
+    run_with_retry,
+)
+from repro.core.tlb_eviction import TLBEvictionSetBuilder
+from repro.core.uarch import UarchFacts
+from repro.errors import (
+    ConfigError,
+    PhaseBudgetExceeded,
+    SegmentationFault,
+    TransientFault,
+)
+from repro.machine import AttackerView, Machine
+from repro.machine.configs import tiny_test_config
+
+SMALL = dict(spray_slots=48, pair_sample=6, max_pairs=4, shm_pages=6)
+
+
+def _boot(seed=11, profile=None):
+    machine = Machine(tiny_test_config(seed=seed))
+    if profile is not None:
+        machine.attach_chaos(ChaosInjector(chaos_profile(profile)))
+    return machine, AttackerView(machine, machine.boot_process())
+
+
+# ----------------------------------------------------------------------
+# resilience primitives
+
+
+def test_retry_policy_validates():
+    with pytest.raises(ConfigError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(base_cycles=-1)
+    with pytest.raises(ConfigError):
+        RetryPolicy(jitter=-0.5)
+
+
+def test_retry_policy_backoff_grows():
+    policy = RetryPolicy(max_attempts=5, base_cycles=1000, multiplier=2.0)
+    backoffs = [policy.backoff_cycles(attempt) for attempt in range(4)]
+    assert all(b > 0 for b in backoffs)
+    assert backoffs == sorted(backoffs)
+    # Deterministic: same attempt, same backoff.
+    assert policy.backoff_cycles(2) == policy.backoff_cycles(2)
+
+
+def test_run_with_retry_retries_then_succeeds():
+    _, attacker = _boot(3)
+    attempts = []
+
+    def flaky():
+        attempts.append(attacker.rdtsc())
+        if len(attempts) < 3:
+            raise TransientFault(0x1000)
+        return "ok"
+
+    policy = RetryPolicy(max_attempts=4, base_cycles=500)
+    assert run_with_retry(attacker, flaky, policy, "test-phase") == "ok"
+    assert len(attempts) == 3
+    # Backoff advanced the virtual clock between attempts.
+    assert attempts[1] > attempts[0]
+
+
+def test_run_with_retry_exhausts_and_reraises():
+    _, attacker = _boot(3)
+
+    def always_fails():
+        raise TransientFault(0x2000)
+
+    policy = RetryPolicy(max_attempts=2, base_cycles=100)
+    with pytest.raises(TransientFault):
+        run_with_retry(attacker, always_fails, policy, "test-phase")
+
+
+def test_run_with_retry_ignores_non_recoverable():
+    _, attacker = _boot(3)
+    calls = []
+
+    def bad():
+        calls.append(1)
+        raise ValueError("not recoverable")
+
+    with pytest.raises(ValueError):
+        run_with_retry(attacker, bad, RetryPolicy(), "test-phase")
+    assert len(calls) == 1
+
+
+def test_phase_budget_cycle_exhaustion():
+    _, attacker = _boot(3)
+    budget = PhaseBudget(attacker, max_cycles=1000)
+    budget.check("test")
+    attacker.nop(2000)
+    with pytest.raises(PhaseBudgetExceeded):
+        budget.check("test")
+
+
+# ----------------------------------------------------------------------
+# segfault paths under churn (satellite: clean errors, not KeyError)
+
+
+def test_dropped_l1pt_heals_through_demand_faults():
+    machine, attacker = _boot(5)
+    va = attacker.mmap(4, populate=True)
+    attacker.touch(va)
+    space = attacker.process.address_space
+    assert machine.ptm.drop_l1pt(space.cr3, va & ~((1 << 21) - 1)) is not None
+    machine.tlb.flush_all()
+    machine.walker.flush_structure_caches()
+    # The kernel still considers the page mapped: the touch demand-faults
+    # the translation back in instead of raising (or KeyError-ing).
+    attacker.touch(va)
+
+
+def test_unmapped_access_is_a_clean_segfault():
+    _, attacker = _boot(5)
+    with pytest.raises(SegmentationFault):
+        attacker.touch(0x7777_0000_0000)
+
+
+def test_scan_survives_churned_spray():
+    # Hammer-phase reality: the spray's own L1PTs get churned away and
+    # the escalation scan must keep working on the healed mappings.
+    machine, attacker = _boot(5)
+    from repro.core.spray import PageTableSpray
+
+    spray = PageTableSpray(attacker, 8, shm_pages=4)
+    spray.execute()
+    space = attacker.process.address_space
+    dropped = machine.ptm.drop_l1pt(
+        space.cr3, spray.target_va(3) & ~((1 << 21) - 1)
+    )
+    assert dropped is not None
+    machine.tlb.flush_all()
+    machine.walker.flush_structure_caches()
+    assert spray.scan() == []
+
+
+# ----------------------------------------------------------------------
+# eviction-set re-verification and rebuild
+
+
+def test_tlb_verify_passes_on_healthy_set_and_rebuild_refreshes():
+    machine, attacker = _boot(7)
+    facts = UarchFacts.from_config(machine.config)
+    builder = TLBEvictionSetBuilder(attacker, facts)
+    target = attacker.mmap(1, populate=True)
+    eviction_set = builder.build(target, 12)
+    assert builder.verify(target, eviction_set)
+    rebuilt = builder.rebuild(target, 12)
+    assert builder.rebuilds == 1
+    assert len(rebuilt) == 12
+    assert set(rebuilt) != set(eviction_set)
+
+
+def test_llc_verify_detects_stale_set():
+    machine, attacker = _boot(7)
+    facts = UarchFacts.from_config(machine.config)
+    from repro.core.timing_probe import calibrate_latency_threshold
+
+    threshold = calibrate_latency_threshold(attacker)
+    tlb_builder = TLBEvictionSetBuilder(attacker, facts)
+    builder = LLCPoolBuilder(attacker, facts, threshold, facts.llc_ways + 1)
+    # Algorithm 2 needs the L1PTE line offset to differ from the
+    # target's own (page-aligned) line offset: pick a page whose L1PT
+    # entry index is >= 8.
+    base = attacker.mmap(16, populate=True)
+    target = next(
+        base + index * 4096
+        for index in range(16)
+        if ((base >> 12) + index) % 512 >= 8
+    )
+    offset = l1pte_line_offset(target)
+    pool = builder.prepare(superpages=True, line_offsets=[offset])
+    assert pool.set_count() > 0
+    flood = tlb_builder.build_flood()
+    tlb_set = tlb_builder.build(target, 12)
+    from repro.core.llc_eviction import select_llc_eviction_set
+
+    chosen, _ = select_llc_eviction_set(attacker, pool, tlb_set, target)
+    assert verify_eviction_set(
+        attacker,
+        threshold,
+        chosen,
+        lambda: tlb_builder.flush(flood),
+        target,
+    )
+    # A set from a different line offset cannot evict this target's
+    # L1PTE; verification must say so.
+    other_offset = (offset + 7) % 64
+    other_pool = builder.prepare(superpages=True, line_offsets=[other_offset])
+    stale = other_pool.sets_for_offset(other_offset)[0]
+    assert not verify_eviction_set(
+        attacker,
+        threshold,
+        stale,
+        lambda: tlb_builder.flush(flood),
+        target,
+    )
+    # rebuild_offset hands back fresh sets the pool can swap in.
+    fresh = builder.rebuild_offset(True, offset)
+    assert fresh
+    pool.replace_offset(offset, fresh)
+    assert pool.sets_for_offset(offset) == fresh
+
+
+def test_pool_builder_guard_absorbs_faults():
+    machine, attacker = _boot(7)
+    facts = UarchFacts.from_config(machine.config)
+    from repro.core.timing_probe import calibrate_latency_threshold
+
+    threshold = calibrate_latency_threshold(attacker)
+    attempts = {"faults": 2}
+
+    def guard(operation):
+        while True:
+            try:
+                return operation()
+            except TransientFault:
+                continue
+
+    builder = LLCPoolBuilder(
+        attacker, facts, threshold, facts.llc_ways + 1, guard=guard
+    )
+    config = ChaosConfig(
+        name="flaky", sources={"transient_faults": {"probability": 1e-4}}
+    )
+    machine.attach_chaos(ChaosInjector(config))
+    target = attacker.mmap(1, populate=True)
+    pool = builder.prepare(
+        superpages=True, line_offsets=[l1pte_line_offset(target)]
+    )
+    assert pool.set_count() > 0
+    assert attempts  # silence lint; the guard ran inline
+
+
+# ----------------------------------------------------------------------
+# the resumable attack state machine
+
+
+def test_resilience_auto_gates_on_chaos():
+    _, attacker = _boot(11)
+    assert not PThammerAttack(attacker, PThammerConfig()).resilient
+    _, noisy_attacker = _boot(11, "quiet")
+    assert PThammerAttack(noisy_attacker, PThammerConfig()).resilient
+    _, forced = _boot(11)
+    assert PThammerAttack(
+        forced, PThammerConfig(resilience=True)
+    ).resilient
+
+
+def test_attack_completes_under_desktop_chaos_with_recovery():
+    machine, attacker = _boot(11, "desktop")
+    attack = PThammerAttack(attacker, PThammerConfig(**SMALL))
+    report = attack.run()
+    assert report.phases_completed == list(ATTACK_PHASES)
+    counters = machine.metrics.counters()
+    assert any(
+        name.startswith("recovery.") and value
+        for name, value in counters.items()
+    )
+    assert attack.checkpoint() == {
+        "phases_completed": list(ATTACK_PHASES),
+        "resilient": True,
+    }
+
+
+def test_quiet_chaos_run_takes_no_recovery_actions():
+    machine, attacker = _boot(11, "quiet")
+    report = PThammerAttack(attacker, PThammerConfig(**SMALL)).run()
+    assert report.phases_completed == list(ATTACK_PHASES)
+    assert not any(
+        name.startswith("recovery.") and value
+        for name, value in machine.metrics.counters().items()
+    )
+    assert report.degradations == []
+
+
+def test_no_chaos_attack_is_byte_identical_to_seed_behaviour():
+    ends = []
+    for _ in range(2):
+        machine, attacker = _boot(17)
+        report = PThammerAttack(attacker, PThammerConfig(**SMALL)).run()
+        ends.append((machine.cycles, report.timeline))
+    assert ends[0] == ends[1]
+
+
+def test_blown_phase_budget_ends_gracefully_and_resumes():
+    machine, attacker = _boot(11, "quiet")
+    attack = PThammerAttack(
+        attacker, PThammerConfig(phase_cycle_budget=1, **SMALL)
+    )
+    report = attack.run()
+    assert report.phases_completed != list(ATTACK_PHASES)
+    assert report.outcome is not None
+    assert any("budget" in note for note in report.outcome.details)
+    # Lifting the budget and re-running the same attack object resumes
+    # from the recorded phase state instead of starting over.
+    attack.config.phase_cycle_budget = None
+    resumed = attack.run()
+    assert resumed.phases_completed == list(ATTACK_PHASES)
+    assert machine.metrics.counters().get("recovery.resume", 0) > 0
+
+
+def test_rerun_skips_completed_phases():
+    machine, attacker = _boot(11, "quiet")
+    attack = PThammerAttack(attacker, PThammerConfig(**SMALL))
+    first = attack.run()
+    assert first.phases_completed == list(ATTACK_PHASES)
+    before = machine.cycles
+    again = attack.run()
+    assert again.phases_completed == list(ATTACK_PHASES)
+    assert machine.metrics.counters()["recovery.resume"] >= len(ATTACK_PHASES)
+
+
+def test_spray_execute_resumes_after_partial_mapping():
+    _, attacker = _boot(19)
+    from repro.core.spray import PageTableSpray
+
+    spray = PageTableSpray(attacker, 6, shm_pages=4)
+    spray.execute()
+    mapped = spray._mapped_slots
+    assert mapped == 6
+    # Re-executing is idempotent: no remapping, no double markers.
+    spray.execute()
+    assert spray._mapped_slots == mapped
+    assert spray.scan() == []

@@ -53,3 +53,36 @@ def test_validate_command(capsys):
     assert main(["validate"]) == 0
     out = capsys.readouterr().out
     assert "all checks passed" in out
+
+
+def test_chaos_list_command(capsys):
+    assert main(["chaos", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("quiet", "desktop", "server"):
+        assert name in out
+
+
+def test_chaos_show_command(capsys):
+    assert main(["chaos", "show", "desktop"]) == 0
+    out = capsys.readouterr().out
+    assert "desktop" in out
+    assert "transient_faults" in out
+
+
+def test_chaos_show_unknown_profile(capsys):
+    assert main(["chaos", "show", "datacenter"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown chaos profile" in err
+
+
+@pytest.mark.slow
+def test_attack_with_chaos_profile(capsys):
+    code = main(
+        ["attack", "--machine", "tiny", "--seed", "1", "--slots", "256",
+         "--pairs", "14", "--chaos", "desktop"]
+    )
+    out = capsys.readouterr().out
+    assert "chaos: desktop" in out
+    assert "chaos/recovery:" in out
+    assert "recovery." in out
+    assert code == 0

@@ -71,3 +71,43 @@ def test_tiny_config_overrides():
 def test_distinct_seeds_per_machine():
     seeds = {fn().seed for fn in TABLE1_MACHINES}
     assert len(seeds) == 3
+
+
+def test_validation_rejects_inverted_fault_thresholds():
+    config = tiny_test_config()
+    config.fault.threshold_lo = config.fault.threshold_hi
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_validation_rejects_negative_fault_density():
+    config = tiny_test_config()
+    config.fault.cells_per_row_mean = -1.0
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_validation_rejects_out_of_range_fractions():
+    for attr, value in (
+        ("true_cell_fraction", 1.5),
+        ("true_cell_fraction", -0.1),
+    ):
+        config = tiny_test_config()
+        setattr(config.fault, attr, value)
+        with pytest.raises(ConfigError):
+            config.validate()
+    config = tiny_test_config()
+    config.dram.preemptive_close_probability = 2.0
+    with pytest.raises(ConfigError):
+        config.validate()
+    config = tiny_test_config()
+    config.boot_fragmentation = 1.0
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_validation_rejects_negative_noise():
+    config = tiny_test_config()
+    config.cpu.noise_cycles = -1
+    with pytest.raises(ConfigError):
+        config.validate()

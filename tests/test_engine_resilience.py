@@ -1,0 +1,171 @@
+"""Engine self-healing: in-place retries, timeouts, resume interplay."""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import ExperimentSpec, Task, run_experiment
+from repro.errors import TaskTimeout, TransientFault
+
+
+def _spec(run_task, keys=("a", "b", "c"), defaults=None):
+    return ExperimentSpec(
+        name="resilience-probe",
+        title="resilience probe",
+        build_tasks=lambda options: [Task(key=key) for key in keys],
+        run_task=run_task,
+        reduce=lambda data, options: data,
+        defaults=defaults or {},
+    )
+
+
+def test_retryable_fault_is_retried_in_place():
+    attempts = {}
+
+    def flaky(task, options):
+        attempts[task.key] = attempts.get(task.key, 0) + 1
+        if task.key == "b" and attempts[task.key] < 3:
+            raise TransientFault(0x1000)
+        return task.key
+
+    outcome = run_experiment(_spec(flaky), retries=3, retry_backoff=0.001)
+    assert outcome.completed
+    assert outcome.result == ["a", "b", "c"]
+    assert attempts == {"a": 1, "b": 3, "c": 1}
+    by_key = {o.key: o.retries for o in outcome.outcomes}
+    assert by_key == {"a": 0, "b": 2, "c": 0}
+
+
+def test_retries_exhaust_and_error_carries_the_count():
+    def doomed(task, options):
+        if task.key == "b":
+            raise TransientFault(0x2000)
+        return task.key
+
+    outcome = run_experiment(
+        _spec(doomed), retries=2, retry_backoff=0.001, keep_going=True
+    )
+    assert not outcome.completed
+    assert outcome.failures == 1
+    failed = next(o for o in outcome.outcomes if o.key == "b")
+    assert failed.error is not None and "TransientFault" in failed.error
+    assert failed.retries == 2
+
+
+def test_non_retryable_errors_are_not_retried():
+    attempts = []
+
+    def bad(task, options):
+        if task.key == "b":
+            attempts.append(task.key)
+            raise ValueError("permanent")
+        return task.key
+
+    with pytest.raises(ValueError):
+        run_experiment(_spec(bad), retries=5, retry_backoff=0.001)
+    assert attempts == ["b"]
+
+
+def test_keep_going_failures_are_retried_by_resume(tmp_path):
+    checkpoint = tmp_path / "run.jsonl"
+    healed = {"healed": False}
+    executed = []
+
+    def sometimes(task, options):
+        executed.append(task.key)
+        if task.key == "b" and not healed["healed"]:
+            raise ValueError("permanent")
+        return task.key
+
+    first = run_experiment(
+        _spec(sometimes), checkpoint=str(checkpoint), keep_going=True
+    )
+    assert not first.completed and first.failures == 1
+    # Failed tasks are not checkpointed, so --resume retries exactly them.
+    records = [
+        json.loads(line)
+        for line in checkpoint.read_text().splitlines()
+        if json.loads(line).get("kind") == "task"
+    ]
+    assert sorted(record["key"] for record in records) == ["a", "c"]
+    healed["healed"] = True
+    executed.clear()
+    second = run_experiment(
+        _spec(sometimes), checkpoint=str(checkpoint), resume=True
+    )
+    assert second.completed
+    assert executed == ["b"]
+    assert second.tasks_resumed == 2
+    assert second.result == ["a", "b", "c"]
+
+
+def test_retry_counts_survive_checkpoint_roundtrip(tmp_path):
+    checkpoint = tmp_path / "run.jsonl"
+    attempts = {}
+
+    def flaky(task, options):
+        attempts[task.key] = attempts.get(task.key, 0) + 1
+        if task.key == "c" and attempts[task.key] < 2:
+            raise TransientFault(0x3000)
+        return task.key
+
+    run_experiment(
+        _spec(flaky), checkpoint=str(checkpoint), retries=2, retry_backoff=0.001
+    )
+    resumed = run_experiment(_spec(flaky), checkpoint=str(checkpoint), resume=True)
+    assert resumed.completed and resumed.tasks_resumed == 3
+    by_key = {o.key: o.retries for o in resumed.outcomes}
+    assert by_key["c"] == 1
+
+
+def test_serial_task_timeout_aborts_the_attempt():
+    import time
+
+    def stuck(task, options):
+        if task.key == "b":
+            time.sleep(30)
+        return task.key
+
+    outcome = run_experiment(
+        _spec(stuck), task_timeout=0.2, keep_going=True
+    )
+    assert not outcome.completed
+    failed = next(o for o in outcome.outcomes if o.key == "b")
+    assert failed.error is not None and "TaskTimeout" in failed.error
+    assert failed.retries == 0  # timeouts are not retryable
+
+    with pytest.raises(TaskTimeout):
+        run_experiment(_spec(stuck), task_timeout=0.2)
+
+
+def test_chaos_runs_are_bit_identical_across_jobs():
+    # Acceptance: the chaos layer keys every noise source off machine
+    # seed + chaos seed, never worker identity, so pooled fan-out
+    # reproduces the serial run exactly.
+    def run_task(task, options):
+        from repro.chaos import ChaosInjector, chaos_profile
+        from repro.machine import AttackerView, Machine
+        from repro.machine.configs import tiny_test_config
+
+        machine = Machine(tiny_test_config(seed=task.seed))
+        machine.attach_chaos(ChaosInjector(chaos_profile("desktop")))
+        attacker = AttackerView(machine, machine.boot_process())
+        base = attacker.mmap(4, populate=True)
+        for index in range(1500):
+            attacker.touch(base + (index * 104) % (4 << 12))
+        counters = machine.metrics.counters()
+        return {
+            "cycles": machine.cycles,
+            "chaos": {
+                name: value
+                for name, value in sorted(counters.items())
+                if name.startswith("chaos.")
+            },
+        }
+
+    spec = _spec(run_task, keys=("t0", "t1", "t2", "t3"))
+    serial = run_experiment(spec, jobs=1)
+    pooled = run_experiment(spec, jobs=2)
+    assert serial.completed and pooled.completed
+    assert serial.result == pooled.result
+    assert any(any(d["chaos"].values()) for d in serial.result)
