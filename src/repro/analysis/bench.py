@@ -20,6 +20,7 @@ a given seed — are recorded alongside it: a virtual-cycle regression
 is real at any tolerance.
 """
 
+import re
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -165,11 +166,14 @@ class BenchComparison:
     baseline: str
     diffs: List[object]  # RunDiff per benchmark that had a baseline
     missing: List[str]  # benchmarks with no baseline record
+    names: List[str] = field(default_factory=list)  # parallel to diffs
 
     def regressions(self):
         return [delta for diff in self.diffs for delta in diff.regressions()]
 
     def render(self):
+        """The human-readable comparison (``repro bench`` sends this to
+        stderr; stdout carries :meth:`machine_lines`)."""
         lines = []
         for diff in self.diffs:
             lines.append(diff.render())
@@ -186,16 +190,56 @@ class BenchComparison:
         )
         return "\n".join(lines)
 
+    def machine_lines(self):
+        """Stable tab-separated rows for stdout, one per compared metric:
 
-def compare_to_baseline(ledger, baseline, results, tolerance=DEFAULT_TOLERANCE):
+        ``bench<TAB>metric<TAB>baseline<TAB>current<TAB>ok|REGRESSED``
+
+        plus ``bench<TAB>-<TAB>-<TAB>-<TAB>missing-baseline`` for
+        benchmarks without a recorded baseline.  Values are ``repr``\\ s
+        of the recorded numbers, so a pipeline can parse them back.
+        """
+        rows = []
+        for name, diff in zip(self.names, self.diffs):
+            for delta in diff.deltas:
+                rows.append(
+                    "%s\t%s\t%r\t%r\t%s"
+                    % (
+                        name,
+                        delta.name,
+                        delta.before,
+                        delta.after,
+                        "REGRESSED" if delta.regressed else "ok",
+                    )
+                )
+        for name in self.missing:
+            rows.append("%s\t-\t-\t-\tmissing-baseline" % name)
+        return rows
+
+
+def compare_to_baseline(
+    ledger, baseline, results, tolerance=DEFAULT_TOLERANCE, gate=None
+):
     """Diff fresh :class:`BenchResult`\\ s against a recorded baseline.
 
     For every result, the most recent ledger record with kind
     ``benchmark``, the same name, and ``label == baseline`` is the
     reference; results without one land in ``missing`` (not a
     regression — record the baseline first).
+
+    ``gate`` is an optional regex: when given, only metric names it
+    matches (``re.search``) are compared at all.  CI uses this to gate
+    on the deterministic metrics (virtual cycles, phase costs, the
+    fast/reference ratio) while ignoring raw host seconds, which vary
+    between runner machines far more than any real regression.
     """
+    if gate is None:
+        keep = _comparable
+    else:
+        pattern = re.compile(gate)
+        keep = lambda name: pattern.search(name) is not None
     diffs = []
+    names = []
     missing = []
     for result in results:
         reference = ledger.latest(
@@ -204,15 +248,18 @@ def compare_to_baseline(ledger, baseline, results, tolerance=DEFAULT_TOLERANCE):
         if reference is None:
             missing.append(result.name)
             continue
+        names.append(result.name)
         diffs.append(
             diff_records(
                 reference,
                 result.to_record(),
                 tolerance=tolerance,
-                metrics=_comparable,
+                metrics=keep,
             )
         )
-    return BenchComparison(baseline=baseline, diffs=diffs, missing=missing)
+    return BenchComparison(
+        baseline=baseline, diffs=diffs, missing=missing, names=names
+    )
 
 
 # ----------------------------------------------------------------------
@@ -264,7 +311,121 @@ def _experiment_bench(name, options_fn):
     return runner
 
 
+def _fast_path_bench(workload, seed):
+    """A reference-vs-fast engine benchmark (docs/PERFORMANCE.md).
+
+    ``workload(machine, attacker)`` prepares its buffers and returns
+    the hot loop as a zero-argument callable; only that callable is
+    timed (setup like ``mmap --populate`` costs the same on both
+    engines and would dilute the ratio).  It runs on two machines
+    built from the same seed — one with ``fast_path=False`` (the
+    reference engine) and one with ``fast_path=True`` — interleaved,
+    best of three, timed with ``time.process_time`` (host wall time is
+    too noisy to gate a ratio on).  The virtual clocks must agree
+    exactly: the fast engine is required to be behaviourally
+    invisible, so a cycle mismatch is reported as a failed outcome
+    rather than a timing number.
+    """
+
+    def runner():
+        from repro.machine import Machine
+        from repro.machine.attacker import AttackerView
+        from repro.machine.configs import tiny_test_config
+
+        best = {False: None, True: None}
+        cycles = {}
+        for _ in range(3):
+            for fast in (False, True):
+                config = tiny_test_config(seed=seed)
+                machine = Machine(config, fast_path=fast)
+                attacker = AttackerView(machine, machine.boot_process())
+                hot_loop = workload(machine, attacker)
+                started = time.process_time()
+                hot_loop()
+                elapsed = time.process_time() - started
+                if best[fast] is None or elapsed < best[fast]:
+                    best[fast] = elapsed
+                cycles[fast] = machine.cycles
+        reference_seconds = best[False]
+        fast_seconds = best[True]
+        cycles_equal = cycles[False] == cycles[True]
+        return {
+            "machine": "tiny-test",
+            "config_fingerprint": config_fingerprint(tiny_test_config(seed=seed)),
+            "timings": {
+                "reference_seconds": round(reference_seconds, 6),
+                "fast_seconds": round(fast_seconds, 6),
+                # Gated ratio (lower is better; time.* regress upward):
+                # immune to absolute host speed, so it travels between
+                # machines far better than the raw seconds.
+                "fast_over_reference": round(fast_seconds / reference_seconds, 4),
+                "virtual_cycles": cycles[True],
+            },
+            "outcome": {
+                "speedup": round(reference_seconds / fast_seconds, 3),
+                "cycles_equal": 1 if cycles_equal else 0,
+            },
+        }
+
+    return runner
+
+
+def _hammer_loop_workload(machine, attacker):
+    """Real hammer rounds: per-target TLB sweep + LLC sweep + probe touch."""
+    from repro.core.hammer import DoubleSidedHammer, HammerTarget
+    from repro.core.llc_pool import EvictionSet
+
+    sets = machine.config.tlb.l1d_sets
+    tlb_span = 12 * sets  # pages holding both targets' TLB eviction sets
+    base = attacker.mmap(tlb_span + 40, populate=True)
+    targets = []
+    for t in (0, 1):
+        # 12 pages congruent in one L1-dTLB set (VPN stride = set count),
+        # touched mid-page like TLBEvictionSetBuilder does.
+        tlb_set = [base + (i * sets + t) * 4096 + 2048 for i in range(12)]
+        lines = [
+            base + (tlb_span + 13 * t + i) * 4096 + 17 * 64 for i in range(13)
+        ]
+        va = base + (tlb_span + 26 + t) * 4096
+        targets.append(HammerTarget(va, tlb_set, EvictionSet(lines, 17)))
+    hammer = DoubleSidedHammer(attacker, targets[0], targets[1])
+    return lambda: hammer.run(rounds=400)
+
+
+def _eviction_sweep_workload(machine, attacker):
+    """Interleaved LLC-line and page sweeps with a timed probe per round."""
+    from repro.core.llc_pool import sweep
+    from repro.core.layout import PROBE_DATA_OFFSET
+
+    base = attacker.mmap(40, populate=True)
+    llc_lines = [base + i * 4096 + 17 * 64 for i in range(13)]
+    tlb_pages = [base + (13 + i) * 4096 + 2048 for i in range(12)]
+    probe = base + 30 * 4096 + PROBE_DATA_OFFSET
+
+    def hot_loop():
+        for _ in range(1000):
+            sweep(attacker, llc_lines)
+            sweep(attacker, tlb_pages)
+            attacker.timed_read(probe)
+
+    return hot_loop
+
+
 register_bench(BenchSpec("attack-tiny", "end-to-end PThammer attack", _attack_bench))
+register_bench(
+    BenchSpec(
+        "hammer-loop",
+        "reference vs fast engine on real hammer rounds",
+        _fast_path_bench(_hammer_loop_workload, seed=11),
+    )
+)
+register_bench(
+    BenchSpec(
+        "eviction-sweep",
+        "reference vs fast engine on eviction sweeps",
+        _fast_path_bench(_eviction_sweep_workload, seed=13),
+    )
+)
 register_bench(
     BenchSpec(
         "figure3-tiny",

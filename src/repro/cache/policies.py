@@ -12,6 +12,13 @@ ablation benchmarks.
 """
 
 from repro.errors import ConfigError
+from repro.utils.rng import _GOLDEN, _MASK64
+
+# splitmix64 output-mix constants (see repro.utils.rng);
+# FastBitPLRU.evict_and_fill inlines the rng step with these.
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_TWO64 = float(1 << 64)
 
 
 class ReplacementPolicy:
@@ -32,6 +39,17 @@ class ReplacementPolicy:
     def victim(self):
         """Choose the way to evict from a full set."""
         raise NotImplementedError
+
+    def evict_and_fill(self):
+        """Pick the victim way and record the fill into it, in one step.
+
+        Exactly ``victim()`` followed by ``on_fill(way)`` — the fast
+        access path uses this fused form to skip a dispatch per
+        eviction; policies may override it with a flattened equivalent.
+        """
+        way = self.victim()
+        self.on_fill(way)
+        return way
 
     def on_invalidate(self, way):
         """Record that ``way`` was explicitly emptied (clflush/back-inval)."""
@@ -236,6 +254,127 @@ class BitPLRUBimodal(BitPLRU):
     insertion_mru_probability = 0.75
 
 
+_ZERO_WAYS_TABLES = {}
+
+
+def _zero_ways_table(ways):
+    """mask -> tuple of zero-bit ways, for every possible reference mask.
+
+    Shared per way count across all sets; 2**ways small tuples, built
+    once.  Lets :class:`FastBitPLRU` replace the per-victim zero-way
+    list comprehension with one list index.
+    """
+    table = _ZERO_WAYS_TABLES.get(ways)
+    if table is None:
+        table = [
+            tuple(w for w in range(ways) if not (mask >> w) & 1)
+            for mask in range(1 << ways)
+        ]
+        _ZERO_WAYS_TABLES[ways] = table
+    return table
+
+
+class FastBitPLRU(BitPLRU):
+    """:class:`BitPLRU` with reference bits packed into one integer.
+
+    State machine and RNG draws are bit-identical to the reference
+    class (the fast-path equivalence suite compares whole runs); the
+    fast access path selects it via ``make_policy(..., fast=True)``
+    because fills and victim draws run on every cache miss, where the
+    reference version's per-way list walks dominate the arithmetic.
+    Victim candidates come from the precomputed zero-ways table (for
+    way counts where 2**ways stays small) and the eviction+fill
+    transition is fused into :meth:`evict_and_fill`.
+    """
+
+    def __init__(self, ways, rng):
+        ReplacementPolicy.__init__(self, ways, rng)
+        self._mask = 0  # bit w set <=> reference bit of way w set
+        self._full = (1 << ways) - 1
+        self._table = _zero_ways_table(ways) if ways <= 16 else None
+
+    def touch(self, way):
+        bit = 1 << way
+        mask = self._mask
+        if mask & bit:
+            return
+        mask |= bit
+        # Mask full = the last zero bit disappeared: reset the others.
+        self._mask = bit if mask == self._full else mask
+
+    def on_fill(self, way):
+        p = self.insertion_mru_probability
+        if p < 1.0 and self._rng.random() >= p:
+            self._mask &= ~(1 << way)  # cold (non-MRU) insertion
+            return
+        bit = 1 << way
+        mask = self._mask
+        if mask & bit:
+            return
+        mask |= bit
+        self._mask = bit if mask == self._full else mask
+
+    def _zero_ways(self):
+        table = self._table
+        if table is not None:
+            return table[self._mask]
+        mask = self._mask
+        return [w for w in range(self.ways) if not (mask >> w) & 1]
+
+    def victim(self):
+        zero_ways = self._zero_ways()
+        if not zero_ways:
+            return self._rng.randint(self.ways)
+        # Same draw as rng.choice(zero_ways), one frame cheaper.
+        return zero_ways[self._rng.randint(len(zero_ways))]
+
+    def evict_and_fill(self):
+        # victim() + on_fill(way) fused; identical draws/transitions.
+        # This runs once per miss-with-eviction — the hottest policy
+        # transition — so the rng draws inline the splitmix64 step
+        # (same stream as DeterministicRng.randint/random).
+        rng = self._rng
+        table = self._table
+        mask = self._mask
+        if table is not None:
+            zero_ways = table[mask]
+        else:
+            zero_ways = [w for w in range(self.ways) if not (mask >> w) & 1]
+        rng._state = x = (rng._state + _GOLDEN) & _MASK64
+        x = (x + _GOLDEN) & _MASK64
+        x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+        x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+        draw = x ^ (x >> 31)
+        if zero_ways:
+            way = zero_ways[draw % len(zero_ways)]
+        else:
+            way = draw % self.ways
+        bit = 1 << way
+        p = self.insertion_mru_probability
+        if p < 1.0:
+            rng._state = x = (rng._state + _GOLDEN) & _MASK64
+            x = (x + _GOLDEN) & _MASK64
+            x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+            x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+            if (x ^ (x >> 31)) / _TWO64 >= p:
+                self._mask = mask & ~bit
+                return way
+        if mask & bit:
+            return way
+        mask |= bit
+        self._mask = bit if mask == self._full else mask
+        return way
+
+    def on_invalidate(self, way):
+        self._mask &= ~(1 << way)
+
+
+class FastBitPLRUBimodal(FastBitPLRU):
+    """Fast variant of :class:`BitPLRUBimodal` (same 25 % non-MRU fill)."""
+
+    insertion_mru_probability = 0.75
+
+
 _POLICIES = {
     "bit_plru": BitPLRU,
     "bit_plru_bimodal": BitPLRUBimodal,
@@ -246,16 +385,30 @@ _POLICIES = {
     "tree_plru": TreePLRU,
 }
 
+#: Accelerated but behaviourally identical implementations, used by the
+#: fast access path (docs/PERFORMANCE.md).  Policies without an entry
+#: run their reference class on both paths.
+_FAST_POLICIES = {
+    "bit_plru": FastBitPLRU,
+    "bit_plru_bimodal": FastBitPLRUBimodal,
+}
 
-def make_policy(name, ways, rng):
-    """Instantiate the policy called ``name`` for a set of ``ways`` ways."""
-    try:
-        factory = _POLICIES[name]
-    except KeyError:
-        raise ConfigError(
-            "unknown replacement policy %r (have: %s)"
-            % (name, ", ".join(sorted(_POLICIES)))
-        )
+
+def make_policy(name, ways, rng, fast=False):
+    """Instantiate the policy called ``name`` for a set of ``ways`` ways.
+
+    ``fast=True`` selects the accelerated variant where one exists;
+    the draw sequence and state transitions are identical either way.
+    """
+    factory = _FAST_POLICIES.get(name) if fast else None
+    if factory is None:
+        try:
+            factory = _POLICIES[name]
+        except KeyError:
+            raise ConfigError(
+                "unknown replacement policy %r (have: %s)"
+                % (name, ", ".join(sorted(_POLICIES)))
+            )
     return factory(ways, rng)
 
 

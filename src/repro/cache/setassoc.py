@@ -4,6 +4,14 @@ Used for the data caches, both TLB levels, and (fully-associative, i.e.
 one set) the paging-structure caches.  Tags are opaque hashable keys —
 line addresses for caches, virtual page numbers for TLBs — so one
 implementation serves every structure on the translation path.
+
+Every probing method exists twice: the plain way-loop *reference*
+implementation (the default, and what ``REPRO_FAST_PATH=0`` machines
+run) and a ``_*_fast`` variant bound over it when the structure is
+built with ``fast=True``.  The fast variants scan the way array with
+C-level ``in``/``index`` instead of a Python loop; scan order, counter
+updates, and replacement-state transitions are identical, which the
+fast-path equivalence suite enforces (docs/PERFORMANCE.md).
 """
 
 from repro.cache.policies import make_policy
@@ -16,9 +24,9 @@ class _SetState:
 
     __slots__ = ("tags", "policy")
 
-    def __init__(self, ways, policy_name, rng):
+    def __init__(self, ways, policy_name, rng, fast=False):
         self.tags = [None] * ways
-        self.policy = make_policy(policy_name, ways, rng)
+        self.policy = make_policy(policy_name, ways, rng, fast=fast)
 
 
 class SetAssociativeCache:
@@ -26,10 +34,11 @@ class SetAssociativeCache:
 
     Per-set state is created lazily, so large sparsely-used structures
     (an 8192-set LLC) cost host memory only for the sets actually
-    exercised.
+    exercised.  ``fast=True`` swaps the probing methods for the
+    behaviourally identical accelerated variants (see module docstring).
     """
 
-    def __init__(self, sets, ways, policy, rng, name="cache"):
+    def __init__(self, sets, ways, policy, rng, name="cache", fast=False):
         if sets <= 0 or not is_power_of_two(sets):
             raise ConfigError("%s: set count must be a positive power of two" % name)
         if ways <= 0:
@@ -43,11 +52,18 @@ class SetAssociativeCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.fast = bool(fast)
+        if fast:
+            self.lookup = self._lookup_fast
+            self.insert = self._insert_fast
+            self.invalidate = self._invalidate_fast
 
     def _set(self, index):
         state = self._state.get(index)
         if state is None:
-            state = _SetState(self.ways, self.policy_name, self._rng.fork(index))
+            state = _SetState(
+                self.ways, self.policy_name, self._rng.fork(index), fast=self.fast
+            )
             self._state[index] = state
         return state
 
@@ -61,6 +77,18 @@ class SetAssociativeCache:
                     state.policy.touch(way)
                     self.hits += 1
                     return True
+        self.misses += 1
+        return False
+
+    def _lookup_fast(self, set_index, tag):
+        """:meth:`lookup` with the way scan done at C speed."""
+        state = self._state.get(set_index)
+        if state is not None:
+            tags = state.tags
+            if tag in tags:
+                state.policy.touch(tags.index(tag))
+                self.hits += 1
+                return True
         self.misses += 1
         return False
 
@@ -93,6 +121,27 @@ class SetAssociativeCache:
         self.evictions += 1
         return evicted
 
+    def _insert_fast(self, set_index, tag):
+        """:meth:`insert` with the resident/free scans done at C speed."""
+        state = self._state.get(set_index)
+        if state is None:
+            state = self._set(set_index)
+        tags = state.tags
+        if tag in tags:
+            state.policy.touch(tags.index(tag))
+            return None
+        if None in tags:
+            way = tags.index(None)
+            tags[way] = tag
+            state.policy.on_fill(way)
+            return None
+        way = state.policy.victim()
+        evicted = tags[way]
+        tags[way] = tag
+        state.policy.on_fill(way)
+        self.evictions += 1
+        return evicted
+
     def invalidate(self, set_index, tag):
         """Drop ``tag`` if resident; return whether it was present."""
         state = self._state.get(set_index)
@@ -104,6 +153,19 @@ class SetAssociativeCache:
                 tags[way] = None
                 state.policy.on_invalidate(way)
                 return True
+        return False
+
+    def _invalidate_fast(self, set_index, tag):
+        """:meth:`invalidate` with the way scan done at C speed."""
+        state = self._state.get(set_index)
+        if state is None:
+            return False
+        tags = state.tags
+        if tag in tags:
+            way = tags.index(tag)
+            tags[way] = None
+            state.policy.on_invalidate(way)
+            return True
         return False
 
     def flush_all(self):

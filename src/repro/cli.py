@@ -408,6 +408,13 @@ def main(argv=None):
         default=None,
         help="allowed fractional drift before a metric regresses (default 0.25)",
     )
+    bench.add_argument(
+        "--gate",
+        metavar="REGEX",
+        default=None,
+        help="with --compare, only gate metrics whose name matches REGEX "
+        "(e.g. deterministic virtual-cycle metrics in CI)",
+    )
 
     args = parser.parse_args(argv)
 
@@ -550,9 +557,13 @@ def _cmd_bench(args):
                 args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
             )
             comparison = compare_to_baseline(
-                ledger, args.compare, results, tolerance=tolerance
+                ledger, args.compare, results, tolerance=tolerance, gate=args.gate
             )
-            print(comparison.render())
+            # Human-readable diff table on stderr; stdout carries only
+            # the stable tab-separated rows a pipeline can parse.
+            print(comparison.render(), file=sys.stderr)
+            for line in comparison.machine_lines():
+                print(line)
             if comparison.regressions():
                 return 3
     except ConfigError as exc:

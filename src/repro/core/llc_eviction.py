@@ -45,12 +45,11 @@ def profile_eviction_set(
     1 is needed on non-inclusive LLCs (see the hammer loop).
     """
     latencies = []
+    # One batch per trial: the LLC sweep(s) then the TLB sweep, in the
+    # same order the scalar loops used.
+    sweep_addrs = list(eviction_set.lines) * sweeps + list(tlb_eviction_set)
     for _ in range(trials):
-        for _ in range(sweeps):
-            for va in eviction_set.lines:
-                attacker.touch(va)
-        for va in tlb_eviction_set:
-            attacker.touch(va)
+        attacker.touch_many(sweep_addrs)
         latencies.append(fenced_timed_read(attacker, target_va + PROBE_DATA_OFFSET))
     return median(latencies)
 
@@ -80,12 +79,13 @@ def verify_eviction_set(
     """
     warm_va = (target_va ^ (1 << PAGE_SHIFT)) + _WARM_DATA_OFFSET
     latencies = []
+    # Warm touch plus candidate sweep(s) as one batch (same order as
+    # the scalar loops); the flush runs first, outside the batch, since
+    # it is the caller's own (already batched) sweep.
+    trial_addrs = [warm_va] + list(eviction_set.lines) * sweeps
     for _ in range(trials):
         flush_translation()
-        attacker.touch(warm_va)
-        for _ in range(sweeps):
-            for va in eviction_set.lines:
-                attacker.touch(va)
+        attacker.touch_many(trial_addrs)
         latencies.append(fenced_timed_read(attacker, target_va + PROBE_DATA_OFFSET))
     return threshold.is_dram(median(latencies))
 

@@ -97,11 +97,10 @@ def sweep(attacker, lines):
 
     Sequential order suffices for high eviction rates here, matching
     the paper's note that Gruss-style fancy access patterns were not
-    needed.
+    needed.  Issued as one :meth:`~repro.machine.attacker.AttackerView.
+    touch_many` batch so the machine's fast path amortises the sweep.
     """
-    touch = attacker.touch
-    for va in lines:
-        touch(va)
+    attacker.touch_many(lines)
 
 
 def evicts(attacker, threshold, probe_va, lines, trials=3):

@@ -109,16 +109,14 @@ class PairFinder:
         attacker = self.attacker
         tlb_a = self.tlb_builder.build(pair.va_a, self.tlb_set_size)
         tlb_b = self.tlb_builder.build(pair.va_b, self.tlb_set_size)
+        # Both LLC sweeps then both TLB sweeps, batched in the same
+        # order as the scalar loops this replaces.
+        sweep_addrs = (
+            list(llc_set_a.lines) + list(llc_set_b.lines) + list(tlb_a) + list(tlb_b)
+        )
         samples = []
         for _ in range(rounds):
-            for va in llc_set_a.lines:
-                attacker.touch(va)
-            for va in llc_set_b.lines:
-                attacker.touch(va)
-            for va in tlb_a:
-                attacker.touch(va)
-            for va in tlb_b:
-                attacker.touch(va)
+            attacker.touch_many(sweep_addrs)
             attacker.nop(FENCE_CYCLES)  # serialise: a must reach DRAM itself
             attacker.touch(pair.va_a + PROBE_DATA_OFFSET)
             samples.append(attacker.timed_read(pair.va_b + PROBE_DATA_OFFSET))

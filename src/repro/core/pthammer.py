@@ -11,6 +11,12 @@ Phases, each timed on the virtual clock for the Table-II breakdown:
    selection, and row-buffer-conflict verification.
 6. *Hammer/check loop* — double-sided implicit hammering of each
    verified pair, scanning the spray for flips, escalating on capture.
+
+The hot phases (hammer rounds, eviction sweeps, pair scoring) issue
+their address sweeps through the batched ``AttackerView.touch_many``
+API, so a fast-path machine amortises per-access dispatch without
+changing behaviour (docs/PERFORMANCE.md); ``REPRO_FAST_PATH=0`` runs
+the same pipeline against the reference engine.
 """
 
 from dataclasses import dataclass, field

@@ -177,9 +177,7 @@ class TLBEvictionSetBuilder:
 
     def flush(self, eviction_set):
         """Sweep an eviction set, evicting the associated TLB entry."""
-        touch = self.attacker.touch
-        for va in eviction_set:
-            touch(va)
+        self.attacker.touch_many(eviction_set)
 
     def verify(self, target_va, eviction_set, trials=4):
         """Attack-side self-test: can the set still evict the target?
@@ -232,8 +230,7 @@ def profile_tlb_miss_rate(attacker, inspector, target_va, eviction_set, trials=4
     misses = 0
     attacker.touch(target_va)
     for _ in range(trials):
-        for va in eviction_set:
-            attacker.touch(va)
+        attacker.touch_many(eviction_set)
         before = inspector.perf_snapshot()
         attacker.touch(target_va)
         if inspector.tlb_miss_delta(before) > 0:

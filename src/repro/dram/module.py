@@ -63,6 +63,7 @@ class DRAMModule:
         trr_threshold=0,
         staggered_refresh=False,
         trace=None,
+        memoize_geometry=False,
     ):
         #: Trace bus for structured events (docs/OBSERVABILITY.md).
         self._trace = trace if trace is not None else NULL_TRACE
@@ -83,6 +84,12 @@ class DRAMModule:
         #: staggered mode exists for fidelity experiments.
         self.staggered_refresh = staggered_refresh
         self._banks = [BankState() for _ in range(geometry.banks)]
+        #: chunk index -> (bank, row) memo.  Both coordinates are
+        #: constant per 8 KiB chunk (``paddr >> chunk_bits``) for the
+        #: module's lifetime; gated so REPRO_FAST_PATH=0 measures the
+        #: true reference cost (docs/PERFORMANCE.md).
+        self._location_memo = {} if memoize_geometry else None
+        self._chunk_bits = geometry.chunk_bits
         #: All flips the module has produced, in order (evaluation only).
         self.flips = []
         #: Row-buffer outcome counts (evaluation/statistics).
@@ -98,8 +105,17 @@ class DRAMModule:
         thresholds are crossed.
         """
         self._now = now
-        bank_index = self.geometry.bank_of(paddr)
-        row = self.geometry.row_of(paddr)
+        memo = self._location_memo
+        if memo is not None:
+            chunk = paddr >> self._chunk_bits
+            location = memo.get(chunk)
+            if location is None:
+                location = (self.geometry.bank_of(paddr), self.geometry.row_of(paddr))
+                memo[chunk] = location
+            bank_index, row = location
+        else:
+            bank_index = self.geometry.bank_of(paddr)
+            row = self.geometry.row_of(paddr)
         bank = self._banks[bank_index]
 
         if self.staggered_refresh:

@@ -1,5 +1,6 @@
 """Machine composition: configs, the machine, the attacker view, the inspector."""
 
+from repro.machine.addrmap import AddressMap, fast_path_enabled
 from repro.machine.attacker import AttackerView
 from repro.machine.configs import (
     CacheConfig,
@@ -25,6 +26,7 @@ from repro.machine.perf import PerfCounters
 
 __all__ = [
     "AccessResult",
+    "AddressMap",
     "AttackerView",
     "CPUTimings",
     "CacheConfig",
@@ -40,6 +42,7 @@ __all__ = [
     "TLBConfig",
     "dell_e6420",
     "dell_e6420_scaled",
+    "fast_path_enabled",
     "lenovo_t420",
     "lenovo_t420_scaled",
     "lenovo_x230",

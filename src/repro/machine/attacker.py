@@ -81,8 +81,23 @@ class AttackerView:
         return self._machine.access(self.process, vaddr).latency
 
     def touch(self, vaddr):
-        """Load without caring about value or latency."""
+        """Load without caring about value or latency.
+
+        For loops over address lists, prefer :meth:`touch_many`, which
+        batches the whole sweep through the machine's fast access path.
+        """
         self._machine.access(self.process, vaddr)
+
+    def touch_many(self, vaddrs):
+        """Load every address in ``vaddrs``, in order (batched touch).
+
+        The batch form of a ``for va in vaddrs: touch(va)`` loop —
+        behaviourally identical (same cycles, trace events, and
+        metrics; see ``Machine.access_many``), but amortising
+        per-access dispatch.  The hammer rounds and eviction sweeps go
+        through this.
+        """
+        self._machine.access_many(self.process, vaddrs)
 
     def clflush(self, vaddr):
         """Flush the cache line of one of *our own* addresses."""

@@ -16,7 +16,14 @@ from repro.dram.module import DRAMModule
 from repro.dram.timing import DRAMTimings
 from repro.kernel.kernel import Kernel
 from repro.kernel.pagetable import PageTableManager
+from repro.machine.addrmap import (
+    ADDRMAP_MISS,
+    AddressMap,
+    CounterBatch,
+    fast_path_enabled,
+)
 from repro.machine.perf import (
+    DTLB_HIT,
     LLC_MISS,
     LLC_REFERENCE,
     LOADS,
@@ -25,9 +32,17 @@ from repro.machine.perf import (
 )
 from repro.mem.physmem import PhysicalMemory
 from repro.observe import ACCESS, FAULT, MACHINE, MetricsRegistry, TraceBus
-from repro.mmu.tlb import TLB
+from repro.observe import TLB as TLB_COMPONENT
+from repro.observe import TLB_HIT
+from repro.mmu.tlb import TLB, TLB_L1, TLB_MISS
 from repro.mmu.walker import PageFault, PageTableWalker
-from repro.params import PAGE_SHIFT
+from repro.params import (
+    LINE_SHIFT,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    SUPERPAGE_SHIFT,
+    SUPERPAGE_SIZE,
+)
 from repro.utils.rng import DeterministicRng
 from repro.utils.units import cycles_to_seconds
 
@@ -48,11 +63,19 @@ class AccessResult:
 class Machine:
     """One booted machine, ready to run processes and take hits."""
 
-    def __init__(self, config, policy=None, trace=None):
+    def __init__(self, config, policy=None, trace=None, fast_path=None):
         config.validate()
         self.config = config
         self.rng = DeterministicRng(config.seed)
         self.cycles = 0
+        #: Whether the memoizing fast access path is active for this
+        #: machine (docs/PERFORMANCE.md).  ``None`` consults the
+        #: ``REPRO_FAST_PATH`` environment variable (default on); the
+        #: flag is fixed for the machine's lifetime so memoized state
+        #: can never straddle the two paths.
+        self.fast_path = (
+            fast_path_enabled() if fast_path is None else bool(fast_path)
+        )
 
         #: Structured trace bus shared by every layer (off by default;
         #: ``machine.trace.enable()`` opts in — docs/OBSERVABILITY.md).
@@ -94,12 +117,22 @@ class Machine:
             trr_threshold=config.dram.trr_threshold,
             staggered_refresh=config.dram.staggered_refresh,
             trace=self.trace,
+            memoize_geometry=self.fast_path,
         )
         self.caches = CacheHierarchy(
-            config.cache, self.rng.fork("cache"), trace=self.trace
+            config.cache,
+            self.rng.fork("cache"),
+            trace=self.trace,
+            fast=self.fast_path,
         )
-        self.tlb = TLB(config.tlb, self.rng.fork("tlb"), trace=self.trace)
+        self.tlb = TLB(
+            config.tlb, self.rng.fork("tlb"), trace=self.trace, fast=self.fast_path
+        )
         self.perf = PerfCounters(self.metrics)
+        #: Generation-checked region -> L1PT memo for the fast path
+        #: (docs/PERFORMANCE.md); kept in sync by the page-table
+        #: manager's ``notify_l1pt_change`` hook below.
+        self.addrmap = AddressMap()
 
         self._paddr_mask = config.dram.size_bytes - 1
         frame_mask = (config.dram.size_bytes >> PAGE_SHIFT) - 1
@@ -130,6 +163,7 @@ class Machine:
             free_table_frame=lambda frame: self.policy.free_frame(
                 frame, "pagetable"
             ),
+            notify_l1pt_change=self.addrmap.note_l1pt_change,
         )
         self.kernel = Kernel(self.physmem, self.ptm, self.policy, self.tlb.invalidate)
         #: Optional system-noise injector (repro.chaos); None keeps the
@@ -193,6 +227,9 @@ class Machine:
         the access's full latency (the paper's timed accesses measure
         exactly this).  Page faults are transparently serviced by the
         kernel, charging its handling cost, then the access retries.
+
+        For loops of loads whose values are discarded, prefer
+        :meth:`access_many` — behaviourally identical, but batched.
         """
         cpu = self.config.cpu
         self._instr_seq += 1
@@ -248,6 +285,468 @@ class Machine:
             )
         return AccessResult(paddr, latency, read_back, walk.source, cache_level)
 
+    def access_many(self, process, vaddrs, collect=False):
+        """Execute many loads back to back (the batch form of :meth:`access`).
+
+        Behaviourally identical to ``for va in vaddrs: access(process,
+        va)`` — same cycle charges, same microarchitectural state
+        transitions, same trace events, same metrics totals (enforced
+        by the equivalence suite in ``tests/test_fast_path.py``) — but
+        with the fast path enabled, per-access dispatch, counter
+        bookkeeping, and result construction are amortised across the
+        batch.  With ``REPRO_FAST_PATH=0`` (or ``fast_path=False``) it
+        degrades to the literal scalar loop.
+
+        Loads only: the hammer rounds and eviction sweeps this API
+        exists for never store, and read values are discarded.  Returns
+        the per-access latencies as a list when ``collect`` is true,
+        else ``None``.
+        """
+        if not self.fast_path:
+            if collect:
+                return [self.access(process, vaddr).latency for vaddr in vaddrs]
+            for vaddr in vaddrs:
+                self.access(process, vaddr)
+            return None
+        if self.trace.enabled or self.chaos is not None or self.monitor is not None:
+            return self._access_many_fast(process, vaddrs, collect)
+        return self._access_many_turbo(process, vaddrs, collect)
+
+    def _access_many_fast(self, process, vaddrs, collect):
+        """The batched loop: :meth:`access` with its fast cases inlined.
+
+        Mirrors the scalar sequence step for step.  The common L1-dTLB
+        hit is inlined with the component call's counter, trace, and
+        replacement-state side effects replicated exactly; every slow
+        case (sTLB, walks, faults, cache fills, DRAM) falls through to
+        the real component methods, so rare paths run the reference
+        code.  The walker's ``perf``/``phys_access`` attributes are
+        swapped for the duration so its page-table fetches also count
+        into the batch.  Counters accumulate locally and flush in the
+        ``finally`` block: totals match the scalar path even when a
+        chaos transient or :class:`SegmentationFault` aborts the batch
+        midway.
+
+        This variant keeps ``self.cycles`` live at every step because
+        trace events stamp it and chaos/monitor hooks read it;
+        :meth:`_access_many_turbo` handles the untraced common case.
+        """
+        cpu = self.config.cpu
+        access_base = cpu.access_base
+        l1_lat = cpu.l1_hit
+        l2_lat = cpu.l2_hit
+        llc_lat = cpu.llc_hit
+        miss_extra = cpu.llc_miss_extra
+        pipelined_lat = cpu.dram_pipelined
+        l2_penalty = cpu.tlb_l2_penalty
+        page_fault_cycles = cpu.page_fault
+        page_off_mask = PAGE_SIZE - 1
+        super_off_mask = SUPERPAGE_SIZE - 1
+        paddr_mask = self._paddr_mask
+
+        space = process.address_space
+        as_id = space.as_id
+        cr3 = space.cr3
+        chaos = self.chaos
+        noise = self._noise
+        noise_randint = self._noise_rng.randint
+        trace = self.trace
+        perf = self.perf
+        kernel_fault = self.kernel.handle_page_fault
+
+        tlb = self.tlb
+        tlb_l1 = tlb.l1
+        l1_tlb_state = tlb_l1._state
+        l1_set_of = tlb.l1_set_of
+        # With the default linear dTLB mapping the set is one AND; inline
+        # it to skip a lambda call per access (None = non-linear mapping,
+        # fall back to the mapping function).
+        l1_tlb_linear_mask = (
+            tlb_l1.sets - 1 if self.config.tlb.l1d_mapping == "linear" else None
+        )
+        tlb_frames = tlb._frames
+        tlb_lookup = tlb.lookup
+        tlb_lookup_huge = tlb.lookup_huge
+        caches_access = self.caches.access
+        dram_access = self.dram.access
+        noise_bound = noise + 1
+
+        dtlb_hits = 0
+        llc_refs = 0
+        llc_misses = 0
+        page_faults = 0
+        loads = 0
+        latencies = [] if collect else None
+
+        def walk_phys(paddr):
+            # _phys_access(source="walk") with its counters batched; the
+            # walker calls this for every page-table-entry fetch.
+            nonlocal llc_refs, llc_misses
+            paddr &= paddr_mask
+            level = caches_access(paddr)
+            llc_refs += 1
+            if level == L1:
+                return level, l1_lat
+            if level == L2:
+                return level, l2_lat
+            if level == LLC:
+                return level, llc_lat
+            llc_misses += 1
+            case, dram_latency = dram_access(paddr, self.cycles)
+            if self.monitor is not None:
+                self.monitor.on_dram_access(paddr, "walk", self.cycles)
+            pipelined = (
+                self._dram_ops_this_instr == 0
+                and self._last_dram_instr == self._instr_seq - 1
+                and case != "conflict"
+            )
+            self._dram_ops_this_instr += 1
+            self._last_dram_instr = self._instr_seq
+            if pipelined:
+                return MEM, pipelined_lat
+            return MEM, miss_extra + dram_latency
+
+        walker = self.walker
+        walk_miss = walker._walk
+        batch = CounterBatch()
+        saved_perf = walker.perf
+        saved_phys = walker.phys_access
+        walker.perf = batch
+        walker.phys_access = walk_phys
+        try:
+            for vaddr in vaddrs:
+                self._instr_seq += 1
+                self._dram_ops_this_instr = 0
+                if chaos is not None:
+                    chaos.on_access(vaddr)
+                latency = access_base
+                if noise:
+                    latency += noise_randint(noise_bound)
+
+                # -- translation: inlined L1-dTLB probe ----------------
+                vpn = vaddr >> PAGE_SHIFT
+                tag = (as_id, vpn)
+                source = None
+                if l1_tlb_linear_mask is not None:
+                    state = l1_tlb_state.get(vpn & l1_tlb_linear_mask)
+                else:
+                    state = l1_tlb_state.get(l1_set_of(vpn))
+                if state is not None and tag in state.tags:
+                    state.policy.touch(state.tags.index(tag))
+                    tlb_l1.hits += 1
+                    if trace.enabled:
+                        trace.emit(TLB_HIT, TLB_COMPONENT, level=TLB_L1, vpn=vpn)
+                    dtlb_hits += 1
+                    source = TLB_L1
+                    paddr = (
+                        (tlb_frames[tag] << PAGE_SHIFT) | (vaddr & page_off_mask)
+                    ) & paddr_mask
+                if source is None:
+                    # The probe above is side-effect-free on a miss, so
+                    # the real lookup below counts the one L1 miss the
+                    # scalar path would.  This block replicates access()'s
+                    # translate-and-retry loop.
+                    retries = 0
+                    while True:
+                        try:
+                            level, frame = tlb_lookup(as_id, vpn)
+                            if level != TLB_MISS:
+                                latency += 0 if level == TLB_L1 else l2_penalty
+                                dtlb_hits += 1
+                                source = level
+                                paddr = (
+                                    (frame << PAGE_SHIFT)
+                                    | (vaddr & page_off_mask)
+                                ) & paddr_mask
+                                break
+                            hlevel, hframe = tlb_lookup_huge(
+                                as_id, vaddr >> SUPERPAGE_SHIFT
+                            )
+                            if hlevel != TLB_MISS:
+                                dtlb_hits += 1
+                                source = "tlb_huge"
+                                paddr = (
+                                    (hframe << PAGE_SHIFT)
+                                    | (vaddr & super_off_mask)
+                                ) & paddr_mask
+                                break
+                            walk = walk_miss(as_id, cr3, vaddr, False)
+                            latency += walk.latency
+                            source = walk.source
+                            paddr = walk.paddr & paddr_mask
+                            break
+                        except PageFault:
+                            page_faults += 1
+                            if trace.enabled:
+                                trace.emit(
+                                    FAULT, MACHINE, vaddr=vaddr, write=False
+                                )
+                            retries += 1
+                            if retries > 4:
+                                raise SegmentationFault(vaddr, "fault loop")
+                            kernel_fault(process, vaddr, False)
+                            self.cycles += page_fault_cycles
+
+                # -- data access ---------------------------------------
+                cache_level = caches_access(paddr)
+                llc_refs += 1
+                if cache_level == L1:
+                    latency += l1_lat
+                elif cache_level == L2:
+                    latency += l2_lat
+                elif cache_level == LLC:
+                    latency += llc_lat
+                else:
+                    llc_misses += 1
+                    case, dram_latency = dram_access(paddr, self.cycles)
+                    if self.monitor is not None:
+                        self.monitor.on_dram_access(paddr, "load", self.cycles)
+                    pipelined = (
+                        self._dram_ops_this_instr == 0
+                        and self._last_dram_instr == self._instr_seq - 1
+                        and case != "conflict"
+                    )
+                    self._dram_ops_this_instr += 1
+                    self._last_dram_instr = self._instr_seq
+                    if pipelined:
+                        latency += pipelined_lat
+                    else:
+                        latency += miss_extra + dram_latency
+
+                if chaos is not None:
+                    latency += chaos.jitter_cycles()
+                loads += 1
+                # The scalar path reads the word here; reads are pure
+                # (no state, no cycle charge), so the batch skips them.
+                self.cycles += latency
+                if trace.enabled:
+                    trace.emit(
+                        ACCESS,
+                        MACHINE,
+                        vaddr=vaddr,
+                        paddr=paddr,
+                        latency=latency,
+                        source=source,
+                        level=cache_level,
+                    )
+                if collect:
+                    latencies.append(latency)
+        finally:
+            walker.perf = saved_perf
+            walker.phys_access = saved_phys
+            batch.flush_into(perf)
+            if dtlb_hits:
+                perf.inc(DTLB_HIT, dtlb_hits)
+            if llc_refs:
+                perf.inc(LLC_REFERENCE, llc_refs)
+            if llc_misses:
+                perf.inc(LLC_MISS, llc_misses)
+            if page_faults:
+                perf.inc(PAGE_FAULTS, page_faults)
+            if loads:
+                perf.inc(LOADS, loads)
+        return latencies
+
+    def _access_many_turbo(self, process, vaddrs, collect):
+        """:meth:`_access_many_fast` for the untraced, hook-free case.
+
+        With tracing off and no chaos injector or DRAM monitor
+        attached, nothing outside this loop can observe
+        ``self.cycles``, ``self._instr_seq``, or the MLP bookkeeping
+        mid-batch (trace events stamp cycles; chaos and monitor hooks
+        read them; none are active).  The loop therefore keeps that
+        machine state in locals and writes it back in the ``finally``
+        block — including on a mid-batch :class:`SegmentationFault` —
+        cutting several attribute round-trips per access.  Every state
+        transition matches the scalar path exactly; the equivalence
+        suite runs both this variant (untraced) and the general one
+        (traced/chaos) against the reference path.
+        """
+        cpu = self.config.cpu
+        access_base = cpu.access_base
+        l1_lat = cpu.l1_hit
+        l2_lat = cpu.l2_hit
+        llc_lat = cpu.llc_hit
+        miss_extra = cpu.llc_miss_extra
+        pipelined_lat = cpu.dram_pipelined
+        l2_penalty = cpu.tlb_l2_penalty
+        page_fault_cycles = cpu.page_fault
+        page_off_mask = PAGE_SIZE - 1
+        super_off_mask = SUPERPAGE_SIZE - 1
+        paddr_mask = self._paddr_mask
+
+        space = process.address_space
+        as_id = space.as_id
+        cr3 = space.cr3
+        noise = self._noise
+        noise_randint = self._noise_rng.randint
+        noise_bound = noise + 1
+        perf = self.perf
+        kernel_fault = self.kernel.handle_page_fault
+
+        tlb = self.tlb
+        tlb_l1 = tlb.l1
+        l1_tlb_state = tlb_l1._state
+        l1_set_of = tlb.l1_set_of
+        l1_tlb_linear_mask = (
+            tlb_l1.sets - 1 if self.config.tlb.l1d_mapping == "linear" else None
+        )
+        tlb_frames = tlb._frames
+        tlb_lookup = tlb.lookup
+        tlb_lookup_huge = tlb.lookup_huge
+        caches_access = self.caches.access
+        dram_access = self.dram.access
+
+        # Batch-local machine state (written back in finally).
+        cycles = self.cycles
+        instr_seq = self._instr_seq
+        dram_ops = self._dram_ops_this_instr
+        last_dram = self._last_dram_instr
+
+        dtlb_hits = 0
+        llc_refs = 0
+        llc_misses = 0
+        page_faults = 0
+        loads = 0
+        latencies = [] if collect else None
+
+        def walk_phys(paddr):
+            # _phys_access(source="walk") against the batch-local state;
+            # the walker calls this for every page-table-entry fetch.
+            nonlocal llc_refs, llc_misses, dram_ops, last_dram
+            paddr &= paddr_mask
+            level = caches_access(paddr)
+            llc_refs += 1
+            if level == L1:
+                return level, l1_lat
+            if level == L2:
+                return level, l2_lat
+            if level == LLC:
+                return level, llc_lat
+            llc_misses += 1
+            case, dram_latency = dram_access(paddr, cycles)
+            pipelined = (
+                dram_ops == 0 and last_dram == instr_seq - 1 and case != "conflict"
+            )
+            dram_ops += 1
+            last_dram = instr_seq
+            if pipelined:
+                return MEM, pipelined_lat
+            return MEM, miss_extra + dram_latency
+
+        walker = self.walker
+        walk_miss = walker._walk
+        batch = CounterBatch()
+        saved_perf = walker.perf
+        saved_phys = walker.phys_access
+        walker.perf = batch
+        walker.phys_access = walk_phys
+        try:
+            for vaddr in vaddrs:
+                instr_seq += 1
+                dram_ops = 0
+                latency = access_base
+                if noise:
+                    latency += noise_randint(noise_bound)
+
+                # -- translation: inlined L1-dTLB probe ----------------
+                vpn = vaddr >> PAGE_SHIFT
+                tag = (as_id, vpn)
+                if l1_tlb_linear_mask is not None:
+                    state = l1_tlb_state.get(vpn & l1_tlb_linear_mask)
+                else:
+                    state = l1_tlb_state.get(l1_set_of(vpn))
+                if state is not None and tag in state.tags:
+                    state.policy.touch(state.tags.index(tag))
+                    tlb_l1.hits += 1
+                    dtlb_hits += 1
+                    paddr = (
+                        (tlb_frames[tag] << PAGE_SHIFT) | (vaddr & page_off_mask)
+                    ) & paddr_mask
+                else:
+                    retries = 0
+                    while True:
+                        try:
+                            level, frame = tlb_lookup(as_id, vpn)
+                            if level != TLB_MISS:
+                                if level != TLB_L1:
+                                    latency += l2_penalty
+                                dtlb_hits += 1
+                                paddr = (
+                                    (frame << PAGE_SHIFT) | (vaddr & page_off_mask)
+                                ) & paddr_mask
+                                break
+                            hlevel, hframe = tlb_lookup_huge(
+                                as_id, vaddr >> SUPERPAGE_SHIFT
+                            )
+                            if hlevel != TLB_MISS:
+                                dtlb_hits += 1
+                                paddr = (
+                                    (hframe << PAGE_SHIFT) | (vaddr & super_off_mask)
+                                ) & paddr_mask
+                                break
+                            walk = walk_miss(as_id, cr3, vaddr, False)
+                            latency += walk.latency
+                            paddr = walk.paddr & paddr_mask
+                            break
+                        except PageFault:
+                            page_faults += 1
+                            retries += 1
+                            if retries > 4:
+                                raise SegmentationFault(vaddr, "fault loop")
+                            kernel_fault(process, vaddr, False)
+                            cycles += page_fault_cycles
+
+                # -- data access ---------------------------------------
+                cache_level = caches_access(paddr)
+                llc_refs += 1
+                if cache_level == L1:
+                    latency += l1_lat
+                elif cache_level == L2:
+                    latency += l2_lat
+                elif cache_level == LLC:
+                    latency += llc_lat
+                else:
+                    llc_misses += 1
+                    case, dram_latency = dram_access(paddr, cycles)
+                    pipelined = (
+                        dram_ops == 0
+                        and last_dram == instr_seq - 1
+                        and case != "conflict"
+                    )
+                    dram_ops += 1
+                    last_dram = instr_seq
+                    if pipelined:
+                        latency += pipelined_lat
+                    else:
+                        latency += miss_extra + dram_latency
+
+                loads += 1
+                # The scalar path reads the word here; reads are pure
+                # (no state, no cycle charge), so the batch skips them.
+                cycles += latency
+                if collect:
+                    latencies.append(latency)
+        finally:
+            self.cycles = cycles
+            self._instr_seq = instr_seq
+            self._dram_ops_this_instr = dram_ops
+            self._last_dram_instr = last_dram
+            walker.perf = saved_perf
+            walker.phys_access = saved_phys
+            batch.flush_into(perf)
+            if dtlb_hits:
+                perf.inc(DTLB_HIT, dtlb_hits)
+            if llc_refs:
+                perf.inc(LLC_REFERENCE, llc_refs)
+            if llc_misses:
+                perf.inc(LLC_MISS, llc_misses)
+            if page_faults:
+                perf.inc(PAGE_FAULTS, page_faults)
+            if loads:
+                perf.inc(LOADS, loads)
+        return latencies
+
     #: Flat per-read cycle charge for bulk scans: a TLB-missing,
     #: cache-missing streaming read (walk + one DRAM fetch, amortised).
     BULK_READ_CYCLES = 60
@@ -264,6 +763,7 @@ class Machine:
         the end.  Unreadable pages yield ``None``.
         """
         space = process.address_space
+        cr3 = space.cr3
         values = []
         lookup = self.ptm.lookup
         l1pt_of = self.ptm.l1pt_frame_of
@@ -272,13 +772,25 @@ class Machine:
         frame_mask = (self.config.dram.size_bytes >> PAGE_SHIFT) - 1
         # One software walk per 2 MiB region: all its pages share the
         # same L1PT, so per-page translation is a single L1PTE read.
+        # The fast path memoizes the region -> L1PT mapping *across*
+        # calls in the machine's AddressMap — safe because page-table
+        # churn bumps the region generation through the kernel hook,
+        # and entry contents are still read live below.
+        use_memo = self.fast_path
+        addrmap = self.addrmap
         region_tables = {}
         for vaddr in vaddrs:
-            region = vaddr >> 21
-            l1pt = region_tables.get(region, -1)
-            if l1pt == -1:
-                l1pt = l1pt_of(space.cr3, vaddr)
-                region_tables[region] = l1pt
+            if use_memo:
+                l1pt = addrmap.cached_l1pt(cr3, vaddr)
+                if l1pt is ADDRMAP_MISS:
+                    l1pt = l1pt_of(cr3, vaddr)
+                    addrmap.store_l1pt(cr3, vaddr, l1pt)
+            else:
+                region = vaddr >> 21
+                l1pt = region_tables.get(region, -1)
+                if l1pt == -1:
+                    l1pt = l1pt_of(cr3, vaddr)
+                    region_tables[region] = l1pt
             frame = None
             if l1pt is not None:
                 entry = read_word((l1pt << PAGE_SHIFT) | (((vaddr >> 12) & 511) << 3))
@@ -291,8 +803,15 @@ class Machine:
                 except SegmentationFault:
                     values.append(None)
                     continue
-                region_tables.pop(region, None)
-                hit = lookup(space.cr3, vaddr)
+                if use_memo:
+                    # A fault that created an L1PT bumped the region's
+                    # generation via notify_l1pt_change; a fault that
+                    # only installed a PTE left the memoized frame
+                    # valid.  Either way the memo needs no manual drop.
+                    pass
+                else:
+                    region_tables.pop(vaddr >> 21, None)
+                hit = lookup(cr3, vaddr)
                 if hit is None:
                     values.append(None)
                     continue

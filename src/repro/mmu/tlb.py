@@ -48,16 +48,28 @@ def _make_set_mapping(spec, sets):
 class TLB:
     """L1 dTLB + L2 sTLB for 4 KiB pages, plus an L1 structure for 2 MiB."""
 
-    def __init__(self, config, rng, trace=None):
+    def __init__(self, config, rng, trace=None, fast=False):
         self.config = config
         #: Trace bus for structured events (docs/OBSERVABILITY.md);
         #: machines pass theirs, standalone TLBs get the inert default.
         self._trace = trace if trace is not None else NULL_TRACE
+        # ``fast`` selects the C-scan structure variants (behaviourally
+        # identical; machines pass their fast-path flag).
         self.l1 = SetAssociativeCache(
-            config.l1d_sets, config.l1d_ways, config.policy, rng.fork(1), name="L1dTLB"
+            config.l1d_sets,
+            config.l1d_ways,
+            config.policy,
+            rng.fork(1),
+            name="L1dTLB",
+            fast=fast,
         )
         self.l2 = SetAssociativeCache(
-            config.l2s_sets, config.l2s_ways, config.policy, rng.fork(2), name="L2sTLB"
+            config.l2s_sets,
+            config.l2s_ways,
+            config.policy,
+            rng.fork(2),
+            name="L2sTLB",
+            fast=fast,
         )
         self.l1_huge = SetAssociativeCache(
             config.l1d_huge_sets,
@@ -65,10 +77,13 @@ class TLB:
             config.policy,
             rng.fork(3),
             name="L1dTLB2M",
+            fast=fast,
         )
         self.l1_set_of = _make_set_mapping(config.l1d_mapping, config.l1d_sets)
         self.l2_set_of = _make_set_mapping(config.l2s_mapping, config.l2s_sets)
         self.huge_set_of = _make_set_mapping(config.l1d_huge_mapping, config.l1d_huge_sets)
+        if fast:
+            self.lookup = self._lookup_fast
         # The TLB caches the *translation*, not just presence; tags map
         # to frames in a side table keyed identically.
         self._frames = {}
@@ -86,6 +101,63 @@ class TLB:
             if self._trace.enabled:
                 self._trace.emit(TLB_HIT, TLB_COMPONENT, level=TLB_L2, vpn=vpn)
             return TLB_L2, self._frames[tag]
+        return TLB_MISS, None
+
+    def _lookup_fast(self, as_id, vpn):
+        """:meth:`lookup` with both probes and the L2 promote inlined.
+
+        Bound over ``lookup`` when the TLB is built with ``fast=True``.
+        Counter updates, replacement transitions, trace events, and the
+        frame side-table bookkeeping match the reference method exactly;
+        the L2-hit promotion (the hot case under a TLB eviction sweep)
+        skips the ``_install``/``insert`` frames because the L1 probe
+        just above proved the tag absent there.
+        """
+        tag = (as_id, vpn)
+        l1 = self.l1
+        l1_set = self.l1_set_of(vpn)
+        state = l1._state.get(l1_set)
+        if state is not None and tag in state.tags:
+            state.policy.touch(state.tags.index(tag))
+            l1.hits += 1
+            if self._trace.enabled:
+                self._trace.emit(TLB_HIT, TLB_COMPONENT, level=TLB_L1, vpn=vpn)
+            return TLB_L1, self._frames[tag]
+        l1.misses += 1
+        l2 = self.l2
+        l2_state = l2._state.get(self.l2_set_of(vpn))
+        if l2_state is not None and tag in l2_state.tags:
+            l2_state.policy.touch(l2_state.tags.index(tag))
+            l2.hits += 1
+            # Promote into the first level (reference: _install); the
+            # tag is absent from L1 — its probe above missed.
+            if state is None:
+                state = l1._set(l1_set)
+            tags = state.tags
+            if None in tags:
+                way = tags.index(None)
+                tags[way] = tag
+                state.policy.on_fill(way)
+            else:
+                way = state.policy.evict_and_fill()
+                evicted = tags[way]
+                tags[way] = tag
+                l1.evictions += 1
+                if self._trace.enabled:
+                    self._trace.emit(
+                        TLB_EVICT, TLB_COMPONENT, structure=l1.name, set=l1_set
+                    )
+                # _maybe_drop_frame(evicted), inlined.  L1 holds only
+                # 4 KiB tags, and a tag lives in exactly one L1 set
+                # (its l1_set_of home, which it was just evicted from),
+                # so only L2 residency can still pin the frame.
+                e_state = l2._state.get(self.l2_set_of(evicted[1]))
+                if e_state is None or evicted not in e_state.tags:
+                    self._frames.pop(evicted, None)
+            if self._trace.enabled:
+                self._trace.emit(TLB_HIT, TLB_COMPONENT, level=TLB_L2, vpn=vpn)
+            return TLB_L2, self._frames[tag]
+        l2.misses += 1
         return TLB_MISS, None
 
     def lookup_huge(self, as_id, superpage_number):

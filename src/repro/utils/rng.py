@@ -51,16 +51,28 @@ class DeterministicRng:
     def __init__(self, seed):
         self._state = seed & _MASK64
 
+    # next_u64/randint/random inline the splitmix64 mix instead of
+    # calling _splitmix64: they sit on the machine's access hot path
+    # (replacement-policy draws, timing noise) and the extra frames
+    # dominate the arithmetic.  The emitted stream is bit-identical.
+
     def next_u64(self):
         """Advance the stream and return the next 64-bit value."""
-        self._state = (self._state + _GOLDEN) & _MASK64
-        return _splitmix64(self._state)
+        self._state = x = (self._state + _GOLDEN) & _MASK64
+        x = (x + _GOLDEN) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return x ^ (x >> 31)
 
     def randint(self, bound):
         """Uniform integer in ``[0, bound)``; ``bound`` must be positive."""
         if bound <= 0:
             raise ValueError("bound must be positive, got %r" % (bound,))
-        return self.next_u64() % bound
+        self._state = x = (self._state + _GOLDEN) & _MASK64
+        x = (x + _GOLDEN) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return (x ^ (x >> 31)) % bound
 
     def randrange(self, lo, hi):
         """Uniform integer in ``[lo, hi)``."""
@@ -68,7 +80,11 @@ class DeterministicRng:
 
     def random(self):
         """Uniform float in [0, 1)."""
-        return self.next_u64() / float(1 << 64)
+        self._state = x = (self._state + _GOLDEN) & _MASK64
+        x = (x + _GOLDEN) & _MASK64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return (x ^ (x >> 31)) / float(1 << 64)
 
     def chance(self, probability):
         """Return True with the given probability."""

@@ -1,0 +1,444 @@
+"""The fast access path must be behaviourally invisible.
+
+``Machine(fast_path=True)`` (the default) swaps in memoized address
+mappings, batched accesses, and accelerated cache/TLB internals —
+docs/PERFORMANCE.md documents the design.  The contract tested here is
+exact equivalence with the reference engine: same virtual cycles, same
+trace events byte for byte, same metrics snapshot, same attack outcome,
+for the same seed.  Anything weaker would let a "performance" change
+silently alter the simulation's physics.
+
+Alongside the equivalence suites sit the unit tests for the pieces the
+fast path is made of: the :class:`~repro.machine.addrmap.AddressMap`
+memo and its generation-counter invalidation (driven by real
+page-table churn), the batched ``access_many`` entry point, and the
+packed-bitmask :class:`~repro.cache.policies.FastBitPLRU` policy.
+"""
+
+import json
+
+import pytest
+
+from repro.cache.policies import make_policy
+from repro.cache.setassoc import SetAssociativeCache
+from repro.chaos import ChaosInjector, chaos_profile
+from repro.core import PThammerAttack, PThammerConfig
+from repro.machine import AttackerView, Machine
+from repro.machine.addrmap import ADDRMAP_MISS, AddressMap, fast_path_enabled
+from repro.machine.configs import tiny_test_config
+from repro.utils.rng import DeterministicRng
+
+
+def _machine_pair(seed=3, trace=False, chaos=None):
+    """Reference and fast machines built from the same seed."""
+    pair = []
+    for fast in (False, True):
+        machine = Machine(tiny_test_config(seed=seed), fast_path=fast)
+        if trace:
+            machine.trace.enable()
+        if chaos is not None:
+            machine.attach_chaos(ChaosInjector(chaos_profile(chaos)))
+        pair.append((machine, AttackerView(machine, machine.boot_process())))
+    return pair
+
+
+def _events(machine):
+    """Trace events as comparable tuples (field order normalised)."""
+    return [
+        (event.kind, event.component, event.cycle, tuple(sorted(event.fields.items())))
+        for event in machine.trace.events
+    ]
+
+
+def _metrics(machine):
+    return json.dumps(machine.metrics.snapshot(), sort_keys=True)
+
+
+def _assert_equivalent(reference, fast, trace=False):
+    assert fast.cycles == reference.cycles
+    assert _metrics(fast) == _metrics(reference)
+    if trace:
+        assert _events(fast) == _events(reference)
+
+
+# ----------------------------------------------------------------------
+# whole-run equivalence
+
+
+@pytest.mark.slow
+def test_traced_hammer_rounds_are_byte_identical():
+    """Real hammer rounds with the event firehose on: the trace —
+    every TLB hit, cache fill, DRAM activate, at its exact cycle —
+    must not betray which engine produced it."""
+    from repro.core.hammer import DoubleSidedHammer, HammerTarget
+    from repro.core.llc_pool import EvictionSet
+
+    machines = []
+    for machine, attacker in _machine_pair(seed=11, trace=True):
+        sets = machine.config.tlb.l1d_sets
+        base = attacker.mmap(12 * sets + 40, populate=True)
+        targets = []
+        for t in (0, 1):
+            tlb_set = [base + (i * sets + t) * 4096 + 2048 for i in range(12)]
+            lines = [
+                base + (12 * sets + 13 * t + i) * 4096 + 17 * 64 for i in range(13)
+            ]
+            va = base + (12 * sets + 26 + t) * 4096
+            targets.append(HammerTarget(va, tlb_set, EvictionSet(lines, 17)))
+        DoubleSidedHammer(attacker, targets[0], targets[1]).run(rounds=40)
+        machines.append(machine)
+    reference, fast = machines
+    assert len(fast.trace.events) > 0
+    _assert_equivalent(reference, fast, trace=True)
+
+
+@pytest.mark.slow
+def test_full_attack_equivalence():
+    """The end-to-end attack: cycles, metrics, flips, and the
+    escalation outcome all match between engines."""
+    reports = []
+    machines = []
+    for machine, attacker in _machine_pair(seed=1):
+        config = PThammerConfig(spray_slots=128, pair_sample=10, max_pairs=8)
+        reports.append(PThammerAttack(attacker, config).run())
+        machines.append(machine)
+    reference, fast = machines
+    _assert_equivalent(reference, fast)
+    assert reports[1].total_flips == reports[0].total_flips
+    assert reports[1].escalated == reports[0].escalated
+
+
+@pytest.mark.slow
+def test_chaos_attack_equivalence():
+    """Chaos churn (the page-table migrations that invalidate the
+    address-map memo) must perturb both engines identically."""
+    machines = []
+    flips = []
+    for machine, attacker in _machine_pair(seed=7, chaos="desktop"):
+        config = PThammerConfig(spray_slots=128, pair_sample=10, max_pairs=8)
+        report = PThammerAttack(attacker, config).run()
+        machines.append(machine)
+        flips.append(report.total_flips)
+    reference, fast = machines
+    _assert_equivalent(reference, fast)
+    assert flips[0] == flips[1]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name,options",
+    [
+        ("figure3", {"config_fns": (tiny_test_config,), "sizes": (8, 12), "trials": 10}),
+        ("sec4d", {"config_fn": tiny_test_config, "sample": 6, "spray_slots": 256}),
+    ],
+)
+def test_experiments_are_identical_under_the_env_gate(name, options, monkeypatch):
+    """The registered experiments, run through the engine with
+    ``REPRO_FAST_PATH`` flipped: rendered results and aggregated
+    metrics must match."""
+    from repro.analysis import run_experiment
+
+    runs = []
+    for value in ("0", "1"):
+        monkeypatch.setenv("REPRO_FAST_PATH", value)
+        run = run_experiment(name, dict(options))
+        runs.append(
+            (
+                run.result.render(),
+                json.dumps(run.metrics.snapshot(), sort_keys=True),
+            )
+        )
+    assert runs[0] == runs[1]
+
+
+@pytest.mark.slow
+def test_bench_outcome_proves_cycle_equality():
+    """The fast-path benches double as equivalence checks: the recorded
+    outcome carries ``cycles_equal`` and the committed baseline gates
+    the fast/reference ratio in CI."""
+    from repro.analysis.bench import run_bench
+
+    record = run_bench("eviction-sweep").to_record(label="test")
+    assert record.outcome["cycles_equal"] == 1
+    assert record.outcome["speedup"] > 0
+    assert record.timings["fast_over_reference"] > 0
+
+
+# ----------------------------------------------------------------------
+# access_many vs the scalar loop
+
+
+def _batch_vs_scalar(trace):
+    machines = []
+    for use_batch in (False, True):
+        machine = Machine(tiny_test_config(seed=5), fast_path=True)
+        if trace:
+            machine.trace.enable()
+        attacker = AttackerView(machine, machine.boot_process())
+        base = attacker.mmap(24, populate=True)
+        addrs = [base + i * 4096 + (i % 7) * 64 for i in range(24)] * 50
+        if use_batch:
+            attacker.touch_many(addrs)
+        else:
+            for va in addrs:
+                attacker.touch(va)
+        machines.append(machine)
+    return machines
+
+
+def test_access_many_matches_scalar_loop_untraced():
+    scalar, batched = _batch_vs_scalar(trace=False)
+    _assert_equivalent(scalar, batched)
+
+
+def test_access_many_matches_scalar_loop_traced():
+    """With tracing on, access_many takes its general (non-turbo)
+    variant; events must still interleave identically."""
+    scalar, batched = _batch_vs_scalar(trace=True)
+    assert len(batched.trace.events) > 0
+    _assert_equivalent(scalar, batched, trace=True)
+
+
+def test_access_many_on_the_reference_engine():
+    """With the fast path off, access_many degrades to the scalar loop."""
+    machines = []
+    for use_batch in (False, True):
+        machine = Machine(tiny_test_config(seed=5), fast_path=False)
+        attacker = AttackerView(machine, machine.boot_process())
+        base = attacker.mmap(8, populate=True)
+        addrs = [base + i * 4096 for i in range(8)] * 20
+        if use_batch:
+            attacker.touch_many(addrs)
+        else:
+            for va in addrs:
+                attacker.touch(va)
+        machines.append(machine)
+    _assert_equivalent(machines[0], machines[1])
+
+
+def test_access_many_collect_returns_per_access_latencies():
+    """``collect=True`` yields one latency per address, matching what
+    scalar ``timed_read`` calls would have measured."""
+    latencies = []
+    for fast in (False, True):
+        machine = Machine(tiny_test_config(seed=5), fast_path=fast)
+        attacker = AttackerView(machine, machine.boot_process())
+        base = attacker.mmap(4, populate=True)
+        addrs = [base, base + 4096, base, base + 2 * 4096]
+        latencies.append(machine.access_many(attacker.process, addrs, collect=True))
+    assert latencies[0] == latencies[1]
+    assert len(latencies[1]) == 4
+    assert all(latency > 0 for latency in latencies[1])
+
+
+# ----------------------------------------------------------------------
+# AddressMap: the memo and its generation counters
+
+
+def test_addrmap_miss_is_a_distinct_sentinel():
+    memo = AddressMap()
+    assert memo.cached_l1pt(1, 0x200000) is ADDRMAP_MISS
+    assert ADDRMAP_MISS is not None
+
+
+def test_addrmap_store_then_hit():
+    memo = AddressMap()
+    memo.store_l1pt(1, 0x200000, 42)
+    # Any address in the same 2 MiB region hits the same entry.
+    assert memo.cached_l1pt(1, 0x200000 + 0x1FFFFF) == 42
+    assert memo.stats()["hits"] == 1
+    assert memo.stats()["misses"] == 1
+
+
+def test_addrmap_none_is_a_valid_cached_value():
+    """A region with no L1PT (superpage-mapped) caches ``None`` — which
+    must not be confused with a miss."""
+    memo = AddressMap()
+    memo.store_l1pt(1, 0x400000, None)
+    assert memo.cached_l1pt(1, 0x400000) is None
+    assert memo.cached_l1pt(1, 0x600000) is ADDRMAP_MISS
+
+
+def test_addrmap_generation_bump_invalidates_exactly_one_region():
+    memo = AddressMap()
+    memo.store_l1pt(1, 0x200000, 42)
+    memo.store_l1pt(1, 0x400000, 43)
+    generation = memo.region_generation(0x200000)
+    memo.note_l1pt_change(0x200000)
+    assert memo.region_generation(0x200000) == generation + 1
+    assert memo.cached_l1pt(1, 0x200000) is ADDRMAP_MISS  # stale
+    assert memo.cached_l1pt(1, 0x400000) == 43  # untouched region
+    assert memo.stats()["invalidations"] == 1
+
+
+def test_addrmap_invalidation_crosses_address_spaces():
+    """Generations are keyed by region only: churn under any CR3
+    invalidates that region for every address space (over-invalidation
+    is safe; a missed invalidation would not be)."""
+    memo = AddressMap()
+    memo.store_l1pt(1, 0x200000, 42)
+    memo.store_l1pt(2, 0x200000, 99)
+    memo.note_l1pt_change(0x200000)
+    assert memo.cached_l1pt(1, 0x200000) is ADDRMAP_MISS
+    assert memo.cached_l1pt(2, 0x200000) is ADDRMAP_MISS
+
+
+def test_addrmap_refill_after_invalidation_hits_again():
+    memo = AddressMap()
+    memo.store_l1pt(1, 0x200000, 42)
+    memo.note_l1pt_change(0x200000)
+    memo.store_l1pt(1, 0x200000, 77)  # re-resolved at the new generation
+    assert memo.cached_l1pt(1, 0x200000) == 77
+
+
+def test_addrmap_invalidate_all():
+    memo = AddressMap()
+    memo.store_l1pt(1, 0x200000, 42)
+    memo.invalidate_all()
+    assert memo.cached_l1pt(1, 0x200000) is ADDRMAP_MISS
+    assert memo.stats()["entries"] == 0
+
+
+def test_l1pt_frame_resolves_once_then_memoizes():
+    memo = AddressMap()
+    calls = []
+    frame = memo.l1pt_frame(1, 0x200000, lambda: calls.append(1) or 7)
+    assert frame == 7
+    assert memo.l1pt_frame(1, 0x200000, lambda: calls.append(1) or 8) == 7
+    assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# invalidation against the real kernel
+
+
+def test_page_table_churn_invalidates_the_machine_memo():
+    """Migrating or dropping a region's L1PT must invalidate exactly
+    that region's memo entry, and the next bulk read must re-resolve
+    to the correct (moved) table without changing observed values."""
+    machine = Machine(tiny_test_config(seed=9), fast_path=True)
+    attacker = AttackerView(machine, machine.boot_process())
+    base = attacker.mmap(4, populate=True)
+    attacker.write(base, 0xDEAD)
+    cr3 = attacker.process.address_space.cr3
+
+    # Seed the memo through the batched-walk path.
+    values = attacker.read_bulk([base, base + 4096])
+    cached = machine.addrmap.cached_l1pt(cr3, base)
+    assert cached is not ADDRMAP_MISS
+
+    migrated = machine.ptm.migrate_l1pt(cr3, base)
+    assert migrated is not None
+    assert machine.addrmap.cached_l1pt(cr3, base) is ADDRMAP_MISS
+
+    # Re-resolution lands on the *new* frame and reads are unchanged.
+    assert attacker.read_bulk([base, base + 4096]) == values
+    refilled = machine.addrmap.cached_l1pt(cr3, base)
+    assert refilled is not ADDRMAP_MISS
+    assert refilled != cached
+    assert attacker.read(base) == 0xDEAD
+
+
+def test_fast_and_reference_agree_across_pagetable_churn():
+    """Same churn schedule on both engines: identical reads and cycles."""
+    machines = []
+    for fast in (False, True):
+        machine = Machine(tiny_test_config(seed=9), fast_path=fast)
+        attacker = AttackerView(machine, machine.boot_process())
+        base = attacker.mmap(8, populate=True)
+        cr3 = attacker.process.address_space.cr3
+        observed = []
+        for round_index in range(6):
+            observed.append(attacker.read_bulk([base + i * 4096 for i in range(8)]))
+            if round_index % 2 == 0:
+                machine.ptm.migrate_l1pt(cr3, base)
+            else:
+                machine.ptm.drop_l1pt(cr3, base)
+        machines.append((machine, observed))
+    (reference, ref_observed), (fast, fast_observed) = machines
+    assert fast_observed == ref_observed
+    assert fast.cycles == reference.cycles
+
+
+# ----------------------------------------------------------------------
+# the escape hatch
+
+
+def test_fast_path_env_escape_hatch(monkeypatch):
+    monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
+    assert fast_path_enabled() is True
+    for value in ("0", "false", "No", " OFF "):
+        monkeypatch.setenv("REPRO_FAST_PATH", value)
+        assert fast_path_enabled() is False
+        assert Machine(tiny_test_config()).fast_path is False
+    monkeypatch.setenv("REPRO_FAST_PATH", "1")
+    assert fast_path_enabled() is True
+
+
+def test_fast_path_kwarg_overrides_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST_PATH", "0")
+    assert Machine(tiny_test_config(), fast_path=True).fast_path is True
+    monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
+    assert Machine(tiny_test_config(), fast_path=False).fast_path is False
+
+
+# ----------------------------------------------------------------------
+# component equivalence: policies and the set-associative cache
+
+
+@pytest.mark.parametrize("name", ["bit_plru", "bit_plru_bimodal"])
+def test_fast_policy_is_draw_identical(name):
+    """Reference and packed-bitmask PLRU walked through the same random
+    op schedule: identical victims, fills, and RNG state after."""
+    ways = 4
+    reference = make_policy(name, ways, DeterministicRng(21), fast=False)
+    fast = make_policy(name, ways, DeterministicRng(21), fast=True)
+    assert type(fast) is not type(reference)
+    script = DeterministicRng(99)
+    for _ in range(500):
+        op = script.randint(5)
+        way = script.randint(ways)
+        if op == 0:
+            reference.touch(way)
+            fast.touch(way)
+        elif op == 1:
+            reference.on_fill(way)
+            fast.on_fill(way)
+        elif op == 2:
+            assert fast.victim() == reference.victim()
+        elif op == 3:
+            assert fast.evict_and_fill() == reference.evict_and_fill()
+        else:
+            reference.on_invalidate(way)
+            fast.on_invalidate(way)
+        # Bit-identical draw streams, not merely equal results.
+        assert fast._rng._state == reference._rng._state
+
+
+def test_fast_setassoc_cache_is_state_identical():
+    reference = SetAssociativeCache(16, 4, "bit_plru", DeterministicRng(6), fast=False)
+    fast = SetAssociativeCache(16, 4, "bit_plru", DeterministicRng(6), fast=True)
+    script = DeterministicRng(123)
+    for _ in range(2000):
+        set_index = script.randint(16)
+        tag = script.randint(40)
+        op = script.randint(4)
+        if op == 0:
+            assert fast.lookup(set_index, tag) == reference.lookup(set_index, tag)
+        elif op in (1, 2):
+            assert fast.insert(set_index, tag) == reference.insert(set_index, tag)
+        else:
+            assert fast.invalidate(set_index, tag) == reference.invalidate(
+                set_index, tag
+            )
+    assert (fast.hits, fast.misses, fast.evictions) == (
+        reference.hits,
+        reference.misses,
+        reference.evictions,
+    )
+    for index in range(16):
+        ref_state = reference._state.get(index)
+        fast_state = fast._state.get(index)
+        assert (ref_state is None) == (fast_state is None)
+        if ref_state is not None:
+            assert fast_state.tags == ref_state.tags
