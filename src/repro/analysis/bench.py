@@ -392,6 +392,34 @@ def _hammer_loop_workload(machine, attacker):
     return lambda: hammer.run(rounds=400)
 
 
+def _pattern_loop_workload(machine, attacker):
+    """Compiled-pattern rounds: the DSL pipeline's turbo batches.
+
+    Same target construction as ``_hammer_loop_workload``, but the
+    rounds run through ``repro.patterns`` — the ``delay_slotted``
+    built-in, so the compiled program mixes coalesced ``touch_many``
+    batches with ``nop`` delay slots.
+    """
+    from repro.core.llc_pool import EvictionSet
+    from repro.core.hammer import HammerTarget
+    from repro.patterns import PatternHammer, compile_pattern, get
+
+    sets = machine.config.tlb.l1d_sets
+    tlb_span = 12 * sets
+    base = attacker.mmap(tlb_span + 40, populate=True)
+    targets = []
+    for t in (0, 1):
+        tlb_set = [base + (i * sets + t) * 4096 + 2048 for i in range(12)]
+        lines = [
+            base + (tlb_span + 13 * t + i) * 4096 + 17 * 64 for i in range(13)
+        ]
+        va = base + (tlb_span + 26 + t) * 4096
+        targets.append(HammerTarget(va, tlb_set, EvictionSet(lines, 17)))
+    compiled = compile_pattern(get("delay_slotted"), targets)
+    hammer = PatternHammer(attacker, compiled)
+    return lambda: hammer.run(rounds=400)
+
+
 def _eviction_sweep_workload(machine, attacker):
     """Interleaved LLC-line and page sweeps with a timed probe per round."""
     from repro.core.llc_pool import sweep
@@ -417,6 +445,13 @@ register_bench(
         "hammer-loop",
         "reference vs fast engine on real hammer rounds",
         _fast_path_bench(_hammer_loop_workload, seed=11),
+    )
+)
+register_bench(
+    BenchSpec(
+        "pattern-loop",
+        "reference vs fast engine on compiled-pattern rounds",
+        _fast_path_bench(_pattern_loop_workload, seed=17),
     )
 )
 register_bench(

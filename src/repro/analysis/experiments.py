@@ -1155,6 +1155,12 @@ def _escalation_cli_configure(parser):
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--slots", type=int, default=None, help="spray slots")
     parser.add_argument("--pairs", type=int, default=None, help="pairs to hammer")
+    parser.add_argument(
+        "--pattern",
+        metavar="NAME",
+        default=None,
+        help="hammer with a registered pattern (see `repro patterns list`)",
+    )
 
 
 def _escalation_cli_options(args):
@@ -1168,13 +1174,18 @@ def _escalation_cli_options(args):
             return config
 
     attack_config = None
-    if args.slots is not None or args.pairs is not None:
+    if args.slots is not None or args.pairs is not None or args.pattern is not None:
         attack_config = PThammerConfig()
         if args.slots is not None:
             attack_config.spray_slots = args.slots
         if args.pairs is not None:
             attack_config.pair_sample = args.pairs
             attack_config.max_pairs = args.pairs
+        if args.pattern is not None:
+            from repro.patterns import get as _get_pattern
+
+            _get_pattern(args.pattern)  # unknown names fail before any task
+            attack_config.pattern = args.pattern
     return {
         "config_fn": config_fn,
         "policy": DEFENSE_PRESETS[args.defense](),
@@ -1356,3 +1367,157 @@ def tiny_test_config_dense(seed):
     from repro.machine.configs import tiny_test_config as _tiny
 
     return _tiny(seed=seed, cells_per_row_mean=40.0)
+
+
+# ----------------------------------------------------------------------
+# Pattern fuzzing — the Blacksmith-style campaign over the DSL
+
+
+@dataclass
+class PatternFuzzResult(ExperimentResult):
+    machine: str
+    fuzz_seed: int
+    rows: List[tuple]
+
+    def render(self):
+        return render_table(
+            ["Pattern", "Roles", "Ops", "Flips seen", "GT flips", "Escalated"],
+            self.rows,
+            title="Pattern fuzzing [%s, seed=%d]: shapes ranked by flips"
+            % (self.machine, self.fuzz_seed),
+        )
+
+    def to_rows(self):
+        header = ("pattern", "roles", "ops", "flips_observed",
+                  "ground_truth_flips", "escalated")
+        return header, [
+            row[:5] + (int(row[5] == "yes"),) for row in self.rows
+        ]
+
+
+def _patternfuzz_tasks(options):
+    config_fn = options.get("config_fn")
+    if config_fn is None:
+        raise ConfigError(
+            "experiment 'patternfuzz' needs a machine (options['config_fn'], "
+            "or --machine on the CLI)"
+        )
+    name = config_fn().name
+    return [
+        Task(key="%d:%s" % (index, name), payload={"index": index})
+        for index in range(options["count"])
+    ]
+
+
+def _patternfuzz_run(task, options):
+    from repro.patterns import PatternFuzzer, register, unroll
+
+    index = task.payload["index"]
+    fuzzer = PatternFuzzer(
+        options["fuzz_seed"],
+        max_roles=options["max_roles"],
+        max_ops=options["max_ops"],
+    )
+    # Pattern (seed, index) is pure, so re-deriving it in a pool worker
+    # gives the same shape the reducer will name in the ranking.
+    pattern = register(fuzzer.pattern(index), replace=True)
+    context = ExperimentContext(options["config_fn"]())
+    attack_config = PThammerConfig(
+        spray_slots=options["slots"],
+        pair_sample=options["pairs"],
+        max_pairs=options["pairs"],
+        pattern=pattern.name,
+    )
+    report = PThammerAttack(context.attacker, attack_config).run()
+    return {
+        "index": index,
+        "pattern": pattern.name,
+        "roles": len(pattern.roles),
+        "ops": len(unroll(pattern)),
+        "flips_observed": report.total_flips,
+        "ground_truth_flips": context.inspector.flip_count(),
+        "escalated": report.escalated,
+    }
+
+
+def _patternfuzz_reduce(data, options):
+    ranked = sorted(data, key=lambda row: (-row["flips_observed"], row["index"]))
+    return PatternFuzzResult(
+        machine=options["config_fn"]().name,
+        fuzz_seed=options["fuzz_seed"],
+        rows=[
+            (
+                row["pattern"],
+                row["roles"],
+                row["ops"],
+                row["flips_observed"],
+                row["ground_truth_flips"],
+                "yes" if row["escalated"] else "no",
+            )
+            for row in ranked
+        ],
+    )
+
+
+def _patternfuzz_cli_configure(parser):
+    _machine_flag(parser, default="tiny")
+    parser.add_argument(
+        "--fuzz-seed", type=int, default=7, help="randomizer seed (default: 7)"
+    )
+    parser.add_argument(
+        "--count", type=int, default=8, help="patterns to sample (default: 8)"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="machine seed")
+    parser.add_argument("--slots", type=int, default=256, help="spray slots")
+    parser.add_argument("--pairs", type=int, default=12, help="pairs to hammer")
+    parser.add_argument(
+        "--max-roles", type=int, default=4, help="aggressor-set bound (default: 4)"
+    )
+    parser.add_argument(
+        "--max-ops", type=int, default=16, help="unrolled-length bound (default: 16)"
+    )
+
+
+def _patternfuzz_cli_options(args):
+    config_fn = machine_preset(args.machine)
+    if args.seed is not None:
+        base_fn, seed = config_fn, args.seed
+
+        def config_fn():
+            config = base_fn()
+            config.seed = seed
+            return config
+
+    return {
+        "config_fn": config_fn,
+        "fuzz_seed": args.fuzz_seed,
+        "count": args.count,
+        "slots": args.slots,
+        "pairs": args.pairs,
+        "max_roles": args.max_roles,
+        "max_ops": args.max_ops,
+    }
+
+
+PATTERNFUZZ_SPEC = register_experiment(
+    ExperimentSpec(
+        name="patternfuzz",
+        title="Pattern fuzzing: seeded random patterns ranked by flips",
+        build_tasks=_patternfuzz_tasks,
+        run_task=_patternfuzz_run,
+        reduce=_patternfuzz_reduce,
+        defaults={
+            "config_fn": None,
+            "fuzz_seed": 7,
+            "count": 8,
+            "slots": 256,
+            "pairs": 12,
+            "max_roles": 4,
+            "max_ops": 16,
+        },
+        cli_configure=_patternfuzz_cli_configure,
+        cli_options=_patternfuzz_cli_options,
+        smoke_argv=("--machine", "tiny", "--count", "2", "--slots", "224",
+                    "--pairs", "6"),
+    )
+)

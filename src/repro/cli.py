@@ -151,6 +151,15 @@ def _cmd_experiment(args):
 
 
 def _cmd_attack(args):
+    pattern_name = getattr(args, "pattern", None)
+    if pattern_name is not None:
+        from repro.patterns import get as get_pattern
+
+        try:
+            get_pattern(pattern_name)  # unknown names fail before any work
+        except ConfigError as exc:
+            print("repro: %s" % exc, file=sys.stderr)
+            return 2
     config = MACHINES[args.machine]()
     if args.seed is not None:
         config.seed = args.seed
@@ -168,6 +177,7 @@ def _cmd_attack(args):
         pair_sample=args.pairs,
         max_pairs=args.pairs,
         cred_spray_processes=args.cred_spray,
+        pattern=pattern_name,
     )
     profiling = getattr(args, "profile", False)
     trace_path = getattr(args, "trace", None)
@@ -175,11 +185,12 @@ def _cmd_attack(args):
     if profiling or trace_path:
         machine.trace.enable()
     print(
-        "PThammer vs %s (defense: %s%s); attacker uid=%d"
+        "PThammer vs %s (defense: %s%s%s); attacker uid=%d"
         % (
             config.name,
             args.defense,
             ", chaos: %s" % chaos_name if chaos_name else "",
+            ", pattern: %s" % pattern_name if pattern_name else "",
             attacker.getuid(),
         )
     )
@@ -231,11 +242,12 @@ def _cmd_attack(args):
             "attack",
             machine=config.name,
             config_fingerprint=config_fingerprint(config),
-            command="repro attack --machine %s --defense %s%s"
+            command="repro attack --machine %s --defense %s%s%s"
             % (
                 args.machine,
                 args.defense,
                 " --chaos %s" % chaos_name if chaos_name else "",
+                " --pattern %s" % pattern_name if pattern_name else "",
             ),
             timings={
                 "host_seconds": round(time.time() - started, 6),
@@ -275,8 +287,14 @@ def _open_trace_destination(path):
         raise SystemExit("repro: cannot write trace file %s: %s" % (path, exc))
 
 
-def main(argv=None):
-    """CLI entry point; returns the process exit code."""
+def build_parser():
+    """Construct the full argument parser (shared with check_docs).
+
+    Kept separate from :func:`main` so tooling — notably
+    ``repro.tools.check_docs``'s CLI-invocation validator — can
+    introspect the real subcommand and flag surface without running
+    anything.
+    """
     parser = argparse.ArgumentParser(
         prog="repro", description="PThammer reproduction experiments"
     )
@@ -313,9 +331,30 @@ def main(argv=None):
         "(see `repro chaos list`); enables the self-healing pipeline",
     )
     attack.add_argument(
+        "--pattern",
+        metavar="NAME",
+        default=None,
+        help="hammer with a registered pattern (see `repro patterns list`) "
+        "instead of the hard-coded double-sided loop",
+    )
+    attack.add_argument(
         "--no-record",
         action="store_true",
         help="do not append this run to the run ledger",
+    )
+
+    patterns_cmd = commands.add_parser(
+        "patterns", help="inspect the registered hammer patterns"
+    )
+    patterns_commands = patterns_cmd.add_subparsers(
+        dest="patterns_command", required=True
+    )
+    patterns_commands.add_parser("list", help="list the registered patterns")
+    patterns_show = patterns_commands.add_parser(
+        "show", help="show one pattern's DSL text and unrolled ops"
+    )
+    patterns_show.add_argument(
+        "name", help="pattern name (see `repro patterns list`)"
     )
 
     chaos_cmd = commands.add_parser(
@@ -342,7 +381,6 @@ def main(argv=None):
 
     # One subcommand per registered experiment; each spec contributes its
     # own flags, the engine contributes --jobs/--checkpoint/--resume.
-    experiments = set(experiment_names())
     for name in experiment_names():
         spec = get_experiment(name)
         sub = commands.add_parser(name, help=spec.title)
@@ -416,15 +454,23 @@ def main(argv=None):
         "(e.g. deterministic virtual-cycle metrics in CI)",
     )
 
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.command == "attack":
         return _cmd_attack(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "patterns":
+        return _cmd_patterns(args)
     if args.command == "trace":
         return _cmd_trace(args)
-    if args.command in experiments:
+    if args.command in set(experiment_names()):
         return _cmd_experiment(args)
     if args.command == "mitigations":
         return _cmd_mitigations()
@@ -454,6 +500,32 @@ def _cmd_chaos(args):
     except ConfigError as exc:
         print("repro: %s" % exc, file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_patterns(args):
+    """``repro patterns list|show`` — inspect the pattern registry."""
+    import repro.patterns as patterns
+
+    if args.patterns_command == "list":
+        for name in patterns.names():
+            pattern = patterns.get(name)
+            ops = patterns.unroll(pattern)
+            print(
+                "%-16s %d role(s), %d unrolled op(s)"
+                % (name, len(pattern.roles), len(ops))
+            )
+        return 0
+    try:
+        pattern = patterns.get(args.name)
+    except ConfigError as exc:
+        print("repro: %s" % exc, file=sys.stderr)
+        return 2
+    print(pattern.unparse(), end="")
+    ops = patterns.unroll(pattern)
+    print("# unrolled: %d op(s)" % len(ops))
+    for op in ops:
+        print("#   %s" % " ".join(str(part) for part in op))
     return 0
 
 
@@ -564,6 +636,16 @@ def _cmd_bench(args):
             print(comparison.render(), file=sys.stderr)
             for line in comparison.machine_lines():
                 print(line)
+            if not comparison.diffs:
+                # Comparing against nothing would otherwise "pass": make
+                # a wholly absent baseline loud (CI typo, unseeded ledger).
+                print(
+                    "repro: baseline %r has no record for any selected "
+                    "benchmark in %s — run `repro bench --record --baseline "
+                    "%s` first" % (args.compare, ledger.root, args.compare),
+                    file=sys.stderr,
+                )
+                return 2
             if comparison.regressions():
                 return 3
     except ConfigError as exc:

@@ -51,6 +51,8 @@ from repro.observe import (
     RECOVERY_RESUME,
     TraceBus,
 )
+from repro.patterns import PatternHammer, compile_pattern
+from repro.patterns import get as get_pattern
 from repro.utils.stats import RunningStats
 
 #: The pipeline's phases, in execution order.  ``run`` walks them as a
@@ -119,6 +121,13 @@ class PThammerConfig:
     #: no congruent groups (noise drowning the conflict tests).
     allow_single_sided: bool = True
     set_size_growth: int = 2
+    #: Registered hammer-pattern name (repro.patterns) to compile for
+    #: the hammer/check loop.  None keeps the hard-coded double-sided
+    #: loop (``single_sided`` when only one target survives); a name
+    #: routes every burst through the pattern compiler — aggressor
+    #: roles bind to the verified pair round-robin, so every pattern
+    #: degrades to single-target hammering exactly like the default.
+    pattern: Optional[str] = None
 
 
 @dataclass
@@ -592,7 +601,26 @@ class PThammerAttack:
             self.tlb_builder.build(pair.va_a, config.tlb_eviction_size),
             llc_sets[pair.va_a],
         )
-        if single_sided:
+        targets = [target_a]
+        if not single_sided:
+            targets.append(
+                HammerTarget(
+                    pair.va_b,
+                    self.tlb_builder.build(pair.va_b, config.tlb_eviction_size),
+                    llc_sets[pair.va_b],
+                )
+            )
+        if config.pattern is not None:
+            compiled = compile_pattern(
+                get_pattern(config.pattern),
+                targets,
+                llc_sweeps=config.llc_sweeps,
+                refresh_interval=self.facts.refresh_interval_cycles,
+            )
+            hammer = PatternHammer(
+                attacker, compiled, trace=self.trace, guard=guard
+            )
+        elif single_sided:
             hammer = SingleSidedHammer(
                 attacker,
                 target_a,
@@ -601,15 +629,10 @@ class PThammerAttack:
                 guard=guard,
             )
         else:
-            target_b = HammerTarget(
-                pair.va_b,
-                self.tlb_builder.build(pair.va_b, config.tlb_eviction_size),
-                llc_sets[pair.va_b],
-            )
             hammer = DoubleSidedHammer(
                 attacker,
-                target_a,
-                target_b,
+                targets[0],
+                targets[1],
                 llc_sweeps=config.llc_sweeps,
                 trace=self.trace,
                 guard=guard,

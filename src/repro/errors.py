@@ -54,6 +54,18 @@ class TransientFault(ReproError):
         self.reason = reason
 
 
+class PatternError(ConfigError):
+    """A hammer pattern failed to parse, resolve, or compile.
+
+    Raised by :mod:`repro.patterns` — a syntax error in the DSL text,
+    a reference to an undeclared aggressor role, or a construct the
+    compile target cannot honour (e.g. ``sync_ref`` with no refresh
+    interval supplied).  Subclasses :class:`ConfigError` so CLI and
+    engine code paths that already report bad configuration cleanly
+    handle bad patterns the same way.
+    """
+
+
 class PhaseBudgetExceeded(ReproError):
     """A self-healing attack phase ran out of its cycle/wall budget.
 

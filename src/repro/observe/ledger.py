@@ -156,14 +156,30 @@ class RunRecord:
 
     @classmethod
     def from_json(cls, payload):
-        """Inverse of :meth:`to_json`; tolerant of unknown keys."""
+        """Inverse of :meth:`to_json`; tolerant of unknown keys.
+
+        Malformed payloads — valid JSON that is not a record object, or
+        one missing the identity fields — raise :class:`ConfigError`
+        like every other ledger problem, so CLI callers report them
+        cleanly instead of surfacing an internal traceback.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                "run record payload must be a JSON object, got %s"
+                % type(payload).__name__
+            )
         if payload.get("schema") != LEDGER_SCHEMA_VERSION:
             raise ConfigError(
                 "run record %r has schema %r; this ledger reads schema %d"
                 % (payload.get("run_id"), payload.get("schema"), LEDGER_SCHEMA_VERSION)
             )
         known = {f for f in cls.__dataclass_fields__}
-        return cls(**{key: value for key, value in payload.items() if key in known})
+        try:
+            return cls(**{key: value for key, value in payload.items() if key in known})
+        except TypeError as exc:
+            raise ConfigError(
+                "run record %r is malformed: %s" % (payload.get("run_id"), exc)
+            )
 
     def comparable_metrics(self):
         """Flat ``{metric name: number}`` view for diffing.

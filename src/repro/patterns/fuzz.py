@@ -1,0 +1,133 @@
+"""Seeded pattern randomizer — the Blacksmith-style fuzzing hook.
+
+Blacksmith (PAPERS.md) showed that *non-uniform, frequency-varied*
+hammer patterns flip bits on DIMMs that survive uniform double-sided
+hammering, and found them by fuzzing the pattern space.  This module
+is the analogous hook for the implicit-access setting: a
+:class:`PatternFuzzer` draws syntactically valid, validated
+:class:`~repro.patterns.model.Pattern`\\ s from a seeded
+:class:`~repro.utils.rng.DeterministicRng` stream, so a fuzzing
+campaign is reproducible from its seed — pattern ``(seed, index)`` is
+the same pattern on every machine, every run.
+
+The generator composes the whole DSL surface: hammer bursts over a
+random role set, nop delay slots, optional ``sync_ref`` preambles,
+and ``repeat``/``rotate``/``interleave`` combinators, within size
+bounds that keep one pattern instance comparable in cost to a
+double-sided round (campaigns sweep *shape*, not *volume*).
+
+Runnable as an engine campaign: ``repro patternfuzz`` samples a
+pattern population, runs each through the full attack, and ranks
+shapes by flips produced.
+"""
+
+from repro.patterns.model import (
+    Hammer,
+    Interleave,
+    Nop,
+    Pattern,
+    Repeat,
+    Rotate,
+    SyncRef,
+)
+from repro.utils.rng import DeterministicRng, hash64
+
+#: Stream label so fuzzer draws never collide with machine RNG streams.
+_STREAM = "pattern-fuzz"
+
+#: Delay-slot cycle counts the fuzzer draws from (powers of two keep
+#: the search space small and the unparsed text readable).
+_NOP_SLOTS = (16, 32, 64, 128, 256)
+
+
+class PatternFuzzer:
+    """Draws random valid patterns from a seeded stream.
+
+    ``max_roles`` bounds the aggressor-set size (at least 2 so drawn
+    patterns can double-side), ``max_ops`` soft-bounds the unrolled
+    length of one pattern instance.  ``pattern(index)`` is pure in
+    ``(seed, index)``: the fuzzer forks a child RNG stream per index,
+    so campaigns can evaluate any subset of the population in any
+    order — or in parallel workers — and still agree on what pattern
+    ``i`` is.
+    """
+
+    def __init__(self, seed, max_roles=4, max_ops=16):
+        if max_roles < 2:
+            raise ValueError("max_roles must be at least 2, got %r" % (max_roles,))
+        if max_ops < 2:
+            raise ValueError("max_ops must be at least 2, got %r" % (max_ops,))
+        self.seed = seed
+        self.max_roles = max_roles
+        self.max_ops = max_ops
+
+    def pattern(self, index):
+        """The ``index``-th pattern of this seed's population."""
+        rng = DeterministicRng(hash64(_STREAM, self.seed, index))
+        role_count = rng.randrange(2, self.max_roles + 1)
+        roles = tuple("r%d" % i for i in range(role_count))
+        name = "fuzz_%d_%d" % (self.seed, index)
+        body = []
+        if rng.chance(0.25):
+            body.append(SyncRef())
+        body.extend(self._burst(rng, roles, self.max_ops))
+        pattern = Pattern(name, roles, body)
+        return pattern
+
+    def patterns(self, count, start=0):
+        """Patterns ``start .. start+count`` of the population."""
+        return [self.pattern(start + i) for i in range(count)]
+
+    # -- drawing helpers ------------------------------------------------
+
+    def _burst(self, rng, roles, budget):
+        """A statement list hammering every role at least once."""
+        stmts = []
+        # Guarantee validity: open with one hammer of each role in a
+        # random rotation, then grow with random statements.
+        order = list(roles)
+        rng.shuffle(order)
+        stmts.extend(Hammer(role) for role in order)
+        budget -= len(order)
+        while budget > 0:
+            draw = rng.random()
+            if draw < 0.45:
+                stmts.append(Hammer(rng.choice(roles)))
+                budget -= 1
+            elif draw < 0.65:
+                stmts.append(Nop(rng.choice(_NOP_SLOTS)))
+                budget -= 1
+            elif draw < 0.80 and budget >= 4:
+                count = rng.randrange(2, 4)
+                inner = self._flat_run(rng, roles, budget // count)
+                stmts.append(
+                    Repeat(count, inner, rotate=rng.randint(len(inner) + 1))
+                )
+                budget -= count * len(inner)
+            elif draw < 0.90 and budget >= 4:
+                inner = self._flat_run(rng, roles, budget)
+                stmts.append(Rotate(rng.randrange(1, len(inner) + 1), inner))
+                budget -= len(inner)
+            elif budget >= 4:
+                half = max(1, budget // 4)
+                branches = [
+                    self._flat_run(rng, roles, half),
+                    self._flat_run(rng, roles, half),
+                ]
+                stmts.append(Interleave(branches))
+                budget -= sum(len(branch) for branch in branches)
+            else:
+                stmts.append(Hammer(rng.choice(roles)))
+                budget -= 1
+        return stmts
+
+    def _flat_run(self, rng, roles, budget):
+        """A non-empty flat run of hammer/nop statements."""
+        length = rng.randrange(1, max(2, budget + 1))
+        run = []
+        for _ in range(length):
+            if rng.chance(0.7):
+                run.append(Hammer(rng.choice(roles)))
+            else:
+                run.append(Nop(rng.choice(_NOP_SLOTS)))
+        return run

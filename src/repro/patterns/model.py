@@ -1,0 +1,292 @@
+"""The hammer-pattern AST and its canonical text form.
+
+A pattern is a named program over *aggressor roles*: abstract hammer
+slots (``a``, ``b``, ...) that are bound to concrete
+:class:`~repro.core.hammer.HammerTarget`\\ s only when the pattern is
+compiled against a machine.  The body is a sequence of statements:
+
+* ``hammer ROLE`` — one implicit activation of the role's target
+  (TLB-eviction sweep, LLC-eviction sweep(s), probe touch);
+* ``nop N`` — burn ``N`` cycles (a delay slot);
+* ``sync_ref`` — spin to the next refresh-interval boundary (a
+  refresh-synchronisation barrier);
+* ``repeat N [rotate K]: <block>`` — unroll the block ``N`` times,
+  rotating the unrolled ops left by ``K`` more positions each
+  iteration;
+* ``rotate K: <block>`` — the block's unrolled ops, rotated left ``K``;
+* ``interleave: <group blocks>`` — round-robin merge of the child
+  groups' op streams.
+
+Every node unparses to canonical DSL text (:func:`unparse`); the
+parser (:mod:`repro.patterns.parser`) is its exact inverse, so
+``parse(unparse(p)) == p`` for every valid pattern — the round-trip
+the test suite holds the pair to.  Grammar reference and worked
+examples: ``docs/PATTERNS.md``.
+"""
+
+from repro.errors import PatternError
+
+#: One indentation level in canonical unparsed text.
+INDENT = "  "
+
+
+class Stmt:
+    """Base statement; subclasses define ``key()`` for equality."""
+
+    __slots__ = ()
+
+    def key(self):
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        return type(other) is type(self) and other.key() == self.key()
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.key()))
+
+    def __repr__(self):
+        return "%s%r" % (type(self).__name__, self.key())
+
+
+class Hammer(Stmt):
+    """One implicit hammer of an aggressor role's target."""
+
+    __slots__ = ("role",)
+
+    def __init__(self, role):
+        self.role = role
+
+    def key(self):
+        return (self.role,)
+
+    def unparse(self, depth=0):
+        return ["%shammer %s" % (INDENT * depth, self.role)]
+
+
+class Nop(Stmt):
+    """A delay slot: burn ``count`` cycles without touching memory."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count):
+        if not isinstance(count, int) or count < 1:
+            raise PatternError("nop count must be a positive integer, got %r" % (count,))
+        self.count = count
+
+    def key(self):
+        return (self.count,)
+
+    def unparse(self, depth=0):
+        return ["%snop %d" % (INDENT * depth, self.count)]
+
+
+class SyncRef(Stmt):
+    """Barrier: spin to the next refresh-interval boundary."""
+
+    __slots__ = ()
+
+    def key(self):
+        return ()
+
+    def unparse(self, depth=0):
+        return ["%ssync_ref" % (INDENT * depth)]
+
+
+def _unparse_block(body, depth):
+    lines = []
+    for stmt in body:
+        lines.extend(stmt.unparse(depth))
+    return lines
+
+
+class Repeat(Stmt):
+    """Unroll ``body`` ``count`` times; rotate ``rotate`` more each pass."""
+
+    __slots__ = ("count", "body", "rotate")
+
+    def __init__(self, count, body, rotate=0):
+        if not isinstance(count, int) or count < 1:
+            raise PatternError(
+                "repeat count must be a positive integer, got %r" % (count,)
+            )
+        if not isinstance(rotate, int) or rotate < 0:
+            raise PatternError(
+                "repeat rotation must be a non-negative integer, got %r" % (rotate,)
+            )
+        if not body:
+            raise PatternError("repeat block must not be empty")
+        self.count = count
+        self.body = tuple(body)
+        self.rotate = rotate
+
+    def key(self):
+        return (self.count, self.rotate, self.body)
+
+    def unparse(self, depth=0):
+        head = "%srepeat %d" % (INDENT * depth, self.count)
+        if self.rotate:
+            head += " rotate %d" % self.rotate
+        return [head + ":"] + _unparse_block(self.body, depth + 1)
+
+
+class Rotate(Stmt):
+    """The block's unrolled ops, rotated left by ``shift`` positions."""
+
+    __slots__ = ("shift", "body")
+
+    def __init__(self, shift, body):
+        if not isinstance(shift, int) or shift < 0:
+            raise PatternError(
+                "rotate shift must be a non-negative integer, got %r" % (shift,)
+            )
+        if not body:
+            raise PatternError("rotate block must not be empty")
+        self.shift = shift
+        self.body = tuple(body)
+
+    def key(self):
+        return (self.shift, self.body)
+
+    def unparse(self, depth=0):
+        head = "%srotate %d:" % (INDENT * depth, self.shift)
+        return [head] + _unparse_block(self.body, depth + 1)
+
+
+class Interleave(Stmt):
+    """Round-robin merge of the child groups' unrolled op streams.
+
+    ``branches`` is a tuple of statement tuples; unrolling takes op 0
+    of every branch, then op 1 of every branch (skipping exhausted
+    branches), and so on — the Blacksmith-style interleaving that
+    spreads each branch's activations across the whole round.
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches):
+        branches = tuple(tuple(branch) for branch in branches)
+        if len(branches) < 2:
+            raise PatternError("interleave needs at least two group blocks")
+        if any(not branch for branch in branches):
+            raise PatternError("interleave group blocks must not be empty")
+        self.branches = branches
+
+    def key(self):
+        return (self.branches,)
+
+    def unparse(self, depth=0):
+        lines = ["%sinterleave:" % (INDENT * depth)]
+        for branch in self.branches:
+            lines.append("%sgroup:" % (INDENT * (depth + 1)))
+            lines.extend(_unparse_block(branch, depth + 2))
+        return lines
+
+
+class Pattern:
+    """A named hammer pattern: aggressor roles plus a statement body."""
+
+    __slots__ = ("name", "roles", "body")
+
+    def __init__(self, name, roles, body):
+        self.name = name
+        self.roles = tuple(roles)
+        self.body = tuple(body)
+        self.validate()
+
+    def key(self):
+        return (self.name, self.roles, self.body)
+
+    def __eq__(self, other):
+        return isinstance(other, Pattern) and other.key() == self.key()
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return "Pattern(%r, roles=%r, %d stmt(s))" % (
+            self.name,
+            self.roles,
+            len(self.body),
+        )
+
+    # -- validation -----------------------------------------------------
+
+    def validate(self):
+        """Raise :class:`PatternError` on structural problems."""
+        if not _is_name(self.name):
+            raise PatternError("invalid pattern name %r" % (self.name,))
+        if not self.roles:
+            raise PatternError(
+                "pattern %r declares no aggressor roles" % self.name
+            )
+        seen = set()
+        for role in self.roles:
+            if not _is_name(role):
+                raise PatternError(
+                    "pattern %r: invalid aggressor role %r" % (self.name, role)
+                )
+            if role in seen:
+                raise PatternError(
+                    "pattern %r declares aggressor role %r twice"
+                    % (self.name, role)
+                )
+            seen.add(role)
+        if not self.body:
+            raise PatternError("pattern %r has an empty body" % self.name)
+        hammers = self._check_block(self.body)
+        if not hammers:
+            raise PatternError(
+                "pattern %r never hammers any aggressor" % self.name
+            )
+
+    def _check_block(self, body):
+        hammers = 0
+        for stmt in body:
+            if isinstance(stmt, Hammer):
+                if stmt.role not in self.roles:
+                    raise PatternError(
+                        "pattern %r hammers undeclared aggressor role %r "
+                        "(declared: %s)"
+                        % (self.name, stmt.role, ", ".join(self.roles))
+                    )
+                hammers += 1
+            elif isinstance(stmt, (Repeat, Rotate)):
+                hammers += self._check_block(stmt.body)
+            elif isinstance(stmt, Interleave):
+                for branch in stmt.branches:
+                    hammers += self._check_block(branch)
+            elif not isinstance(stmt, (Nop, SyncRef)):
+                raise PatternError(
+                    "pattern %r contains a non-statement object %r"
+                    % (self.name, stmt)
+                )
+        return hammers
+
+    # -- canonical text -------------------------------------------------
+
+    def unparse(self):
+        """Canonical DSL text; ``parse(unparse(p)) == p``."""
+        lines = ["pattern %s:" % self.name]
+        lines.append("%saggressors %s" % (INDENT, " ".join(self.roles)))
+        lines.extend(_unparse_block(self.body, 1))
+        return "\n".join(lines) + "\n"
+
+
+def _is_name(token):
+    """Identifiers: letters/digits/underscores, not starting with a digit."""
+    if not isinstance(token, str) or not token:
+        return False
+    if not (token[0].isalpha() or token[0] == "_"):
+        return False
+    return all(ch.isalnum() or ch == "_" for ch in token)
+
+
+def unparse(pattern):
+    """Module-level alias for :meth:`Pattern.unparse`."""
+    return pattern.unparse()

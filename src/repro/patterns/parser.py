@@ -1,0 +1,223 @@
+"""Parser for the hammer-pattern DSL (the inverse of ``unparse``).
+
+The grammar is line-oriented and indentation-significant, in the shape
+of the canonical text :meth:`~repro.patterns.model.Pattern.unparse`
+emits (see ``docs/PATTERNS.md`` for the full reference)::
+
+    pattern NAME:
+      aggressors ROLE [ROLE ...]
+      hammer ROLE
+      nop COUNT
+      sync_ref
+      repeat COUNT [rotate SHIFT]:
+        <block>
+      rotate SHIFT:
+        <block>
+      interleave:
+        group:
+          <block>
+        group:
+          <block>
+
+``#`` starts a comment; blank lines are ignored; any *consistent*
+indentation step works (the canonical form uses two spaces).  Errors
+raise :class:`~repro.errors.PatternError` carrying the line number.
+"""
+
+from repro.errors import PatternError
+from repro.patterns.model import (
+    Hammer,
+    Interleave,
+    Nop,
+    Pattern,
+    Repeat,
+    Rotate,
+    SyncRef,
+)
+
+
+class _Line:
+    __slots__ = ("number", "indent", "tokens", "text")
+
+    def __init__(self, number, indent, tokens, text):
+        self.number = number
+        self.indent = indent
+        self.tokens = tokens
+        self.text = text
+
+
+def _lex(text):
+    """Comment-stripped, non-blank lines with indent depth and tokens."""
+    lines = []
+    for number, raw in enumerate(text.splitlines(), 1):
+        code = raw.split("#", 1)[0].rstrip()
+        if not code.strip():
+            continue
+        stripped = code.lstrip(" \t")
+        if "\t" in code[: len(code) - len(stripped)]:
+            raise PatternError("line %d: indent with spaces, not tabs" % number)
+        lines.append(
+            _Line(number, len(code) - len(stripped), stripped.split(), stripped)
+        )
+    return lines
+
+
+def _fail(line, message):
+    raise PatternError("line %d: %s (%r)" % (line.number, message, line.text))
+
+
+def _int_field(line, token, what, minimum=1):
+    try:
+        value = int(token)
+    except ValueError:
+        _fail(line, "%s must be an integer" % what)
+    if value < minimum:
+        _fail(line, "%s must be >= %d" % (what, minimum))
+    return value
+
+
+class _Parser:
+    def __init__(self, lines):
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self):
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def next(self):
+        line = self.lines[self.pos]
+        self.pos += 1
+        return line
+
+    # -- blocks ---------------------------------------------------------
+
+    def block(self, parent_indent, allow_group=False):
+        """Statements indented more than ``parent_indent``, at one level."""
+        first = self.peek()
+        if first is None or first.indent <= parent_indent:
+            return []
+        level = first.indent
+        body = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent <= parent_indent:
+                return body
+            if line.indent != level:
+                _fail(line, "inconsistent indentation (expected %d spaces)" % level)
+            body.append(self.statement(self.next(), allow_group=allow_group))
+
+    def statement(self, line, allow_group=False):
+        head = line.tokens[0]
+        if head.endswith(":"):  # block openers carry the colon in token 0
+            head = head[:-1]
+        if head == "hammer":
+            if len(line.tokens) != 2:
+                _fail(line, "hammer takes exactly one aggressor role")
+            return Hammer(line.tokens[1])
+        if head == "nop":
+            if len(line.tokens) != 2:
+                _fail(line, "nop takes exactly one cycle count")
+            return Nop(_int_field(line, line.tokens[1], "nop count"))
+        if head == "sync_ref":
+            if len(line.tokens) != 1:
+                _fail(line, "sync_ref takes no arguments")
+            return SyncRef()
+        if head == "repeat":
+            return self._repeat(line)
+        if head == "rotate":
+            return self._rotate(line)
+        if head == "interleave":
+            return self._interleave(line)
+        if head == "group" and not allow_group:
+            _fail(line, "group blocks are only valid inside interleave")
+        _fail(line, "unknown statement %r" % head)
+
+    def _block_header(self, line):
+        """Strip the trailing ':' from a block-opening line's tokens."""
+        if not line.text.endswith(":"):
+            _fail(line, "block statement must end with ':'")
+        tokens = line.text[:-1].split()
+        return tokens
+
+    def _repeat(self, line):
+        tokens = self._block_header(line)
+        rotate = 0
+        if len(tokens) == 4 and tokens[2] == "rotate":
+            rotate = _int_field(line, tokens[3], "repeat rotation", minimum=0)
+        elif len(tokens) != 2:
+            _fail(line, "expected 'repeat COUNT:' or 'repeat COUNT rotate SHIFT:'")
+        count = _int_field(line, tokens[1], "repeat count")
+        body = self.block(line.indent)
+        if not body:
+            _fail(line, "repeat block is empty")
+        return Repeat(count, body, rotate=rotate)
+
+    def _rotate(self, line):
+        tokens = self._block_header(line)
+        if len(tokens) != 2:
+            _fail(line, "expected 'rotate SHIFT:'")
+        shift = _int_field(line, tokens[1], "rotate shift", minimum=0)
+        body = self.block(line.indent)
+        if not body:
+            _fail(line, "rotate block is empty")
+        return Rotate(shift, body)
+
+    def _interleave(self, line):
+        tokens = self._block_header(line)
+        if len(tokens) != 1:
+            _fail(line, "expected 'interleave:'")
+        branches = []
+        first = self.peek()
+        if first is None or first.indent <= line.indent:
+            _fail(line, "interleave block is empty")
+        level = first.indent
+        while True:
+            child = self.peek()
+            if child is None or child.indent <= line.indent:
+                break
+            if child.indent != level:
+                _fail(child, "inconsistent indentation (expected %d spaces)" % level)
+            child = self.next()
+            if child.tokens[0].rstrip(":") != "group":
+                _fail(child, "interleave children must be 'group:' blocks")
+            if self._block_header(child) != ["group"]:
+                _fail(child, "expected 'group:'")
+            branch = self.block(child.indent)
+            if not branch:
+                _fail(child, "group block is empty")
+            branches.append(branch)
+        if len(branches) < 2:
+            _fail(line, "interleave needs at least two group blocks")
+        return Interleave(branches)
+
+
+def parse(text):
+    """Parse DSL text into a validated :class:`Pattern`."""
+    lines = _lex(text)
+    if not lines:
+        raise PatternError("empty pattern text")
+    parser = _Parser(lines)
+    header = parser.next()
+    if header.indent != 0 or header.tokens[0] != "pattern":
+        _fail(header, "pattern text must start with 'pattern NAME:'")
+    tokens = parser._block_header(header)
+    if len(tokens) != 2:
+        _fail(header, "expected 'pattern NAME:'")
+    name = tokens[1]
+    decl = parser.peek()
+    if decl is None or decl.tokens[0] != "aggressors":
+        raise PatternError(
+            "pattern %r: first statement must declare 'aggressors ...'" % name
+        )
+    decl = parser.next()
+    if len(decl.tokens) < 2:
+        _fail(decl, "aggressors declares at least one role")
+    roles = decl.tokens[1:]
+    body = parser.block(0)
+    trailing = parser.peek()
+    if trailing is not None:
+        _fail(trailing, "statement outside the pattern block")
+    try:
+        return Pattern(name, roles, body)
+    except PatternError:
+        raise

@@ -1,28 +1,35 @@
-"""Docs link checker: fail on broken intra-repo references.
+"""Docs checker: broken intra-repo references and stale CLI examples.
 
 Usage (CI and local)::
 
     python -m repro.tools.check_docs [--root PATH]
 
 Scans every Markdown file in the repository root and ``docs/``
-(recursively) for two kinds of intra-repo references:
+(recursively) for three kinds of rot:
 
 * Markdown links ``[text](target)`` whose target is not an external
   URL or a pure anchor — resolved relative to the referencing file,
   then against the repository root;
 * backtick-quoted paths like ```docs/API.md``` or ```src/repro/observe/```
   whose first segment is a top-level repository entry — these are how
-  the prose refers to files, and they rot just as easily as links.
+  the prose refers to files, and they rot just as easily as links;
+* fenced ``repro ...`` / ``python -m repro ...`` CLI invocations whose
+  subcommand, nested subcommand, or ``--flags`` no longer exist —
+  validated against the live argparse surface
+  (:func:`repro.cli.build_parser`), including flag ``choices`` where
+  the example passes a concrete value.
 
 Exit status 0 when everything resolves, 1 with a listing of broken
 references otherwise.  Kept dependency-free so it runs anywhere the
 package does; wired into the test suite (``tests/test_tools_check_docs.py``)
-so a broken reference fails tier-1.
+so a broken reference fails tier-1, and into CI as the dedicated
+``docs`` job.
 """
 
 import argparse
 import os
 import re
+import shlex
 import sys
 
 #: [text](target) — target captured; images share the syntax.
@@ -85,6 +92,168 @@ def _backtick_targets(text, root):
     return targets
 
 
+#: Shell tokens that end the arguments of one invocation.
+_SHELL_OPERATORS = {"|", "||", "&&", ";", ">", ">>", "<", "2>", "2>&1", "&"}
+#: Leading words an invocation line may carry before ``repro``.
+_INVOCATION = re.compile(
+    r"^(?:\$\s+)?(?:[A-Z_][A-Z0-9_]*=\S+\s+)*(?:python3?\s+-m\s+)?repro\s+(.*)$"
+)
+
+
+def _fenced_blocks(text):
+    """The lines of every fenced code block, flattened."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            lines.append(line)
+    return lines
+
+
+def _cli_invocations(text):
+    """``repro`` argument strings from fenced code blocks.
+
+    Handles ``$`` prompts, ``ENV=value`` prefixes, ``python -m repro``
+    spellings, and trailing-backslash line continuations.  Module
+    invocations like ``python -m repro.tools.check_docs`` do not match
+    (the pattern requires whitespace after ``repro``).
+    """
+    invocations = []
+    pending = None
+    for line in _fenced_blocks(text):
+        stripped = line.strip()
+        if pending is not None:
+            pending += " " + stripped.rstrip("\\").strip()
+            if not stripped.endswith("\\"):
+                invocations.append(pending)
+                pending = None
+            continue
+        match = _INVOCATION.match(stripped)
+        if match is None:
+            continue
+        arguments = match.group(1).strip()
+        if arguments.endswith("\\"):
+            pending = arguments.rstrip("\\").strip()
+        else:
+            invocations.append(arguments)
+    if pending is not None:
+        invocations.append(pending)
+    return invocations
+
+
+def _invocation_tokens(arguments):
+    """Shell-split ``arguments``, truncated at the first shell operator."""
+    try:
+        tokens = shlex.split(arguments)
+    except ValueError:
+        return None  # unbalanced quotes: not a checkable example
+    kept = []
+    for token in tokens:
+        if token in _SHELL_OPERATORS:
+            break
+        kept.append(token)
+    return kept
+
+
+def _is_placeholder(token):
+    """Doc-example placeholders (``RUN_ID``, ``<preset>``, ``...``)."""
+    return (
+        token in ("...", "…")
+        or token.startswith("<")
+        or (token.isupper() and any(ch.isalpha() for ch in token))
+    )
+
+
+def _subparsers_action(parser):
+    import argparse as _argparse
+
+    for action in parser._actions:
+        if isinstance(action, _argparse._SubParsersAction):
+            return action
+    return None
+
+
+def _check_invocation(arguments, parser):
+    """Return a problem string for one invocation, or None if it is valid."""
+    tokens = _invocation_tokens(arguments)
+    if not tokens:
+        return None
+    commands = _subparsers_action(parser)
+    command = tokens[0]
+    if _is_placeholder(command):
+        return None
+    if command not in commands.choices:
+        return "unknown subcommand %r" % command
+    sub = commands.choices[command]
+    rest = tokens[1:]
+    nested = _subparsers_action(sub)
+    if nested is not None:
+        positional = next(
+            (token for token in rest if not token.startswith("-")), None
+        )
+        if positional is None:
+            return "%r needs a nested subcommand (%s)" % (
+                command,
+                ", ".join(sorted(nested.choices)),
+            )
+        if _is_placeholder(positional):
+            return None
+        if positional not in nested.choices:
+            return "unknown %r subcommand %r" % (command, positional)
+        index = rest.index(positional)
+        sub = nested.choices[positional]
+        rest = rest[:index] + rest[index + 1 :]
+    options = sub._option_string_actions
+    index = 0
+    while index < len(rest):
+        token = rest[index]
+        index += 1
+        if not token.startswith("--"):
+            continue  # positionals and flag values are free-form
+        name, _, value = token.partition("=")
+        action = options.get(name)
+        if action is None:
+            return "unknown flag %r for %r" % (name, command)
+        if action.nargs == 0:
+            continue
+        if not value:
+            value = rest[index] if index < len(rest) else None
+            index += 1
+        if (
+            action.choices is not None
+            and value is not None
+            and not _is_placeholder(value)
+            and value not in action.choices
+        ):
+            return "flag %s=%r not in choices (%s)" % (
+                name,
+                value,
+                ", ".join(sorted(str(c) for c in action.choices)),
+            )
+    return None
+
+
+def check_cli_invocations(root):
+    """(file, invocation, problem) for every stale CLI example."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    broken = []
+    for path in _markdown_files(root):
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for invocation in _cli_invocations(text):
+            problem = _check_invocation(invocation, parser)
+            if problem is not None:
+                broken.append(
+                    (os.path.relpath(path, root), "repro " + invocation, problem)
+                )
+    return broken
+
+
 def check_repository(root):
     """Return a list of (file, reference) pairs that do not resolve."""
     broken = []
@@ -120,13 +289,25 @@ def main(argv=None):
         root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
     files = _markdown_files(root)
     broken = check_repository(root)
+    stale = check_cli_invocations(root)
     if broken:
         print("broken intra-repo references:")
         for path, target in broken:
             print("  %s -> %s" % (path, target))
-        print("%d broken reference(s) in %d file(s) scanned" % (len(broken), len(files)))
+    if stale:
+        print("stale CLI invocations:")
+        for path, invocation, problem in stale:
+            print("  %s: `%s` — %s" % (path, invocation, problem))
+    if broken or stale:
+        print(
+            "%d broken reference(s), %d stale invocation(s) in %d file(s) scanned"
+            % (len(broken), len(stale), len(files))
+        )
         return 1
-    print("docs ok: %d Markdown file(s), no broken intra-repo references" % len(files))
+    print(
+        "docs ok: %d Markdown file(s), no broken references or stale "
+        "CLI invocations" % len(files)
+    )
     return 0
 
 

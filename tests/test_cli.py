@@ -86,3 +86,43 @@ def test_attack_with_chaos_profile(capsys):
     assert "chaos/recovery:" in out
     assert "recovery." in out
     assert code == 0
+
+
+def test_patterns_list_command(capsys):
+    assert main(["patterns", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("double_sided", "four_sided", "delay_slotted"):
+        assert name in out
+
+
+def test_patterns_show_command(capsys):
+    assert main(["patterns", "show", "double_sided"]) == 0
+    out = capsys.readouterr().out
+    assert "pattern double_sided:" in out
+    assert "aggressors a b" in out
+    assert "unrolled" in out
+
+
+def test_patterns_show_unknown_name(capsys):
+    assert main(["patterns", "show", "sledgehammer"]) == 2
+    err = capsys.readouterr().err
+    assert "sledgehammer" in err
+    assert "double_sided" in err  # the error names what is registered
+
+
+def test_attack_rejects_unknown_pattern(capsys):
+    assert main(
+        ["attack", "--machine", "tiny", "--pattern", "sledgehammer"]
+    ) == 2
+    assert "sledgehammer" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_attack_with_pattern_flag(capsys):
+    code = main(
+        ["attack", "--machine", "tiny", "--seed", "1", "--slots", "256",
+         "--pairs", "14", "--pattern", "double_sided", "--no-record"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "pattern: double_sided" in out

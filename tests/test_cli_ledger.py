@@ -121,11 +121,66 @@ def test_bench_compare_tolerance_is_configurable(capsys):
     assert 0 < DEFAULT_TOLERANCE < 1
 
 
-def test_bench_compare_reports_missing_baseline(capsys):
-    assert main(["bench", "--only", "sec4d-tiny", "--compare", "nope"]) == 0
+def test_bench_compare_missing_baseline_is_a_clear_error(capsys):
+    """Comparing against a baseline with no records must not silently
+    pass (a CI typo or unseeded ledger would otherwise green-light any
+    regression): clear message on stderr, exit 2, no traceback."""
+    assert main(["bench", "--only", "sec4d-tiny", "--compare", "nope"]) == 2
     captured = capsys.readouterr()
     assert "no baseline" in captured.err
+    assert "has no record for any selected benchmark" in captured.err
+    assert "repro bench --record --baseline nope" in captured.err
+    assert "Traceback" not in captured.err
     assert "sec4d-tiny\t-\t-\t-\tmissing-baseline" in captured.out
+
+
+def test_bench_compare_partial_baseline_still_compares(capsys):
+    """A baseline that covers *some* of the selected benchmarks is a
+    real comparison — only the wholly absent case is the hard error."""
+    assert main(
+        ["bench", "--only", "sec4d-tiny", "--record", "--baseline", "main"]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["bench", "--only", "sec4d-tiny", "--only", "figure3-tiny",
+         "--compare", "main"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "figure3-tiny\t-\t-\t-\tmissing-baseline" in captured.out
+    assert "has no record" not in captured.err
+
+
+def test_bench_compare_malformed_baseline_is_a_clear_error(capsys):
+    """A corrupted record file in the ledger directory must surface as
+    `repro: ...` with exit 2, not a TypeError traceback."""
+    assert main(
+        ["bench", "--only", "sec4d-tiny", "--record", "--baseline", "main"]
+    ) == 0
+    capsys.readouterr()
+    path = glob.glob(os.path.join(_ledger_dir(), "*.json"))[0]
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    del payload["name"]  # schema intact, record incomplete
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    assert main(["bench", "--only", "sec4d-tiny", "--compare", "main"]) == 2
+    captured = capsys.readouterr()
+    assert "repro:" in captured.err and "malformed" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_bench_compare_non_object_baseline_is_a_clear_error(capsys):
+    assert main(
+        ["bench", "--only", "sec4d-tiny", "--record", "--baseline", "main"]
+    ) == 0
+    capsys.readouterr()
+    path = glob.glob(os.path.join(_ledger_dir(), "*.json"))[0]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('["not", "a", "record"]')
+    assert main(["bench", "--only", "sec4d-tiny", "--compare", "main"]) == 2
+    captured = capsys.readouterr()
+    assert "repro:" in captured.err and "JSON object" in captured.err
+    assert "Traceback" not in captured.err
 
 
 def test_bench_compare_stdout_is_machine_parseable(capsys):

@@ -73,6 +73,19 @@ def test_from_json_rejects_other_schemas():
         RunRecord.from_json(payload)
 
 
+def test_from_json_rejects_non_object_payloads():
+    for payload in (["a", "list"], "a string", 7, None):
+        with pytest.raises(ConfigError, match="JSON object"):
+            RunRecord.from_json(payload)
+
+
+def test_from_json_rejects_missing_fields():
+    payload = _record().to_json()
+    del payload["name"]
+    with pytest.raises(ConfigError, match="malformed"):
+        RunRecord.from_json(payload)
+
+
 def test_comparable_metrics_flattening():
     registry = MetricsRegistry()
     registry.inc("loads", 10)

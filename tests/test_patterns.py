@@ -1,0 +1,264 @@
+"""The hammer-pattern DSL: parser, AST, unroll semantics, fuzzer.
+
+The invariants:
+
+* ``parse(unparse(p)) == p`` for every valid pattern — the built-ins,
+  handwritten combinator nests, and a fuzzed population;
+* unrolling implements the documented semantics (repeat with per-pass
+  rotation, rotate-left, round-robin interleave);
+* invalid text and invalid ASTs raise :class:`PatternError` (a
+  :class:`ConfigError`), never anything uncaught;
+* the seeded randomizer is deterministic and order-independent in
+  ``(seed, index)``.
+"""
+
+import pytest
+
+import repro.patterns as patterns
+from repro.errors import ConfigError, PatternError
+from repro.patterns import (
+    Hammer,
+    Interleave,
+    Nop,
+    Pattern,
+    PatternFuzzer,
+    Repeat,
+    Rotate,
+    SyncRef,
+    parse,
+    unroll,
+)
+
+# ----------------------------------------------------------------------
+# parse -> unparse round-trips
+
+
+def test_builtins_round_trip():
+    for name in patterns.names():
+        pattern = patterns.get(name)
+        assert parse(pattern.unparse()) == pattern
+
+
+def test_unparse_is_stable():
+    """unparse(parse(text)) is a fixed point: canonical text survives."""
+    for name in patterns.names():
+        text = patterns.get(name).unparse()
+        assert parse(text).unparse() == text
+
+
+def test_round_trip_nested_combinators():
+    pattern = Pattern(
+        "nested",
+        ("a", "b", "c"),
+        (
+            SyncRef(),
+            Repeat(
+                3,
+                (
+                    Rotate(1, (Hammer("a"), Nop(16), Hammer("b"))),
+                    Interleave(
+                        (
+                            (Hammer("a"), Hammer("c")),
+                            (Nop(8), Hammer("b"), Hammer("b")),
+                        )
+                    ),
+                ),
+                rotate=2,
+            ),
+        ),
+    )
+    assert parse(pattern.unparse()) == pattern
+    assert parse(pattern.unparse()).unparse() == pattern.unparse()
+
+
+def test_parse_tolerates_comments_and_blanks():
+    text = """
+# a comment
+pattern t:   # trailing comment
+  aggressors a b
+
+  hammer a
+  # indented comment
+  hammer b
+"""
+    pattern = parse(text)
+    assert pattern.name == "t"
+    assert unroll(pattern) == [("hammer", "a"), ("hammer", "b")]
+
+
+def test_parse_accepts_any_consistent_indent():
+    wide = "pattern t:\n    aggressors a\n    hammer a\n"
+    assert parse(wide) == parse("pattern t:\n  aggressors a\n  hammer a\n")
+
+
+# ----------------------------------------------------------------------
+# parse errors
+
+
+@pytest.mark.parametrize(
+    "text, fragment",
+    [
+        ("", "empty pattern"),
+        ("hammer a\n", "must start with 'pattern NAME:'"),
+        ("pattern t:\n  hammer a\n", "aggressors"),
+        ("pattern t:\n  aggressors\n", "at least one role"),
+        ("pattern t:\n  aggressors a\n  hammer a b\n", "exactly one"),
+        ("pattern t:\n  aggressors a\n  nop x\n", "integer"),
+        ("pattern t:\n  aggressors a\n  nop 0\n", ">= 1"),
+        ("pattern t:\n  aggressors a\n  frob a\n", "unknown statement"),
+        ("pattern t:\n  aggressors a\n  hammer b\n", "undeclared"),
+        ("pattern t:\n  aggressors a a\n  hammer a\n", "twice"),
+        ("pattern t:\n  aggressors a\n  nop 5\n", "never hammers"),
+        ("pattern t:\n  aggressors a\n  repeat 2:\n  hammer a\n", "empty"),
+        ("pattern t:\n  aggressors a\n\thammer a\n", "tabs"),
+        (
+            "pattern t:\n  aggressors a\n  hammer a\n   hammer a\n",
+            "inconsistent indentation",
+        ),
+        (
+            "pattern t:\n  aggressors a\n  group:\n    hammer a\n",
+            "only valid inside interleave",
+        ),
+        (
+            "pattern t:\n  aggressors a\n  interleave:\n    group:\n      hammer a\n",
+            "at least two",
+        ),
+    ],
+)
+def test_parse_errors(text, fragment):
+    with pytest.raises(PatternError) as excinfo:
+        parse(text)
+    assert fragment in str(excinfo.value)
+
+
+def test_parse_errors_carry_line_numbers():
+    with pytest.raises(PatternError) as excinfo:
+        parse("pattern t:\n  aggressors a\n  frob a\n")
+    assert "line 3" in str(excinfo.value)
+
+
+def test_pattern_errors_are_config_errors():
+    """CLI/engine paths that already catch ConfigError handle bad
+    patterns without new except clauses."""
+    assert issubclass(PatternError, ConfigError)
+
+
+# ----------------------------------------------------------------------
+# AST validation
+
+
+def test_ast_rejects_bad_scalars():
+    with pytest.raises(PatternError):
+        Nop(0)
+    with pytest.raises(PatternError):
+        Nop("4")
+    with pytest.raises(PatternError):
+        Repeat(0, (Hammer("a"),))
+    with pytest.raises(PatternError):
+        Repeat(2, ())
+    with pytest.raises(PatternError):
+        Rotate(-1, (Hammer("a"),))
+    with pytest.raises(PatternError):
+        Interleave(((Hammer("a"),),))
+    with pytest.raises(PatternError):
+        Pattern("9bad", ("a",), (Hammer("a"),))
+    with pytest.raises(PatternError):
+        Pattern("t", ("a",), (Hammer("a"), "not a statement"))
+
+
+# ----------------------------------------------------------------------
+# unroll semantics
+
+
+def test_unroll_repeat_rotates_per_iteration():
+    pattern = parse(
+        "pattern t:\n  aggressors a b\n"
+        "  repeat 3 rotate 1:\n    hammer a\n    hammer b\n    nop 8\n"
+    )
+    assert unroll(pattern) == [
+        ("hammer", "a"), ("hammer", "b"), ("nop", 8),      # rotation 0
+        ("hammer", "b"), ("nop", 8), ("hammer", "a"),      # rotation 1
+        ("nop", 8), ("hammer", "a"), ("hammer", "b"),      # rotation 2
+    ]
+
+
+def test_unroll_rotate_shifts_left():
+    pattern = parse(
+        "pattern t:\n  aggressors a b\n"
+        "  rotate 1:\n    hammer a\n    hammer b\n    nop 4\n"
+    )
+    assert unroll(pattern) == [("hammer", "b"), ("nop", 4), ("hammer", "a")]
+
+
+def test_unroll_interleave_round_robins():
+    pattern = parse(
+        "pattern t:\n  aggressors a b\n"
+        "  interleave:\n"
+        "    group:\n      hammer a\n      hammer a\n      hammer a\n"
+        "    group:\n      hammer b\n"
+    )
+    assert unroll(pattern) == [
+        ("hammer", "a"), ("hammer", "b"), ("hammer", "a"), ("hammer", "a"),
+    ]
+
+
+def test_unroll_sync_and_nop_ops():
+    pattern = patterns.get("refresh_synced")
+    ops = unroll(pattern)
+    assert ops[0] == ("sync",)
+    assert ops[1:] == [("hammer", "a"), ("hammer", "b")] * 4
+
+
+# ----------------------------------------------------------------------
+# registry
+
+
+def test_registry_lookup_unknown_name():
+    with pytest.raises(PatternError) as excinfo:
+        patterns.get("no_such_pattern")
+    assert "double_sided" in str(excinfo.value)  # lists what IS registered
+
+
+def test_registry_rejects_silent_overwrite():
+    pattern = parse("pattern double_sided:\n  aggressors a\n  hammer a\n")
+    with pytest.raises(PatternError):
+        patterns.register(pattern)
+    # replace=True is the explicit override; restore the canonical one.
+    original = patterns.get("double_sided")
+    try:
+        assert patterns.register(pattern, replace=True) is pattern
+    finally:
+        patterns.register(original, replace=True)
+
+
+# ----------------------------------------------------------------------
+# fuzzer determinism
+
+
+def test_fuzzer_is_deterministic():
+    population = PatternFuzzer(seed=5).patterns(25)
+    again = PatternFuzzer(seed=5).patterns(25)
+    assert [p.unparse() for p in population] == [p.unparse() for p in again]
+
+
+def test_fuzzer_is_order_independent():
+    """pattern(i) is pure in (seed, index): evaluating out of order —
+    as parallel engine workers do — agrees with in-order evaluation."""
+    fuzzer = PatternFuzzer(seed=9)
+    forward = [fuzzer.pattern(i).unparse() for i in range(8)]
+    backward = [PatternFuzzer(seed=9).pattern(i).unparse()
+                for i in reversed(range(8))]
+    assert forward == list(reversed(backward))
+
+
+def test_fuzzer_seeds_differ():
+    assert PatternFuzzer(seed=1).pattern(0).unparse() != PatternFuzzer(
+        seed=2
+    ).pattern(0).unparse()
+
+
+def test_fuzzed_patterns_are_valid_and_round_trip():
+    for pattern in PatternFuzzer(seed=13).patterns(25):
+        assert parse(pattern.unparse()) == pattern
+        ops = unroll(pattern)
+        assert any(op[0] == "hammer" for op in ops)

@@ -74,3 +74,89 @@ def test_main_exit_codes(tmp_path, capsys):
     _write(root, "nope.md", "x\n")
     assert check_docs.main(["--root", root]) == 0
     assert "docs ok" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# CLI-invocation validation
+
+
+def _fence(*lines):
+    return "```console\n" + "\n".join(lines) + "\n```\n"
+
+
+def test_repository_docs_have_no_stale_cli_invocations():
+    stale = check_docs.check_cli_invocations(REPO_ROOT)
+    assert stale == [], "stale CLI invocations in docs: %r" % stale
+
+
+def test_invocations_extracted_from_fences_only(tmp_path):
+    root = str(tmp_path)
+    # Prose mentioning `repro attack` outside a fence is not an example.
+    _write(root, "README.md", "run repro frobnicate often\n")
+    assert check_docs.check_cli_invocations(root) == []
+
+
+def test_detects_unknown_subcommand(tmp_path):
+    root = str(tmp_path)
+    _write(root, "README.md", _fence("repro frobnicate --machine tiny"))
+    stale = check_docs.check_cli_invocations(root)
+    assert stale == [
+        ("README.md", "repro frobnicate --machine tiny", "unknown subcommand 'frobnicate'")
+    ]
+
+
+def test_detects_unknown_flag_and_bad_choice(tmp_path):
+    root = str(tmp_path)
+    _write(root, "docs/A.md", _fence("repro attack --no-such-flag"))
+    _write(root, "docs/B.md", _fence("repro attack --machine warehouse"))
+    stale = {problem for _path, _inv, problem in check_docs.check_cli_invocations(root)}
+    assert any("unknown flag '--no-such-flag'" in p for p in stale)
+    assert any("--machine='warehouse' not in choices" in p for p in stale)
+
+
+def test_detects_unknown_nested_subcommand(tmp_path):
+    root = str(tmp_path)
+    _write(root, "README.md", _fence("repro patterns frobnicate"))
+    stale = check_docs.check_cli_invocations(root)
+    assert len(stale) == 1
+    assert "unknown 'patterns' subcommand 'frobnicate'" in stale[0][2]
+
+
+def test_valid_invocations_pass(tmp_path):
+    root = str(tmp_path)
+    _write(
+        root,
+        "README.md",
+        _fence(
+            "$ PYTHONPATH=src python -m repro attack --machine tiny --seed 1",
+            "repro patterns show double_sided",
+            "repro bench --record --baseline main",
+            "repro attack --machine tiny \\",
+            "  --slots 256 --pairs 14",
+            "repro attack --seed 1 | tee out.log",
+        ),
+    )
+    assert check_docs.check_cli_invocations(root) == []
+
+
+def test_placeholders_are_skipped(tmp_path):
+    root = str(tmp_path)
+    _write(
+        root,
+        "README.md",
+        _fence(
+            "repro runs show RUN_ID",
+            "repro chaos show <profile>",
+            "repro attack --machine MACHINE --seed N",
+        ),
+    )
+    assert check_docs.check_cli_invocations(root) == []
+
+
+def test_main_reports_stale_invocations(tmp_path, capsys):
+    root = str(tmp_path)
+    _write(root, "README.md", _fence("repro attack --frobnicate"))
+    assert check_docs.main(["--root", root]) == 1
+    out = capsys.readouterr().out
+    assert "stale CLI invocations" in out
+    assert "--frobnicate" in out
