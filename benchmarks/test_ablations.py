@@ -153,15 +153,27 @@ def test_ablation_undersized_llc_set_stops_hammering(once, benchmark):
 
 
 def test_ablation_bank_hash_breaks_pair_construction(once, benchmark):
-    from repro.analysis import section_4d_pairs
+    from repro.analysis import run_experiment
 
     def run():
-        plain = section_4d_pairs(
-            lambda: tiny_test_config(seed=3), sample=12, spray_slots=384
-        )
+        plain = run_experiment(
+            "sec4d",
+            {
+                "config_fn": lambda: tiny_test_config(seed=3),
+                "sample": 12,
+                "spray_slots": 384,
+            },
+        ).result
         hashed_config = tiny_test_config(seed=3)
         hashed_config.dram.row_xor_mask = 0b11
-        hashed = section_4d_pairs(lambda: hashed_config, sample=12, spray_slots=384)
+        hashed = run_experiment(
+            "sec4d",
+            {
+                "config_fn": lambda: hashed_config,
+                "sample": 12,
+                "spray_slots": 384,
+            },
+        ).result
         return plain, hashed
 
     plain, hashed = once(run)

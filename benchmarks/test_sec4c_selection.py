@@ -7,14 +7,16 @@ ground truth.  We allow a little slack on the scaled machines.
 
 from conftest import emit
 
-from repro.analysis import section_4c_selection
+from repro.analysis import run_experiment
 from repro.machine.configs import lenovo_t420_scaled, dell_e6420_scaled
 
 
 def test_selection_false_positive_rate(once, benchmark):
     def run():
         return [
-            section_4c_selection(config_fn, targets=12)
+            run_experiment(
+                "sec4c", {"config_fn": config_fn, "targets": 12}
+            ).result
             for config_fn in (lenovo_t420_scaled, dell_e6420_scaled)
         ]
 

@@ -8,19 +8,22 @@ table, builds an arbitrary physical-mapping primitive, rewrites its own
 
 from conftest import emit
 
-from repro.analysis import run_escalation
+from repro.analysis import run_experiment
 from repro.core.pthammer import PThammerConfig
 from repro.machine.configs import lenovo_t420_scaled
 
 
 def test_privilege_escalation(once, benchmark):
     def run():
-        return run_escalation(
-            lenovo_t420_scaled,
-            attack_config=PThammerConfig(
-                spray_slots=384, pair_sample=12, max_pairs=10
-            ),
-        )
+        return run_experiment(
+            "escalation",
+            {
+                "config_fn": lenovo_t420_scaled,
+                "attack_config": PThammerConfig(
+                    spray_slots=384, pair_sample=12, max_pairs=10
+                ),
+            },
+        ).result
 
     result = once(run)
     emit(

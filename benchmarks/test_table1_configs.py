@@ -2,11 +2,11 @@
 
 from conftest import emit
 
-from repro.analysis import table1
+from repro.analysis import run_experiment
 
 
 def test_table1(once, benchmark):
-    result = emit(once(table1))
+    result = emit(once(lambda: run_experiment("table1", {}).result))
     rows = {row[0]: row for row in result.rows}
     assert set(rows) == {"Lenovo T420", "Lenovo X230", "Dell E6420"}
     assert "12-way, 3 MiB" in rows["Lenovo T420"][3]

@@ -99,8 +99,8 @@ def main():
     print("== 3. compiled turbo batches vs the scalar interpreter ==")
     fast = run_rounds(lambda targets: compile_pattern(pattern, targets))
     oracle = run_rounds(lambda targets: PatternInterpreter(pattern, targets))
-    same_metrics = json.dumps(fast.metrics.snapshot(), sort_keys=True) == json.dumps(
-        oracle.metrics.snapshot(), sort_keys=True
+    same_metrics = json.dumps(fast.metrics.snapshot_values(), sort_keys=True) == json.dumps(
+        oracle.metrics.snapshot_values(), sort_keys=True
     )
     assert fast.cycles == oracle.cycles, "compiler changed the virtual clock!"
     assert same_metrics, "compiler changed the machine state!"

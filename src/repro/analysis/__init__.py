@@ -1,8 +1,9 @@
 """Experiment specs, the execution engine, and plain-text reporting.
 
 Every paper artifact is a registered :class:`ExperimentSpec`; dispatch
-through :func:`run_experiment` (serial, parallel, checkpointed) or use
-the deprecated per-artifact shims (``table1()`` ...) during migration.
+through :func:`run_experiment` (serial, parallel, checkpointed).  The
+historical per-artifact free functions (``table1()`` ...) are gone;
+see docs/EXPERIMENT_ENGINE.md for the one-line migration.
 """
 
 from repro.analysis.engine import (
@@ -40,16 +41,6 @@ from repro.analysis.experiments import (
     SelectionResult,
     Table1Result,
     Table2Result,
-    figure3,
-    figure4,
-    figure5,
-    figure6,
-    run_escalation,
-    section_4c_selection,
-    section_4d_pairs,
-    section_4g_defenses,
-    table1,
-    table2,
 )
 from repro.analysis.figures import ascii_chart, figure5_chart, sweep_chart
 from repro.analysis.export import (
@@ -120,14 +111,10 @@ __all__ = [
     "profile_trace",
     "read_trace_jsonl",
     "write_trace_jsonl",
-    "figure3",
-    "figure4",
-    "figure5",
     "eviction_set_congruence",
     "figure5_chart",
     "flips_by_row_range",
     "flips_vs_threshold",
-    "figure6",
     "ascii_chart",
     "pair_rate_vs_fragmentation",
     "render_bar",
@@ -135,15 +122,9 @@ __all__ = [
     "is_double_sided_pair",
     "pair_placement",
     "render_table",
-    "run_escalation",
     "spray_contiguity",
-    "section_4c_selection",
     "sweep_chart",
     "sweep_parameter",
-    "section_4d_pairs",
-    "section_4g_defenses",
-    "table1",
-    "table2",
     "to_csv_string",
     "write_defense_matrix_csv",
     "write_figure5_csv",

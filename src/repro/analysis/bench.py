@@ -44,7 +44,7 @@ class BenchSpec:
     ``runner()`` executes the workload and returns a plain dict with
     any of the keys ``machine``, ``config_fingerprint``, ``timings``
     (extra scalars beside the harness-measured ``host_seconds``),
-    ``phases``, ``metrics`` (a ``MetricsRegistry.snapshot()``), and
+    ``phases``, ``metrics`` (a ``MetricsRegistry.snapshot_values()``), and
     ``outcome``.
     """
 
@@ -285,7 +285,7 @@ def _attack_bench():
             {"name": name, "start": start, "end": end, "cycles": end - start}
             for name, start, end in report.timeline
         ],
-        "metrics": machine.metrics.snapshot(),
+        "metrics": machine.metrics.snapshot_values(),
         "outcome": {
             "flips": Inspector(machine).flip_count(),
             "escalated": report.escalated,
@@ -304,7 +304,7 @@ def _experiment_bench(name, options_fn):
         return {
             "machine": "tiny-test",
             "config_fingerprint": config_fingerprint(tiny_test_config()),
-            "metrics": run.metrics.snapshot(),
+            "metrics": run.metrics.snapshot_values(),
             "outcome": {"completed": run.completed, "tasks": run.tasks_total},
         }
 
@@ -368,6 +368,70 @@ def _fast_path_bench(workload, seed):
         }
 
     return runner
+
+
+def _warm_start_bench():
+    """Cold per-trial setup vs snapshot restore (docs/SNAPSHOTS.md).
+
+    Cold is the setup every Table 1 trial pays on a fresh machine:
+    boot, boot the attacker's process, and run the attack's prepare
+    phases (calibration, spray, LLC prep).  Warm is what the engine's
+    ``--warm-start`` collapses it to: boot plus
+    :meth:`~repro.machine.machine.Machine.restore` of the post-prepare
+    snapshot.  Interleaved, best of three, ``time.process_time`` — the
+    same discipline as the fast-path benchmarks, for the same reason:
+    the gated number is the ``warm_over_cold`` ratio, not raw seconds.
+    Restores must be byte-identical to cold setups, so a snapshot
+    fingerprint mismatch between the two machines is a failed outcome,
+    not a timing artifact.
+    """
+    from repro.core.pthammer import PThammerAttack, PThammerConfig, PThammerReport
+    from repro.machine import AttackerView, Machine
+    from repro.machine.configs import tiny_test_config
+
+    def cold_setup():
+        config = tiny_test_config(seed=1)
+        machine = Machine(config)
+        attacker = AttackerView(machine, machine.boot_process())
+        attack = PThammerAttack(
+            attacker, PThammerConfig(spray_slots=256, pair_sample=12, max_pairs=8)
+        )
+        attack.prepare(PThammerReport(machine_name=config.name, superpages=True))
+        return machine
+
+    snap = cold_setup().snapshot()  # captured once, outside the timed loops
+    best = {"cold": None, "warm": None}
+    fingerprints = {}
+    for _ in range(3):
+        started = time.process_time()
+        machine = cold_setup()
+        elapsed = time.process_time() - started
+        if best["cold"] is None or elapsed < best["cold"]:
+            best["cold"] = elapsed
+        fingerprints["cold"] = machine.snapshot().fingerprint()
+        started = time.process_time()
+        machine = Machine(tiny_test_config(seed=1)).restore(snap)
+        elapsed = time.process_time() - started
+        if best["warm"] is None or elapsed < best["warm"]:
+            best["warm"] = elapsed
+        fingerprints["warm"] = machine.snapshot().fingerprint()
+    states_equal = fingerprints["cold"] == fingerprints["warm"] == snap.fingerprint()
+    return {
+        "machine": "tiny-test",
+        "config_fingerprint": config_fingerprint(tiny_test_config(seed=1)),
+        "timings": {
+            "cold_seconds": round(best["cold"], 6),
+            "warm_seconds": round(best["warm"], 6),
+            # Gated ratio (lower is better; time.* regress upward): the
+            # setup-collapse factor warm start buys per trial.
+            "warm_over_cold": round(best["warm"] / best["cold"], 4),
+            "virtual_cycles": machine.cycles,
+        },
+        "outcome": {
+            "setup_collapse": round(best["cold"] / best["warm"], 3),
+            "states_equal": 1 if states_equal else 0,
+        },
+    }
 
 
 def _hammer_loop_workload(machine, attacker):
@@ -459,6 +523,13 @@ register_bench(
         "eviction-sweep",
         "reference vs fast engine on eviction sweeps",
         _fast_path_bench(_eviction_sweep_workload, seed=13),
+    )
+)
+register_bench(
+    BenchSpec(
+        "warm-start-table1-tiny",
+        "cold attack setup vs snapshot restore",
+        _warm_start_bench,
     )
 )
 register_bench(

@@ -50,6 +50,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+import repro.analysis.warmstart as warmstart
 from repro.errors import ConfigError, TaskTimeout
 from repro.observe import MetricsRegistry
 from repro.utils.rng import hash_to_unit
@@ -292,8 +293,8 @@ def _execute_task(
     if registries:
         merged = MetricsRegistry()
         for registry in registries:
-            merged.merge_snapshot(registry.snapshot())
-        metrics = merged.snapshot()
+            merged.merge_snapshot(registry.snapshot_values())
+        metrics = merged.snapshot_values()
     return TaskOutcome(
         key=task.key,
         seed=task.seed,
@@ -479,6 +480,9 @@ class RunOutcome:
     metrics: MetricsRegistry
     failures: int = 0
     run_id: Optional[str] = None
+    #: ``{config_fingerprint: snapshot_fingerprint}`` when the run was
+    #: warm-started — which machine states every trial restored from.
+    warm_start: Optional[Dict[str, str]] = None
 
     def summary(self):
         """One-line recap for progress displays and logs."""
@@ -509,7 +513,7 @@ class RunOutcome:
             label=label,
             command=command,
             timings={"host_seconds": round(self.host_seconds, 6)},
-            metrics=self.metrics.snapshot(),
+            metrics=self.metrics.snapshot_values(),
             outcome={
                 "completed": self.completed,
                 "tasks_total": self.tasks_total,
@@ -517,6 +521,7 @@ class RunOutcome:
                 "tasks_resumed": self.tasks_resumed,
                 "failures": self.failures,
                 "jobs": self.jobs,
+                "warm_start": self.warm_start,
             },
         )
 
@@ -539,6 +544,7 @@ def run_experiment(
     task_timeout=None,
     retries=2,
     retry_backoff=0.05,
+    warm_start=False,
 ):
     """Execute an experiment through the engine; returns a RunOutcome.
 
@@ -579,6 +585,13 @@ def run_experiment(
     whole timeout-plus-retries envelope gets the pool terminated, the
     unfinished tasks marked failed (``keep_going``) or a
     :class:`~repro.errors.TaskTimeout` raised.
+
+    ``warm_start=True`` boots each distinct machine config once in the
+    parent, snapshots the post-setup state
+    (:mod:`repro.analysis.warmstart`, docs/SNAPSHOTS.md), and has every
+    task restore instead of re-booting — results stay bit-identical to
+    a cold run at any ``jobs``; the snapshot fingerprints land in
+    ``RunOutcome.warm_start`` and the ledger record.
     """
     if isinstance(spec, str):
         spec = get_experiment(spec)
@@ -642,6 +655,13 @@ def run_experiment(
             writer.write_task(outcome)
         if progress is not None:
             progress(finished, total, outcome)
+
+    warm_primed = None
+    if warm_start:
+        # Prime before any fork so pool workers inherit the snapshot
+        # cache copy-on-write; nothing is pickled or shipped per task.
+        warm_primed = warmstart.prime_from_options(options)
+        warmstart.activate()
 
     global _WORKER_STATE
     try:
@@ -708,6 +728,8 @@ def run_experiment(
                     )
                 )
     finally:
+        if warm_start:
+            warmstart.deactivate()
         if writer is not None:
             writer.close()
 
@@ -730,6 +752,7 @@ def run_experiment(
         host_seconds=time.time() - started,
         metrics=metrics,
         failures=failures,
+        warm_start=warm_primed,
     )
     if ledger is not None:
         from repro.observe.ledger import RunLedger

@@ -7,19 +7,20 @@ machines), and a reduce function — registered by name in
 dispatch through that registry; fan-out, checkpointing, and resume are
 the engine's job, not the experiments'.
 
-The original free functions (``table1`` ... ``run_escalation``) survive
-as thin deprecated shims with unchanged signatures and return types;
-they run their spec through the engine with ``jobs=1``, which
-reproduces the historical serial results bit-for-bit.
+The historical free functions (``table1()`` ... ``run_escalation()``)
+went through a deprecation release as engine-backed shims and are now
+gone; ``run_experiment("<name>", options)`` with ``jobs=1`` reproduces
+their serial results bit-for-bit (migration notes in
+docs/EXPERIMENT_ENGINE.md).
 """
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.analysis import engine as _engine
-from repro.analysis.engine import ExperimentSpec, Task, register_experiment, run_experiment
+from repro.analysis import warmstart
+from repro.analysis.engine import ExperimentSpec, Task, register_experiment
 from repro.analysis.report import render_series, render_table
 from repro.analysis.result import ExperimentResult
 from repro.core.explicit import RowhammerTestTool
@@ -56,11 +57,24 @@ class ExperimentContext:
     Contexts report their machine's metrics registry to the experiment
     engine, so machines booted inside an engine task contribute to the
     run-level metrics aggregation automatically.
+
+    Under an engine run with ``warm_start=True`` (and no explicit
+    placement policy — cached snapshots are captured under the stock
+    policy), the context restores the per-config post-boot snapshot
+    from :mod:`repro.analysis.warmstart` instead of re-running setup;
+    restored machines are byte-identical to cold-booted ones, metrics
+    included, so results cannot depend on the warm-start flag.
     """
 
     def __init__(self, config, policy=None):
-        self.machine = Machine(config, policy=policy)
-        self.attacker = AttackerView(self.machine, self.machine.boot_process())
+        snap = warmstart.lookup(config) if policy is None else None
+        if snap is not None:
+            self.machine = Machine(config).restore(snap)
+            process = self.machine.kernel.processes[snap.meta["boot_pid"]]
+        else:
+            self.machine = Machine(config, policy=policy)
+            process = self.machine.boot_process()
+        self.attacker = AttackerView(self.machine, process)
         self.inspector = Inspector(self.machine)
         self.facts = UarchFacts.from_config(config)
         _engine.observe_machine_metrics(self.machine.metrics)
@@ -68,16 +82,6 @@ class ExperimentContext:
     def seconds(self, cycles):
         """Virtual cycles -> seconds at this machine's clock."""
         return cycles_to_seconds(cycles, self.machine.config.cpu.freq_ghz)
-
-
-def _deprecated_shim(name, spec_name=None):
-    warnings.warn(
-        "repro.analysis.%s() is a deprecated shim; dispatch through "
-        "run_experiment(%r) (repro.analysis.engine) instead"
-        % (name, spec_name or name),
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 # ----------------------------------------------------------------------
@@ -196,12 +200,6 @@ TABLE1_SPEC = register_experiment(
         smoke_argv=("--machines", "tiny"),
     )
 )
-
-
-def table1(config_fns=TABLE1_MACHINES):
-    """Reproduce Table I from the machine presets (deprecated shim)."""
-    _deprecated_shim("table1")
-    return run_experiment(TABLE1_SPEC, {"config_fns": config_fns}).result
 
 
 # ----------------------------------------------------------------------
@@ -375,22 +373,6 @@ FIGURE4_SPEC = register_experiment(
 )
 
 
-def figure3(config_fns=SCALED_MACHINES, sizes=range(8, 17), trials=80):
-    """Figure 3: TLB miss rate vs eviction-set size (deprecated shim)."""
-    _deprecated_shim("figure3")
-    return run_experiment(
-        FIGURE3_SPEC, {"config_fns": config_fns, "sizes": sizes, "trials": trials}
-    ).result
-
-
-def figure4(config_fns=SCALED_MACHINES, sizes=None, trials=80):
-    """Figure 4: LLC miss rate vs eviction-set size (deprecated shim)."""
-    _deprecated_shim("figure4")
-    return run_experiment(
-        FIGURE4_SPEC, {"config_fns": config_fns, "sizes": sizes, "trials": trials}
-    ).result
-
-
 # ----------------------------------------------------------------------
 # Table II — attack phase costs
 
@@ -550,19 +532,6 @@ TABLE2_SPEC = register_experiment(
 )
 
 
-def table2(config_fns=SCALED_MACHINES, page_settings=(True, False), attack_config=None):
-    """Table II: per-phase virtual-time costs (deprecated shim)."""
-    _deprecated_shim("table2")
-    return run_experiment(
-        TABLE2_SPEC,
-        {
-            "config_fns": config_fns,
-            "page_settings": page_settings,
-            "attack_config": attack_config,
-        },
-    ).result
-
-
 # ----------------------------------------------------------------------
 # Section IV-C — LLC eviction-set selection false positives
 
@@ -636,15 +605,6 @@ SEC4C_SPEC = register_experiment(
         smoke_argv=("--machine", "tiny", "--targets", "4"),
     )
 )
-
-
-def section_4c_selection(config_fn, targets=16, superpages=True):
-    """Section IV-C selection false-positive rate (deprecated shim)."""
-    _deprecated_shim("section_4c_selection", "sec4c")
-    return run_experiment(
-        SEC4C_SPEC,
-        {"config_fn": config_fn, "targets": targets, "superpages": superpages},
-    ).result
 
 
 # ----------------------------------------------------------------------
@@ -768,19 +728,6 @@ SEC4D_SPEC = register_experiment(
 )
 
 
-def section_4d_pairs(config_fn, sample=32, spray_slots=512):
-    """Section IV-D: timing-flagged pairs vs ground truth (deprecated shim).
-
-    The paper: >95% of slow pairs share a bank; 90% of those are one
-    victim row apart.
-    """
-    _deprecated_shim("section_4d_pairs", "sec4d")
-    return run_experiment(
-        SEC4D_SPEC,
-        {"config_fn": config_fn, "sample": sample, "spray_slots": spray_slots},
-    ).result
-
-
 # ----------------------------------------------------------------------
 # Figure 5 — hammer-iteration budget vs time to first flip
 
@@ -877,25 +824,6 @@ FIGURE5_SPEC = register_experiment(
         smoke_argv=("--machine", "tiny", "--paddings", "0,900", "--buffer-pages", "256"),
     )
 )
-
-
-def figure5(config_fn, paddings=(0, 300, 600, 900, 1200, 1800, 2600), budget_windows=6,
-            buffer_pages=1024):
-    """Figure 5: slower iterations flip later, then never (deprecated shim).
-
-    Uses the rowhammer-test tool replica (explicit clflush hammering)
-    with NOP padding, exactly like the paper's calibration.
-    """
-    _deprecated_shim("figure5")
-    return run_experiment(
-        FIGURE5_SPEC,
-        {
-            "config_fn": config_fn,
-            "paddings": paddings,
-            "budget_windows": budget_windows,
-            "buffer_pages": buffer_pages,
-        },
-    ).result
 
 
 # ----------------------------------------------------------------------
@@ -1013,20 +941,6 @@ FIGURE6_SPEC = register_experiment(
         smoke_argv=("--machine", "tiny", "--rounds", "10", "--slots", "224"),
     )
 )
-
-
-def figure6(config_fn, superpages=True, rounds=50, spray_slots=512):
-    """Figure 6: per-round double-sided hammer cycles (deprecated shim)."""
-    _deprecated_shim("figure6")
-    return run_experiment(
-        FIGURE6_SPEC,
-        {
-            "config_fn": config_fn,
-            "superpages": superpages,
-            "rounds": rounds,
-            "spray_slots": spray_slots,
-        },
-    ).result
 
 
 # ----------------------------------------------------------------------
@@ -1220,20 +1134,6 @@ ESCALATION_SPEC = register_experiment(
 )
 
 
-def run_escalation(config_fn, policy=None, attack_config=None, defense_name="stock"):
-    """Run the full attack under one placement policy (deprecated shim)."""
-    _deprecated_shim("run_escalation", "escalation")
-    return run_experiment(
-        ESCALATION_SPEC,
-        {
-            "config_fn": config_fn,
-            "policy": policy,
-            "attack_config": attack_config,
-            "defense_name": defense_name,
-        },
-    ).result
-
-
 def _defense_runs(base_seed, dense_seed):
     """The verified per-defense setups (knobs documented inline).
 
@@ -1343,23 +1243,6 @@ DEFENSES_SPEC = register_experiment(
         smoke_argv=("--only", "stock"),
     )
 )
-
-
-def section_4g_defenses(base_seed=1, dense_seed=5):
-    """Sections IV-F/G + §V defense matrix (deprecated shim).
-
-    Runs the verified per-defense setups on tiny-scale machines.
-    Expected shape — the paper's findings:
-
-    * stock, CATT, RIP-RH — escalation via L1PT capture;
-    * CTA — no L1PT capture ever (true-cell monotonicity holds), but
-      escalation via the cred spray;
-    * ZebRAM — no exploitable flips (the paper's acknowledged limit).
-    """
-    _deprecated_shim("section_4g_defenses", "defenses")
-    return run_experiment(
-        DEFENSES_SPEC, {"base_seed": base_seed, "dense_seed": dense_seed}
-    ).result
 
 
 def tiny_test_config_dense(seed):

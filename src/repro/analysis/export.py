@@ -5,7 +5,7 @@ The paper's figures are plots; the runners in
 these helpers write them as CSV so any plotting stack (matplotlib,
 gnuplot, a spreadsheet) can regenerate the graphics:
 
-    result = figure3()
+    result = run_experiment("figure3", {}).result
     write_sweep_csv(result, "fig3.csv")
 
 Every result object now derives from

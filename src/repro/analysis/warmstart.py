@@ -1,0 +1,121 @@
+"""Warm-start cache: per-config machine snapshots for the engine.
+
+Every engine task boots its machines from scratch —
+``ExperimentContext`` runs ``Machine(config)`` plus
+``machine.boot_process()`` for each task, and tasks of one experiment
+overwhelmingly share their machine configs.  Since boot is a pure
+function of the config, the engine can run it **once per distinct
+config**, capture a :class:`~repro.machine.snapshot.MachineSnapshot`,
+and let every task restore instead of re-booting.  Restores are
+byte-identical to cold boots (the snapshot round-trip suite guarantees
+it), so warm-started runs produce bit-for-bit the results of cold runs
+at any ``--jobs`` — the determinism suite gates exactly that.
+
+Mechanics:
+
+* The cache is a module global keyed by
+  :func:`~repro.observe.ledger.config_fingerprint`.  In pooled runs the
+  parent primes it *before* the fork (:func:`prime_from_options`), so
+  workers inherit the snapshots copy-on-write — nothing is pickled or
+  shipped per task.
+* Use is gated by :func:`activate`/:func:`deactivate`, driven by
+  ``run_experiment(..., warm_start=True)`` (``repro experiment
+  --warm-start`` on the CLI); outside an activated run,
+  :func:`lookup` always misses and contexts boot cold.
+* Tasks that pass an explicit placement policy bypass the cache: the
+  cached snapshot was captured under the stock policy and a policy
+  object carries per-machine zone state.
+
+The cache deliberately survives across runs in one process (sessions,
+notebooks); :func:`clear` drops it.
+"""
+
+from repro.machine import Machine
+from repro.observe.ledger import config_fingerprint
+
+#: config fingerprint -> MachineSnapshot (post-boot, stock policy).
+_CACHE = {}
+
+#: Whether lookups may serve cached snapshots (scoped to one run).
+_ACTIVE = False
+
+
+def activate():
+    """Enable warm-start lookups (engine-scoped; pair with deactivate)."""
+    global _ACTIVE
+    _ACTIVE = True
+
+
+def deactivate():
+    """Disable warm-start lookups; the cache itself is kept."""
+    global _ACTIVE
+    _ACTIVE = False
+
+
+def is_active():
+    """Whether an engine run has warm start switched on."""
+    return _ACTIVE
+
+
+def clear():
+    """Drop every cached snapshot (tests; memory pressure)."""
+    _CACHE.clear()
+
+
+def boot_snapshot(config):
+    """Cold-boot ``config`` and capture the post-setup snapshot.
+
+    Runs exactly the setup ``ExperimentContext`` would — boot the
+    machine, boot the attacker's process — and records the process id
+    in the snapshot ``meta`` so the restoring side can reattach.
+    """
+    machine = Machine(config)
+    process = machine.boot_process()
+    return machine.snapshot(meta={"boot_pid": process.pid})
+
+
+def snapshot_for(config):
+    """The cached post-boot snapshot for ``config``, filling on miss."""
+    key = config_fingerprint(config)
+    snap = _CACHE.get(key)
+    if snap is None:
+        snap = _CACHE[key] = boot_snapshot(config)
+    return snap
+
+
+def lookup(config):
+    """The snapshot a warm-started context should restore, or ``None``.
+
+    Misses when warm start is inactive; fills the cache on first use of
+    a config (serial runs prime lazily, pooled runs were primed by the
+    parent pre-fork).
+    """
+    if not _ACTIVE:
+        return None
+    return snapshot_for(config)
+
+
+def prime_from_options(options):
+    """Pre-boot every machine config an experiment's options name.
+
+    Reads the engine-wide option conventions — ``config_fn`` (one
+    factory) and ``config_fns`` (a sequence of factories) — boots each
+    distinct config once, and caches the snapshots.  Called by the
+    engine in the parent process before the worker pool forks.  Returns
+    ``{config_fingerprint: snapshot_fingerprint}`` for the run ledger:
+    a record of exactly which machine states this run's trials started
+    from.
+    """
+    factories = []
+    config_fn = options.get("config_fn")
+    if callable(config_fn):
+        factories.append(config_fn)
+    for factory in options.get("config_fns") or ():
+        if callable(factory):
+            factories.append(factory)
+    primed = {}
+    for factory in factories:
+        config = factory()
+        snap = snapshot_for(config)
+        primed[config_fingerprint(config)] = snap.fingerprint()
+    return primed

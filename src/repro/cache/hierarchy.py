@@ -254,3 +254,26 @@ class CacheHierarchy:
         self.l1.flush_all()
         self.l2.flush_all()
         self.llc.flush_all()
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """All three levels plus counters.
+
+        The LLC index memo is *not* captured: it is a pure function of
+        line addresses for the machine's lifetime and simply re-warms
+        after restore without changing behaviour.
+        """
+        return {
+            "l1": self.l1.state_dict(),
+            "l2": self.l2.state_dict(),
+            "llc": self.llc.state_dict(),
+            "back_invalidations": self.back_invalidations,
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self.l1.load_state(state["l1"])
+        self.l2.load_state(state["l2"])
+        self.llc.load_state(state["llc"])
+        self.back_invalidations = state["back_invalidations"]

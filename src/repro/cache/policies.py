@@ -54,6 +54,19 @@ class ReplacementPolicy:
     def on_invalidate(self, way):
         """Record that ``way`` was explicitly emptied (clflush/back-inval)."""
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+    # Subclasses extend the base dict with their own fields.  Reference
+    # and fast BitPLRU variants share one encoding (the packed mask) so
+    # their snapshots are interchangeable.
+
+    def state_dict(self):
+        """JSON-serialisable policy state, including the RNG stream."""
+        return {"rng": self._rng.state_dict()}
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self._rng.load_state(state["rng"])
+
 
 class BitPLRU(ReplacementPolicy):
     """Bit-pseudo-LRU (MRU-bit) policy with bimodal insertion.
@@ -109,6 +122,17 @@ class BitPLRU(ReplacementPolicy):
             self._bits[way] = 0
             self._zeros += 1
 
+    def state_dict(self):
+        state = ReplacementPolicy.state_dict(self)
+        state["mask"] = sum(bit << way for way, bit in enumerate(self._bits))
+        return state
+
+    def load_state(self, state):
+        ReplacementPolicy.load_state(self, state)
+        mask = state["mask"]
+        self._bits = [(mask >> way) & 1 for way in range(self.ways)]
+        self._zeros = self.ways - sum(self._bits)
+
 
 class TrueLRU(ReplacementPolicy):
     """Exact least-recently-used ordering (O(1) touches via stamps)."""
@@ -124,6 +148,17 @@ class TrueLRU(ReplacementPolicy):
 
     def victim(self):
         return min(range(self.ways), key=self._stamps.__getitem__)
+
+    def state_dict(self):
+        state = ReplacementPolicy.state_dict(self)
+        state["clock"] = self._clock
+        state["stamps"] = list(self._stamps)
+        return state
+
+    def load_state(self, state):
+        ReplacementPolicy.load_state(self, state)
+        self._clock = state["clock"]
+        self._stamps = list(state["stamps"])
 
     def _two_oldest(self):
         """(LRU way, second-LRU way) by stamp."""
@@ -207,6 +242,15 @@ class TreePLRU(ReplacementPolicy):
                 hi = mid
         return lo
 
+    def state_dict(self):
+        state = ReplacementPolicy.state_dict(self)
+        state["nodes"] = list(self._nodes)
+        return state
+
+    def load_state(self, state):
+        ReplacementPolicy.load_state(self, state)
+        self._nodes = list(state["nodes"])
+
 
 class SRRIP(ReplacementPolicy):
     """Static re-reference interval prediction (Jaleel et al., 2-bit).
@@ -242,6 +286,15 @@ class SRRIP(ReplacementPolicy):
 
     def on_invalidate(self, way):
         self._rrpv[way] = self.MAX_RRPV
+
+    def state_dict(self):
+        state = ReplacementPolicy.state_dict(self)
+        state["rrpv"] = list(self._rrpv)
+        return state
+
+    def load_state(self, state):
+        ReplacementPolicy.load_state(self, state)
+        self._rrpv = list(state["rrpv"])
 
 
 class BitPLRUBimodal(BitPLRU):
@@ -367,6 +420,17 @@ class FastBitPLRU(BitPLRU):
 
     def on_invalidate(self, way):
         self._mask &= ~(1 << way)
+
+    def state_dict(self):
+        # Same "mask" encoding as the reference BitPLRU, so snapshots
+        # move freely between fast and reference machines.
+        state = ReplacementPolicy.state_dict(self)
+        state["mask"] = self._mask
+        return state
+
+    def load_state(self, state):
+        ReplacementPolicy.load_state(self, state)
+        self._mask = state["mask"]
 
 
 class FastBitPLRUBimodal(FastBitPLRU):

@@ -188,6 +188,45 @@ class SetAssociativeCache:
             if tag is not None
         )
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Materialised sets plus counters.
+
+        Unmaterialised sets are omitted: their policy streams come from
+        pure ``self._rng.fork(index)`` draws, so after restore they
+        regenerate bit-identically on first touch — the same lazy
+        behaviour an uninterrupted run would have shown.
+        """
+        return {
+            "rng": self._rng.state_dict(),
+            "sets": {
+                index: {
+                    "tags": list(state.tags),
+                    "policy": state.policy.state_dict(),
+                }
+                for index, state in self._state.items()
+            },
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self._rng.load_state(state["rng"])
+        self._state.clear()
+        for index, entry in state["sets"].items():
+            set_state = _SetState(
+                self.ways, self.policy_name, self._rng.fork(index), fast=self.fast
+            )
+            set_state.tags = list(entry["tags"])
+            set_state.policy.load_state(entry["policy"])
+            self._state[index] = set_state
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+
     def __repr__(self):
         return "SetAssociativeCache(%s: %dx%d, policy=%s)" % (
             self.name,

@@ -65,6 +65,29 @@ class ChaosInjector:
             total += source.jitter(machine, stream)
         return total
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Per-source stream positions, keyed by source name."""
+        return {
+            "streams": {
+                source.name: stream.state_dict()
+                for source, stream in zip(self.sources, self._streams)
+            }
+        }
+
+    def load_state(self, state):
+        """Restore stream positions into a same-profile injector."""
+        streams = state["streams"]
+        names = [source.name for source in self.sources]
+        if sorted(streams) != sorted(names):
+            raise ConfigError(
+                "snapshot chaos sources %s do not match profile %s"
+                % (sorted(streams), sorted(names))
+            )
+        for source, stream in zip(self.sources, self._streams):
+            stream.load_state(streams[source.name])
+
     def __repr__(self):
         return "ChaosInjector(%s, attached=%s)" % (
             self.config.name,

@@ -20,6 +20,9 @@ Examples::
     python -m repro attack --machine tiny --defense catt --slots 1000
     python -m repro table1
     python -m repro figure3 --trials 60 --jobs 3
+    python -m repro table1 --jobs 4 --warm-start
+    python -m repro snapshot save machine.snap.json --machine tiny
+    python -m repro snapshot info machine.snap.json
     python -m repro table2 --jobs 4 --checkpoint table2.jsonl
     python -m repro table2 --jobs 4 --checkpoint table2.jsonl --resume
     python -m repro figure5 --machine t420-scaled
@@ -39,7 +42,7 @@ from repro.analysis.engine import experiment_names, get_experiment, run_experime
 from repro.analysis.telemetry import ProgressReporter
 from repro.core.pthammer import PThammerAttack, PThammerConfig
 from repro.defenses import DEFENSE_PRESETS
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SnapshotError
 from repro.machine import AttackerView, Inspector, Machine
 from repro.machine.configs import MACHINE_PRESETS, tiny_test_config
 from repro.observe.ledger import (
@@ -98,6 +101,12 @@ def _engine_args(parser):
         default=2,
         help="in-place retries of retryable task faults (default: 2)",
     )
+    group.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="boot each machine config once and restore tasks from the "
+        "snapshot instead of re-booting (results are byte-identical)",
+    )
     _telemetry_args(group)
 
 
@@ -137,6 +146,7 @@ def _cmd_experiment(args):
             ledger=None if args.no_record else RunLedger(),
             task_timeout=args.task_timeout,
             retries=args.retries,
+            warm_start=args.warm_start,
         )
     except ConfigError as exc:
         print("repro: %s" % exc, file=sys.stderr)
@@ -257,7 +267,7 @@ def _cmd_attack(args):
                 {"name": name, "start": start, "end": end, "cycles": end - start}
                 for name, start, end in report.timeline
             ],
-            metrics=machine.metrics.snapshot(),
+            metrics=machine.metrics.snapshot_values(),
             outcome={
                 "escalated": report.escalated,
                 "flips": Inspector(machine).flip_count(),
@@ -388,6 +398,33 @@ def build_parser():
             spec.cli_configure(sub)
         _engine_args(sub)
 
+    snapshot_cmd = commands.add_parser(
+        "snapshot", help="save, inspect, and validate machine snapshots"
+    )
+    snapshot_commands = snapshot_cmd.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    snapshot_save = snapshot_commands.add_parser(
+        "save", help="boot a preset machine and save its snapshot as JSON"
+    )
+    snapshot_save.add_argument("file", help="destination snapshot file")
+    _machine_arg(snapshot_save)
+    snapshot_save.add_argument("--seed", type=int, default=None)
+    snapshot_save.add_argument(
+        "--prepare",
+        action="store_true",
+        help="run the attack setup phases (spray/eviction/pairs) before "
+        "snapshotting, capturing a warm post-prepare state",
+    )
+    snapshot_info = snapshot_commands.add_parser(
+        "info", help="print a saved snapshot's header and state summary"
+    )
+    snapshot_info.add_argument("file", help="snapshot file to inspect")
+    snapshot_load = snapshot_commands.add_parser(
+        "load", help="restore a saved snapshot into a fresh machine to validate it"
+    )
+    snapshot_load.add_argument("file", help="snapshot file to restore")
+
     commands.add_parser("mitigations", help="Section V mitigation matrix")
     commands.add_parser(
         "validate", help="quick self-check: knees, pairs, and one escalation"
@@ -476,6 +513,8 @@ def main(argv=None):
         return _cmd_mitigations()
     if args.command == "validate":
         return _cmd_validate()
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
     if args.command == "runs":
         return _cmd_runs(args)
     if args.command == "bench":
@@ -527,6 +566,73 @@ def _cmd_patterns(args):
     for op in ops:
         print("#   %s" % " ".join(str(part) for part in op))
     return 0
+
+
+def _cmd_snapshot(args):
+    """``repro snapshot save|info|load`` — machine snapshot files."""
+    from repro.machine import MachineSnapshot
+
+    try:
+        if args.snapshot_command == "save":
+            config = MACHINES[args.machine]()
+            if args.seed is not None:
+                config.seed = args.seed
+            machine = Machine(config)
+            process = machine.boot_process()
+            meta = {"boot_pid": process.pid}
+            if args.prepare:
+                from repro.core.pthammer import PThammerReport
+
+                attack = PThammerAttack(
+                    AttackerView(machine, process),
+                    PThammerConfig(spray_slots=256, pair_sample=12, max_pairs=12),
+                )
+                attack.prepare(
+                    PThammerReport(machine_name=config.name, superpages=True)
+                )
+                meta["prepared"] = True
+            snap = machine.snapshot(meta=meta)
+            snap.save(args.file)
+            print(
+                "saved %s snapshot %s (%d cycles) to %s"
+                % (config.name, snap.fingerprint(), machine.cycles, args.file)
+            )
+            return 0
+        snap = MachineSnapshot.load(args.file)
+        if args.snapshot_command == "info":
+            info = snap.info()
+            for key in (
+                "version",
+                "machine",
+                "fingerprint",
+                "config_fingerprint",
+                "fast_path",
+                "cycles",
+                "processes",
+                "resident_frames",
+                "chaos",
+            ):
+                print("%-18s %s" % (key, info[key]))
+            for key in sorted(info["meta"]):
+                print("meta.%-13s %s" % (key, info["meta"][key]))
+            return 0
+        # load: the full validation path — rebuild the config from the
+        # snapshot, boot a fresh machine, and restore into it.
+        machine = Machine(snap.config(), fast_path=snap.fast_path)
+        machine.restore(snap)
+        print(
+            "restored %s snapshot %s: %d cycles, %d process(es)"
+            % (
+                snap.machine_name,
+                snap.fingerprint(),
+                machine.cycles,
+                len(machine.kernel.processes),
+            )
+        )
+        return 0
+    except (SnapshotError, OSError, ValueError) as exc:
+        print("repro: %s" % exc, file=sys.stderr)
+        return 2
 
 
 def _cmd_runs(args):

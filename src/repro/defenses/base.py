@@ -109,6 +109,29 @@ class ZonePool:
         """Capacity of the zone in frames."""
         return sum(count for _, count in self._extents)
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Materialised per-extent allocators plus the scan cursor.
+
+        The extent list itself is config-derived (``build_zones``), so
+        only allocator state travels; untouched extents stay lazy.
+        """
+        return {
+            "cursor": self._cursor,
+            "allocators": {
+                index: allocator.state_dict()
+                for index, allocator in self._allocators.items()
+            },
+        }
+
+    def load_state(self, state):
+        """Restore into a zone built from the same extents."""
+        self._allocators.clear()
+        self._cursor = state["cursor"]
+        for index, allocator_state in state["allocators"].items():
+            self._allocator(index).load_state(allocator_state)
+
 
 def frames_per_row(geometry):
     """Frames covered by one DRAM row index."""
@@ -208,6 +231,49 @@ class PlacementPolicy:
         their failures against CATT-style policies.
         """
         return False
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Zone allocator state, de-duplicated across shared pools.
+
+        The stock kernel registers *one* pool under all three kinds;
+        serialising by identity (each unique pool once, kinds mapping to
+        a pool index) keeps that sharing intact through a round trip.
+        """
+        pools = []
+        indices = {}
+        kinds = {}
+        for kind in sorted(self._zones):
+            pool = self._zones[kind]
+            index = indices.get(id(pool))
+            if index is None:
+                index = len(pools)
+                indices[id(pool)] = index
+                pools.append(pool.state_dict())
+            kinds[kind] = index
+        return {"pools": pools, "kinds": kinds}
+
+    def load_state(self, state):
+        """Restore into a policy whose ``attach`` already ran.
+
+        Zone structure (extents, sharing) is rebuilt by ``build_zones``
+        from the config; only allocator state is loaded, each unique
+        pool exactly once.
+        """
+        kinds = state["kinds"]
+        if set(kinds) != set(self._zones):
+            raise ConfigError(
+                "snapshot zone kinds %s do not match policy %s"
+                % (sorted(kinds), sorted(self._zones))
+            )
+        seen = set()
+        for kind in sorted(self._zones):
+            pool = self._zones[kind]
+            if id(pool) in seen:
+                continue
+            seen.add(id(pool))
+            pool.load_state(state["pools"][kinds[kind]])
 
 
 class StockPolicy(PlacementPolicy):

@@ -19,6 +19,22 @@ class VictimState:
         #: Rolling-refresh epoch this state belongs to (staggered mode).
         self.epoch = None
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        return {
+            "acts_low": self.acts_low,
+            "acts_high": self.acts_high,
+            "next_cell": self.next_cell,
+            "epoch": self.epoch,
+        }
+
+    def load_state(self, state):
+        self.acts_low = state["acts_low"]
+        self.acts_high = state["acts_high"]
+        self.next_cell = state["next_cell"]
+        self.epoch = state["epoch"]
+
 
 class BankState:
     """One DRAM bank: open row tracking plus rowhammer disturbance state."""
@@ -57,3 +73,29 @@ class BankState:
             state = VictimState()
             self.victims[row] = state
         return state
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        return {
+            "open_row": self.open_row,
+            "last_access": self.last_access,
+            "window_index": self.window_index,
+            "victims": {
+                row: state.state_dict() for row, state in self.victims.items()
+            },
+            "act_counts": dict(self.act_counts),
+            "activations": self.activations,
+        }
+
+    def load_state(self, state):
+        self.open_row = state["open_row"]
+        self.last_access = state["last_access"]
+        self.window_index = state["window_index"]
+        self.victims = {}
+        for row, victim_state in state["victims"].items():
+            victim = VictimState()
+            victim.load_state(victim_state)
+            self.victims[row] = victim
+        self.act_counts = dict(state["act_counts"])
+        self.activations = state["activations"]

@@ -144,6 +144,23 @@ class FaultModel:
             product *= rng.random()
         return count
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Only the true-cell row constraints; sampling is pure.
+
+        Cells are a pure function of ``(seed, bank, row, bit)`` plus the
+        constraint list, so ``_cache`` is derivable and not captured.
+        """
+        return {"true_cell_row_ranges": list(self._true_cell_row_ranges)}
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self._true_cell_row_ranges = [
+            (lo, hi) for lo, hi in state["true_cell_row_ranges"]
+        ]
+        self._cache.clear()
+
     def effective_disturbance(self, acts_low, acts_high):
         """Combine per-side aggressor activations into effective disturbance.
 

@@ -48,6 +48,29 @@ class FlipEvent:
             self.cycle,
         )
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        return {
+            "paddr": self.paddr,
+            "bit": self.bit,
+            "bank": self.bank,
+            "row": self.row,
+            "cycle": self.cycle,
+            "one_to_zero": self.one_to_zero,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        return cls(
+            state["paddr"],
+            state["bit"],
+            state["bank"],
+            state["row"],
+            state["cycle"],
+            state["one_to_zero"],
+        )
+
 
 class DRAMModule:
     """A DRAM module with per-bank row buffers and a fault model."""
@@ -287,3 +310,31 @@ class DRAMModule:
         """Fraction of requests served by an open row (statistics)."""
         total = sum(self.case_counts.values())
         return self.case_counts["hit"] / total if total else 0.0
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Banks, flips, counters, and the row-close RNG stream.
+
+        The chunk->(bank, row) memo is omitted: geometry decoding is a
+        pure function of the address, so the memo re-warms after
+        restore with no behavioural difference.
+        """
+        return {
+            "rng": self._rng.state_dict(),
+            "banks": [bank.state_dict() for bank in self._banks],
+            "trr_refreshes": self.trr_refreshes,
+            "flips": [flip.state_dict() for flip in self.flips],
+            "case_counts": dict(self.case_counts),
+            "now": self._now,
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self._rng.load_state(state["rng"])
+        for bank, bank_state in zip(self._banks, state["banks"]):
+            bank.load_state(bank_state)
+        self.trr_refreshes = state["trr_refreshes"]
+        self.flips = [FlipEvent.from_state(item) for item in state["flips"]]
+        self.case_counts = dict(state["case_counts"])
+        self._now = state["now"]

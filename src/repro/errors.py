@@ -66,6 +66,19 @@ class PatternError(ConfigError):
     """
 
 
+class SnapshotError(ReproError):
+    """A machine snapshot cannot be applied or decoded.
+
+    Raised by the snapshot protocol (:mod:`repro.machine.snapshot`,
+    docs/SNAPSHOTS.md) when a serialized snapshot is from an
+    incompatible format version, was captured on a differently
+    parameterised machine (config fingerprint mismatch), or disagrees
+    with the restoring machine's fast-path flag or chaos attachment.
+    Restoring is all-or-nothing: on this error the target machine must
+    be considered unusable and rebuilt.
+    """
+
+
 class PhaseBudgetExceeded(ReproError):
     """A self-healing attack phase ran out of its cycle/wall budget.
 

@@ -162,6 +162,31 @@ class BuddyAllocator:
         """Number of currently free frames."""
         return self.frame_count - self.allocated
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Free lists and the allocation counter.
+
+        Only ``_free_sets`` is authoritative: the heaps mirror it with
+        lazy deletion, so they are rebuilt on load rather than captured
+        with their stale entries.
+        """
+        return {
+            "free_sets": [sorted(blocks) for blocks in self._free_sets],
+            "allocated": self.allocated,
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`.
+
+        Rebuilt heaps contain exactly the live blocks in heap order;
+        allocation order only depends on the lowest live block per
+        order, so behaviour after restore matches the original run.
+        """
+        self._free_sets = [set(blocks) for blocks in state["free_sets"]]
+        self._free_heaps = [sorted(blocks) for blocks in self._free_sets]
+        self.allocated = state["allocated"]
+
     def contains(self, frame):
         """Whether ``frame`` lies in this allocator's range."""
         return self.start_frame <= frame < self.start_frame + self.frame_count

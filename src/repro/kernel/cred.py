@@ -49,6 +49,20 @@ class CredAllocator:
         self.physmem.write_word(base + CRED_PID_WORD * 8, pid)
         return base
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        return {
+            "partial_frame": self._partial_frame,
+            "next_slot": self._next_slot,
+            "slab_frames": list(self.slab_frames),
+        }
+
+    def load_state(self, state):
+        self._partial_frame = state["partial_frame"]
+        self._next_slot = state["next_slot"]
+        self.slab_frames = list(state["slab_frames"])
+
     def read_uid(self, cred_paddr):
         """Ground-truth uid read (what ``getuid`` consults)."""
         magic = self.physmem.read_word(cred_paddr + CRED_MAGIC_WORD * 8)

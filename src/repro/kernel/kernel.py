@@ -250,3 +250,62 @@ class Kernel:
     def l1pt_spray_size(self):
         """Live Level-1 page-table count (evaluation)."""
         return self.ptm.l1pt_count()
+
+    # ------------------------------------------------------------------
+    # snapshot protocol (docs/SNAPSHOTS.md)
+
+    def state_dict(self):
+        """Processes, creds, shm objects, and allocation cursors.
+
+        Shared-memory objects are reachable only through VMAs; they are
+        collected here by ``shm_id`` and serialised once, so a restore
+        re-links every mapping of the same object to one instance.
+        """
+        shms = {}
+        processes = []
+        for pid in sorted(self.processes):
+            process = self.processes[pid]
+            for vma in process.address_space.vmas():
+                if vma.shm is not None and vma.shm.shm_id not in shms:
+                    shms[vma.shm.shm_id] = {
+                        "npages": vma.shm.npages,
+                        "frames": dict(vma.shm.frames),
+                    }
+            processes.append(
+                {
+                    "pid": process.pid,
+                    "cred_paddr": process.cred_paddr,
+                    "uid": process.uid,
+                    "gid": process.gid,
+                    "space": process.address_space.state_dict(),
+                }
+            )
+        return {
+            "shms": shms,
+            "processes": processes,
+            "creds": self.creds.state_dict(),
+            "next_pid": self._next_pid,
+            "next_as_id": self._next_as_id,
+            "next_shm_id": self._next_shm_id,
+            "page_fault_count": self.page_fault_count,
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        shm_table = {}
+        for shm_id, shm_state in state["shms"].items():
+            shm = SharedMemory(shm_id, shm_state["npages"])
+            shm.frames = dict(shm_state["frames"])
+            shm_table[shm_id] = shm
+        self.processes = {}
+        for entry in state["processes"]:
+            space = AddressSpace.from_state(entry["space"], shm_table)
+            process = Process(
+                entry["pid"], entry["cred_paddr"], space, entry["uid"], entry["gid"]
+            )
+            self.processes[process.pid] = process
+        self.creds.load_state(state["creds"])
+        self._next_pid = state["next_pid"]
+        self._next_as_id = state["next_as_id"]
+        self._next_shm_id = state["next_shm_id"]
+        self.page_fault_count = state["page_fault_count"]

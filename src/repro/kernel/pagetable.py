@@ -255,3 +255,19 @@ class PageTableManager:
     def l1pt_count(self):
         """Number of live Level-1 page-table frames (spray accounting)."""
         return len(self.table_frames[1])
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+    # The tables themselves live in physical memory (captured by
+    # PhysicalMemory); only the per-level frame inventory is ours.
+
+    def state_dict(self):
+        return {
+            "table_frames": {
+                level: sorted(frames) for level, frames in self.table_frames.items()
+            }
+        }
+
+    def load_state(self, state):
+        self.table_frames = {
+            level: set(frames) for level, frames in state["table_frames"].items()
+        }

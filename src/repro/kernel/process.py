@@ -58,6 +58,34 @@ class VMA:
             raise ConfigError("anonymous VMA has no backing object")
         return (self.shm_offset + self.page_index(vaddr)) % self.shm.npages
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+    # Shared-memory objects are serialised once by the kernel (keyed by
+    # shm_id) and re-linked on load, preserving the many-VMAs-one-object
+    # identity the spray depends on.
+
+    def state_dict(self):
+        return {
+            "start": self.start,
+            "npages": self.npages,
+            "shm_id": None if self.shm is None else self.shm.shm_id,
+            "shm_offset": self.shm_offset,
+            "huge": self.huge,
+            "writable": self.writable,
+        }
+
+    @classmethod
+    def from_state(cls, state, shm_table):
+        shm_id = state["shm_id"]
+        vma = cls(
+            state["start"],
+            state["npages"],
+            shm=None if shm_id is None else shm_table[shm_id],
+            shm_offset=state["shm_offset"],
+            huge=state["huge"],
+        )
+        vma.writable = state["writable"]
+        return vma
+
 
 class AddressSpace:
     """Per-process virtual address space: CR3 plus a sorted VMA index."""
@@ -115,6 +143,28 @@ class AddressSpace:
         if self._mmap_cursor > USER_MMAP_TOP:
             raise SegmentationFault(start, "address space exhausted")
         return start
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        return {
+            "as_id": self.as_id,
+            "cr3": self.cr3,
+            "vmas": [self._vmas[start].state_dict() for start in self._starts],
+            "mmap_cursor": self._mmap_cursor,
+            "populated": dict(self.populated),
+        }
+
+    @classmethod
+    def from_state(cls, state, shm_table):
+        space = cls(state["as_id"], state["cr3"])
+        for vma_state in state["vmas"]:
+            vma = VMA.from_state(vma_state, shm_table)
+            space._vmas[vma.start] = vma
+            space._starts.append(vma.start)
+        space._mmap_cursor = state["mmap_cursor"]
+        space.populated = dict(state["populated"])
+        return space
 
 
 class Process:

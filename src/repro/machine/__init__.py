@@ -23,6 +23,7 @@ from repro.machine.configs import (
 from repro.machine.inspector import Inspector
 from repro.machine.machine import AccessResult, Machine
 from repro.machine.perf import PerfCounters
+from repro.machine.snapshot import SNAPSHOT_VERSION, MachineSnapshot
 
 __all__ = [
     "AccessResult",
@@ -35,8 +36,10 @@ __all__ = [
     "Inspector",
     "Machine",
     "MachineConfig",
+    "MachineSnapshot",
     "PSCConfig",
     "PerfCounters",
+    "SNAPSHOT_VERSION",
     "SCALED_MACHINES",
     "TABLE1_MACHINES",
     "TLBConfig",

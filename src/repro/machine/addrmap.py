@@ -149,6 +149,34 @@ class AddressMap:
             "invalidations": self.invalidations,
         }
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Entries *with* their fill generations, plus the counters.
+
+        Generations are real state, not a derivable cache: an entry
+        filled before a churn event must stay stale after restore, so
+        both the entry's fill generation and the region's current
+        generation travel in the snapshot.
+        """
+        return {
+            "entries": {key: list(entry) for key, entry in self._entries.items()},
+            "generations": dict(self._generations),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self._entries = {
+            key: (entry[0], entry[1]) for key, entry in state["entries"].items()
+        }
+        self._generations = dict(state["generations"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.invalidations = state["invalidations"]
+
     def __repr__(self):
         return "AddressMap(entries=%d, hits=%d, misses=%d, invalidations=%d)" % (
             len(self._entries),

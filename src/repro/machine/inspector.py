@@ -65,7 +65,7 @@ class Inspector:
 
     def perf_snapshot(self):
         """Snapshot all PMCs."""
-        return self.machine.perf.snapshot()
+        return self.machine.perf.snapshot_values()
 
     def metrics(self):
         """The machine's full metrics registry (counters + histograms)."""

@@ -8,7 +8,7 @@ virtual clock (``machine.cycles``) is the attacker's ``rdtsc``.
 """
 
 from repro.cache.hierarchy import L1, L2, LLC, MEM, CacheHierarchy
-from repro.errors import SegmentationFault
+from repro.errors import SegmentationFault, SnapshotError
 from repro.defenses.base import StockPolicy
 from repro.dram.faults import FaultModel
 from repro.dram.geometry import DRAMGeometry
@@ -22,6 +22,7 @@ from repro.machine.addrmap import (
     CounterBatch,
     fast_path_enabled,
 )
+from repro.machine.snapshot import MachineSnapshot
 from repro.machine.perf import (
     DTLB_HIT,
     LLC_MISS,
@@ -908,6 +909,117 @@ class Machine:
     def boot_process(self, uid=1000):
         """Create a process (the attacker's shell, typically)."""
         return self.kernel.create_process(uid=uid)
+
+    # ------------------------------------------------------------------
+    # snapshot protocol (docs/SNAPSHOTS.md)
+
+    def snapshot(self, meta=None):
+        """Capture the complete simulated state as a :class:`MachineSnapshot`.
+
+        Composes every component's ``state_dict()`` — memory, DRAM
+        disturbance, caches, TLBs, paging-structure caches, kernel
+        tables, allocators, RNG streams, the fast path's address memos,
+        and the metrics registry — plus the machine's own clock and
+        memory-level-parallelism bookkeeping.  Pure derived memos (LLC
+        index, DRAM geometry, fault-model cell cache) are *not*
+        captured; they re-warm identically after restore.  ``meta`` is
+        an optional JSON-safe dict stored verbatim (warm start records
+        the attacker's ``boot_pid`` there).
+        """
+        state = {
+            "machine": {
+                "cycles": self.cycles,
+                "instr_seq": self._instr_seq,
+                "last_dram_instr": self._last_dram_instr,
+                "dram_ops_this_instr": self._dram_ops_this_instr,
+                "rng": self.rng.state_dict(),
+                "noise_rng": self._noise_rng.state_dict(),
+            },
+            "physmem": self.physmem.state_dict(),
+            "fault_model": self.fault_model.state_dict(),
+            "dram": self.dram.state_dict(),
+            "caches": self.caches.state_dict(),
+            "tlb": self.tlb.state_dict(),
+            "walker": self.walker.state_dict(),
+            "policy": self.policy.state_dict(),
+            "ptm": self.ptm.state_dict(),
+            "kernel": self.kernel.state_dict(),
+            "addrmap": self.addrmap.state_dict(),
+            "metrics": self.metrics.state_dict(),
+        }
+        if self.chaos is not None:
+            state["chaos"] = self.chaos.state_dict()
+        return MachineSnapshot.capture(
+            self.config, self.fast_path, state, meta=meta
+        )
+
+    def restore(self, snap):
+        """Load a :class:`MachineSnapshot` into this machine, in place.
+
+        The machine must be structurally compatible: same config
+        fingerprint, same fast-path flag, and a chaos injector attached
+        exactly when the snapshot carries chaos streams (profile
+        equality is checked stream-by-stream by the injector).  After
+        restore this machine is byte-for-byte indistinguishable from
+        the one that was captured — continuing it produces the same
+        traces, cycle counts, and bit flips (``tests/test_snapshot.py``
+        enforces this).  Returns ``self``.
+        """
+        snap.ensure_matches(self.config, self.fast_path)
+        state = snap.state()
+        if ("chaos" in state) != (self.chaos is not None):
+            raise SnapshotError(
+                "snapshot %s chaos streams but the machine %s a chaos injector"
+                % (
+                    "carries" if "chaos" in state else "has no",
+                    "lacks" if "chaos" in state else "has",
+                )
+            )
+        scalars = state["machine"]
+        self.cycles = scalars["cycles"]
+        self._instr_seq = scalars["instr_seq"]
+        self._last_dram_instr = scalars["last_dram_instr"]
+        self._dram_ops_this_instr = scalars["dram_ops_this_instr"]
+        self.rng.load_state(scalars["rng"])
+        self._noise_rng.load_state(scalars["noise_rng"])
+        self.physmem.load_state(state["physmem"])
+        self.fault_model.load_state(state["fault_model"])
+        self.dram.load_state(state["dram"])
+        self.caches.load_state(state["caches"])
+        self.tlb.load_state(state["tlb"])
+        self.walker.load_state(state["walker"])
+        self.policy.load_state(state["policy"])
+        self.ptm.load_state(state["ptm"])
+        self.kernel.load_state(state["kernel"])
+        self.addrmap.load_state(state["addrmap"])
+        self.metrics.load_state(state["metrics"])
+        if self.chaos is not None:
+            self.chaos.load_state(state["chaos"])
+        return self
+
+    def fork(self, snap=None, policy=None, trace=None):
+        """Branch exploration: an independent machine continuing from here.
+
+        Boots a fresh machine on this machine's config and restores
+        ``snap`` (default: a snapshot taken now) into it; the original
+        is untouched, and both continuations evolve independently but
+        deterministically.  A machine running a non-stock placement
+        policy needs a fresh ``policy`` instance of the same class —
+        policies hold per-machine zone state and cannot be shared.
+        """
+        if snap is None:
+            snap = self.snapshot()
+        if policy is None and type(self.policy) is not StockPolicy:
+            raise SnapshotError(
+                "fork of a machine running placement policy %r needs a "
+                "fresh policy instance of the same class" % self.policy.name
+            )
+        machine = Machine(
+            self.config, policy=policy, trace=trace, fast_path=self.fast_path
+        )
+        if self.chaos is not None:
+            machine.attach_chaos(type(self.chaos)(self.chaos.config))
+        return machine.restore(snap)
 
     def __repr__(self):
         return "Machine(%s, cycles=%d)" % (self.config.name, self.cycles)

@@ -14,6 +14,8 @@ code should use the registry directly — it adds histograms and timers
 on top of plain counters.
 """
 
+import warnings
+
 from repro.observe.metrics import MetricsRegistry
 
 #: Counter names used across the simulator.
@@ -55,15 +57,27 @@ class PerfCounters:
         """Current value of a counter (0 if never incremented)."""
         return self.registry.read(name)
 
-    def snapshot(self):
+    def snapshot_values(self):
         """Copy of all counters, for later delta computation.
 
         The snapshot is only a valid baseline until the next
         :meth:`reset`; :meth:`delta` detects stale snapshots.
+
+        (Renamed from ``snapshot()`` so that name unambiguously means
+        the machine-state protocol of docs/SNAPSHOTS.md.)
         """
         snap = PerfSnapshot(self.registry.counters())
         snap.generation = self.registry.generation
         return snap
+
+    def snapshot(self):
+        """Deprecated alias for :meth:`snapshot_values` (one release)."""
+        warnings.warn(
+            "PerfCounters.snapshot() is deprecated; use snapshot_values()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.snapshot_values()
 
     def delta(self, before, name):
         """Change of one counter since a snapshot.

@@ -110,3 +110,28 @@ class PhysicalMemory:
         if words is None:
             return [0] * _WORDS_PER_FRAME
         return list(words)
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Materialised frames as hex blobs (unmaterialised read zero).
+
+        ``array('Q').tobytes().hex()`` keeps the dominant payload of a
+        machine snapshot compact and fast to encode: one string per
+        frame instead of 512 JSON integers.
+        """
+        return {
+            "frames": {
+                str(frame): words.tobytes().hex()
+                for frame, words in self._frames.items()
+            }
+        }
+
+    def load_state(self, state):
+        """Replace all content with a :meth:`state_dict` capture."""
+        frames = {}
+        for frame, blob in state["frames"].items():
+            words = array("Q")
+            words.frombytes(bytes.fromhex(blob))
+            frames[int(frame)] = words
+        self._frames = frames

@@ -60,6 +60,27 @@ class PagingStructureCache:
         """Drop everything (privileged flush)."""
         self._entries.clear()
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Entries in LRU order (oldest first) plus hit counters."""
+        return {
+            "entries": dict(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`.
+
+        Insertion order of the serialised entries *is* the LRU order, so
+        rebuilding the OrderedDict in sequence restores eviction
+        behaviour exactly.
+        """
+        self._entries = OrderedDict(state["entries"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
     def __len__(self):
         return len(self._entries)
 

@@ -226,6 +226,24 @@ class TLB:
             self.l2_set_of(vpn), tag
         )
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Both 4 KiB levels, the 2 MiB structure, and the frame table."""
+        return {
+            "l1": self.l1.state_dict(),
+            "l2": self.l2.state_dict(),
+            "l1_huge": self.l1_huge.state_dict(),
+            "frames": dict(self._frames),
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self.l1.load_state(state["l1"])
+        self.l2.load_state(state["l2"])
+        self.l1_huge.load_state(state["l1_huge"])
+        self._frames = dict(state["frames"])
+
 
 def vpn_of(vaddr):
     """Virtual page number (4 KiB) of an address."""

@@ -185,3 +185,19 @@ class PageTableWalker:
         self.pml4_cache.flush_all()
         self.pdpte_cache.flush_all()
         self.pde_cache.flush_all()
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """All three paging-structure caches (the walker's only state)."""
+        return {
+            "pml4": self.pml4_cache.state_dict(),
+            "pdpte": self.pdpte_cache.state_dict(),
+            "pde": self.pde_cache.state_dict(),
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self.pml4_cache.load_state(state["pml4"])
+        self.pdpte_cache.load_state(state["pdpte"])
+        self.pde_cache.load_state(state["pde"])

@@ -116,7 +116,7 @@ class RunRecord:
     ``timings`` holds scalar numbers (``host_seconds``,
     ``virtual_cycles``); ``phases`` is the span-derived breakdown
     (``[{"name", "start", "end", "cycles"}, ...]``); ``metrics`` is a
-    ``MetricsRegistry.snapshot()`` (with the derived percentile
+    ``MetricsRegistry.snapshot_values()`` (with the derived percentile
     summaries); ``outcome`` and ``extra`` are free-form JSON objects.
     Use :meth:`new` rather than the bare constructor — it stamps the
     run id, timestamp, and git revision.
@@ -339,8 +339,16 @@ class RunLedger:
 
 
 #: Metric-name fragments whose *decrease* is the regression (an attack
-#: reproduction that stops flipping bits got worse, not faster).
-_HIGHER_IS_BETTER_MARKERS = ("flip", "escalated", "throughput")
+#: reproduction that stops flipping bits got worse, not faster; an
+#: equivalence flag dropping from 1 to 0 is a correctness failure).
+_HIGHER_IS_BETTER_MARKERS = (
+    "flip",
+    "escalated",
+    "throughput",
+    "speedup",
+    "_equal",
+    "collapse",
+)
 
 
 def metric_direction(name):

@@ -17,6 +17,8 @@ strings (``"hammer.round_cycles"``).  A registry belongs to one
 machine (``machine.metrics``) but standalone use is fine too.
 """
 
+import warnings
+
 from repro.errors import ConfigError
 
 
@@ -143,6 +145,26 @@ class CycleHistogram:
             bucket = int(bucket)
             self.buckets[bucket] = self.buckets.get(bucket, 0) + n
 
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Exact histogram state (no derived percentiles)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "buckets": {str(bucket): n for bucket, n in self.buckets.items()},
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self.count = state["count"]
+        self.total = state["total"]
+        self.minimum = state["minimum"]
+        self.maximum = state["maximum"]
+        self.buckets = {int(bucket): n for bucket, n in state["buckets"].items()}
+
     def summary(self):
         """One-line human-readable recap."""
         if not self.count:
@@ -228,13 +250,16 @@ class MetricsRegistry:
 
     # -- snapshots -------------------------------------------------------
 
-    def snapshot(self):
+    def snapshot_values(self):
         """JSON-serialisable dump of every instrument.
 
         ``{"counters": {name: value}, "histograms": {name: histogram
         snapshot}}`` — the unit the experiment engine collects from each
         worker machine and folds into a run-level registry with
         :meth:`merge_snapshot`.
+
+        (Renamed from ``snapshot()`` so that name unambiguously means
+        the machine-state protocol of docs/SNAPSHOTS.md.)
         """
         return {
             "counters": dict(self._counters),
@@ -243,6 +268,15 @@ class MetricsRegistry:
                 for name, histogram in self._histograms.items()
             },
         }
+
+    def snapshot(self):
+        """Deprecated alias for :meth:`snapshot_values` (one release)."""
+        warnings.warn(
+            "MetricsRegistry.snapshot() is deprecated; use snapshot_values()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.snapshot_values()
 
     def merge_snapshot(self, snapshot):
         """Fold a :meth:`snapshot` from another registry (or process) in.
@@ -256,6 +290,29 @@ class MetricsRegistry:
             self.inc(name, value)
         for name, histogram_snapshot in snapshot.get("histograms", {}).items():
             self.histogram(name).merge_snapshot(histogram_snapshot)
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) ---------------------------
+
+    def state_dict(self):
+        """Exact registry state, including the reset generation."""
+        return {
+            "counters": dict(self._counters),
+            "histograms": {
+                name: histogram.state_dict()
+                for name, histogram in self._histograms.items()
+            },
+            "generation": self.generation,
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict`."""
+        self._counters = dict(state["counters"])
+        self._histograms = {}
+        for name, histogram_state in state["histograms"].items():
+            histogram = CycleHistogram()
+            histogram.load_state(histogram_state)
+            self._histograms[name] = histogram
+        self.generation = state["generation"]
 
     # -- lifecycle -------------------------------------------------------
 

@@ -117,3 +117,13 @@ class DeterministicRng:
         each other's sequences.
         """
         return DeterministicRng(hash64(self._state, *keys))
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """JSON-serialisable stream position."""
+        return {"state": self._state}
+
+    def load_state(self, state):
+        """Restore the stream position captured by :meth:`state_dict`."""
+        self._state = state["state"] & _MASK64

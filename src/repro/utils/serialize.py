@@ -1,0 +1,47 @@
+"""Lossless JSON packing for component state trees.
+
+JSON has neither tuples nor non-string dict keys, but component
+``state_dict()`` payloads use both: TLB tags are ``(as_id, vpn)``
+tuples, memo tables are keyed by ``(cr3, region)``, cache sets by
+integer index.  :func:`pack` rewrites such a tree into pure JSON —
+tuples become ``{"__tuple__": [...]}`` markers and dicts with any
+non-string key become ordered ``{"__pairs__": [[k, v], ...]}`` pair
+lists — and :func:`unpack` inverts it exactly, so
+``unpack(json.loads(json.dumps(pack(tree)))) == tree`` for every tree
+the snapshot protocol produces (docs/SNAPSHOTS.md).
+
+Dict iteration order survives both directions (plain dicts via JSON
+object order, pair lists positionally), which matters for LRU
+structures whose ordering *is* state.
+"""
+
+_MARKERS = ("__tuple__", "__pairs__")
+
+
+def pack(value):
+    """Rewrite ``value`` into a JSON-representable equivalent."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [pack(item) for item in value]}
+    if isinstance(value, list):
+        return [pack(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) and not any(
+            marker in value for marker in _MARKERS
+        ):
+            return {key: pack(item) for key, item in value.items()}
+        return {"__pairs__": [[pack(key), pack(item)] for key, item in value.items()]}
+    return value
+
+
+def unpack(value):
+    """Invert :func:`pack` exactly."""
+    if isinstance(value, dict):
+        if len(value) == 1:
+            if "__tuple__" in value:
+                return tuple(unpack(item) for item in value["__tuple__"])
+            if "__pairs__" in value:
+                return {unpack(key): unpack(item) for key, item in value["__pairs__"]}
+        return {key: unpack(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [unpack(item) for item in value]
+    return value

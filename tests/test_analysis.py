@@ -3,14 +3,10 @@
 import pytest
 
 from repro.analysis import (
-    figure3,
-    figure6,
     render_bar,
     render_series,
     render_table,
-    section_4c_selection,
-    section_4d_pairs,
-    table1,
+    run_experiment,
 )
 from repro.machine.configs import tiny_test_config
 
@@ -43,14 +39,16 @@ def test_render_bar():
 
 
 def test_table1_render():
-    result = table1()
+    result = run_experiment("table1", {}).result
     text = result.render()
     assert "Lenovo T420" in text and "Dell E6420" in text
     assert "8 GiB" in text
 
 
 def test_figure3_runner_small():
-    result = figure3(config_fns=[tiny], sizes=(8, 12, 14), trials=30)
+    result = run_experiment(
+        "figure3", {"config_fns": [tiny], "sizes": (8, 12, 14), "trials": 30}
+    ).result
     points = result.series["tiny-test"]
     assert set(points) == {8, 12, 14}
     assert points[14] >= points[8]
@@ -58,7 +56,9 @@ def test_figure3_runner_small():
 
 
 def test_min_reliable_size_logic():
-    result = figure3(config_fns=[tiny], sizes=(10, 12, 14), trials=30)
+    result = run_experiment(
+        "figure3", {"config_fns": [tiny], "sizes": (10, 12, 14), "trials": 30}
+    ).result
     reliable = result.min_reliable_size("tiny-test", level=0.0)
     assert reliable == 10  # everything passes at level 0
 
@@ -78,20 +78,24 @@ def test_min_reliable_size_returns_none_when_unreliable():
 
 
 def test_figure6_runner_small():
-    result = figure6(tiny, rounds=20, spray_slots=224)
+    result = run_experiment(
+        "figure6", {"config_fn": tiny, "rounds": 20, "spray_slots": 224}
+    ).result
     assert len(result.costs) == 20
     assert result.p95() >= min(result.costs)
     assert "Figure 6" in result.render()
 
 
 def test_section_4c_runner_small():
-    result = section_4c_selection(tiny, targets=4)
+    result = run_experiment("sec4c", {"config_fn": tiny, "targets": 4}).result
     assert 0.0 <= result.false_positive_rate <= 1.0
     assert "false positives" in result.render()
 
 
 def test_section_4d_runner_small():
-    result = section_4d_pairs(tiny, sample=6, spray_slots=224)
+    result = run_experiment(
+        "sec4d", {"config_fn": tiny, "sample": 6, "spray_slots": 224}
+    ).result
     assert result.candidates == 6
     assert 0 <= result.flagged_slow <= 6
     assert "Section IV-D" in result.render()
@@ -144,7 +148,9 @@ def test_ascii_chart_rejects_empty():
 def test_sweep_chart_from_runner():
     from repro.analysis import sweep_chart
 
-    result = figure3(config_fns=[tiny], sizes=(8, 12, 16), trials=20)
+    result = run_experiment(
+        "figure3", {"config_fns": [tiny], "sizes": (8, 12, 16), "trials": 20}
+    ).result
     text = sweep_chart(result)
     assert "eviction-set size" in text
     assert "Figure 3" in text

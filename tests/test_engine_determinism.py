@@ -67,4 +67,4 @@ def test_killed_then_resumed_matches_uninterrupted(tmp_path):
 def test_parallel_metrics_match_serial_totals():
     serial = run_experiment("figure3", FIGURE3_OPTIONS, jobs=1)
     parallel = run_experiment("figure3", FIGURE3_OPTIONS, jobs=4)
-    assert serial.metrics.snapshot() == parallel.metrics.snapshot()
+    assert serial.metrics.snapshot_values() == parallel.metrics.snapshot_values()

@@ -221,4 +221,4 @@ def test_jobs4_renders_byte_identically_to_jobs1_with_telemetry(tmp_path):
             ledger=RunLedger(str(tmp_path / ("runs%d" % jobs))),
         )
     assert runs[1].result.render() == runs[4].result.render()
-    assert runs[1].metrics.snapshot() == runs[4].metrics.snapshot()
+    assert runs[1].metrics.snapshot_values() == runs[4].metrics.snapshot_values()

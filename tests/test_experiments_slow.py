@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import run_escalation, table2
+from repro.analysis import run_experiment
 from repro.core.pthammer import PThammerConfig
 from repro.defenses import ZebRAMPolicy
 from repro.machine.configs import tiny_test_config
@@ -14,11 +14,16 @@ def tiny():
 
 @pytest.mark.slow
 def test_table2_runner_single_machine():
-    result = table2(
-        config_fns=(tiny,),
-        page_settings=(True,),
-        attack_config=PThammerConfig(spray_slots=224, pair_sample=6, max_pairs=4),
-    )
+    result = run_experiment(
+        "table2",
+        {
+            "config_fns": (tiny,),
+            "page_settings": (True,),
+            "attack_config": PThammerConfig(
+                spray_slots=224, pair_sample=6, max_pairs=4
+            ),
+        },
+    ).result
     assert len(result.rows) == 1
     row = result.rows[0]
     assert row.page_setting == "superpage"
@@ -29,11 +34,16 @@ def test_table2_runner_single_machine():
 
 @pytest.mark.slow
 def test_run_escalation_records_ground_truth():
-    result = run_escalation(
-        tiny,
-        attack_config=PThammerConfig(spray_slots=256, pair_sample=16, max_pairs=14),
-        defense_name="stock",
-    )
+    result = run_experiment(
+        "escalation",
+        {
+            "config_fn": tiny,
+            "attack_config": PThammerConfig(
+                spray_slots=256, pair_sample=16, max_pairs=14
+            ),
+            "defense_name": "stock",
+        },
+    ).result
     assert result.defense == "stock"
     assert result.ground_truth_flips >= result.flips_observed
     assert result.host_seconds > 0
@@ -42,14 +52,17 @@ def test_run_escalation_records_ground_truth():
 
 @pytest.mark.slow
 def test_run_escalation_with_policy_object():
-    result = run_escalation(
-        tiny,
-        policy=ZebRAMPolicy(),
-        attack_config=PThammerConfig(
-            spray_slots=192, pair_sample=6, max_pairs=2, superpages=False
-        ),
-        defense_name="zebram",
-    )
+    result = run_experiment(
+        "escalation",
+        {
+            "config_fn": tiny,
+            "policy": ZebRAMPolicy(),
+            "attack_config": PThammerConfig(
+                spray_slots=192, pair_sample=6, max_pairs=2, superpages=False
+            ),
+            "defense_name": "zebram",
+        },
+    ).result
     assert not result.escalated
     assert result.flips_observed == 0
 

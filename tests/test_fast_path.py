@@ -51,7 +51,7 @@ def _events(machine):
 
 
 def _metrics(machine):
-    return json.dumps(machine.metrics.snapshot(), sort_keys=True)
+    return json.dumps(machine.metrics.snapshot_values(), sort_keys=True)
 
 
 def _assert_equivalent(reference, fast, trace=False):
@@ -145,7 +145,7 @@ def test_experiments_are_identical_under_the_env_gate(name, options, monkeypatch
         runs.append(
             (
                 run.result.render(),
-                json.dumps(run.metrics.snapshot(), sort_keys=True),
+                json.dumps(run.metrics.snapshot_values(), sort_keys=True),
             )
         )
     assert runs[0] == runs[1]

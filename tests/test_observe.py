@@ -293,12 +293,12 @@ def test_registry_snapshot_merge_is_commutative():
     b.observe("lat", 500)
 
     ab = MetricsRegistry()
-    ab.merge_snapshot(a.snapshot())
-    ab.merge_snapshot(b.snapshot())
+    ab.merge_snapshot(a.snapshot_values())
+    ab.merge_snapshot(b.snapshot_values())
     ba = MetricsRegistry()
-    ba.merge_snapshot(b.snapshot())
-    ba.merge_snapshot(a.snapshot())
-    assert ab.snapshot() == ba.snapshot()
+    ba.merge_snapshot(b.snapshot_values())
+    ba.merge_snapshot(a.snapshot_values())
+    assert ab.snapshot_values() == ba.snapshot_values()
     assert ab.read("walks") == 5 and ab.read("loads") == 1
     assert ab.histogram("lat").count == 2
     assert ab.histogram("lat").maximum == 500
@@ -311,7 +311,7 @@ def test_registry_snapshot_merge_is_commutative():
 def test_perf_delta_normal_path():
     perf = PerfCounters()
     perf.registry.inc(LOADS, 5)
-    before = perf.snapshot()
+    before = perf.snapshot_values()
     perf.registry.inc(LOADS, 7)
     assert perf.delta(before, LOADS) == 7
 
@@ -319,7 +319,7 @@ def test_perf_delta_normal_path():
 def test_perf_delta_never_negative_after_reset():
     perf = PerfCounters()
     perf.registry.inc(LOADS, 100)
-    before = perf.snapshot()
+    before = perf.snapshot_values()
     perf.reset()
     perf.registry.inc(LOADS, 3)
     # The naive subtraction would give 3 - 100 = -97; the generation

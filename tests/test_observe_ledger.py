@@ -96,7 +96,7 @@ def test_comparable_metrics_flattening():
         "toy",
         timings={"host_seconds": 1.5, "virtual_cycles": 900},
         phases=[{"name": "hammer", "start": 0, "end": 40, "cycles": 40}],
-        metrics=registry.snapshot(),
+        metrics=registry.snapshot_values(),
         outcome={"flips": 3, "escalated": True, "note": "text ignored"},
     )
     flat = record.comparable_metrics()

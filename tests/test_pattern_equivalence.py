@@ -64,7 +64,7 @@ def _events(machine):
 
 
 def _metrics(machine):
-    return json.dumps(machine.metrics.snapshot(), sort_keys=True)
+    return json.dumps(machine.metrics.snapshot_values(), sort_keys=True)
 
 
 def _run_pattern(name, fast, build):
