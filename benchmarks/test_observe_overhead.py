@@ -1,11 +1,13 @@
-"""Observability overhead: disabled tracing must stay under 5%.
+"""Observability overhead: disabled and sampled tracing under 5%.
 
 Companion to ``tests/test_observe_overhead.py`` at benchmark scale: a
 larger attack, so the guard count reflects the hot loops the scaled
 experiments actually run.  Methodology is the same deterministic
-decomposition — exact guard-evaluation count times measured per-check
-cost, compared against the attack's wall time — because two wall-time
-measurements of separate runs cannot resolve 5% reliably.
+decomposition — exact event counts times measured per-event cost,
+compared against the attack's wall time — because two wall-time
+measurements of separate runs cannot resolve 5% reliably.  The second
+guard covers the always-on-tracing preset (1% sample rate, hard event
+budget; docs/TELEMETRY.md).
 """
 
 import time
@@ -16,6 +18,10 @@ from repro.machine.configs import tiny_test_config
 from repro.observe import TraceBus
 
 ATTACK = PThammerConfig(spray_slots=256, pair_sample=16, max_pairs=14)
+
+#: The campaign sampling preset the guard vouches for (docs/TELEMETRY.md).
+SAMPLE_RATES = {"*": 0.01}
+SAMPLE_BUDGETS = {"*": 100_000}
 
 
 class CountingBus(TraceBus):
@@ -45,6 +51,23 @@ def _per_check_seconds(iterations=2_000_000):
     return (time.perf_counter() - start) / iterations
 
 
+def _per_emit_seconds(rates, iterations=300_000, repeats=3):
+    """Best-of-N cost of one guarded ``emit`` under ``rates`` (see tests/)."""
+    best = None
+    for _ in range(repeats):
+        bus = TraceBus()
+        bus.enable()
+        bus.set_sampling(rates=rates, budgets={"*": 10**9})
+        start = time.perf_counter()
+        for _ in range(iterations):
+            if bus.enabled:
+                bus.emit("dram.hit", "dram", addr=1)
+        elapsed = (time.perf_counter() - start) / iterations
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
 def test_disabled_tracing_overhead(once, benchmark):
     counting = CountingBus()
 
@@ -66,4 +89,37 @@ def test_disabled_tracing_overhead(once, benchmark):
     assert ratio < 0.05, (
         "disabled-tracing guards cost %.2f%% of a %.1f s attack"
         % (100.0 * ratio, attack_seconds)
+    )
+
+
+def test_sampled_tracing_overhead(once, benchmark):
+    trace = TraceBus()
+    trace.enable()
+    trace.set_sampling(rates=SAMPLE_RATES, budgets=SAMPLE_BUDGETS)
+
+    def run():
+        machine = Machine(tiny_test_config(seed=1), trace=trace)
+        attacker = AttackerView(machine, machine.boot_process())
+        start = time.perf_counter()
+        report = PThammerAttack(attacker, ATTACK).run()
+        return report, time.perf_counter() - start
+
+    report, attack_seconds = once(run)
+    assert report.escalated
+    stats = trace.sampler.stats()
+    assert stats["seen"] > 0 and stats["kept"] > 0
+
+    skipped = stats["seen"] - stats["kept"]
+    emit_seconds = (
+        stats["kept"] * _per_emit_seconds({"*": 1.0})
+        + skipped * _per_emit_seconds({"*": 1e-9})
+    )
+    ratio = emit_seconds / attack_seconds
+    benchmark.extra_info["events_seen"] = stats["seen"]
+    benchmark.extra_info["events_kept"] = stats["kept"]
+    benchmark.extra_info["sampled_overhead_pct"] = round(100.0 * ratio, 3)
+    assert ratio < 0.05, (
+        "1%%-sampled tracing costs %.2f%% of a %.1f s attack "
+        "(%d seen, %d kept)"
+        % (100.0 * ratio, attack_seconds, stats["seen"], stats["kept"])
     )

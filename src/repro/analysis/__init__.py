@@ -15,10 +15,16 @@ from repro.analysis.engine import (
     experiment_names,
     get_experiment,
     load_checkpoint,
+    observe_machine,
     register_experiment,
     run_experiment,
 )
-from repro.analysis.telemetry import ProgressReporter
+from repro.analysis.telemetry import (
+    Dashboard,
+    ProgressReporter,
+    render_timeline,
+    sparkline,
+)
 from repro.analysis.bench import (
     BenchComparison,
     BenchResult,
@@ -55,8 +61,11 @@ from repro.analysis.profile import (
     PhaseProfile,
     ProfileResult,
     TraceRecord,
+    chrome_trace_events,
     profile_trace,
     read_trace_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
     write_trace_jsonl,
 )
 from repro.analysis.report import render_bar, render_series, render_table
@@ -77,8 +86,15 @@ __all__ = [
     "BenchComparison",
     "BenchResult",
     "BenchSpec",
+    "Dashboard",
     "DefenseMatrixResult",
     "ProgressReporter",
+    "chrome_trace_events",
+    "observe_machine",
+    "render_timeline",
+    "sparkline",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "bench_names",
     "compare_to_baseline",
     "register_bench",

@@ -434,6 +434,61 @@ def _warm_start_bench():
     }
 
 
+def _sampled_trace_bench():
+    """Tracing off vs 1 %-sampled tracing on real hammer rounds.
+
+    The always-on-tracing story (docs/TELEMETRY.md) only holds if a
+    sampled bus stays within a few percent of a disabled one, so this
+    benchmark gates the ``sampled_over_off`` ratio.  Both machines run
+    the same hammer-loop workload from the fast-path benchmarks —
+    interleaved, best of three, ``time.process_time``.  Sampling must
+    not perturb the simulation: a virtual-cycle mismatch between the
+    two runs is a failed outcome, not a timing artifact.
+    """
+    from repro.machine import Machine
+    from repro.machine.attacker import AttackerView
+    from repro.machine.configs import tiny_test_config
+
+    best = {"off": None, "sampled": None}
+    cycles = {}
+    stats = None
+    for _ in range(3):
+        for mode in ("off", "sampled"):
+            config = tiny_test_config(seed=11)
+            machine = Machine(config)
+            attacker = AttackerView(machine, machine.boot_process())
+            if mode == "sampled":
+                machine.trace.enable()
+                machine.trace.set_sampling(rates={"*": 0.01}, budgets={"*": 100000})
+            hot_loop = _hammer_loop_workload(machine, attacker)
+            started = time.process_time()
+            hot_loop()
+            elapsed = time.process_time() - started
+            if best[mode] is None or elapsed < best[mode]:
+                best[mode] = elapsed
+            cycles[mode] = machine.cycles
+            if mode == "sampled":
+                stats = machine.trace.sampler.stats()
+    cycles_equal = cycles["off"] == cycles["sampled"]
+    return {
+        "machine": "tiny-test",
+        "config_fingerprint": config_fingerprint(tiny_test_config(seed=11)),
+        "timings": {
+            "off_seconds": round(best["off"], 6),
+            "sampled_seconds": round(best["sampled"], 6),
+            # Gated ratio (lower is better; time.* regress upward): the
+            # cost of leaving 1 %-sampled tracing on during a campaign.
+            "sampled_over_off": round(best["sampled"] / best["off"], 4),
+            "virtual_cycles": cycles["sampled"],
+        },
+        "outcome": {
+            "cycles_equal": 1 if cycles_equal else 0,
+            "events_seen": stats["seen"],
+            "events_kept": stats["kept"],
+        },
+    }
+
+
 def _hammer_loop_workload(machine, attacker):
     """Real hammer rounds: per-target TLB sweep + LLC sweep + probe touch."""
     from repro.core.hammer import DoubleSidedHammer, HammerTarget
@@ -530,6 +585,13 @@ register_bench(
         "warm-start-table1-tiny",
         "cold attack setup vs snapshot restore",
         _warm_start_bench,
+    )
+)
+register_bench(
+    BenchSpec(
+        "sampled-trace-loop",
+        "tracing off vs 1%-sampled tracing on hammer rounds",
+        _sampled_trace_bench,
     )
 )
 register_bench(

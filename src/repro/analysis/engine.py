@@ -51,8 +51,9 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import repro.analysis.warmstart as warmstart
+import repro.observe.stream as stream
 from repro.errors import ConfigError, TaskTimeout
-from repro.observe import MetricsRegistry
+from repro.observe import CycleHistogram, MetricsRegistry
 from repro.utils.rng import hash_to_unit
 
 #: Bump when the checkpoint line format changes incompatibly.
@@ -153,10 +154,14 @@ def derive_seed(root_seed, *parts, bits=32):
 
 
 # ----------------------------------------------------------------------
-# Per-task metrics capture
+# Per-task machine observation
 
 #: Stack of active capture lists; ExperimentContext reports into it.
 _ACTIVE_CAPTURES = []
+
+#: Parallel stack of whole-machine capture lists (telemetry: flips,
+#: cycles, hammer-round latencies straight off the observed machines).
+_ACTIVE_MACHINES = []
 
 
 def observe_machine_metrics(registry):
@@ -167,6 +172,41 @@ def observe_machine_metrics(registry):
     """
     for capture in _ACTIVE_CAPTURES:
         capture.append(registry)
+
+
+def observe_machine(machine):
+    """Register a whole machine with the running task.
+
+    The superset of :func:`observe_machine_metrics`: besides the
+    metrics registry, the engine reads the machine's ground-truth flip
+    count, virtual cycles, and always-on hammer-round spans after the
+    task finishes, feeding the streaming-telemetry pipeline
+    (:mod:`repro.observe.stream`).  A no-op outside the engine.
+    """
+    observe_machine_metrics(machine.metrics)
+    for capture in _ACTIVE_MACHINES:
+        capture.append(machine)
+
+
+def _telemetry_observation(machines):
+    """Fold observed machines into one task's telemetry delta.
+
+    Flips come from DRAM ground truth, the latency sketch from the
+    unconditional ``hammer-round`` spans — both already recorded, so
+    telemetry adds zero cost to the machine's hot paths.
+    """
+    from repro.core.hammer import HAMMER_ROUND_SPAN
+    from repro.machine import Inspector
+
+    flips = 0
+    cycles = 0
+    latency = CycleHistogram()
+    for machine in machines:
+        flips += Inspector(machine).flip_count()
+        cycles += machine.cycles
+        for span in machine.trace.spans_named(HAMMER_ROUND_SPAN):
+            latency.observe(span.end - span.start)
+    return flips, cycles, latency
 
 
 # ----------------------------------------------------------------------
@@ -252,8 +292,14 @@ def _execute_task(
     """
     started = time.time()
     registries = []
+    machines = []
     spent = 0
+    emitter = stream.current_emitter()
+    group = task.payload.get("machine") if isinstance(task.payload, dict) else None
+    if emitter is not None:
+        emitter.heartbeat(task.key)
     _ACTIVE_CAPTURES.append(registries)
+    _ACTIVE_MACHINES.append(machines)
     try:
         while True:
             restore = _alarm_scope(task_timeout)
@@ -267,6 +313,13 @@ def _execute_task(
                     continue
                 if not capture_errors:
                     raise
+                if emitter is not None:
+                    emitter.task_done(
+                        task.key,
+                        seconds=time.time() - started,
+                        group=group,
+                        ok=False,
+                    )
                 return TaskOutcome(
                     key=task.key,
                     seed=task.seed,
@@ -282,6 +335,17 @@ def _execute_task(
                     restore()
     finally:
         _ACTIVE_CAPTURES.pop()
+        _ACTIVE_MACHINES.pop()
+    if emitter is not None:
+        flips, cycles, latency = _telemetry_observation(machines)
+        emitter.task_done(
+            task.key,
+            seconds=time.time() - started,
+            flips=flips,
+            cycles=cycles,
+            latency=latency,
+            group=group,
+        )
     try:
         data = json.loads(json.dumps(data))
     except (TypeError, ValueError) as exc:
@@ -483,6 +547,10 @@ class RunOutcome:
     #: ``{config_fingerprint: snapshot_fingerprint}`` when the run was
     #: warm-started — which machine states every trial restored from.
     warm_start: Optional[Dict[str, str]] = None
+    #: The streaming-telemetry summary (:mod:`repro.observe.stream`)
+    #: when the run had a telemetry session: rolling time-series,
+    #: per-worker totals, per-config flip counters.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def summary(self):
         """One-line recap for progress displays and logs."""
@@ -523,6 +591,7 @@ class RunOutcome:
                 "jobs": self.jobs,
                 "warm_start": self.warm_start,
             },
+            extra={"telemetry": self.telemetry} if self.telemetry else {},
         )
 
 
@@ -545,6 +614,7 @@ def run_experiment(
     retries=2,
     retry_backoff=0.05,
     warm_start=False,
+    telemetry=None,
 ):
     """Execute an experiment through the engine; returns a RunOutcome.
 
@@ -592,6 +662,17 @@ def run_experiment(
     task restore instead of re-booting — results stay bit-identical to
     a cold run at any ``jobs``; the snapshot fingerprints land in
     ``RunOutcome.warm_start`` and the ledger record.
+
+    ``telemetry`` enables the streaming-telemetry pipeline
+    (:mod:`repro.observe.stream`, docs/TELEMETRY.md): ``True`` (or a
+    spool-root path, or a prebuilt
+    :class:`~repro.observe.stream.TelemetrySession`) makes every
+    worker stream heartbeats and per-task metric deltas — flips,
+    cycles, hammer-round latency sketches — to a per-worker spool
+    file; the parent aggregates them live (``repro dash`` can attach)
+    and the rolling time-series lands in ``RunOutcome.telemetry`` and
+    the ledger record's ``extra``.  Telemetry writes only to spool
+    files, so rendered results stay byte-identical either way.
     """
     if isinstance(spec, str):
         spec = get_experiment(spec)
@@ -643,6 +724,19 @@ def run_experiment(
             spec.name, total=total, jobs=effective_jobs, resumed=len(done)
         )
 
+    session = None
+    if telemetry:
+        if isinstance(telemetry, stream.TelemetrySession):
+            session = telemetry
+        elif telemetry is True:
+            session = stream.TelemetrySession()
+        else:
+            session = stream.TelemetrySession(str(telemetry))
+        # Must begin before any fork: pool workers inherit the armed
+        # emitter configuration copy-on-write, exactly like
+        # ``_WORKER_STATE`` and the warm-start snapshot cache.
+        session.begin(spec.name, total=total, jobs=effective_jobs)
+
     def _record(outcome):
         nonlocal finished, failures
         outcomes_by_key[outcome.key] = outcome
@@ -655,6 +749,8 @@ def run_experiment(
             writer.write_task(outcome)
         if progress is not None:
             progress(finished, total, outcome)
+        if session is not None:
+            session.poll()
 
     warm_primed = None
     if warm_start:
@@ -732,6 +828,10 @@ def run_experiment(
             warmstart.deactivate()
         if writer is not None:
             writer.close()
+        if session is not None:
+            # Disarm the parent's emitters even on an aborting
+            # exception; ``session.finish`` below is a no-op repeat.
+            stream.deactivate_emitters()
 
     completed = len(outcomes_by_key) == total and failures == 0
     ordered = [outcomes_by_key[task.key] for task in tasks if task.key in outcomes_by_key]
@@ -754,6 +854,8 @@ def run_experiment(
         failures=failures,
         warm_start=warm_primed,
     )
+    if session is not None:
+        run.telemetry = session.finish(completed=completed)
     if ledger is not None:
         from repro.observe.ledger import RunLedger
 

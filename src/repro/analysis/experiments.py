@@ -54,9 +54,12 @@ from repro.utils.units import cycles_to_seconds, format_duration, format_size
 class ExperimentContext:
     """One booted machine with an attacker, an inspector, and the facts.
 
-    Contexts report their machine's metrics registry to the experiment
-    engine, so machines booted inside an engine task contribute to the
-    run-level metrics aggregation automatically.
+    Contexts report their machine to the experiment engine
+    (:func:`repro.analysis.engine.observe_machine`), so machines booted
+    inside an engine task contribute to the run-level metrics
+    aggregation — and, when a telemetry session is active, their flip
+    counts and hammer-round latencies to the live stream —
+    automatically.
 
     Under an engine run with ``warm_start=True`` (and no explicit
     placement policy — cached snapshots are captured under the stock
@@ -77,7 +80,7 @@ class ExperimentContext:
         self.attacker = AttackerView(self.machine, process)
         self.inspector = Inspector(self.machine)
         self.facts = UarchFacts.from_config(config)
-        _engine.observe_machine_metrics(self.machine.metrics)
+        _engine.observe_machine(self.machine)
 
     def seconds(self, cycles):
         """Virtual cycles -> seconds at this machine's clock."""

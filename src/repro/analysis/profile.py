@@ -9,10 +9,14 @@ measurement sections produce for real hardware:
   from the event stream instead of hand-placed timers);
 * :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — a lossless
   JSON-lines trace file for offline analysis, with a schema documented
-  in ``docs/OBSERVABILITY.md`` and verified by a round-trip test.
+  in ``docs/OBSERVABILITY.md`` and verified by a round-trip test;
+* :func:`write_chrome_trace` / :func:`validate_chrome_trace` — export
+  to the Chrome trace-event format (``repro trace --export-chrome``),
+  so a recorded attack opens directly in Perfetto / ``chrome://tracing``
+  with phases as duration slices and bus events as instants.
 
-Both work on a live bus or on a :class:`TraceRecord` read back from
-disk — the profiler only needs ``.events`` and ``.spans``.
+All of these work on a live bus or on a :class:`TraceRecord` read back
+from disk — they only need ``.events`` and ``.spans``.
 """
 
 import json
@@ -73,6 +77,9 @@ def write_trace_jsonl(trace, destination, machine=None):
             "spans": len(trace.spans),
             "dropped": getattr(trace, "dropped", 0),
         }
+        sampler = getattr(trace, "sampler", None)
+        if sampler is not None:
+            header["sampling"] = sampler.stats()
         handle.write(json.dumps(header) + "\n")
         lines += 1
         for span in trace.spans:
@@ -130,6 +137,119 @@ def read_trace_jsonl(source):
         if own:
             handle.close()
     return TraceRecord(events, spans, meta)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing)
+
+
+def chrome_trace_events(trace, machine=None, freq_ghz=None):
+    """Convert a trace to a Chrome trace-event JSON document (a dict).
+
+    Spans become complete-duration events (``"ph": "X"``) on one
+    thread lane per nesting depth; bus events become instants
+    (``"ph": "i"``) categorised by component, with their payload under
+    ``args``.  Timestamps are microseconds: real microseconds when
+    ``freq_ghz`` is known, else one virtual cycle per microsecond —
+    either way the relative structure Perfetto renders is exact.
+    """
+    scale = 1.0 / (freq_ghz * 1000.0) if freq_ghz else 1.0
+    events = []
+    for span in trace.spans:
+        if span.end is None:
+            continue
+        events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": span.start * scale,
+                "dur": (span.end - span.start) * scale,
+                "pid": 1,
+                "tid": span.depth + 1,
+            }
+        )
+    for event in trace.events:
+        events.append(
+            {
+                "name": event.kind,
+                "cat": event.component,
+                "ph": "i",
+                "s": "t",
+                "ts": event.cycle * scale,
+                "pid": 1,
+                "tid": 1,
+                "args": dict(event.fields),
+            }
+        )
+    metadata = {"schema": TRACE_SCHEMA_VERSION}
+    if machine:
+        metadata["machine"] = machine
+    if freq_ghz:
+        metadata["freq_ghz"] = freq_ghz
+    sampler = getattr(trace, "sampler", None)
+    if sampler is not None:
+        metadata["sampling"] = sampler.stats()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": metadata,
+    }
+
+
+def write_chrome_trace(trace, destination, machine=None, freq_ghz=None):
+    """Write the Chrome trace-event export; returns the event count."""
+    document = chrome_trace_events(trace, machine=machine, freq_ghz=freq_ghz)
+    own = isinstance(destination, str)
+    handle = open(destination, "w") if own else destination
+    try:
+        json.dump(document, handle)
+        handle.write("\n")
+    finally:
+        if own:
+            handle.close()
+    return len(document["traceEvents"])
+
+
+#: Trace-event phases this exporter emits (the subset we validate).
+_CHROME_PHASES = {"X", "i", "I", "B", "E", "M"}
+
+
+def validate_chrome_trace(document):
+    """Structural check of a Chrome trace-event document.
+
+    Raises :class:`ConfigError` on the first violation; returns the
+    event count on success.  Used by the CI export smoke job and the
+    export tests, so a drifting exporter fails loudly instead of
+    producing files Perfetto silently refuses.
+    """
+    if not isinstance(document, dict):
+        raise ConfigError("chrome trace must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ConfigError("chrome trace needs a 'traceEvents' array")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ConfigError("traceEvents[%d] is not an object" % index)
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ConfigError("traceEvents[%d] lacks %r" % (index, key))
+        if not isinstance(event["name"], str):
+            raise ConfigError("traceEvents[%d].name is not a string" % index)
+        if event["ph"] not in _CHROME_PHASES:
+            raise ConfigError(
+                "traceEvents[%d].ph %r is not one of %s"
+                % (index, event["ph"], sorted(_CHROME_PHASES))
+            )
+        if not isinstance(event["ts"], (int, float)):
+            raise ConfigError("traceEvents[%d].ts is not a number" % index)
+        if event["ph"] == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ConfigError(
+                    "traceEvents[%d] ('X') needs a non-negative 'dur'" % index
+                )
+    return len(events)
 
 
 # ----------------------------------------------------------------------

@@ -31,7 +31,11 @@ Examples::
     python -m repro bench --record --baseline main
     python -m repro bench --compare main
     python -m repro runs list
+    python -m repro runs list --all
     python -m repro runs diff 20260806T101500-ab 20260806T104200-cd
+    python -m repro dash --once
+    python -m repro runs watch --interval 2.0
+    python -m repro trace --machine tiny --sample 0.05 --export-chrome trace.json
 """
 
 import argparse
@@ -126,14 +130,23 @@ def _telemetry_args(group):
         action="store_true",
         help="do not append this run to the run ledger",
     )
+    group.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable the streaming telemetry spool (docs/TELEMETRY.md); "
+        "results are byte-identical either way",
+    )
 
 
 def _cmd_experiment(args):
     """Dispatch one registered experiment through the engine."""
+    from repro.observe.stream import TelemetrySession
+
     spec = get_experiment(args.command)
     reporter = None
     if not args.no_progress:
         reporter = ProgressReporter(stream=sys.stderr, quiet=args.quiet)
+    session = None if args.no_telemetry else TelemetrySession()
     try:
         options = spec.cli_options(args) if spec.cli_options else {}
         run = run_experiment(
@@ -147,6 +160,7 @@ def _cmd_experiment(args):
             task_timeout=args.task_timeout,
             retries=args.retries,
             warm_start=args.warm_start,
+            telemetry=session,
         )
     except ConfigError as exc:
         print("repro: %s" % exc, file=sys.stderr)
@@ -155,8 +169,82 @@ def _cmd_experiment(args):
     if not args.quiet:
         if reporter is None:  # reporter.end() already printed the summary
             print(run.summary(), file=sys.stderr)
+        if run.telemetry:
+            totals = run.telemetry["totals"]
+            print(
+                "telemetry: %.2f task/s, %d flip(s)%s (watch live with "
+                "`repro dash`)"
+                % (
+                    totals["throughput_mean"],
+                    totals["flips"],
+                    ", hammer p50 %.0f cycles" % totals["latency_p50"]
+                    if "latency_p50" in totals
+                    else "",
+                ),
+                file=sys.stderr,
+            )
         if run.run_id:
             print("run recorded: %s" % run.run_id, file=sys.stderr)
+    return 0
+
+
+def _dash_args(parser):
+    """Shared flags of ``repro dash`` and ``repro runs watch``."""
+    parser.add_argument(
+        "--spool",
+        metavar="DIR",
+        default=None,
+        help="spool directory (default: the newest under the telemetry root)",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="telemetry root (default: .repro/telemetry, or REPRO_TELEMETRY_DIR)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between dashboard refreshes (default: 1.0)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single plain-text frame and exit (no ANSI; CI-friendly)",
+    )
+
+
+def _cmd_dash(args):
+    """``repro dash`` / ``repro runs watch`` — the live dashboard."""
+    from repro.analysis.telemetry import Dashboard
+    from repro.observe.stream import (
+        TelemetryAggregator,
+        default_spool_root,
+        discover_spool,
+    )
+
+    spool = args.spool or discover_spool(args.root)
+    if spool is None:
+        print(
+            "repro: no telemetry spool under %s — run an experiment first "
+            "(telemetry is on by default) or pass --spool"
+            % (args.root or default_spool_root()),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        aggregator = TelemetryAggregator(spool)
+    except ConfigError as exc:
+        print("repro: %s" % exc, file=sys.stderr)
+        return 2
+    dashboard = Dashboard(
+        aggregator, stream=sys.stdout, ansi=False if args.once else None
+    )
+    try:
+        dashboard.run(interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -388,6 +476,27 @@ def build_parser():
     trace_cmd.add_argument(
         "--out", metavar="FILE", default=None, help="JSONL trace destination"
     )
+    trace_cmd.add_argument(
+        "--export-chrome",
+        metavar="FILE",
+        default=None,
+        help="also export the trace in Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    trace_cmd.add_argument(
+        "--sample",
+        metavar="SPEC",
+        default=None,
+        help="sample the event stream: a rate ('0.01') or per-category "
+        "rates ('dram=0.1,tlb=0.5,*=0.01'); keeps traced runs cheap",
+    )
+    trace_cmd.add_argument(
+        "--sample-budget",
+        metavar="SPEC",
+        default=None,
+        help="hard event budgets: a cap ('200000') or per-category caps "
+        "('dram=50000,*=200000')",
+    )
 
     # One subcommand per registered experiment; each spec contributes its
     # own flags, the engine contributes --jobs/--checkpoint/--resume.
@@ -430,6 +539,11 @@ def build_parser():
         "validate", help="quick self-check: knees, pairs, and one escalation"
     )
 
+    dash = commands.add_parser(
+        "dash", help="live telemetry dashboard over an engine run's spool"
+    )
+    _dash_args(dash)
+
     runs = commands.add_parser("runs", help="inspect the run ledger")
     runs_commands = runs.add_subparsers(dest="runs_command", required=True)
     runs_list = runs_commands.add_parser("list", help="list recorded runs")
@@ -437,8 +551,17 @@ def build_parser():
     runs_list.add_argument("--name", default=None, help="filter by run name")
     runs_list.add_argument("--label", default=None, help="filter by baseline label")
     runs_list.add_argument("--limit", type=int, default=20, help="newest N (default 20)")
+    runs_list.add_argument(
+        "--all",
+        action="store_true",
+        help="list every record (overrides --limit; loads the whole ledger)",
+    )
     runs_show = runs_commands.add_parser("show", help="show one run record")
     runs_show.add_argument("run_id", help="run id (unique prefixes accepted)")
+    runs_watch = runs_commands.add_parser(
+        "watch", help="watch the newest run's telemetry (alias of `repro dash`)"
+    )
+    _dash_args(runs_watch)
     runs_diff = runs_commands.add_parser(
         "diff", help="per-metric comparison of two runs; exit 1 on regression"
     )
@@ -515,7 +638,11 @@ def main(argv=None):
         return _cmd_validate()
     if args.command == "snapshot":
         return _cmd_snapshot(args)
+    if args.command == "dash":
+        return _cmd_dash(args)
     if args.command == "runs":
+        if args.runs_command == "watch":
+            return _cmd_dash(args)
         return _cmd_runs(args)
     if args.command == "bench":
         return _cmd_bench(args)
@@ -642,7 +769,10 @@ def _cmd_runs(args):
     ledger = RunLedger()
     try:
         if args.runs_command == "list":
-            records = ledger.list(kind=args.kind, name=args.name, label=args.label)
+            limit = None if args.all else max(args.limit, 0)
+            records = ledger.list(
+                kind=args.kind, name=args.name, label=args.label, limit=limit
+            )
             if not records:
                 print("no runs recorded in %s" % ledger.root)
                 return 0
@@ -651,7 +781,7 @@ def _cmd_runs(args):
                 % ("run id", "kind", "name", "machine",
                    "recorded (UTC)", "host", "label")
             )
-            for record in records[-max(args.limit, 0):]:
+            for record in records:
                 print(record.summary_line())
             return 0
         if args.runs_command == "show":
@@ -676,6 +806,13 @@ def _cmd_runs(args):
                 registry.merge_snapshot(record.metrics)
                 print("metrics:")
                 for line in registry.render().splitlines():
+                    print("  " + line)
+            telemetry = (record.extra or {}).get("telemetry")
+            if telemetry:
+                from repro.analysis.telemetry import render_timeline
+
+                print("timeline:")
+                for line in render_timeline(telemetry).splitlines():
                     print("  " + line)
             return 0
         if args.runs_command == "diff":
@@ -762,7 +899,8 @@ def _cmd_bench(args):
 
 def _cmd_trace(args):
     """Run one traced attack; print the profile, optionally export JSONL."""
-    from repro.analysis import profile_trace, write_trace_jsonl
+    from repro.analysis import profile_trace, write_chrome_trace, write_trace_jsonl
+    from repro.observe import parse_budget_spec, parse_rate_spec
 
     config = MACHINES[args.machine]()
     if args.seed is not None:
@@ -771,6 +909,16 @@ def _cmd_trace(args):
     machine = Machine(config, policy=DEFENSES[args.defense]())
     attacker = AttackerView(machine, machine.boot_process())
     machine.trace.enable()
+    if args.sample or args.sample_budget:
+        try:
+            rates = parse_rate_spec(args.sample) if args.sample else None
+            budgets = (
+                parse_budget_spec(args.sample_budget) if args.sample_budget else None
+            )
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        machine.trace.set_sampling(rates=rates, budgets=budgets)
     print("tracing PThammer vs %s (defense: %s) ..." % (config.name, args.defense))
     report = PThammerAttack(
         attacker,
@@ -792,10 +940,25 @@ def _cmd_trace(args):
         print("  %-16s %10d" % (kind, counts[kind]))
     if machine.trace.dropped:
         print("  (%d events dropped beyond the buffer limit)" % machine.trace.dropped)
+    if machine.trace.sampler is not None:
+        stats = machine.trace.sampler.stats()
+        print(
+            "sampling: kept %d of %d event(s) (%d sampled out, %d over budget)"
+            % (stats["kept"], stats["seen"], stats["sampled_out"],
+               stats["budget_dropped"])
+        )
     if out_file is not None:
         with out_file:
             lines = write_trace_jsonl(machine.trace, out_file, machine=config.name)
         print("wrote %d trace lines to %s" % (lines, args.out))
+    if args.export_chrome:
+        events = write_chrome_trace(
+            machine.trace,
+            args.export_chrome,
+            machine=config.name,
+            freq_ghz=config.cpu.freq_ghz,
+        )
+        print("wrote %d chrome trace event(s) to %s" % (events, args.export_chrome))
     return 0
 
 

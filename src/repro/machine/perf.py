@@ -14,8 +14,6 @@ code should use the registry directly — it adds histograms and timers
 on top of plain counters.
 """
 
-import warnings
-
 from repro.observe.metrics import MetricsRegistry
 
 #: Counter names used across the simulator.
@@ -69,15 +67,6 @@ class PerfCounters:
         snap = PerfSnapshot(self.registry.counters())
         snap.generation = self.registry.generation
         return snap
-
-    def snapshot(self):
-        """Deprecated alias for :meth:`snapshot_values` (one release)."""
-        warnings.warn(
-            "PerfCounters.snapshot() is deprecated; use snapshot_values()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.snapshot_values()
 
     def delta(self, before, name):
         """Change of one counter since a snapshot.

@@ -18,7 +18,14 @@ Typical use::
     write_trace_jsonl(machine.trace, "out.jsonl")   # repro.analysis
 """
 
-from repro.observe.bus import NULL_TRACE, NullTrace, TraceBus
+from repro.observe.bus import (
+    NULL_TRACE,
+    NullTrace,
+    TraceBus,
+    TraceSampler,
+    parse_budget_spec,
+    parse_rate_spec,
+)
 from repro.observe.events import (
     ACCESS,
     ALL_KINDS,
@@ -68,8 +75,31 @@ from repro.observe.ledger import (
     new_run_id,
 )
 from repro.observe.metrics import CycleHistogram, MetricsRegistry
+from repro.observe.stream import (
+    STREAM_SCHEMA_VERSION,
+    TELEMETRY_ENV_VAR,
+    SeriesBuckets,
+    TelemetryAggregator,
+    TelemetryEmitter,
+    TelemetrySession,
+    current_emitter,
+    default_spool_root,
+    discover_spool,
+)
 
 __all__ = [
+    "STREAM_SCHEMA_VERSION",
+    "TELEMETRY_ENV_VAR",
+    "SeriesBuckets",
+    "TelemetryAggregator",
+    "TelemetryEmitter",
+    "TelemetrySession",
+    "TraceSampler",
+    "current_emitter",
+    "default_spool_root",
+    "discover_spool",
+    "parse_budget_spec",
+    "parse_rate_spec",
     "ATTACK_RUN",
     "BENCHMARK_RUN",
     "EXPERIMENT_RUN",

@@ -28,6 +28,150 @@ def _zero_clock():
     return 0
 
 
+class TraceSampler:
+    """Deterministic per-category sampling and hard event budgets.
+
+    Keeps tracing affordable during campaigns: instead of recording
+    every event, the sampler admits a deterministic stride of each
+    event *kind* (e.g. rate 0.01 keeps the 1st, 101st, 201st ...
+    ``dram.activate``), and per-category budgets cap how many events a
+    category may record over the bus's lifetime no matter the rate.
+    Stride sampling (rather than RNG) keeps traced runs reproducible:
+    the same workload always keeps the same events.
+
+    ``rates`` and ``budgets`` map an event kind (``"dram.activate"``),
+    a category (the kind's prefix before the first dot, ``"dram"``),
+    or the wildcard ``"*"`` to a sample fraction / event cap; the most
+    specific match wins.  Unmatched kinds are admitted untouched.
+    """
+
+    #: Countdown value standing in for "keep nothing" (rate <= 0): large
+    #: enough that the per-kind countdown never reaches the keep branch.
+    _NEVER = 1 << 60
+
+    def __init__(self, rates=None, budgets=None):
+        self.rates = dict(rates or {})
+        self.budgets = dict(budgets or {})
+        self.kept = 0
+        self.sampled_out = 0
+        self.budget_dropped = 0
+        self._spent = {}  # budget key -> events admitted against it
+        self._strides = {}  # kind -> resolved stride (None = unlimited)
+        self._budget_keys = {}  # kind -> resolved budget key (or None)
+        # kind -> events to drop before the next keep.  The skip path —
+        # the overwhelmingly common one at campaign sample rates — costs
+        # one dict read and one int store (see the overhead guard in
+        # benchmarks/test_observe_overhead.py).
+        self._countdown = {}
+
+    @staticmethod
+    def category(kind):
+        """The category of an event kind: its prefix before the dot."""
+        return kind.split(".", 1)[0]
+
+    @staticmethod
+    def _lookup(mapping, kind):
+        """Most-specific match: exact kind, then category, then ``*``."""
+        if kind in mapping:
+            return kind
+        category = TraceSampler.category(kind)
+        if category in mapping:
+            return category
+        if "*" in mapping:
+            return "*"
+        return None
+
+    def _stride(self, kind):
+        stride = self._strides.get(kind, -1)
+        if stride != -1:
+            return stride
+        key = self._lookup(self.rates, kind)
+        if key is None:
+            stride = None  # no rate configured: keep everything
+        else:
+            rate = self.rates[key]
+            if rate <= 0:
+                stride = 0  # keep nothing
+            elif rate >= 1:
+                stride = 1
+            else:
+                stride = max(1, round(1.0 / rate))
+        self._strides[kind] = stride
+        return stride
+
+    def admit(self, kind):
+        """Whether this occurrence of ``kind`` should be recorded."""
+        left = self._countdown.get(kind)
+        if left:
+            self._countdown[kind] = left - 1
+            self.sampled_out += 1
+            return False
+        # left is None (first occurrence of the kind) or 0 (this event
+        # is the stride's keep slot) — both resolve through the cache.
+        stride = self._stride(kind)
+        if stride == 0:
+            self._countdown[kind] = self._NEVER
+            self.sampled_out += 1
+            return False
+        if stride is not None:
+            self._countdown[kind] = stride - 1
+        budget_key = self._budget_keys.get(kind, -1)
+        if budget_key == -1:
+            budget_key = self._lookup(self.budgets, kind)
+            self._budget_keys[kind] = budget_key
+        if budget_key is not None:
+            spent = self._spent.get(budget_key, 0)
+            if spent >= self.budgets[budget_key]:
+                self.budget_dropped += 1
+                return False
+            self._spent[budget_key] = spent + 1
+        self.kept += 1
+        return True
+
+    def stats(self):
+        """JSON-serialisable counters (exported in trace headers)."""
+        return {
+            "seen": self.kept + self.sampled_out + self.budget_dropped,
+            "kept": self.kept,
+            "sampled_out": self.sampled_out,
+            "budget_dropped": self.budget_dropped,
+            "rates": dict(self.rates),
+            "budgets": dict(self.budgets),
+        }
+
+
+def parse_rate_spec(text):
+    """``"0.01"`` or ``"dram=0.1,tlb=0.5,*=0.01"`` -> a rates dict."""
+    return _parse_spec(text, float, "sample rate")
+
+
+def parse_budget_spec(text):
+    """``"100000"`` or ``"dram=50000,*=200000"`` -> a budgets dict."""
+    return _parse_spec(text, int, "event budget")
+
+
+def _parse_spec(text, convert, what):
+    text = text.strip()
+    if not text:
+        raise ValueError("empty %s spec" % what)
+    if "=" not in text:
+        return {"*": convert(text)}
+    spec = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(
+                "bad %s token %r (want category=value)" % (what, token)
+            )
+        key, _, value = token.partition("=")
+        spec[key.strip()] = convert(value)
+    if not spec:
+        raise ValueError("empty %s spec" % what)
+    return spec
+
+
 class TraceBus:
     """Structured event sink shared by every layer of one machine.
 
@@ -49,6 +193,8 @@ class TraceBus:
         self.spans = []
         self.dropped = 0
         self.clock = _zero_clock
+        #: Optional :class:`TraceSampler`; ``None`` records everything.
+        self.sampler = None
         self._limit = limit
         self._subscribers = []
         self._depth = 0
@@ -69,6 +215,23 @@ class TraceBus:
         self.spans = []
         self.dropped = 0
 
+    def set_sampling(self, rates=None, budgets=None):
+        """Install (or clear) trace sampling; returns the sampler.
+
+        See :class:`TraceSampler` for the ``rates``/``budgets``
+        vocabulary.  Sampling decisions happen inside :meth:`emit`, so
+        the disabled-path contract (one plain ``enabled`` check) is
+        untouched; an enabled-but-sampled bus pays one extra
+        ``admit()`` per would-be event, which is what makes always-on
+        tracing affordable during campaigns (the ``sampled-trace-loop``
+        benchmark gates it).
+        """
+        if rates or budgets:
+            self.sampler = TraceSampler(rates, budgets)
+        else:
+            self.sampler = None
+        return self.sampler
+
     # -- events ----------------------------------------------------------
 
     def emit(self, kind, component, **fields):
@@ -77,6 +240,20 @@ class TraceBus:
         Only call under an ``if bus.enabled:`` guard — the guard, not
         this method, is the disabled-path cost contract.
         """
+        sampler = self.sampler
+        if sampler is not None:
+            # Inlined skip path of TraceSampler.admit: at campaign
+            # sample rates nearly every emit lands here, and the extra
+            # method call is the difference between passing and failing
+            # the sampled-tracing overhead guard.
+            countdown = sampler._countdown
+            left = countdown.get(kind)
+            if left:
+                countdown[kind] = left - 1
+                sampler.sampled_out += 1
+                return None
+            if not sampler.admit(kind):
+                return None
         event = Event(kind, component, self.clock(), fields)
         if len(self.events) < self._limit:
             self.events.append(event)

@@ -188,7 +188,11 @@ class RunRecord:
         * ``phase.<name>.cycles`` — per-phase virtual-cycle costs;
         * ``counter.<name>`` — registry counters;
         * ``hist.<name>.mean/p50/p95/p99`` — histogram summaries;
-        * numeric ``outcome.*`` fields (booleans count as 0/1).
+        * numeric ``outcome.*`` fields (booleans count as 0/1);
+        * ``telemetry.*`` — the streaming-telemetry summary persisted
+          in ``extra["telemetry"]`` (throughput and flip-rate
+          mean/peak, merged latency percentiles, per-group flips), so
+          ``repro runs diff`` compares two runs' live curves too.
         """
         flat = {}
         for key, value in self.timings.items():
@@ -211,6 +215,24 @@ class RunRecord:
                 flat["outcome.%s" % key] = int(value)
             elif isinstance(value, (int, float)):
                 flat["outcome.%s" % key] = value
+        telemetry = (self.extra or {}).get("telemetry") or {}
+        totals = telemetry.get("totals") or {}
+        for key in (
+            "throughput_mean",
+            "throughput_peak",
+            "flips_per_sec_mean",
+            "flips_per_sec_peak",
+            "latency_p50",
+            "latency_p95",
+            "latency_p99",
+        ):
+            value = totals.get(key)
+            if isinstance(value, (int, float)):
+                flat["telemetry.%s" % key] = value
+        for group, stats in sorted((telemetry.get("groups") or {}).items()):
+            flips = stats.get("flips") if isinstance(stats, dict) else None
+            if isinstance(flips, (int, float)):
+                flat["telemetry.group.%s.flips" % group] = flips
         return flat
 
     def summary_line(self):
@@ -314,10 +336,18 @@ class RunLedger:
                 raise ConfigError("run record %s is not valid JSON: %s" % (path, exc))
         return RunRecord.from_json(payload)
 
-    def list(self, kind=None, name=None, label=None):
-        """All records matching the filters, oldest first."""
+    def list(self, kind=None, name=None, label=None, limit=None):
+        """Records matching the filters, oldest first.
+
+        ``limit`` keeps the *newest* N matches and — because run ids
+        sort chronologically by filename — walks the directory newest
+        first and stops loading files as soon as N matches are found,
+        so ``repro runs list`` stays fast on campaign-scale ledgers.
+        """
         records = []
-        for run_id in self.run_ids():
+        for run_id in reversed(self.run_ids()):
+            if limit is not None and len(records) >= limit:
+                break
             record = self.load(run_id)
             if kind is not None and record.kind != kind:
                 continue
@@ -326,11 +356,12 @@ class RunLedger:
             if label is not None and record.label != label:
                 continue
             records.append(record)
+        records.reverse()
         return records
 
     def latest(self, kind=None, name=None, label=None):
         """Most recent matching record, or ``None``."""
-        records = self.list(kind=kind, name=name, label=label)
+        records = self.list(kind=kind, name=name, label=label, limit=1)
         return records[-1] if records else None
 
 

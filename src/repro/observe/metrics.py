@@ -17,8 +17,6 @@ strings (``"hammer.round_cycles"``).  A registry belongs to one
 machine (``machine.metrics``) but standalone use is fine too.
 """
 
-import warnings
-
 from repro.errors import ConfigError
 
 
@@ -268,15 +266,6 @@ class MetricsRegistry:
                 for name, histogram in self._histograms.items()
             },
         }
-
-    def snapshot(self):
-        """Deprecated alias for :meth:`snapshot_values` (one release)."""
-        warnings.warn(
-            "MetricsRegistry.snapshot() is deprecated; use snapshot_values()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.snapshot_values()
 
     def merge_snapshot(self, snapshot):
         """Fold a :meth:`snapshot` from another registry (or process) in.

@@ -1,0 +1,210 @@
+"""The dashboard surface: sparklines, timelines, ``repro dash``, export.
+
+Rendering tests run against the committed spool fixture (the same one
+the CI observability smoke job uses), so ``repro dash`` and ``repro
+runs show`` stay honest about the spool format and never leak ANSI
+escapes into redirected output.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.analysis.telemetry import Dashboard, render_timeline, sparkline
+from repro.analysis.profile import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.observe import TraceBus
+from repro.observe.stream import TelemetryAggregator
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "data", "telemetry_spool",
+    "20260806T000000-ci-table1",
+)
+
+
+def _aggregator():
+    aggregator = TelemetryAggregator(FIXTURE, clock=lambda: 1010.0)
+    aggregator.poll()
+    return aggregator
+
+
+# ----------------------------------------------------------------------
+# sparkline + render_timeline
+
+
+def test_sparkline_rescales_and_stays_plain():
+    line = sparkline([0, 1, 2, 3, 4], width=5)
+    assert len(line) == 5
+    assert line[-1] == "█" and "\x1b" not in line
+    assert sparkline([], width=5) == ""
+    assert set(sparkline([0, 0, 0], width=5)) == {" "}
+    assert len(sparkline(list(range(100)), width=10)) == 10
+
+
+def test_render_timeline_from_persisted_summary():
+    summary = _aggregator().summary()
+    text = render_timeline(summary)
+    assert "tasks/s" in text and "flips/s" in text
+    assert "p50" in text
+    assert "worker 1001" in text and "worker 1002" in text
+    assert "config" in text and "tiny" in text
+    assert "\x1b" not in text
+
+
+def test_render_timeline_tolerates_an_empty_summary():
+    text = render_timeline({"buckets": [], "totals": {}})
+    assert "0 bucket(s)" in text
+
+
+# ----------------------------------------------------------------------
+# Dashboard
+
+
+def test_dashboard_once_frame_is_plain_text():
+    stream = io.StringIO()
+    dashboard = Dashboard(_aggregator(), stream=stream, ansi=False)
+    frames = dashboard.run(once=True)
+    text = stream.getvalue()
+    assert frames == 1
+    assert text.startswith("repro dash — table1 [finished] 8/8 tasks")
+    assert "throughput" in text and "worker" in text
+    assert "\x1b" not in text  # non-TTY: never any escapes
+
+
+def test_dashboard_defaults_to_plain_on_non_tty():
+    assert Dashboard(_aggregator(), stream=io.StringIO()).ansi is False
+
+
+def test_dashboard_ansi_mode_repaints_in_place():
+    stream = io.StringIO()
+    dashboard = Dashboard(_aggregator(), stream=stream, ansi=True)
+    dashboard.draw()
+    dashboard.draw()
+    assert stream.getvalue().count("\x1b[H\x1b[2J") == 2
+
+
+def test_dashboard_plain_mode_separates_frames_with_a_rule():
+    stream = io.StringIO()
+    dashboard = Dashboard(_aggregator(), stream=stream, ansi=False)
+    dashboard.draw()
+    dashboard.draw()
+    assert stream.getvalue().count("-" * 36) == 1
+
+
+def test_dashboard_run_stops_on_run_end(tmp_path):
+    # A live spool that "finishes" between polls: run() must notice the
+    # run-end marker and stop without a frame budget.
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    run_path = spool / "run.jsonl"
+    run_path.write_text(
+        json.dumps({"type": "run-begin", "experiment": "x", "tasks": 1,
+                    "jobs": 1, "t": 0.0}) + "\n"
+    )
+    aggregator = TelemetryAggregator(str(spool), clock=lambda: 1.0)
+    dashboard = Dashboard(aggregator, stream=io.StringIO(), ansi=False)
+
+    original_poll = aggregator.poll
+
+    def poll_then_finish():
+        applied = original_poll()
+        with open(run_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"type": "run-end", "completed": True,
+                                     "t": 2.0}) + "\n")
+        return applied
+
+    aggregator.poll = poll_then_finish
+    frames = dashboard.run(interval=0.01, input_stream=io.StringIO())
+    assert frames >= 1 and aggregator.finished
+
+
+# ----------------------------------------------------------------------
+# repro dash / repro runs watch
+
+
+def test_cli_dash_once_renders_fixture_without_ansi(capsys):
+    assert main(["dash", "--once", "--spool", FIXTURE]) == 0
+    out = capsys.readouterr().out
+    assert "repro dash — table1" in out
+    assert "\x1b" not in out
+
+
+def test_cli_runs_watch_is_the_same_dashboard(capsys):
+    assert main(["runs", "watch", "--once", "--spool", FIXTURE]) == 0
+    assert "repro dash — table1" in capsys.readouterr().out
+
+
+def test_cli_dash_without_spool_exits_2(tmp_path, capsys):
+    code = main(["dash", "--once", "--root", str(tmp_path / "nothing")])
+    assert code == 2
+    assert "no telemetry spool" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# chrome trace export
+
+
+def _traced_bus():
+    bus = TraceBus()
+    bus.enable()
+    with bus.span("attack"):
+        with bus.span("hammer-round"):
+            bus.emit("dram.activate", "dram", row=7)
+    return bus
+
+
+def test_chrome_trace_events_shape():
+    document = chrome_trace_events(_traced_bus(), machine="tiny", freq_ghz=2.0)
+    kinds = {event["ph"] for event in document["traceEvents"]}
+    assert kinds == {"X", "i"}
+    spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert {span["name"] for span in spans} == {"attack", "hammer-round"}
+    assert {span["tid"] for span in spans} == {1, 2}  # one lane per depth
+    instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+    # enabled buses also emit span.begin/span.end marker events
+    activate = [e for e in instants if e["name"] == "dram.activate"]
+    assert activate and activate[0]["args"] == {"row": 7}
+    assert document["metadata"]["machine"] == "tiny"
+
+
+def test_chrome_export_includes_sampling_stats():
+    bus = _traced_bus()
+    bus.set_sampling(rates={"*": 1.0})
+    bus.emit("dram.hit", "dram")
+    document = chrome_trace_events(bus)
+    assert document["metadata"]["sampling"]["kept"] == 1
+
+
+def test_write_chrome_trace_round_trips_validation(tmp_path):
+    path = str(tmp_path / "trace.json")
+    count = write_chrome_trace(_traced_bus(), path, machine="tiny")
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    # 2 spans + 1 dram event + 4 span.begin/span.end markers
+    assert validate_chrome_trace(document) == count == 7
+
+
+def test_validate_chrome_trace_rejects_malformed_documents():
+    with pytest.raises(ConfigError, match="JSON object"):
+        validate_chrome_trace([])
+    with pytest.raises(ConfigError, match="traceEvents"):
+        validate_chrome_trace({})
+    with pytest.raises(ConfigError, match="lacks 'ts'"):
+        validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "i", "pid": 1, "tid": 1}]}
+        )
+    with pytest.raises(ConfigError, match="ph"):
+        validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "?", "ts": 0, "pid": 1, "tid": 1}]}
+        )
+    with pytest.raises(ConfigError, match="dur"):
+        validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]}
+        )

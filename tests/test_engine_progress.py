@@ -176,6 +176,42 @@ def test_reporter_status_line_shows_failures():
     assert "1 FAILED" in reporter.status_line()
 
 
+def test_reporter_plain_mode_never_emits_escapes_or_carriage_returns():
+    # The fallback contract: redirected (non-TTY) output is line-
+    # oriented plain text — no ANSI escapes, no in-place redraws.
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream)  # non-TTY: live=False
+    reporter.begin("toy", total=2, jobs=1)
+    reporter(1, 2, _outcome("a"))
+    reporter(2, 2, _outcome("b", error="E: x"))
+    reporter.end(run_experiment(_spec(count=1)))
+    text = stream.getvalue()
+    assert text
+    assert "\x1b" not in text and "\r" not in text
+
+
+def test_cli_no_progress_keeps_the_summary(capsys):
+    from repro.cli import main
+
+    argv = ["figure3", "--machines", "tiny", "--sizes", "8,12",
+            "--trials", "10", "--no-record", "--no-telemetry"]
+    assert main(argv + ["--no-progress"]) == 0
+    err = capsys.readouterr().err
+    assert "complete" in err  # the run summary survives ...
+    assert "[1/" not in err and "\r" not in err  # ... progress does not
+
+
+def test_cli_quiet_silences_stderr_entirely(capsys):
+    from repro.cli import main
+
+    argv = ["figure3", "--machines", "tiny", "--sizes", "8,12",
+            "--trials", "10", "--no-record"]
+    assert main(argv + ["--quiet"]) == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""
+    assert captured.out  # the rendered result still lands on stdout
+
+
 # ----------------------------------------------------------------------
 # engine ledger records
 

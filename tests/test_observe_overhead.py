@@ -15,6 +15,12 @@ quantitative check is deterministic instead:
 
 A separate correctness check asserts the disabled path records
 literally nothing.
+
+The sampled-tracing guard (docs/TELEMETRY.md) extends the same
+decomposition to always-on tracing: with a 1% sample rate, the cost is
+``kept x per-keep + skipped x per-skip`` where both per-event costs
+are measured on a real sampling bus in a tight loop, and the total
+must stay under 5% of the tracing-off attack time.
 """
 
 import time
@@ -27,6 +33,10 @@ from repro.machine.configs import tiny_test_config
 from repro.observe import TraceBus
 
 ATTACK = PThammerConfig(spray_slots=192, pair_sample=8, max_pairs=4)
+
+#: The campaign sampling preset the guard vouches for (docs/TELEMETRY.md).
+SAMPLE_RATES = {"*": 0.01}
+SAMPLE_BUDGETS = {"*": 100_000}
 
 
 class CountingBus(TraceBus):
@@ -73,6 +83,27 @@ def _per_check_seconds(iterations=2_000_000):
     return (time.perf_counter() - start) / iterations
 
 
+def _per_emit_seconds(rates, iterations=300_000, repeats=3):
+    """Best-of-N cost of one guarded ``emit`` under ``rates``.
+
+    ``rates={"*": 1e-9}`` measures the skip path (everything sampled
+    out), ``rates={"*": 1.0}`` the keep path (event built and stored).
+    """
+    best = None
+    for _ in range(repeats):
+        bus = TraceBus()
+        bus.enable()
+        bus.set_sampling(rates=rates, budgets={"*": 10**9})
+        start = time.perf_counter()
+        for _ in range(iterations):
+            if bus.enabled:
+                bus.emit("dram.hit", "dram", addr=1)
+        elapsed = (time.perf_counter() - start) / iterations
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
 @pytest.mark.overhead
 def test_disabled_tracing_records_nothing():
     machine, report, _elapsed = _run_attack()
@@ -102,4 +133,31 @@ def test_disabled_guard_cost_is_under_five_percent():
             1e9 * guard_seconds / counting.checks,
             attack_seconds,
         )
+    )
+
+
+@pytest.mark.overhead
+def test_sampled_tracing_cost_is_under_five_percent():
+    trace = TraceBus()
+    trace.enable()
+    trace.set_sampling(rates=SAMPLE_RATES, budgets=SAMPLE_BUDGETS)
+    _machine, report, sampled_elapsed = _run_attack(trace=trace)
+    stats = trace.sampler.stats()
+    assert stats["seen"] > 0, "the attack must emit events when enabled"
+    assert stats["kept"] > 0, "1% sampling must keep a trace worth reading"
+    assert report.timeline
+
+    _machine2, _report2, plain_elapsed = _run_attack()
+    attack_seconds = min(sampled_elapsed, plain_elapsed)
+
+    skipped = stats["seen"] - stats["kept"]
+    emit_seconds = (
+        stats["kept"] * _per_emit_seconds({"*": 1.0})
+        + skipped * _per_emit_seconds({"*": 1e-9})
+    )
+    ratio = emit_seconds / attack_seconds
+    assert ratio < 0.05, (
+        "1%%-sampled tracing costs %.2f%% of the attack "
+        "(%d seen, %d kept, %.2f s attack)"
+        % (100.0 * ratio, stats["seen"], stats["kept"], attack_seconds)
     )

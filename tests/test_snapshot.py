@@ -11,8 +11,7 @@ ones.
 Alongside the equivalence suites sit unit tests for the pieces: the
 ``pack``/``unpack`` codec, the :class:`MachineSnapshot` container
 (versioning, JSON round trip, ``ensure_matches``), ``Machine.fork``
-semantics, the engine's warm-start path, and the deprecation aliases
-left behind by the ``snapshot()`` -> ``snapshot_values()`` rename.
+semantics, and the engine's warm-start path.
 """
 
 import json
@@ -392,22 +391,12 @@ def test_pack_escapes_marker_keyed_dicts():
     assert unpack(json.loads(json.dumps(pack(tree)))) == tree
 
 
-# ----------------------------------------------------------------------
-# the rename's deprecation aliases
-
-
-def test_perf_counters_snapshot_alias_warns():
+def test_snapshot_values_is_the_only_registry_dump():
+    # The one-release deprecation aliases from the snapshot() ->
+    # snapshot_values() rename are gone; the old name must not quietly
+    # reappear and shadow the machine-state protocol of docs/SNAPSHOTS.md.
     from repro.machine.perf import PerfCounters
-
-    counters = PerfCounters()
-    with pytest.deprecated_call():
-        assert counters.snapshot() == counters.snapshot_values()
-
-
-def test_metrics_registry_snapshot_alias_warns():
     from repro.observe import MetricsRegistry
 
-    registry = MetricsRegistry()
-    registry.inc("example.counter")
-    with pytest.deprecated_call():
-        assert registry.snapshot() == registry.snapshot_values()
+    assert not hasattr(MetricsRegistry(), "snapshot")
+    assert not hasattr(PerfCounters(), "snapshot")
