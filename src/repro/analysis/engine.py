@@ -289,6 +289,12 @@ def _execute_task(
     ``task_timeout`` bounds each *attempt* in host seconds via SIGALRM
     where available; a timed-out attempt raises
     :class:`~repro.errors.TaskTimeout` (not retryable).
+
+    Captured registries and machines are reset at each attempt, so a
+    retried task reports only its *successful* attempt's metrics and
+    telemetry — byte-identical to the same task succeeding first try.
+    (The task itself re-runs from its original derived seed; retrying
+    never reseeds.)
     """
     started = time.time()
     registries = []
@@ -302,6 +308,8 @@ def _execute_task(
     _ACTIVE_MACHINES.append(machines)
     try:
         while True:
+            del registries[:]  # drop captures from a failed attempt
+            del machines[:]
             restore = _alarm_scope(task_timeout)
             try:
                 data = spec.run_task(task, options)

@@ -29,7 +29,12 @@ Typical use::
 """
 
 from repro.chaos.injector import ChaosInjector
-from repro.chaos.profiles import CHAOS_PROFILES, ChaosConfig, chaos_profile
+from repro.chaos.profiles import (
+    CHAOS_PROFILES,
+    ChaosConfig,
+    chaos_profile,
+    profile_seed,
+)
 from repro.chaos.sources import (
     CachePollution,
     NoiseSource,
@@ -52,4 +57,5 @@ __all__ = [
     "TimingJitter",
     "TransientFaultInjector",
     "chaos_profile",
+    "profile_seed",
 ]

@@ -131,3 +131,13 @@ def chaos_profile(name):
             "unknown chaos profile %r (known: %s)"
             % (name, ", ".join(sorted(CHAOS_PROFILES)))
         )
+
+
+def profile_seed(name):
+    """The seed of the built-in profile called ``name``.
+
+    Lets seed consumers (notably the campaign fault-injection harness)
+    key their deterministic decision streams off the same material as
+    the chaos sources without building the sources themselves.
+    """
+    return chaos_profile(name).seed

@@ -46,7 +46,7 @@ from repro.analysis.engine import experiment_names, get_experiment, run_experime
 from repro.analysis.telemetry import ProgressReporter
 from repro.core.pthammer import PThammerAttack, PThammerConfig
 from repro.defenses import DEFENSE_PRESETS
-from repro.errors import ConfigError, SnapshotError
+from repro.errors import CampaignError, ConfigError, SnapshotError
 from repro.machine import AttackerView, Inspector, Machine
 from repro.machine.configs import MACHINE_PRESETS, tiny_test_config
 from repro.observe.ledger import (
@@ -101,6 +101,7 @@ def _engine_args(parser):
     )
     group.add_argument(
         "--retries",
+        "--task-retries",
         type=int,
         default=2,
         help="in-place retries of retryable task faults (default: 2)",
@@ -614,6 +615,75 @@ def build_parser():
         "(e.g. deterministic virtual-cycle metrics in CI)",
     )
 
+    campaign = commands.add_parser(
+        "campaign",
+        help="durable, supervised campaign orchestration (docs/CAMPAIGNS.md)",
+    )
+    campaign_commands = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _campaign_run_args(sub):
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="override the spec's worker count for this run",
+        )
+        sub.add_argument(
+            "--pause-after",
+            type=int,
+            metavar="N",
+            default=None,
+            help="checkpoint-and-pause once N shards are done (deterministic "
+            "pause point for tests and CI)",
+        )
+        sub.add_argument(
+            "--no-record",
+            action="store_true",
+            help="do not append the finished campaign to the run ledger",
+        )
+
+    campaign_submit = campaign_commands.add_parser(
+        "submit", help="register a campaign spec and start running it"
+    )
+    campaign_submit.add_argument("spec", help="campaign spec JSON file")
+    campaign_submit.add_argument(
+        "--id",
+        dest="campaign_id",
+        default=None,
+        help="campaign id (default: the spec's name)",
+    )
+    campaign_submit.add_argument(
+        "--no-run",
+        action="store_true",
+        help="journal the campaign without running it (start later with "
+        "`repro campaign resume`)",
+    )
+    _campaign_run_args(campaign_submit)
+    campaign_resume = campaign_commands.add_parser(
+        "resume", help="take over a created, paused, or crashed campaign"
+    )
+    campaign_resume.add_argument("campaign_id", help="campaign id")
+    _campaign_run_args(campaign_resume)
+    campaign_status = campaign_commands.add_parser(
+        "status", help="show a campaign's durable state"
+    )
+    campaign_status.add_argument("campaign_id", help="campaign id")
+    campaign_commands.add_parser("list", help="list known campaigns")
+    campaign_pause = campaign_commands.add_parser(
+        "pause", help="ask the live supervisor to checkpoint and pause"
+    )
+    campaign_pause.add_argument("campaign_id", help="campaign id")
+    campaign_cancel = campaign_commands.add_parser(
+        "cancel", help="cancel a campaign (terminal; cannot be resumed)"
+    )
+    campaign_cancel.add_argument("campaign_id", help="campaign id")
+    campaign_report = campaign_commands.add_parser(
+        "report", help="print a finished campaign's results summary"
+    )
+    campaign_report.add_argument("campaign_id", help="campaign id")
+
     return parser
 
 
@@ -646,6 +716,8 @@ def main(argv=None):
         return _cmd_runs(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return 0
 
 
@@ -762,6 +834,11 @@ def _cmd_snapshot(args):
         return 2
 
 
+def _warn_skipped_record(run_id, error):
+    print("repro: warning: skipping unreadable run record %s: %s"
+          % (run_id, error), file=sys.stderr)
+
+
 def _cmd_runs(args):
     """``repro runs list|show|diff`` — inspect the run ledger."""
     from repro.observe import MetricsRegistry
@@ -771,7 +848,11 @@ def _cmd_runs(args):
         if args.runs_command == "list":
             limit = None if args.all else max(args.limit, 0)
             records = ledger.list(
-                kind=args.kind, name=args.name, label=args.label, limit=limit
+                kind=args.kind,
+                name=args.name,
+                label=args.label,
+                limit=limit,
+                on_skip=_warn_skipped_record,
             )
             if not records:
                 print("no runs recorded in %s" % ledger.root)
@@ -824,6 +905,113 @@ def _cmd_runs(args):
             print(diff.render())
             return 1 if diff.regressions() else 0
     except ConfigError as exc:
+        print("repro: %s" % exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _run_campaign_supervisor(campaign, args):
+    """Drive a campaign and translate its final state to an exit code.
+
+    0 — completed, paused, or a clean cancel; 4 — completed but
+    ``degraded`` (quarantined shards; see the printed report path), so
+    CI can tell "finished with casualties" from "fine" and from the
+    configuration errors that exit 2.
+    """
+    from repro.campaign import DEGRADED, Supervisor
+
+    supervisor = Supervisor(
+        campaign, jobs=args.jobs, pause_after=args.pause_after
+    )
+    state = supervisor.run(no_record=args.no_record)
+    print("campaign %s: %s" % (campaign.id, state))
+    if state == DEGRADED:
+        print(
+            "quarantine report: %s" % campaign.quarantine_path, file=sys.stderr
+        )
+        return 4
+    return 0
+
+
+def _cmd_campaign(args):
+    """``repro campaign ...`` — the durable orchestrator's control CLI."""
+    import os
+
+    from repro.campaign import Campaign, CampaignSpec, campaigns_root
+
+    try:
+        if args.campaign_command == "submit":
+            spec = CampaignSpec.from_file(args.spec)
+            campaign = Campaign.create(spec, campaign_id=args.campaign_id)
+            print("campaign %s created (%d shard(s), fingerprint %s)"
+                  % (campaign.id, len(spec.compile_plan().shards),
+                     spec.fingerprint()))
+            if args.no_run:
+                return 0
+            return _run_campaign_supervisor(campaign, args)
+        if args.campaign_command == "resume":
+            campaign = Campaign.open(args.campaign_id)
+            return _run_campaign_supervisor(campaign, args)
+        if args.campaign_command == "status":
+            status = Campaign.open(args.campaign_id).status()
+            print("campaign %s: %s" % (status["id"], status["state"]))
+            print("  shards   %d/%d done, %d quarantined, %d failed attempt(s)"
+                  % (status["shards_done"], status["shards_total"],
+                     status["shards_quarantined"], status["failed_attempts"]))
+            print("  cells    %d/%d done"
+                  % (status["cells_done"], status["cells_total"]))
+            print("  jobs     %d" % status["jobs"])
+            supervisor_note = "none"
+            if status["supervisor_pid"]:
+                supervisor_note = "pid %d (%s)" % (
+                    status["supervisor_pid"],
+                    "alive" if status["supervisor_alive"] else "gone",
+                )
+            print("  supervisor %s | journal events %d"
+                  % (supervisor_note, status["events"]))
+            return 0
+        if args.campaign_command == "list":
+            ids = Campaign.list()
+            if not ids:
+                print("no campaigns under %s" % campaigns_root())
+                return 0
+            for campaign_id in ids:
+                status = Campaign.open(campaign_id).status()
+                print("%-24s %-10s %d/%d done, %d quarantined"
+                      % (campaign_id, status["state"], status["shards_done"],
+                         status["shards_total"], status["shards_quarantined"]))
+            return 0
+        if args.campaign_command in ("pause", "cancel"):
+            campaign = Campaign.open(args.campaign_id)
+            verdict = campaign.request(args.campaign_command)
+            print("campaign %s: %s %s"
+                  % (campaign.id, args.campaign_command, verdict))
+            return 0
+        if args.campaign_command == "report":
+            import json as _json
+
+            campaign = Campaign.open(args.campaign_id)
+            if not os.path.exists(campaign.results_path):
+                status = campaign.status()
+                print("repro: campaign %s has no results yet (state: %s)"
+                      % (campaign.id, status["state"]), file=sys.stderr)
+                return 2
+            with open(campaign.results_path, "r", encoding="utf-8") as handle:
+                document = _json.load(handle)
+            totals = document["totals"]
+            print("campaign %s: %s (fingerprint %s)"
+                  % (campaign.id, document["state"], document["fingerprint"]))
+            print("  %d shard(s): %d done, %d quarantined, %d flip(s)"
+                  % (totals["shards"], totals["done"],
+                     totals["quarantined"], totals["flips"]))
+            for cell in document["cells"]:
+                print("  %-40s %d done, %d quarantined"
+                      % (cell["key"], cell["done"], cell["quarantined"]))
+            if document["state"] == "degraded":
+                print("quarantine report: %s"
+                      % campaign.quarantine_path, file=sys.stderr)
+            return 0
+    except (CampaignError, ConfigError) as exc:
         print("repro: %s" % exc, file=sys.stderr)
         return 2
     return 0

@@ -96,3 +96,15 @@ class TaskTimeout(ReproError):
     where the platform allows.  Not retryable: a task that hangs once
     will usually hang again.
     """
+
+
+class CampaignError(ReproError):
+    """A campaign's durable state cannot be used as requested.
+
+    Raised by :mod:`repro.campaign` when a journal is damaged beyond
+    its torn-tail tolerance, a state transition is illegal (resuming a
+    completed campaign, pausing a cancelled one), or a campaign
+    directory is missing or already owned by a live supervisor.
+    Configuration mistakes in a campaign *spec* raise
+    :class:`ConfigError` like every other bad configuration.
+    """

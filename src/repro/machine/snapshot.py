@@ -27,6 +27,7 @@ path are the main clients.
 
 import hashlib
 import json
+import os
 from dataclasses import asdict
 
 from repro.errors import SnapshotError
@@ -213,10 +214,19 @@ class MachineSnapshot:
         return cls(payload)
 
     def save(self, path):
-        """Write the snapshot to ``path`` as canonical JSON."""
-        with open(path, "w", encoding="utf-8") as handle:
+        """Write the snapshot to ``path`` as canonical JSON.
+
+        Written via a temp file and atomic rename so a crash mid-write
+        leaves either the old snapshot or the new one — never a torn
+        file that :meth:`load` would reject.
+        """
+        temp = "%s.tmp.%d" % (path, os.getpid())
+        with open(temp, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
 
     @classmethod
     def load(cls, path):

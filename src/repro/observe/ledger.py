@@ -47,6 +47,7 @@ DEFAULT_LEDGER_DIR = os.path.join(".repro", "runs")
 ATTACK_RUN = "attack"
 EXPERIMENT_RUN = "experiment"
 BENCHMARK_RUN = "benchmark"
+CAMPAIGN_RUN = "campaign"
 
 
 # ----------------------------------------------------------------------
@@ -336,19 +337,33 @@ class RunLedger:
                 raise ConfigError("run record %s is not valid JSON: %s" % (path, exc))
         return RunRecord.from_json(payload)
 
-    def list(self, kind=None, name=None, label=None, limit=None):
+    def list(self, kind=None, name=None, label=None, limit=None, on_skip=None):
         """Records matching the filters, oldest first.
 
         ``limit`` keeps the *newest* N matches and — because run ids
         sort chronologically by filename — walks the directory newest
         first and stops loading files as soon as N matches are found,
         so ``repro runs list`` stays fast on campaign-scale ledgers.
+
+        With ``on_skip`` given, a truncated or otherwise unreadable
+        record never aborts the listing: it is skipped and
+        ``on_skip(run_id, error)`` is called so the caller can warn —
+        one damaged file (a disk-full tear, a record from a future
+        schema) must not hide every healthy record around it.  Without
+        ``on_skip`` a damaged record raises, as callers that *resolve*
+        a specific record (baseline comparison) must see the damage.
         """
         records = []
         for run_id in reversed(self.run_ids()):
             if limit is not None and len(records) >= limit:
                 break
-            record = self.load(run_id)
+            try:
+                record = self.load(run_id)
+            except ConfigError as exc:
+                if on_skip is None:
+                    raise
+                on_skip(run_id, exc)
+                continue
             if kind is not None and record.kind != kind:
                 continue
             if name is not None and record.name != name:
@@ -359,9 +374,9 @@ class RunLedger:
         records.reverse()
         return records
 
-    def latest(self, kind=None, name=None, label=None):
+    def latest(self, kind=None, name=None, label=None, on_skip=None):
         """Most recent matching record, or ``None``."""
-        records = self.list(kind=kind, name=name, label=label, limit=1)
+        records = self.list(kind=kind, name=name, label=label, limit=1, on_skip=on_skip)
         return records[-1] if records else None
 
 

@@ -18,6 +18,12 @@ def _isolated_ledger(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_campaigns(tmp_path, monkeypatch):
+    """Point the campaign store at a per-test directory."""
+    monkeypatch.setenv("REPRO_CAMPAIGNS_DIR", str(tmp_path / "campaigns"))
+
+
 @pytest.fixture
 def tiny_config():
     return tiny_test_config()

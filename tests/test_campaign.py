@@ -1,0 +1,293 @@
+"""End-to-end campaign orchestration: supervision, retry, quarantine.
+
+Everything here runs in-process (the supervisor forks real workers but
+the driving loop is this test), on the millisecond-scale ``probe``
+workload.  Subprocess-level crash recovery lives in
+``test_campaign_recovery.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignSpec,
+    COMPLETED,
+    DEGRADED,
+    PAUSED,
+    Scheduler,
+    Supervisor,
+    backoff_delay,
+)
+from repro.campaign.scheduler import DONE, FAILED, PENDING, QUARANTINED
+from repro.errors import CampaignError
+
+
+def make_spec(name="study", faults=None, **overrides):
+    payload = {
+        "name": name,
+        "seed": 7,
+        "machines": ["tiny"],
+        "defenses": ["none"],
+        "chaos": ["none", "quiet"],
+        "patterns": ["-"],
+        "shards_per_cell": 2,
+        "attack": {"workload": "probe", "probe_reads": 150},
+        "supervisor": {
+            "jobs": 2,
+            "poll_interval": 0.01,
+            "heartbeat_interval": 0.05,
+            "liveness_timeout": 30.0,
+            "backoff": 0.01,
+            "grace": 2.0,
+        },
+    }
+    if faults is not None:
+        payload["faults"] = faults
+    payload.update(overrides)
+    return CampaignSpec.from_dict(payload)
+
+
+def run_campaign(spec, campaign_id=None, **kwargs):
+    campaign = Campaign.create(spec, campaign_id=campaign_id)
+    state = Supervisor(campaign, **kwargs).run(no_record=True)
+    return campaign, state
+
+
+def results_bytes(campaign):
+    with open(campaign.results_path, "rb") as handle:
+        return handle.read()
+
+
+# ----------------------------------------------------------------------
+# Happy path
+
+
+def test_campaign_completes_and_writes_results():
+    campaign, state = run_campaign(make_spec())
+    assert state == COMPLETED
+    document = json.loads(results_bytes(campaign))
+    assert document["state"] == COMPLETED
+    assert document["totals"] == {
+        "shards": 4, "done": 4, "quarantined": 0,
+        "flips": document["totals"]["flips"],
+    }
+    for cell in document["cells"]:
+        for shard in cell["shards"]:
+            assert shard["status"] == "done"
+            assert shard["data"]["workload"] == "probe"
+            assert shard["data"]["reads"] == 150
+    status = campaign.status()
+    assert status["state"] == COMPLETED
+    assert status["shards_done"] == 4 and status["cells_done"] == 2
+
+
+def test_results_are_jobs_independent():
+    _, state1 = run_campaign(make_spec(), campaign_id="one", jobs=1)
+    campaign1 = Campaign.open("one")
+    _, state3 = run_campaign(make_spec(), campaign_id="three", jobs=3)
+    campaign3 = Campaign.open("three")
+    assert state1 == state3 == COMPLETED
+    assert results_bytes(campaign1) == results_bytes(campaign3)
+
+
+def test_pause_and_resume_results_are_byte_identical():
+    baseline, _ = run_campaign(make_spec(), campaign_id="baseline")
+    campaign = Campaign.create(make_spec(), campaign_id="paused")
+    first = Supervisor(campaign, pause_after=1).run(no_record=True)
+    assert first == PAUSED
+    assert campaign.folded()["state"] == PAUSED
+    assert not os.path.exists(campaign.results_path)
+    second = Supervisor(campaign).run(no_record=True)
+    assert second == COMPLETED
+    assert results_bytes(campaign) == results_bytes(baseline)
+
+
+def test_completed_campaign_cannot_be_resumed():
+    campaign, _ = run_campaign(make_spec())
+    with pytest.raises(CampaignError, match="terminal"):
+        Supervisor(campaign).run(no_record=True)
+
+
+def test_duplicate_campaign_id_is_rejected():
+    run_campaign(make_spec(), campaign_id="dup")
+    with pytest.raises(CampaignError, match="already exists"):
+        Campaign.create(make_spec(), campaign_id="dup")
+
+
+def test_open_unknown_campaign_is_a_clear_error():
+    with pytest.raises(CampaignError, match="no campaign"):
+        Campaign.open("ghost")
+
+
+# ----------------------------------------------------------------------
+# Fault injection: retries, quarantine, degradation
+
+
+def test_killed_attempts_retry_to_identical_data():
+    clean, _ = run_campaign(make_spec(), campaign_id="clean")
+    faulty, state = run_campaign(
+        make_spec(
+            faults={
+                "rules": [
+                    {"kind": "kill", "point": "mid", "attempts": 2,
+                     "match": "c=quiet"}
+                ]
+            }
+        ),
+        campaign_id="faulty",
+    )
+    assert state == COMPLETED
+    clean_doc = json.loads(results_bytes(clean))
+    faulty_doc = json.loads(results_bytes(faulty))
+    assert [s["data"] for c in faulty_doc["cells"] for s in c["shards"]] == [
+        s["data"] for c in clean_doc["cells"] for s in c["shards"]
+    ]
+    # the deaths really happened: failures are journaled
+    folded = faulty.folded()
+    assert sum(s["failed"] for s in folded["shards"].values()) == 4
+
+
+def test_poison_shard_quarantines_and_degrades():
+    campaign, state = run_campaign(
+        make_spec(
+            faults={
+                "rules": [
+                    {"kind": "kill", "point": "start", "attempts": None,
+                     "match": "s=0"}
+                ]
+            }
+        )
+    )
+    assert state == DEGRADED
+    document = json.loads(results_bytes(campaign))
+    assert document["state"] == DEGRADED
+    assert document["totals"]["quarantined"] == 2
+    assert document["totals"]["done"] == 2
+    report = json.load(open(campaign.quarantine_path))
+    assert {row["key"][-3:] for row in report["quarantined"]} == {"s=0"}
+    for row in report["quarantined"]:
+        assert row["attempts"] == 3
+        assert "signal" in row["reason"]
+    # repeated abnormal deaths halved parallelism, durably
+    assert campaign.folded()["jobs"] == 1
+
+
+def test_mid_kill_loses_the_work_but_not_the_campaign():
+    campaign, state = run_campaign(
+        make_spec(
+            faults={
+                "rules": [{"kind": "kill", "point": "mid", "attempts": 1}]
+            }
+        )
+    )
+    assert state == COMPLETED
+    folded = campaign.folded()
+    # every shard died once at mid (result discarded), then succeeded
+    assert all(s["failed"] == 1 for s in folded["shards"].values())
+
+
+def test_dropped_heartbeats_do_not_fail_a_fast_worker():
+    campaign, state = run_campaign(
+        make_spec(
+            faults={"rules": [{"kind": "drop-heartbeats", "attempts": 1}]}
+        )
+    )
+    # the result file proves the work happened; silence alone is not failure
+    assert state == COMPLETED
+    assert json.loads(results_bytes(campaign))["totals"]["done"] == 4
+
+
+# ----------------------------------------------------------------------
+# Control: cancel and stale-supervisor handling
+
+
+def test_cancel_request_without_live_supervisor_settles_immediately():
+    campaign = Campaign.create(make_spec())
+    assert campaign.request("cancel") == "settled"
+    assert campaign.folded()["state"] == "cancelled"
+    with pytest.raises(CampaignError, match="terminal"):
+        Supervisor(campaign).run(no_record=True)
+
+
+def test_pause_request_on_created_campaign_is_illegal():
+    campaign = Campaign.create(make_spec())
+    with pytest.raises(CampaignError, match="cannot go"):
+        campaign.request("pause")
+
+
+# ----------------------------------------------------------------------
+# Scheduler unit behaviour
+
+
+def _scheduler(max_attempts=3, backoff=0.5):
+    plan = make_spec().compile_plan()
+    return Scheduler(plan, max_attempts, backoff), plan
+
+
+def test_scheduler_walks_pending_to_done():
+    scheduler, plan = _scheduler()
+    state = scheduler.next_ready(now=0.0)
+    assert state.status == PENDING
+    assert scheduler.mark_running(state.shard.key) == 1
+    assert scheduler.states[state.shard.key].status == "running"
+    scheduler.mark_done(state.shard.key)
+    assert scheduler.states[state.shard.key].status == DONE
+    assert not scheduler.settled()  # three shards remain
+
+
+def test_scheduler_backoff_gates_retries():
+    scheduler, plan = _scheduler(backoff=10.0)
+    key = plan.shards[0].key
+    scheduler.mark_running(key)
+    assert scheduler.mark_failed(key, now=100.0) == FAILED
+    state = scheduler.states[key]
+    assert state.not_before > 100.0
+    # gated shard is skipped; the next pending shard is offered instead
+    assert scheduler.next_ready(now=100.0).shard.key == plan.shards[1].key
+    assert scheduler.next_wakeup(now=100.0) == state.not_before
+    # once the gate passes, the failed shard is first again (plan order)
+    assert scheduler.next_ready(now=state.not_before).shard.key == key
+
+
+def test_scheduler_quarantines_after_budget():
+    scheduler, plan = _scheduler(max_attempts=2)
+    key = plan.shards[0].key
+    scheduler.mark_running(key)
+    scheduler.mark_failed(key, now=0.0)
+    scheduler.mark_running(key)
+    assert scheduler.mark_failed(key, now=0.0) == QUARANTINED
+    assert [s.shard.key for s in scheduler.quarantined()] == [key]
+
+
+def test_scheduler_restore_from_fold():
+    scheduler, plan = _scheduler(max_attempts=3)
+    keys = [shard.key for shard in plan.shards]
+    scheduler.restore(
+        {
+            "shards": {
+                keys[0]: {"status": "done", "started": 1, "failed": 0,
+                          "data": {"flips": 0}, "meta": None},
+                keys[1]: {"status": "quarantined", "started": 3, "failed": 3,
+                          "data": None, "meta": None},
+                keys[2]: {"status": None, "started": 1, "failed": 1,
+                          "data": None, "meta": None},
+            }
+        }
+    )
+    assert scheduler.states[keys[0]].status == DONE
+    assert scheduler.states[keys[1]].status == QUARANTINED
+    assert scheduler.states[keys[2]].status == FAILED
+    assert scheduler.states[keys[2]].attempts == 1
+    assert scheduler.states[keys[3]].status == PENDING
+
+
+def test_backoff_delay_is_deterministic_and_exponential():
+    first = backoff_delay(0.25, seed=42, attempt=1)
+    assert first == backoff_delay(0.25, seed=42, attempt=1)
+    assert backoff_delay(0.25, seed=42, attempt=4) > first
+    assert backoff_delay(0.25, seed=42, attempt=1) != backoff_delay(
+        0.25, seed=43, attempt=1
+    )

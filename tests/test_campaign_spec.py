@@ -1,0 +1,119 @@
+"""Campaign specs: validation, compilation, and fingerprints."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, FaultPlan, SupervisorConfig
+from repro.campaign.spec import NO_CHAOS, NO_PATTERN
+from repro.errors import ConfigError
+
+
+def _spec_dict(**overrides):
+    payload = {
+        "name": "study",
+        "seed": 3,
+        "machines": ["tiny"],
+        "defenses": ["none", "catt"],
+        "chaos": [NO_CHAOS, "quiet"],
+        "patterns": [NO_PATTERN],
+        "shards_per_cell": 2,
+        "attack": {"workload": "probe"},
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_from_dict_round_trips_through_to_dict():
+    spec = CampaignSpec.from_dict(_spec_dict())
+    again = CampaignSpec.from_dict(spec.to_dict())
+    assert again.to_dict() == spec.to_dict()
+
+
+def test_unknown_spec_keys_are_rejected():
+    with pytest.raises(ConfigError, match="unknown keys"):
+        CampaignSpec.from_dict(_spec_dict(surprise=1))
+
+
+def test_unknown_axis_values_fail_eagerly():
+    with pytest.raises(ConfigError, match="unknown machine preset"):
+        CampaignSpec.from_dict(_spec_dict(machines=["mainframe"]))
+    with pytest.raises(ConfigError, match="unknown defense"):
+        CampaignSpec.from_dict(_spec_dict(defenses=["prayer"]))
+    with pytest.raises(ConfigError, match="unknown chaos profile"):
+        CampaignSpec.from_dict(_spec_dict(chaos=["tornado"]))
+    with pytest.raises(ConfigError):
+        CampaignSpec.from_dict(_spec_dict(patterns=["no-such-pattern"]))
+
+
+def test_unknown_workload_and_version_are_rejected():
+    with pytest.raises(ConfigError, match="workload"):
+        CampaignSpec.from_dict(_spec_dict(attack={"workload": "meditate"}))
+    with pytest.raises(ConfigError, match="version"):
+        CampaignSpec.from_dict(_spec_dict(version=99))
+
+
+def test_supervisor_knobs_are_validated():
+    with pytest.raises(ConfigError, match="jobs"):
+        CampaignSpec.from_dict(_spec_dict(supervisor={"jobs": 0}))
+    with pytest.raises(ConfigError, match="max_attempts"):
+        CampaignSpec.from_dict(_spec_dict(supervisor={"max_attempts": 0}))
+    assert SupervisorConfig().validate()
+
+
+def test_compile_plan_covers_the_full_matrix():
+    plan = CampaignSpec.from_dict(_spec_dict()).compile_plan()
+    # 1 machine x 2 defenses x 2 chaos x 1 pattern = 4 cells, 2 shards each
+    assert len(plan.cells) == 4
+    assert len(plan.shards) == 8
+    assert [shard.index for shard in plan.shards] == list(range(8))
+    assert len({shard.key for shard in plan.shards}) == 8
+    assert len({shard.seed for shard in plan.shards}) == 8
+
+
+def test_shard_seeds_are_stable_and_index_independent():
+    plan_a = CampaignSpec.from_dict(_spec_dict()).compile_plan()
+    plan_b = CampaignSpec.from_dict(_spec_dict()).compile_plan()
+    assert [s.seed for s in plan_a.shards] == [s.seed for s in plan_b.shards]
+    # Adding an axis value must not change the seeds of existing cells:
+    # seeds derive from (root seed, cell key, shard number), not from
+    # the shard's position in the flattened plan.
+    wider = CampaignSpec.from_dict(
+        _spec_dict(defenses=["none", "catt", "cta"])
+    ).compile_plan()
+    seeds_by_key = {s.key: s.seed for s in wider.shards}
+    for shard in plan_a.shards:
+        assert seeds_by_key[shard.key] == shard.seed
+
+
+def test_fingerprint_ignores_supervision_knobs():
+    base = CampaignSpec.from_dict(_spec_dict())
+    tuned = CampaignSpec.from_dict(
+        _spec_dict(supervisor={"jobs": 7, "max_attempts": 9})
+    )
+    assert base.fingerprint() == tuned.fingerprint()
+    reseeded = CampaignSpec.from_dict(_spec_dict(seed=4))
+    assert base.fingerprint() != reseeded.fingerprint()
+
+
+def test_plan_lookups():
+    plan = CampaignSpec.from_dict(_spec_dict()).compile_plan()
+    shard = plan.shards[3]
+    assert plan.shard(shard.key) is shard
+    assert shard.key.startswith(plan.cell_of(shard.key).key)
+    with pytest.raises(ConfigError):
+        plan.shard("m=nope")
+
+
+def test_fault_plan_validation():
+    spec = CampaignSpec.from_dict(
+        _spec_dict(faults={"rules": [{"kind": "kill", "attempts": 1}]})
+    )
+    plan = FaultPlan.from_dict(spec.faults)
+    assert plan.rules[0].kind == "kill"
+    with pytest.raises(ConfigError, match="unknown"):
+        CampaignSpec.from_dict(
+            _spec_dict(faults={"rules": [{"kind": "explode"}]})
+        )
+    with pytest.raises(ConfigError, match="point"):
+        FaultPlan.from_dict({"rules": [{"kind": "kill", "point": "end"}]})
+    with pytest.raises(ConfigError, match="unknown keys"):
+        FaultPlan.from_dict({"rules": [], "extra": 1})

@@ -115,6 +115,47 @@ def test_ledger_list_limit_short_circuits():
     ]
 
 
+def test_runs_list_skips_and_warns_on_unreadable_records(capsys):
+    ledger = _seed_records(3)
+    with open(ledger.path("20260807T000001-aa"), "w") as handle:
+        handle.write("{ not json")
+    assert main(["runs", "list"]) == 0
+    captured = capsys.readouterr()
+    assert "toy-0" in captured.out and "toy-2" in captured.out
+    assert "toy-1" not in captured.out
+    assert "skipping unreadable run record 20260807T000001-aa" in captured.err
+
+
+def test_ledger_list_without_on_skip_still_raises():
+    from repro.errors import ConfigError
+
+    ledger = _seed_records(2)
+    with open(ledger.path("20260807T000000-aa"), "w") as handle:
+        handle.write("[]")
+    with pytest.raises(ConfigError):
+        ledger.list()
+    skipped = []
+    survivors = ledger.list(on_skip=lambda run_id, error: skipped.append(run_id))
+    assert [r.name for r in survivors] == ["toy-1"]
+    assert skipped == ["20260807T000000-aa"]
+    assert ledger.latest(on_skip=lambda *a: None).name == "toy-1"
+
+
+# ----------------------------------------------------------------------
+# dash / runs watch without a spool
+
+
+def test_dash_without_a_spool_is_a_clean_nonzero_exit(
+    monkeypatch, tmp_path, capsys
+):
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "empty"))
+    assert main(["dash", "--once"]) == 2
+    err = capsys.readouterr().err
+    assert "no telemetry spool" in err and "--spool" in err
+    assert main(["runs", "watch", "--once"]) == 2
+    assert "no telemetry spool" in capsys.readouterr().err
+
+
 # ----------------------------------------------------------------------
 # repro trace sampling + chrome export flags
 

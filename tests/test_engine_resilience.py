@@ -138,6 +138,53 @@ def test_serial_task_timeout_aborts_the_attempt():
         run_experiment(_spec(stuck), task_timeout=0.2)
 
 
+def test_retried_task_reports_only_the_successful_attempts_metrics():
+    # A failed attempt boots machines and registers their metrics; the
+    # engine must drop those captures so a retried task's snapshot is
+    # identical to the same task succeeding on the first try.
+    def build(flaky):
+        attempts = {}
+
+        def run_task(task, options):
+            from repro.analysis.engine import observe_machine
+            from repro.machine import AttackerView, Machine
+            from repro.machine.configs import tiny_test_config
+
+            attempts[task.key] = attempts.get(task.key, 0) + 1
+            machine = Machine(tiny_test_config(seed=task.seed))
+            observe_machine(machine)
+            attacker = AttackerView(machine, machine.boot_process())
+            base = attacker.mmap(2, populate=True)
+            for index in range(300):
+                attacker.touch(base + (index * 72) % (2 << 12))
+            if flaky and task.key == "b" and attempts[task.key] < 3:
+                raise TransientFault(0x4000)  # after the machine work
+            return machine.cycles
+
+        return run_task
+
+    clean = run_experiment(_spec(build(False)), retries=3, retry_backoff=0.001)
+    flaky = run_experiment(_spec(build(True)), retries=3, retry_backoff=0.001)
+    assert clean.completed and flaky.completed
+    assert flaky.result == clean.result
+    assert {o.key: o.retries for o in flaky.outcomes}["b"] == 2
+    clean_metrics = {o.key: o.metrics for o in clean.outcomes}
+    flaky_metrics = {o.key: o.metrics for o in flaky.outcomes}
+    assert flaky_metrics == clean_metrics
+    assert flaky.metrics.snapshot_values() == clean.metrics.snapshot_values()
+
+
+def test_task_retries_flag_is_an_alias_for_retries():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["figure3", "--task-retries", "5", "--task-timeout", "9.5"]
+    )
+    assert args.retries == 5
+    assert args.task_timeout == 9.5
+
+
 def test_chaos_runs_are_bit_identical_across_jobs():
     # Acceptance: the chaos layer keys every noise source off machine
     # seed + chaos seed, never worker identity, so pooled fan-out
