@@ -139,7 +139,7 @@ class FaultPlan:
         if rule.probability >= 1.0:
             return True
         draw = hash_to_unit(
-            self._shard_seed(shard), shard.seed, hash(rule.kind) & 0xFFFF, attempt
+            self._shard_seed(shard), shard.seed, rule.kind, attempt
         )
         return draw < rule.probability
 

@@ -179,7 +179,12 @@ class CampaignSpec:
                 "campaign spec version %r is not supported (this build "
                 "reads version %d)" % (version, SPEC_VERSION)
             )
-        supervisor = SupervisorConfig(**payload.pop("supervisor", {}) or {})
+        try:
+            supervisor = SupervisorConfig(**payload.pop("supervisor", {}) or {})
+        except TypeError as exc:
+            raise ConfigError(
+                "campaign spec supervisor section is malformed: %s" % exc
+            )
         known = {
             "name", "seed", "machines", "defenses", "chaos", "patterns",
             "shards_per_cell", "attack", "faults",

@@ -262,6 +262,20 @@ class Supervisor:
             elif record["status"] == "quarantined":
                 reason = (record.get("meta") or {}).get("reason")
                 self.quarantine[key] = reason or "retry budget exhausted"
+        # The scheduler may infer quarantine the journal never recorded
+        # (a crash during a shard's final attempt); adopt its verdict so
+        # final_state, results.json, and quarantine.json stay consistent.
+        for state in scheduler.quarantined():
+            key = state.shard.key
+            if key not in self.quarantine:
+                reason = (
+                    "retry budget exhausted (%d attempt(s), supervisor "
+                    "crashed during the last)" % state.attempts
+                )
+                self.campaign.journal.append(
+                    {"type": "shard-quarantined", "key": key, "reason": reason}
+                )
+                self.quarantine[key] = reason
         return plan, scheduler
 
     # -- the loop ---------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.campaign import (
     Campaign,
     CampaignSpec,
     COMPLETED,
+    DEGRADED,
     RUNNING,
     Supervisor,
     truncate_journal,
@@ -161,6 +162,51 @@ def test_deep_truncation_only_recomputes_lost_shards():
     state = Supervisor(campaign).run(no_record=True)
     assert state == COMPLETED
     assert results_bytes(campaign) == finished
+
+
+def test_crash_during_final_attempt_quarantines_on_resume():
+    """A crash during a shard's *last* attempt leaves the journal with
+    the retry budget spent but no quarantine verdict recorded.  Resume
+    must adopt the scheduler's inferred quarantine — finishing DEGRADED
+    with results.json and quarantine.json agreeing — not seal the shard
+    as 'done' with null data.
+    """
+    spec = make_spec(
+        shards_per_cell=1,
+        supervisor={
+            "jobs": 1,
+            "max_attempts": 2,
+            "poll_interval": 0.01,
+            "heartbeat_interval": 0.05,
+            "liveness_timeout": 30.0,
+            "backoff": 0.01,
+            "grace": 1.0,
+        },
+    )
+    campaign = Campaign.create(spec, campaign_id="final-attempt")
+    key = spec.compile_plan().shards[0].key
+    # Simulate the dead supervisor's journal: attempt 1 failed, attempt
+    # 2 started, then kill -9 before the verdict could be journaled.
+    campaign.journal.append({"type": "shard-start", "key": key, "attempt": 1})
+    campaign.journal.append(
+        {"type": "shard-failed", "key": key, "reason": "killed by signal 9"}
+    )
+    campaign.journal.append({"type": "shard-start", "key": key, "attempt": 2})
+
+    state = Supervisor(campaign).run(no_record=True)
+    assert state == DEGRADED
+
+    document = json.load(open(campaign.results_path))
+    assert document["state"] == DEGRADED
+    row = document["cells"][0]["shards"][0]
+    assert row["status"] == "quarantined"
+    assert row["data"] is None
+    report = json.load(open(campaign.quarantine_path))
+    assert [entry["key"] for entry in report["quarantined"]] == [key]
+    assert report["quarantined"][0]["reason"]
+    # the adopted verdict is journaled, so a second resume agrees
+    folded = campaign.folded()
+    assert folded["shards"][key]["status"] == "quarantined"
 
 
 def test_hung_worker_is_liveness_killed_and_retried():

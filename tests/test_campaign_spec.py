@@ -1,10 +1,17 @@
 """Campaign specs: validation, compilation, and fingerprints."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.campaign import CampaignSpec, FaultPlan, SupervisorConfig
 from repro.campaign.spec import NO_CHAOS, NO_PATTERN
 from repro.errors import ConfigError
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 
 
 def _spec_dict(**overrides):
@@ -57,6 +64,11 @@ def test_supervisor_knobs_are_validated():
     with pytest.raises(ConfigError, match="max_attempts"):
         CampaignSpec.from_dict(_spec_dict(supervisor={"max_attempts": 0}))
     assert SupervisorConfig().validate()
+
+
+def test_misspelled_supervisor_key_is_config_error():
+    with pytest.raises(ConfigError, match="supervisor section is malformed"):
+        CampaignSpec.from_dict(_spec_dict(supervisor={"jobz": 2}))
 
 
 def test_compile_plan_covers_the_full_matrix():
@@ -117,3 +129,42 @@ def test_fault_plan_validation():
         FaultPlan.from_dict({"rules": [{"kind": "kill", "point": "end"}]})
     with pytest.raises(ConfigError, match="unknown keys"):
         FaultPlan.from_dict({"rules": [], "extra": 1})
+
+
+_DRAW_SCRIPT = """
+import json
+from repro.campaign.faultinject import FaultPlan
+from repro.campaign.spec import ShardSpec
+
+plan = FaultPlan.from_dict(
+    {"seed": 7, "rules": [{"kind": "kill", "probability": 0.5}]}
+)
+shards = [
+    ShardSpec(key="k%d" % i, cell="c", machine="tiny", defense="none",
+              chaos="none", pattern="-", index=i, seed=1000 + i)
+    for i in range(32)
+]
+print(json.dumps([
+    [plan._fires(plan.rules[0], shard, attempt) for attempt in (1, 2, 3)]
+    for shard in shards
+]))
+"""
+
+
+def test_fault_probability_draws_ignore_python_hash_seed():
+    """Probabilistic fault rules must replay identically across
+    processes: the draw may never mix in the salted built-in str hash,
+    or resumes would see a different fault schedule than the run they
+    are resuming.
+    """
+    outputs = []
+    for hash_seed in ("0", "31337"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=REPO_SRC)
+        outputs.append(
+            subprocess.check_output(
+                [sys.executable, "-c", _DRAW_SCRIPT], env=env, text=True
+            )
+        )
+    assert outputs[0] == outputs[1]
+    fired = [fire for row in json.loads(outputs[0]) for fire in row]
+    assert any(fired) and not all(fired)  # probability 0.5 really mixes
