@@ -1,0 +1,420 @@
+"""Columnar set-associative structures: packed array-of-ints state.
+
+The third engine tier (docs/VECTORIZATION.md).  The reference and fast
+tiers keep one ``_SetState`` object per materialised set, each holding a
+replacement-policy *object* with its own ``DeterministicRng`` instance —
+so every probe pays attribute walks and a bound-method call per policy
+transition.  At campaign scale those frames dominate the arithmetic.
+
+:class:`ColumnarSetAssociativeCache` stores the same information as
+flat per-set columns instead:
+
+``_tags``
+    set index -> way array (a plain list; tags are opaque keys, ints
+    for data caches and packed ints for the columnar TLB).
+``_rngs``
+    set index -> the 64-bit splitmix64 state of that set's policy
+    stream (what the reference tier wraps in a ``DeterministicRng``).
+``_masks``
+    set index -> packed PLRU reference-bit mask (bit-PLRU kinds), or
+``_stamps`` / ``_clocks``
+    set index -> LRU stamp array and clock (LRU kinds).
+
+Policy transitions are inlined integer kernels on those columns —
+bit-identical state machines and RNG draw streams to the reference
+policies in :mod:`repro.cache.policies`, which the three-tier
+equivalence suite (``tests/test_fast_path.py``, ``tests/test_columnar.py``)
+enforces whole-run.  ``state_dict()`` emits exactly the reference
+encoding (per-set ``{"tags", "policy": {"rng", "mask"|"clock"/"stamps"}}``
+in materialisation order), so snapshots move freely between the fast
+and columnar tiers.
+
+Only the policies the hot structures actually use have columnar
+kernels; :func:`columnar_policy_kind` is how the machine decides
+whether a config can run this tier at all (it silently degrades to the
+fast tier otherwise — docs/VECTORIZATION.md, "Tier selection").
+"""
+
+from repro.cache.policies import (
+    _MIX1,
+    _MIX2,
+    _TWO64,
+    _zero_ways_table,
+    BitPLRU,
+    BitPLRUBimodal,
+    NoisyLRU,
+    TrueLRU,
+)
+from repro.errors import ConfigError
+from repro.utils.bitops import is_power_of_two
+from repro.utils.rng import _GOLDEN, _MASK64, hash64
+
+#: Columnar kernel families.
+PLRU, LRU = "plru", "lru"
+
+#: policy name -> (kernel family, parameter).  The parameter is the
+#: MRU-insertion probability for PLRU kinds (1.0 = no bimodal draw) and
+#: the LRU bias for LRU kinds (None = true LRU, no victim draw).  Read
+#: off the reference classes so the constants cannot drift.
+_KERNELS = {
+    "bit_plru": (PLRU, BitPLRU.insertion_mru_probability),
+    "bit_plru_bimodal": (PLRU, BitPLRUBimodal.insertion_mru_probability),
+    "true_lru": (LRU, None),
+    "noisy_lru": (LRU, NoisyLRU.lru_bias),
+}
+
+
+def columnar_policy_kind(name):
+    """(family, param) of a policy's columnar kernel, or ``None``.
+
+    ``None`` means the policy has no packed-state kernel (srrip, random,
+    tree_plru, ...) and structures using it must run the fast tier.
+    """
+    return _KERNELS.get(name)
+
+
+class ColumnarSetAssociativeCache:
+    """Packed-column drop-in for :class:`~repro.cache.setassoc.SetAssociativeCache`.
+
+    Same public surface (``lookup``/``insert``/``invalidate``/
+    ``contains``/``flush_all``/``resident_tags``/``occupancy``/counters/
+    snapshot protocol) and the same lazy per-set materialisation: a set
+    first touched by ``insert`` seeds its policy stream at
+    ``hash64(parent_rng_state, index)`` — exactly where the reference
+    tier's ``rng.fork(index)`` would start it.
+
+    ``tag_decode``/``tag_encode`` translate between the packed tag
+    representation stored in the columns and the reference tag
+    representation used in snapshots (the columnar TLB packs its
+    ``(as_id, vpn)`` tuples into single ints; data caches store raw
+    line ints and need no codec).
+    """
+
+    def __init__(
+        self, sets, ways, policy, rng, name="cache", tag_decode=None, tag_encode=None
+    ):
+        if sets <= 0 or not is_power_of_two(sets):
+            raise ConfigError("%s: set count must be a positive power of two" % name)
+        if ways <= 0:
+            raise ConfigError("%s: need at least one way" % name)
+        kernel = _KERNELS.get(policy)
+        if kernel is None:
+            raise ConfigError(
+                "%s: policy %r has no columnar kernel (have: %s); "
+                "run this structure on the fast tier"
+                % (name, policy, ", ".join(sorted(_KERNELS)))
+            )
+        self.kind, self.param = kernel
+        self.sets = sets
+        self.ways = ways
+        self.policy_name = policy
+        self.name = name
+        self._rng = rng
+        self._tag_decode = tag_decode
+        self._tag_encode = tag_encode
+        #: Columns (see module docstring).  Insertion order of the dicts
+        #: is materialisation order — snapshot-visible state.
+        self._tags = {}
+        self._rngs = {}
+        if self.kind == PLRU:
+            self._masks = {}
+            self._full = (1 << ways) - 1
+            self._table = _zero_ways_table(ways) if ways <= 16 else None
+        else:
+            self._stamps = {}
+            self._clocks = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Parity with the fast structures (always accelerated).
+        self.fast = True
+        if self.kind == PLRU:
+            self.lookup = self._lookup_plru
+            self.insert = self._insert_plru
+            self.invalidate = self._invalidate_plru
+        else:
+            self.lookup = self._lookup_lru
+            self.insert = self._insert_lru
+            self.invalidate = self._invalidate_lru
+
+    def _materialize(self, index):
+        """Create the columns of one set; policy stream = fork(index)."""
+        tags = [None] * self.ways
+        self._tags[index] = tags
+        self._rngs[index] = hash64(self._rng._state, index)
+        if self.kind == PLRU:
+            self._masks[index] = 0
+        else:
+            self._stamps[index] = list(range(self.ways))
+            self._clocks[index] = self.ways
+        return tags
+
+    # -- PLRU kernels (bit_plru / bit_plru_bimodal) ---------------------
+
+    def _lookup_plru(self, set_index, tag):
+        """Probe for ``tag``; updates replacement state and hit counters."""
+        tags = self._tags.get(set_index)
+        if tags is not None and tag in tags:
+            bit = 1 << tags.index(tag)
+            masks = self._masks
+            mask = masks[set_index]
+            if not mask & bit:
+                mask |= bit
+                masks[set_index] = bit if mask == self._full else mask
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def _insert_plru(self, set_index, tag):
+        """Install ``tag``; return the evicted tag, or None."""
+        tags = self._tags.get(set_index)
+        if tags is None:
+            tags = self._materialize(set_index)
+        masks = self._masks
+        full = self._full
+        if tag in tags:
+            bit = 1 << tags.index(tag)
+            mask = masks[set_index]
+            if not mask & bit:
+                mask |= bit
+                masks[set_index] = bit if mask == full else mask
+            return None
+        p = self.param
+        if None in tags:
+            way = tags.index(None)
+            tags[way] = tag
+            bit = 1 << way
+            if p < 1.0:
+                # Bimodal insertion: one random() draw off this set's
+                # stream (same as the reference on_fill).
+                rngs = self._rngs
+                rngs[set_index] = s = (rngs[set_index] + _GOLDEN) & _MASK64
+                x = (s + _GOLDEN) & _MASK64
+                x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                if (x ^ (x >> 31)) / _TWO64 >= p:
+                    masks[set_index] &= ~bit  # cold (non-MRU) insertion
+                    return None
+            mask = masks[set_index]
+            if not mask & bit:
+                mask |= bit
+                masks[set_index] = bit if mask == full else mask
+            return None
+        # Evict-and-fill, fused: victim draw then (bimodal) fill draw —
+        # the same sequence as FastBitPLRU.evict_and_fill.
+        mask = masks[set_index]
+        table = self._table
+        if table is not None:
+            zero_ways = table[mask]
+        else:
+            zero_ways = [w for w in range(self.ways) if not (mask >> w) & 1]
+        rngs = self._rngs
+        rngs[set_index] = s = (rngs[set_index] + _GOLDEN) & _MASK64
+        x = (s + _GOLDEN) & _MASK64
+        x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+        x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+        draw = x ^ (x >> 31)
+        if zero_ways:
+            way = zero_ways[draw % len(zero_ways)]
+        else:
+            way = draw % self.ways
+        evicted = tags[way]
+        tags[way] = tag
+        self.evictions += 1
+        bit = 1 << way
+        if p < 1.0:
+            rngs[set_index] = s = (rngs[set_index] + _GOLDEN) & _MASK64
+            x = (s + _GOLDEN) & _MASK64
+            x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+            x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+            if (x ^ (x >> 31)) / _TWO64 >= p:
+                masks[set_index] = mask & ~bit
+                return evicted
+        if not mask & bit:
+            mask |= bit
+            masks[set_index] = bit if mask == full else mask
+        return evicted
+
+    def _invalidate_plru(self, set_index, tag):
+        """Drop ``tag`` if resident; return whether it was present."""
+        tags = self._tags.get(set_index)
+        if tags is not None and tag in tags:
+            way = tags.index(tag)
+            tags[way] = None
+            self._masks[set_index] &= ~(1 << way)
+            return True
+        return False
+
+    # -- LRU kernels (true_lru / noisy_lru) -----------------------------
+
+    def _lookup_lru(self, set_index, tag):
+        """Probe for ``tag``; updates replacement state and hit counters."""
+        tags = self._tags.get(set_index)
+        if tags is not None and tag in tags:
+            clocks = self._clocks
+            clock = clocks[set_index]
+            self._stamps[set_index][tags.index(tag)] = clock
+            clocks[set_index] = clock + 1
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def _insert_lru(self, set_index, tag):
+        """Install ``tag``; return the evicted tag, or None."""
+        tags = self._tags.get(set_index)
+        if tags is None:
+            tags = self._materialize(set_index)
+        clocks = self._clocks
+        stamps = self._stamps[set_index]
+        if tag in tags:
+            clock = clocks[set_index]
+            stamps[tags.index(tag)] = clock
+            clocks[set_index] = clock + 1
+            return None
+        if None in tags:
+            way = tags.index(None)
+            tags[way] = tag
+            clock = clocks[set_index]
+            stamps[way] = clock
+            clocks[set_index] = clock + 1
+            return None
+        # Victim: true LRU takes the oldest stamp outright; noisy LRU
+        # draws once and takes the second-oldest with probability
+        # 1 - bias (the reference NoisyLRU.victim sequence).  Stamps are
+        # unique (monotonic clock), so index(min) is the argmin.
+        way = stamps.index(min(stamps))
+        bias = self.param
+        if bias is not None and self.ways > 1:
+            rngs = self._rngs
+            rngs[set_index] = s = (rngs[set_index] + _GOLDEN) & _MASK64
+            x = (s + _GOLDEN) & _MASK64
+            x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+            x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+            if (x ^ (x >> 31)) / _TWO64 >= bias:
+                second = None
+                for w, stamp in enumerate(stamps):
+                    if w != way and (second is None or stamp < stamps[second]):
+                        second = w
+                way = second
+        evicted = tags[way]
+        tags[way] = tag
+        clock = clocks[set_index]
+        stamps[way] = clock
+        clocks[set_index] = clock + 1
+        self.evictions += 1
+        return evicted
+
+    def _invalidate_lru(self, set_index, tag):
+        """Drop ``tag`` if resident; return whether it was present.
+
+        The LRU policies' ``on_invalidate`` is a no-op (the stale stamp
+        makes the emptied way the preferred victim), so only the tag
+        clears.
+        """
+        tags = self._tags.get(set_index)
+        if tags is not None and tag in tags:
+            tags[tags.index(tag)] = None
+            return True
+        return False
+
+    # -- kind-independent surface ---------------------------------------
+
+    def contains(self, set_index, tag):
+        """Probe without side effects (evaluation only)."""
+        tags = self._tags.get(set_index)
+        return tags is not None and tag in tags
+
+    def flush_all(self):
+        """Empty the whole structure (context switch / privileged flush)."""
+        self._tags.clear()
+        self._rngs.clear()
+        if self.kind == PLRU:
+            self._masks.clear()
+        else:
+            self._stamps.clear()
+            self._clocks.clear()
+
+    def resident_tags(self, set_index):
+        """Tags currently in a set (evaluation only; decoded form)."""
+        tags = self._tags.get(set_index)
+        if tags is None:
+            return []
+        decode = self._tag_decode
+        if decode is not None:
+            return [decode(tag) for tag in tags if tag is not None]
+        return [tag for tag in tags if tag is not None]
+
+    def occupancy(self):
+        """Total resident entries (evaluation only)."""
+        return sum(
+            1 for tags in self._tags.values() for tag in tags if tag is not None
+        )
+
+    # -- snapshot protocol (docs/SNAPSHOTS.md) --------------------------
+
+    def state_dict(self):
+        """Materialised sets plus counters, in the reference encoding.
+
+        Byte-identical to what the reference/fast structure would emit
+        after the same operation stream: per-set dicts in
+        materialisation order, policy state as ``{"rng", "mask"}`` or
+        ``{"rng", "clock", "stamps"}``, tags decoded back to the
+        reference representation.  Unmaterialised sets are omitted for
+        the same reason as in the reference tier — they regenerate
+        bit-identically from the parent stream on first touch.
+        """
+        decode = self._tag_decode
+        plru = self.kind == PLRU
+        sets = {}
+        for index, tags in self._tags.items():
+            if decode is not None:
+                out = [None if tag is None else decode(tag) for tag in tags]
+            else:
+                out = list(tags)
+            policy = {"rng": {"state": self._rngs[index]}}
+            if plru:
+                policy["mask"] = self._masks[index]
+            else:
+                policy["clock"] = self._clocks[index]
+                policy["stamps"] = list(self._stamps[index])
+            sets[index] = {"tags": out, "policy": policy}
+        return {
+            "rng": self._rng.state_dict(),
+            "sets": sets,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def load_state(self, state):
+        """Restore state captured by :meth:`state_dict` (either tier's)."""
+        self._rng.load_state(state["rng"])
+        self.flush_all()
+        encode = self._tag_encode
+        plru = self.kind == PLRU
+        for index, entry in state["sets"].items():
+            if encode is not None:
+                tags = [None if tag is None else encode(tag) for tag in entry["tags"]]
+            else:
+                tags = list(entry["tags"])
+            self._tags[index] = tags
+            policy = entry["policy"]
+            self._rngs[index] = policy["rng"]["state"] & _MASK64
+            if plru:
+                self._masks[index] = policy["mask"]
+            else:
+                self._clocks[index] = policy["clock"]
+                self._stamps[index] = list(policy["stamps"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+
+    def __repr__(self):
+        return "ColumnarSetAssociativeCache(%s: %dx%d, policy=%s)" % (
+            self.name,
+            self.sets,
+            self.ways,
+            self.policy_name,
+        )

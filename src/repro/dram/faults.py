@@ -79,6 +79,9 @@ class FaultModel:
         self.synergy = synergy
         self.seed = seed
         self._cache = {}
+        #: (bank, row) -> ascending threshold tuple (packed column of
+        #: the cell list; see :meth:`thresholds_for_row`).
+        self._threshold_cache = {}
         #: (start_row, end_row) ranges forced to contain only true cells,
         #: used to model the DRAM region CTA selects for page tables.
         self._true_cell_row_ranges = []
@@ -93,12 +96,15 @@ class FaultModel:
         if end_row <= start_row:
             raise ConfigError("empty true-cell row range")
         self._true_cell_row_ranges.append((start_row, end_row))
-        # Drop any cached rows now covered by the new constraint.
+        # Drop any cached rows now covered by the new constraint (the
+        # forced-true short circuit shifts the row's RNG stream, so the
+        # threshold column changes too, not just orientations).
         stale = [
             key for key in self._cache if start_row <= key[1] < end_row
         ]
         for key in stale:
             del self._cache[key]
+            self._threshold_cache.pop(key, None)
 
     def _row_forced_true(self, row):
         return any(lo <= row < hi for lo, hi in self._true_cell_row_ranges)
@@ -130,6 +136,22 @@ class FaultModel:
         self._cache[key] = cells
         return cells
 
+    def thresholds_for_row(self, bank, row):
+        """Ascending threshold column of (bank, row): a flat int tuple.
+
+        The packed-array companion of :meth:`cells_for_row` for the
+        activation hot path (docs/VECTORIZATION.md): the row's flip scan
+        runs off this tuple — one int compare per check — and only
+        materialises :class:`VulnerableCell` objects once a threshold is
+        actually crossed.  Same cache lifetime as the cell list.
+        """
+        key = (bank, row)
+        cached = self._threshold_cache.get(key)
+        if cached is None:
+            cached = tuple(cell.threshold for cell in self.cells_for_row(bank, row))
+            self._threshold_cache[key] = cached
+        return cached
+
     def _sample_count(self, rng):
         """Approximate Poisson(mean) using inversion on a small support."""
         mean = self.cells_per_row_mean
@@ -160,6 +182,7 @@ class FaultModel:
             (lo, hi) for lo, hi in state["true_cell_row_ranges"]
         ]
         self._cache.clear()
+        self._threshold_cache.clear()
 
     def effective_disturbance(self, acts_low, acts_high):
         """Combine per-side aggressor activations into effective disturbance.

@@ -241,18 +241,30 @@ class DRAMModule:
             self._scan_flips(bank_index, row - 1, victim)
 
     def _scan_flips(self, bank_index, victim_row, state):
-        """Flip every not-yet-visited cell whose threshold is now crossed."""
-        cells = self.fault_model.cells_for_row(bank_index, victim_row)
-        if state.next_cell >= len(cells):
+        """Flip every not-yet-visited cell whose threshold is now crossed.
+
+        The hot no-flip case — nearly every activation — runs off the
+        row's packed threshold column (one tuple index and one int
+        compare); :class:`~repro.dram.faults.VulnerableCell` objects are
+        only materialised once a threshold actually crosses.
+        """
+        fault_model = self.fault_model
+        thresholds = fault_model.thresholds_for_row(bank_index, victim_row)
+        next_cell = state.next_cell
+        if next_cell >= len(thresholds):
             return
-        effective = self.fault_model.effective_disturbance(
+        effective = fault_model.effective_disturbance(
             state.acts_low, state.acts_high
         )
-        while state.next_cell < len(cells):
-            cell = cells[state.next_cell]
+        if thresholds[next_cell] > effective:
+            return
+        cells = fault_model.cells_for_row(bank_index, victim_row)
+        while next_cell < len(cells):
+            cell = cells[next_cell]
             if cell.threshold > effective:
                 break
-            state.next_cell += 1
+            next_cell += 1
+            state.next_cell = next_cell
             self._apply_flip(bank_index, victim_row, cell)
 
     def _apply_flip(self, bank_index, victim_row, cell):

@@ -1,0 +1,953 @@
+"""The columnar tier's fused batch kernel (docs/VECTORIZATION.md).
+
+:func:`build_columnar_kernel` compiles one closure per machine that
+``Machine.access_many`` runs on a columnar-tier machine when no observer
+is attached (tracing off, no chaos injector, no DRAM monitor — exactly
+the preconditions of the fast tier's turbo loop).  The factory hoists
+every stable reference — packed columns, set-mapping parameters,
+replacement constants, the walker and DRAM entry points — into closure
+cells once, so a batch call only loads the machine's mutable scalars
+before entering the loop; small batches pay no per-call setup.
+
+Inside the loop everything hot is an inlined integer kernel over the
+packed columns of
+:class:`~repro.cache.columnar.ColumnarSetAssociativeCache`:
+
+* the timing-noise draw, both TLB levels (packed int tags), the huge
+  probe, the L2→L1 promote with its frame-table maintenance, and all
+  three data-cache levels including fills, LLC eviction, and the
+  inclusive back-invalidation — no method dispatch, no tuple
+  allocation, no policy objects;
+* fills skip the resident rescan the generic ``insert`` pays, because
+  the probe immediately above proved the tag absent from that level;
+* only the genuinely rare paths — set materialisation, page-table
+  walks, page-fault retries — go through the shared reference methods;
+* machine scalars (cycles, instruction sequence, MLP bookkeeping, the
+  noise RNG position) live in locals for the batch and are written
+  back in a ``finally`` block, mid-batch ``SegmentationFault``
+  included.
+
+Every state transition, RNG draw, cycle charge, and counter total is
+identical to the scalar reference path — enforced whole-run by the
+three-tier equivalence suite (``tests/test_fast_path.py``,
+``tests/test_columnar.py``).
+
+The hoisted references stay valid for the machine's lifetime because
+the columnar structures mutate their column dicts in place
+(``flush_all``/``load_state`` clear and refill, never rebind), and
+``Machine.restore`` does the same for every machine-level object.
+
+:func:`columnar_supported` is the boot-time gate: configs using a
+policy without a columnar kernel (srrip, random, tree_plru) or a
+non-inclusive LLC silently degrade to the fast tier
+(docs/VECTORIZATION.md, "Tier selection").
+"""
+
+from repro.cache.columnar import LRU, PLRU, columnar_policy_kind
+from repro.cache.hierarchy import L1, L2, LLC, MEM
+from repro.cache.policies import _MIX1, _MIX2, _TWO64
+from repro.errors import ConfigError, SegmentationFault
+from repro.machine.addrmap import CounterBatch
+from repro.machine.perf import (
+    DTLB_HIT,
+    LLC_MISS,
+    LLC_REFERENCE,
+    LOADS,
+    PAGE_FAULTS,
+)
+from repro.mmu.tlb import _TAG_NUMBER_MASK, TAG_HUGE_BIT, TLB_L1, TLB_MISS
+from repro.mmu.walker import PageFault
+from repro.params import LINE_SHIFT, PAGE_SHIFT, PAGE_SIZE, SUPERPAGE_SHIFT, SUPERPAGE_SIZE
+from repro.utils.rng import _GOLDEN, _MASK64
+
+
+def columnar_supported(config):
+    """Whether a machine config can run the columnar tier.
+
+    Requires a columnar kernel for every hot policy (L1D, L2, LLC,
+    TLB) and an inclusive LLC (the kernel inlines the inclusive
+    fill/back-invalidate sequence).  Machines asked for the columnar
+    tier on an unsupported config degrade to the fast tier — same
+    behaviour, object-based structures.
+    """
+    cache = config.cache
+    if not getattr(cache, "inclusive", True):
+        return False
+    for name in (cache.l1_policy, cache.l2_policy, cache.policy, config.tlb.policy):
+        if columnar_policy_kind(name) is None:
+            return False
+    return True
+
+
+def _mapping_inline(spec):
+    """Inline parameters of a TLB set mapping: (linear_mask_flag, xor_shift).
+
+    Returns ``(True, None)`` for linear (mask the vpn), ``(False,
+    shift)`` for the xor fold, and ``(False, None)`` for anything else
+    (secret mappings go through the structure's callable).
+    """
+    if spec == "linear":
+        return True, None
+    if isinstance(spec, tuple) and len(spec) == 2 and spec[0] == "xor":
+        return False, spec[1]
+    return False, None
+
+
+def build_columnar_kernel(machine):
+    """Compile the machine's fused batch kernel; see the module docstring.
+
+    Returns ``run(process, vaddrs, collect)``, behaviourally identical
+    to ``for va in vaddrs: machine.access(process, va)`` on a machine
+    with no observers attached.  ``Machine.access_many`` builds it
+    lazily (once per machine) and caches it.
+    """
+    if not getattr(machine.caches, "columnar", False):
+        raise ConfigError("columnar kernels need a columnar-tier machine")
+
+    cpu = machine.config.cpu
+    access_base = cpu.access_base
+    l1_lat = cpu.l1_hit
+    l2_lat = cpu.l2_hit
+    llc_lat = cpu.llc_hit
+    miss_extra = cpu.llc_miss_extra
+    pipelined_lat = cpu.dram_pipelined
+    l2_penalty = cpu.tlb_l2_penalty
+    page_fault_cycles = cpu.page_fault
+    page_off_mask = PAGE_SIZE - 1
+    super_off_mask = SUPERPAGE_SIZE - 1
+    paddr_mask = machine._paddr_mask
+
+    noise = machine._noise
+    noise_bound = noise + 1
+    noise_rng = machine._noise_rng
+    perf = machine.perf
+    kernel_fault = machine.kernel.handle_page_fault
+
+    # -- TLB columns (packed int tags: (as_id << 45) | [huge] | n) ------
+    tlb = machine.tlb
+    tlb_l1 = tlb.l1
+    tlb_l2 = tlb.l2
+    tlb_huge = tlb.l1_huge
+    tlb_config = machine.config.tlb
+    tlb_frames = tlb._frames
+    tlb_lookup = tlb.lookup
+    tlb_lookup_huge = tlb.lookup_huge
+
+    t1_tags = tlb_l1._tags
+    t1_rngs = tlb_l1._rngs
+    t1_mat = tlb_l1._materialize
+    t1_plru = tlb_l1.kind == PLRU
+    t1_p = tlb_l1.param
+    t1_ways = tlb_l1.ways
+    if t1_plru:
+        t1_masks = tlb_l1._masks
+        t1_full = tlb_l1._full
+        t1_table = tlb_l1._table
+    else:
+        t1_stamps = tlb_l1._stamps
+        t1_clocks = tlb_l1._clocks
+    t1_set_mask = tlb_l1.sets - 1
+    t1_linear, t1_xshift = _mapping_inline(tlb_config.l1d_mapping)
+    t1_set_of = tlb.l1_set_of
+
+    t2_tags = tlb_l2._tags
+    t2_plru = tlb_l2.kind == PLRU
+    if t2_plru:
+        t2_masks = tlb_l2._masks
+        t2_full = tlb_l2._full
+    else:
+        t2_stamps = tlb_l2._stamps
+        t2_clocks = tlb_l2._clocks
+    t2_set_mask = tlb_l2.sets - 1
+    t2_linear, t2_xshift = _mapping_inline(tlb_config.l2s_mapping)
+    t2_set_of = tlb.l2_set_of
+
+    th_tags = tlb_huge._tags
+    th_plru = tlb_huge.kind == PLRU
+    if th_plru:
+        th_masks = tlb_huge._masks
+        th_full = tlb_huge._full
+    else:
+        th_stamps = tlb_huge._stamps
+        th_clocks = tlb_huge._clocks
+    th_set_mask = tlb_huge.sets - 1
+    th_linear, th_xshift = _mapping_inline(tlb_config.l1d_huge_mapping)
+    th_set_of = tlb.huge_set_of
+
+    # -- data-cache columns ---------------------------------------------
+    hier = machine.caches
+    hl1 = hier.l1
+    hl2 = hier.l2
+    hllc = hier.llc
+    c1_tags = hl1._tags
+    c1_rngs = hl1._rngs
+    c1_mat = hl1._materialize
+    c1_plru = hl1.kind == PLRU
+    c1_p = hl1.param
+    c1_ways = hl1.ways
+    if c1_plru:
+        c1_masks = hl1._masks
+        c1_full = hl1._full
+        c1_table = hl1._table
+    else:
+        c1_stamps = hl1._stamps
+        c1_clocks = hl1._clocks
+        c1_bias = hl1.param
+    c2_tags = hl2._tags
+    c2_rngs = hl2._rngs
+    c2_mat = hl2._materialize
+    c2_plru = hl2.kind == PLRU
+    c2_p = hl2.param
+    c2_ways = hl2.ways
+    if c2_plru:
+        c2_masks = hl2._masks
+        c2_full = hl2._full
+        c2_table = hl2._table
+    else:
+        c2_stamps = hl2._stamps
+        c2_clocks = hl2._clocks
+        c2_bias = hl2.param
+    cl_tags = hllc._tags
+    cl_rngs = hllc._rngs
+    cl_mat = hllc._materialize
+    cl_plru = hllc.kind == PLRU
+    cl_ways = hllc.ways
+    if cl_plru:
+        cl_p = hllc.param
+        cl_masks = hllc._masks
+        cl_full = hllc._full
+        cl_table = hllc._table
+    else:
+        cl_stamps = hllc._stamps
+        cl_clocks = hllc._clocks
+        cl_bias = hllc.param
+    l1_mask = hier._l1_mask
+    l2_mask = hier._l2_mask
+    llc_memo = hier._index_memo
+    llc_index = hier._llc_index
+    dram_access = machine.dram.access
+    walker = machine.walker
+    walk_miss = walker._walk
+    batch = CounterBatch()
+
+    # Batch-local machine scalars and counters: factory-scope so the
+    # walker-facing closures below share them; run() resets them per
+    # call and flushes them in its finally block.
+    cycles = instr_seq = dram_ops = last_dram = noise_state = 0
+    t1_hits = t1_misses = t1_evictions = 0
+    t2_hits = t2_misses = th_hits = th_misses = 0
+    c1_hits = c1_misses = c1_evictions = 0
+    c2_hits = c2_misses = c2_evictions = 0
+    cl_hits = cl_misses = cl_evictions = 0
+    back_invals = dtlb_hits = llc_refs = llc_misses = 0
+    page_faults = loads = 0
+
+    def fill_l1(line, l1_set):
+        # Install a line the L1D probe just proved absent (reference
+        # insert minus the resident rescan).
+        nonlocal c1_evictions
+        tags = c1_tags.get(l1_set)
+        if tags is None:
+            tags = c1_mat(l1_set)
+        if c1_plru:
+            if None in tags:
+                way = tags.index(None)
+                tags[way] = line
+                bit = 1 << way
+                if c1_p < 1.0:
+                    c1_rngs[l1_set] = s = (c1_rngs[l1_set] + _GOLDEN) & _MASK64
+                    x = (s + _GOLDEN) & _MASK64
+                    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                    if (x ^ (x >> 31)) / _TWO64 >= c1_p:
+                        c1_masks[l1_set] &= ~bit  # cold (non-MRU) insertion
+                        return
+                mask = c1_masks[l1_set]
+                if not mask & bit:
+                    mask |= bit
+                    c1_masks[l1_set] = bit if mask == c1_full else mask
+                return
+            mask = c1_masks[l1_set]
+            if c1_table is not None:
+                zero_ways = c1_table[mask]
+            else:
+                zero_ways = [w for w in range(c1_ways) if not (mask >> w) & 1]
+            c1_rngs[l1_set] = s = (c1_rngs[l1_set] + _GOLDEN) & _MASK64
+            x = (s + _GOLDEN) & _MASK64
+            x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+            x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+            draw = x ^ (x >> 31)
+            if zero_ways:
+                way = zero_ways[draw % len(zero_ways)]
+            else:
+                way = draw % c1_ways
+            tags[way] = line
+            c1_evictions += 1
+            bit = 1 << way
+            if c1_p < 1.0:
+                c1_rngs[l1_set] = s = (c1_rngs[l1_set] + _GOLDEN) & _MASK64
+                x = (s + _GOLDEN) & _MASK64
+                x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                if (x ^ (x >> 31)) / _TWO64 >= c1_p:
+                    c1_masks[l1_set] = mask & ~bit
+                    return
+            if not mask & bit:
+                mask |= bit
+                c1_masks[l1_set] = bit if mask == c1_full else mask
+            return
+        stamps = c1_stamps[l1_set]
+        if None in tags:
+            way = tags.index(None)
+        else:
+            way = stamps.index(min(stamps))
+            if c1_bias is not None and c1_ways > 1:
+                c1_rngs[l1_set] = s = (c1_rngs[l1_set] + _GOLDEN) & _MASK64
+                x = (s + _GOLDEN) & _MASK64
+                x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                if (x ^ (x >> 31)) / _TWO64 >= c1_bias:
+                    second = None
+                    for w, stamp in enumerate(stamps):
+                        if w != way and (second is None or stamp < stamps[second]):
+                            second = w
+                    way = second
+            c1_evictions += 1
+        tags[way] = line
+        clock = c1_clocks[l1_set]
+        stamps[way] = clock
+        c1_clocks[l1_set] = clock + 1
+
+    def fill_l2(line, l2_set):
+        # Install a line the L2 probe just proved absent.
+        nonlocal c2_evictions
+        tags = c2_tags.get(l2_set)
+        if tags is None:
+            tags = c2_mat(l2_set)
+        if c2_plru:
+            if None in tags:
+                way = tags.index(None)
+                tags[way] = line
+                bit = 1 << way
+                if c2_p < 1.0:
+                    c2_rngs[l2_set] = s = (c2_rngs[l2_set] + _GOLDEN) & _MASK64
+                    x = (s + _GOLDEN) & _MASK64
+                    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                    if (x ^ (x >> 31)) / _TWO64 >= c2_p:
+                        c2_masks[l2_set] &= ~bit
+                        return
+                mask = c2_masks[l2_set]
+                if not mask & bit:
+                    mask |= bit
+                    c2_masks[l2_set] = bit if mask == c2_full else mask
+                return
+            mask = c2_masks[l2_set]
+            if c2_table is not None:
+                zero_ways = c2_table[mask]
+            else:
+                zero_ways = [w for w in range(c2_ways) if not (mask >> w) & 1]
+            c2_rngs[l2_set] = s = (c2_rngs[l2_set] + _GOLDEN) & _MASK64
+            x = (s + _GOLDEN) & _MASK64
+            x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+            x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+            draw = x ^ (x >> 31)
+            if zero_ways:
+                way = zero_ways[draw % len(zero_ways)]
+            else:
+                way = draw % c2_ways
+            tags[way] = line
+            c2_evictions += 1
+            bit = 1 << way
+            if c2_p < 1.0:
+                c2_rngs[l2_set] = s = (c2_rngs[l2_set] + _GOLDEN) & _MASK64
+                x = (s + _GOLDEN) & _MASK64
+                x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                if (x ^ (x >> 31)) / _TWO64 >= c2_p:
+                    c2_masks[l2_set] = mask & ~bit
+                    return
+            if not mask & bit:
+                mask |= bit
+                c2_masks[l2_set] = bit if mask == c2_full else mask
+            return
+        stamps = c2_stamps[l2_set]
+        if None in tags:
+            way = tags.index(None)
+        else:
+            way = stamps.index(min(stamps))
+            if c2_bias is not None and c2_ways > 1:
+                c2_rngs[l2_set] = s = (c2_rngs[l2_set] + _GOLDEN) & _MASK64
+                x = (s + _GOLDEN) & _MASK64
+                x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                if (x ^ (x >> 31)) / _TWO64 >= c2_bias:
+                    second = None
+                    for w, stamp in enumerate(stamps):
+                        if w != way and (second is None or stamp < stamps[second]):
+                            second = w
+                    way = second
+            c2_evictions += 1
+        tags[way] = line
+        clock = c2_clocks[l2_set]
+        stamps[way] = clock
+        c2_clocks[l2_set] = clock + 1
+
+    def probe_rest(paddr, line, l1_set):
+        # The L1D probe just missed: L2 -> LLC -> DRAM, with the
+        # reference access()'s inclusive fill and back-invalidation
+        # sequence.  Returns (cache level, data latency).
+        nonlocal c1_misses, c2_hits, c2_misses, cl_hits, cl_misses
+        nonlocal cl_evictions, back_invals, dram_ops, last_dram
+        c1_misses += 1
+        l2_set = line & l2_mask
+        tags2 = c2_tags.get(l2_set)
+        if tags2 is not None and line in tags2:
+            if c2_plru:
+                bit = 1 << tags2.index(line)
+                mask = c2_masks[l2_set]
+                if not mask & bit:
+                    mask |= bit
+                    c2_masks[l2_set] = bit if mask == c2_full else mask
+            else:
+                clock = c2_clocks[l2_set]
+                c2_stamps[l2_set][tags2.index(line)] = clock
+                c2_clocks[l2_set] = clock + 1
+            c2_hits += 1
+            fill_l1(line, l1_set)
+            return L2, l2_lat
+        c2_misses += 1
+        index = llc_memo.get(line)
+        if index is None:
+            index = llc_index(line)
+        ltags = cl_tags.get(index)
+        if ltags is not None and line in ltags:
+            # LLC hit: touch, then refill the inner levels.
+            if cl_plru:
+                bit = 1 << ltags.index(line)
+                mask = cl_masks[index]
+                if not mask & bit:
+                    mask |= bit
+                    cl_masks[index] = bit if mask == cl_full else mask
+            else:
+                clock = cl_clocks[index]
+                cl_stamps[index][ltags.index(line)] = clock
+                cl_clocks[index] = clock + 1
+            cl_hits += 1
+            fill_l2(line, l2_set)
+            fill_l1(line, l1_set)
+            return LLC, llc_lat
+        cl_misses += 1
+        # Inclusive LLC fill of a just-proved-absent line, then the
+        # reference back-invalidation of whatever it displaced.
+        if ltags is None:
+            ltags = cl_mat(index)
+        evicted = None
+        if cl_plru:
+            if None in ltags:
+                way = ltags.index(None)
+                ltags[way] = line
+                bit = 1 << way
+                if cl_p < 1.0:
+                    cl_rngs[index] = s = (cl_rngs[index] + _GOLDEN) & _MASK64
+                    x = (s + _GOLDEN) & _MASK64
+                    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                    if (x ^ (x >> 31)) / _TWO64 >= cl_p:
+                        cl_masks[index] &= ~bit
+                        bit = 0  # cold insertion: no MRU touch below
+                if bit:
+                    mask = cl_masks[index]
+                    if not mask & bit:
+                        mask |= bit
+                        cl_masks[index] = bit if mask == cl_full else mask
+            else:
+                mask = cl_masks[index]
+                if cl_table is not None:
+                    zero_ways = cl_table[mask]
+                else:
+                    zero_ways = [w for w in range(cl_ways) if not (mask >> w) & 1]
+                cl_rngs[index] = s = (cl_rngs[index] + _GOLDEN) & _MASK64
+                x = (s + _GOLDEN) & _MASK64
+                x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                draw = x ^ (x >> 31)
+                if zero_ways:
+                    way = zero_ways[draw % len(zero_ways)]
+                else:
+                    way = draw % cl_ways
+                evicted = ltags[way]
+                ltags[way] = line
+                cl_evictions += 1
+                bit = 1 << way
+                if cl_p < 1.0:
+                    cl_rngs[index] = s = (cl_rngs[index] + _GOLDEN) & _MASK64
+                    x = (s + _GOLDEN) & _MASK64
+                    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                    if (x ^ (x >> 31)) / _TWO64 >= cl_p:
+                        cl_masks[index] = mask & ~bit
+                        bit = 0
+                if bit and not mask & bit:
+                    mask |= bit
+                    cl_masks[index] = bit if mask == cl_full else mask
+        else:
+            stamps = cl_stamps[index]
+            if None in ltags:
+                way = ltags.index(None)
+            else:
+                way = stamps.index(min(stamps))
+                if cl_bias is not None and cl_ways > 1:
+                    cl_rngs[index] = s = (cl_rngs[index] + _GOLDEN) & _MASK64
+                    x = (s + _GOLDEN) & _MASK64
+                    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                    if (x ^ (x >> 31)) / _TWO64 >= cl_bias:
+                        second = None
+                        for w, stamp in enumerate(stamps):
+                            if w != way and (
+                                second is None or stamp < stamps[second]
+                            ):
+                                second = w
+                        way = second
+                evicted = ltags[way]
+                cl_evictions += 1
+            ltags[way] = line
+            clock = cl_clocks[index]
+            stamps[way] = clock
+            cl_clocks[index] = clock + 1
+        if evicted is not None:
+            # Back-invalidation (reference _back_invalidate; trace is
+            # off by the kernel's preconditions).
+            e1_set = evicted & l1_mask
+            e1_tags = c1_tags.get(e1_set)
+            if e1_tags is not None and evicted in e1_tags:
+                w = e1_tags.index(evicted)
+                e1_tags[w] = None
+                if c1_plru:
+                    c1_masks[e1_set] &= ~(1 << w)
+                dropped = True
+            else:
+                dropped = False
+            e2_set = evicted & l2_mask
+            e2_tags = c2_tags.get(e2_set)
+            if e2_tags is not None and evicted in e2_tags:
+                w = e2_tags.index(evicted)
+                e2_tags[w] = None
+                if c2_plru:
+                    c2_masks[e2_set] &= ~(1 << w)
+                dropped = True
+            if dropped:
+                back_invals += 1
+        fill_l2(line, l2_set)
+        fill_l1(line, l1_set)
+        case, dram_latency = dram_access(paddr, cycles)
+        pipelined = (
+            dram_ops == 0 and last_dram == instr_seq - 1 and case != "conflict"
+        )
+        dram_ops += 1
+        last_dram = instr_seq
+        if pipelined:
+            return MEM, pipelined_lat
+        return MEM, miss_extra + dram_latency
+
+    def walk_phys(paddr):
+        # _phys_access(source="walk") over the columns; the walker calls
+        # this for every page-table-entry fetch.
+        nonlocal c1_hits, llc_refs, llc_misses
+        paddr &= paddr_mask
+        line = paddr >> LINE_SHIFT
+        llc_refs += 1
+        l1_set = line & l1_mask
+        tags = c1_tags.get(l1_set)
+        if tags is not None and line in tags:
+            if c1_plru:
+                bit = 1 << tags.index(line)
+                mask = c1_masks[l1_set]
+                if not mask & bit:
+                    mask |= bit
+                    c1_masks[l1_set] = bit if mask == c1_full else mask
+            else:
+                clock = c1_clocks[l1_set]
+                c1_stamps[l1_set][tags.index(line)] = clock
+                c1_clocks[l1_set] = clock + 1
+            c1_hits += 1
+            return L1, l1_lat
+        level, latency = probe_rest(paddr, line, l1_set)
+        if level == MEM:
+            llc_misses += 1
+        return level, latency
+
+    def run(process, vaddrs, collect=False):
+        nonlocal cycles, instr_seq, dram_ops, last_dram, noise_state
+        nonlocal t1_hits, t1_misses, t1_evictions
+        nonlocal t2_hits, t2_misses, th_hits, th_misses
+        nonlocal c1_hits, c1_misses, c1_evictions
+        nonlocal c2_hits, c2_misses, c2_evictions
+        nonlocal cl_hits, cl_misses, cl_evictions
+        nonlocal back_invals, dtlb_hits, llc_refs, llc_misses
+        nonlocal page_faults, loads
+
+        space = process.address_space
+        as_id = space.as_id
+        cr3 = space.cr3
+        as_base = as_id << 45
+        cycles = machine.cycles
+        instr_seq = machine._instr_seq
+        dram_ops = machine._dram_ops_this_instr
+        last_dram = machine._last_dram_instr
+        noise_state = noise_rng._state
+        t1_hits = t1_misses = t1_evictions = 0
+        t2_hits = t2_misses = th_hits = th_misses = 0
+        c1_hits = c1_misses = c1_evictions = 0
+        c2_hits = c2_misses = c2_evictions = 0
+        cl_hits = cl_misses = cl_evictions = 0
+        back_invals = dtlb_hits = llc_refs = llc_misses = 0
+        page_faults = loads = 0
+        latencies = [] if collect else None
+
+        saved_perf = walker.perf
+        saved_phys = walker.phys_access
+        walker.perf = batch
+        walker.phys_access = walk_phys
+        try:
+            for vaddr in vaddrs:
+                instr_seq += 1
+                dram_ops = 0
+                if noise:
+                    # Inlined DeterministicRng.randint on the noise stream.
+                    noise_state = (noise_state + _GOLDEN) & _MASK64
+                    x = (noise_state + _GOLDEN) & _MASK64
+                    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                    latency = access_base + (x ^ (x >> 31)) % noise_bound
+                else:
+                    latency = access_base
+
+                # -- translation: inlined L1-dTLB probe ----------------
+                vpn = vaddr >> PAGE_SHIFT
+                tag = as_base | vpn
+                if t1_linear:
+                    t1_set = vpn & t1_set_mask
+                elif t1_xshift is not None:
+                    t1_set = (vpn ^ (vpn >> t1_xshift)) & t1_set_mask
+                else:
+                    t1_set = t1_set_of(vpn)
+                ttags = t1_tags.get(t1_set)
+                if ttags is not None and tag in ttags:
+                    if t1_plru:
+                        bit = 1 << ttags.index(tag)
+                        mask = t1_masks[t1_set]
+                        if not mask & bit:
+                            mask |= bit
+                            t1_masks[t1_set] = bit if mask == t1_full else mask
+                    else:
+                        clock = t1_clocks[t1_set]
+                        t1_stamps[t1_set][ttags.index(tag)] = clock
+                        t1_clocks[t1_set] = clock + 1
+                    t1_hits += 1
+                    dtlb_hits += 1
+                    paddr = (
+                        (tlb_frames[tag] << PAGE_SHIFT) | (vaddr & page_off_mask)
+                    ) & paddr_mask
+                else:
+                    t1_misses += 1
+                    # -- inlined sTLB probe + L1 promote ---------------
+                    if t2_linear:
+                        t2_set = vpn & t2_set_mask
+                    elif t2_xshift is not None:
+                        t2_set = (vpn ^ (vpn >> t2_xshift)) & t2_set_mask
+                    else:
+                        t2_set = t2_set_of(vpn)
+                    t2t = t2_tags.get(t2_set)
+                    if t2t is not None and tag in t2t:
+                        if t2_plru:
+                            bit = 1 << t2t.index(tag)
+                            mask = t2_masks[t2_set]
+                            if not mask & bit:
+                                mask |= bit
+                                t2_masks[t2_set] = bit if mask == t2_full else mask
+                        else:
+                            clock = t2_clocks[t2_set]
+                            t2_stamps[t2_set][t2t.index(tag)] = clock
+                            t2_clocks[t2_set] = clock + 1
+                        t2_hits += 1
+                        # Promote into the L1 dTLB (reference _install);
+                        # the tag is absent — its probe above missed.
+                        if ttags is None:
+                            ttags = t1_mat(t1_set)
+                        evicted = None
+                        if t1_plru:
+                            if None in ttags:
+                                way = ttags.index(None)
+                                ttags[way] = tag
+                                bit = 1 << way
+                                if t1_p < 1.0:
+                                    t1_rngs[t1_set] = s = (
+                                        t1_rngs[t1_set] + _GOLDEN
+                                    ) & _MASK64
+                                    x = (s + _GOLDEN) & _MASK64
+                                    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                                    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                                    if (x ^ (x >> 31)) / _TWO64 >= t1_p:
+                                        t1_masks[t1_set] &= ~bit
+                                        bit = 0
+                                if bit:
+                                    mask = t1_masks[t1_set]
+                                    if not mask & bit:
+                                        mask |= bit
+                                        t1_masks[t1_set] = (
+                                            bit if mask == t1_full else mask
+                                        )
+                            else:
+                                mask = t1_masks[t1_set]
+                                if t1_table is not None:
+                                    zero_ways = t1_table[mask]
+                                else:
+                                    zero_ways = [
+                                        w
+                                        for w in range(t1_ways)
+                                        if not (mask >> w) & 1
+                                    ]
+                                t1_rngs[t1_set] = s = (
+                                    t1_rngs[t1_set] + _GOLDEN
+                                ) & _MASK64
+                                x = (s + _GOLDEN) & _MASK64
+                                x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                                x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                                draw = x ^ (x >> 31)
+                                if zero_ways:
+                                    way = zero_ways[draw % len(zero_ways)]
+                                else:
+                                    way = draw % t1_ways
+                                evicted = ttags[way]
+                                ttags[way] = tag
+                                t1_evictions += 1
+                                bit = 1 << way
+                                if t1_p < 1.0:
+                                    t1_rngs[t1_set] = s = (
+                                        t1_rngs[t1_set] + _GOLDEN
+                                    ) & _MASK64
+                                    x = (s + _GOLDEN) & _MASK64
+                                    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                                    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                                    if (x ^ (x >> 31)) / _TWO64 >= t1_p:
+                                        t1_masks[t1_set] = mask & ~bit
+                                        bit = 0
+                                if bit and not mask & bit:
+                                    mask |= bit
+                                    t1_masks[t1_set] = (
+                                        bit if mask == t1_full else mask
+                                    )
+                        else:
+                            stamps = t1_stamps[t1_set]
+                            if None in ttags:
+                                way = ttags.index(None)
+                            else:
+                                way = stamps.index(min(stamps))
+                                if t1_p is not None and t1_ways > 1:
+                                    t1_rngs[t1_set] = s = (
+                                        t1_rngs[t1_set] + _GOLDEN
+                                    ) & _MASK64
+                                    x = (s + _GOLDEN) & _MASK64
+                                    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                                    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                                    if (x ^ (x >> 31)) / _TWO64 >= t1_p:
+                                        second = None
+                                        for w, stamp in enumerate(stamps):
+                                            if w != way and (
+                                                second is None
+                                                or stamp < stamps[second]
+                                            ):
+                                                second = w
+                                        way = second
+                                evicted = ttags[way]
+                                t1_evictions += 1
+                            ttags[way] = tag
+                            clock = t1_clocks[t1_set]
+                            stamps[way] = clock
+                            t1_clocks[t1_set] = clock + 1
+                        if evicted is not None:
+                            # Reference _maybe_drop_frame: the L1 dTLB
+                            # holds only 4 KiB tags and a tag lives in
+                            # exactly one L1 set (just evicted from its
+                            # home), so only sTLB residency can still
+                            # pin the frame.
+                            evpn = evicted & _TAG_NUMBER_MASK
+                            if t2_linear:
+                                e2_set = evpn & t2_set_mask
+                            elif t2_xshift is not None:
+                                e2_set = (evpn ^ (evpn >> t2_xshift)) & t2_set_mask
+                            else:
+                                e2_set = t2_set_of(evpn)
+                            e2t = t2_tags.get(e2_set)
+                            if e2t is None or evicted not in e2t:
+                                tlb_frames.pop(evicted, None)
+                        latency += l2_penalty
+                        dtlb_hits += 1
+                        paddr = (
+                            (tlb_frames[tag] << PAGE_SHIFT)
+                            | (vaddr & page_off_mask)
+                        ) & paddr_mask
+                    else:
+                        t2_misses += 1
+                        # -- inlined 2 MiB probe -----------------------
+                        spn = vaddr >> SUPERPAGE_SHIFT
+                        htag = as_base | TAG_HUGE_BIT | spn
+                        if th_linear:
+                            th_set = spn & th_set_mask
+                        elif th_xshift is not None:
+                            th_set = (spn ^ (spn >> th_xshift)) & th_set_mask
+                        else:
+                            th_set = th_set_of(spn)
+                        htags = th_tags.get(th_set)
+                        if htags is not None and htag in htags:
+                            if th_plru:
+                                bit = 1 << htags.index(htag)
+                                mask = th_masks[th_set]
+                                if not mask & bit:
+                                    mask |= bit
+                                    th_masks[th_set] = (
+                                        bit if mask == th_full else mask
+                                    )
+                            else:
+                                clock = th_clocks[th_set]
+                                th_stamps[th_set][htags.index(htag)] = clock
+                                th_clocks[th_set] = clock + 1
+                            th_hits += 1
+                            dtlb_hits += 1
+                            paddr = (
+                                (tlb_frames[htag] << PAGE_SHIFT)
+                                | (vaddr & super_off_mask)
+                            ) & paddr_mask
+                        else:
+                            th_misses += 1
+                            try:
+                                walk = walk_miss(as_id, cr3, vaddr, False)
+                                latency += walk.latency
+                                paddr = walk.paddr & paddr_mask
+                            except PageFault:
+                                # Cold path: fault, map, and retry the
+                                # whole translation through the
+                                # reference TLB methods (the refilled
+                                # page cannot be hot, so the extra
+                                # probes only move counters — exactly
+                                # like the scalar retry).
+                                page_faults += 1
+                                retries = 1
+                                kernel_fault(process, vaddr, False)
+                                cycles += page_fault_cycles
+                                while True:
+                                    try:
+                                        level, frame = tlb_lookup(as_id, vpn)
+                                        if level != TLB_MISS:
+                                            if level != TLB_L1:
+                                                latency += l2_penalty
+                                            dtlb_hits += 1
+                                            paddr = (
+                                                (frame << PAGE_SHIFT)
+                                                | (vaddr & page_off_mask)
+                                            ) & paddr_mask
+                                            break
+                                        hlevel, hframe = tlb_lookup_huge(
+                                            as_id, vaddr >> SUPERPAGE_SHIFT
+                                        )
+                                        if hlevel != TLB_MISS:
+                                            dtlb_hits += 1
+                                            paddr = (
+                                                (hframe << PAGE_SHIFT)
+                                                | (vaddr & super_off_mask)
+                                            ) & paddr_mask
+                                            break
+                                        walk = walk_miss(as_id, cr3, vaddr, False)
+                                        latency += walk.latency
+                                        paddr = walk.paddr & paddr_mask
+                                        break
+                                    except PageFault:
+                                        page_faults += 1
+                                        retries += 1
+                                        if retries > 4:
+                                            raise SegmentationFault(
+                                                vaddr, "fault loop"
+                                            )
+                                        kernel_fault(process, vaddr, False)
+                                        cycles += page_fault_cycles
+
+                # -- data access: inlined L1D probe --------------------
+                line = paddr >> LINE_SHIFT
+                llc_refs += 1
+                l1_set = line & l1_mask
+                dtags = c1_tags.get(l1_set)
+                if dtags is not None and line in dtags:
+                    if c1_plru:
+                        bit = 1 << dtags.index(line)
+                        mask = c1_masks[l1_set]
+                        if not mask & bit:
+                            mask |= bit
+                            c1_masks[l1_set] = bit if mask == c1_full else mask
+                    else:
+                        clock = c1_clocks[l1_set]
+                        c1_stamps[l1_set][dtags.index(line)] = clock
+                        c1_clocks[l1_set] = clock + 1
+                    c1_hits += 1
+                    latency += l1_lat
+                else:
+                    level, data_latency = probe_rest(paddr, line, l1_set)
+                    latency += data_latency
+                    if level == MEM:
+                        llc_misses += 1
+
+                loads += 1
+                # The scalar path reads the word here; reads are pure
+                # (no state, no cycle charge), so the batch skips them.
+                cycles += latency
+                if collect:
+                    latencies.append(latency)
+        finally:
+            machine.cycles = cycles
+            machine._instr_seq = instr_seq
+            machine._dram_ops_this_instr = dram_ops
+            machine._last_dram_instr = last_dram
+            noise_rng._state = noise_state
+            walker.perf = saved_perf
+            walker.phys_access = saved_phys
+            tlb_l1.hits += t1_hits
+            tlb_l1.misses += t1_misses
+            tlb_l1.evictions += t1_evictions
+            tlb_l2.hits += t2_hits
+            tlb_l2.misses += t2_misses
+            tlb_huge.hits += th_hits
+            tlb_huge.misses += th_misses
+            hl1.hits += c1_hits
+            hl1.misses += c1_misses
+            hl1.evictions += c1_evictions
+            hl2.hits += c2_hits
+            hl2.misses += c2_misses
+            hl2.evictions += c2_evictions
+            hllc.hits += cl_hits
+            hllc.misses += cl_misses
+            hllc.evictions += cl_evictions
+            hier.back_invalidations += back_invals
+            batch.flush_into(perf)
+            if dtlb_hits:
+                perf.inc(DTLB_HIT, dtlb_hits)
+            if llc_refs:
+                perf.inc(LLC_REFERENCE, llc_refs)
+            if llc_misses:
+                perf.inc(LLC_MISS, llc_misses)
+            if page_faults:
+                perf.inc(PAGE_FAULTS, page_faults)
+            if loads:
+                perf.inc(LOADS, loads)
+        return latencies
+
+    return run
+
+
+def access_many_columnar(machine, process, vaddrs, collect):
+    """One-shot form of :func:`build_columnar_kernel` (tests, tools).
+
+    ``Machine.access_many`` caches the built kernel instead; this
+    wrapper pays the factory cost every call.
+    """
+    return build_columnar_kernel(machine)(process, vaddrs, collect)

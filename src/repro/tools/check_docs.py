@@ -8,8 +8,10 @@ Scans every Markdown file in the repository root and ``docs/``
 (recursively) for three kinds of rot:
 
 * Markdown links ``[text](target)`` whose target is not an external
-  URL or a pure anchor — resolved relative to the referencing file,
-  then against the repository root;
+  URL — resolved relative to the referencing file, then against the
+  repository root; ``#fragment`` suffixes (and pure ``#fragment``
+  links) are validated against the target file's actual headings
+  using GitHub's anchor-slug rules;
 * backtick-quoted paths like ```docs/API.md``` or ```src/repro/observe/```
   whose first segment is a top-level repository entry — these are how
   the prose refers to files, and they rot just as easily as links;
@@ -57,21 +59,84 @@ def _markdown_files(root):
 
 def _resolves(target, source_dir, root):
     """Whether a reference resolves relative to its file or the repo root."""
-    return os.path.exists(os.path.join(source_dir, target)) or os.path.exists(
-        os.path.join(root, target)
-    )
+    return _resolve_path(target, source_dir, root) is not None
+
+
+def _resolve_path(target, source_dir, root):
+    """The filesystem path a reference resolves to, or None."""
+    for base in (source_dir, root):
+        candidate = os.path.join(base, target)
+        if os.path.exists(candidate):
+            return candidate
+    return None
 
 
 def _link_targets(text):
-    """Intra-repo targets of all Markdown links in ``text``."""
+    """``(path, fragment)`` for every intra-repo Markdown link in ``text``.
+
+    ``path`` is empty for pure ``#fragment`` links (which point into the
+    referencing file itself); ``fragment`` is None when the link carries
+    no anchor.
+    """
     targets = []
     for target in _MD_LINK.findall(text):
-        if target.startswith(_EXTERNAL) or target.startswith("#"):
+        if target.startswith(_EXTERNAL):
             continue
-        target = target.split("#", 1)[0]  # strip anchors
-        if target:
-            targets.append(target)
+        path, _, fragment = target.partition("#")
+        if path or fragment:
+            targets.append((path, fragment if "#" in target else None))
     return targets
+
+
+#: ATX headings — the anchors GitHub derives slugs from.
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*$")
+#: Inline Markdown inside a heading; the rendered text is what gets
+#: slugged, so `code`, **bold**, *em*, and [text](url) all reduce to
+#: their visible content first.
+_HEADING_MARKUP = re.compile(
+    r"`([^`]*)`|\*\*([^*]+)\*\*|\*([^*]+)\*|\[([^\]]*)\]\([^)]*\)"
+)
+
+
+def _slugify(heading):
+    """GitHub's heading -> anchor id: lowercase, drop punctuation except
+    ``-`` and ``_``, spaces become hyphens."""
+    text = _HEADING_MARKUP.sub(
+        lambda match: next(g for g in match.groups() if g is not None), heading
+    )
+    text = text.strip().lower()
+    kept = []
+    for ch in text:
+        if ch.isalnum() or ch in "-_":
+            kept.append(ch)
+        elif ch in " \t":
+            kept.append("-")
+    return "".join(kept)
+
+
+def _heading_anchors(text):
+    """Every anchor id the rendered page exposes (fences excluded).
+
+    Duplicate headings get ``-1``, ``-2``, ... suffixes, exactly as
+    GitHub disambiguates them.
+    """
+    anchors = set()
+    counts = {}
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match is None:
+            continue
+        slug = _slugify(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else "%s-%d" % (slug, seen))
+    return anchors
 
 
 def _backtick_targets(text, root):
@@ -255,19 +320,44 @@ def check_cli_invocations(root):
 
 
 def check_repository(root):
-    """Return a list of (file, reference) pairs that do not resolve."""
+    """Return a list of (file, reference) pairs that do not resolve.
+
+    A reference is broken when its path does not exist *or* when its
+    ``#fragment`` names no heading in the resolved Markdown file; the
+    reference string in the result keeps the fragment so the report
+    pinpoints which of the two it was.
+    """
     broken = []
+    anchor_cache = {}
+
+    def anchors_of(path):
+        cached = anchor_cache.get(path)
+        if cached is None:
+            with open(path, "r", encoding="utf-8") as handle:
+                cached = _heading_anchors(handle.read())
+            anchor_cache[path] = cached
+        return cached
+
     for path in _markdown_files(root):
         with open(path, "r", encoding="utf-8") as handle:
             text = handle.read()
         source_dir = os.path.dirname(path)
         seen = set()
-        for target in _link_targets(text) + _backtick_targets(text, root):
-            if target in seen:
+        links = _link_targets(text)
+        links += [(target, None) for target in _backtick_targets(text, root)]
+        for target, fragment in links:
+            reference = target if fragment is None else target + "#" + fragment
+            if reference in seen:
                 continue
-            seen.add(target)
-            if not _resolves(target, source_dir, root):
-                broken.append((os.path.relpath(path, root), target))
+            seen.add(reference)
+            resolved = path if not target else _resolve_path(target, source_dir, root)
+            if resolved is None:
+                broken.append((os.path.relpath(path, root), reference))
+                continue
+            if fragment is None or not resolved.endswith(".md"):
+                continue
+            if fragment.lower() not in anchors_of(resolved):
+                broken.append((os.path.relpath(path, root), reference))
     return broken
 
 

@@ -1,0 +1,371 @@
+"""The columnar tier must be behaviourally invisible — like the fast tier.
+
+``Machine(fast_path="columnar")`` (or ``REPRO_FAST_PATH=2``) swaps in
+packed-array cache/TLB/DRAM state and a fused batch kernel —
+docs/VECTORIZATION.md documents the design.  The contract tested here
+extends the two-engine suite in ``tests/test_fast_path.py`` to three
+tiers: same virtual cycles, same metrics snapshot, same trace events
+byte for byte, same attack outcome, for the same seed, on *every* tier.
+
+Alongside the equivalence suites sit the tier plumbing tests: the
+``REPRO_FAST_PATH`` three-way selector and its silent degrade for
+configs without columnar kernels, the persistent per-machine fused
+kernel surviving snapshot/restore, and the cross-tier snapshot rules
+(fast and columnar snapshots are interchangeable; reference snapshots
+are not).
+"""
+
+import json
+
+import pytest
+
+from repro.core import PThammerAttack, PThammerConfig
+from repro.core.hammer import DoubleSidedHammer, HammerTarget
+from repro.core.llc_pool import EvictionSet
+from repro.core.uarch import UarchFacts
+from repro.errors import SnapshotError
+from repro.machine import AttackerView, Machine
+from repro.machine.addrmap import (
+    TIER_COLUMNAR,
+    TIER_FAST,
+    TIER_REFERENCE,
+    TIERS,
+    resolve_tier,
+)
+from repro.machine.columnar import columnar_supported
+from repro.machine.configs import tiny_test_config
+from repro.patterns import PatternHammer, compile_pattern, get
+
+
+def _machine_trio(seed=3, trace=False):
+    """Reference, fast, and columnar machines built from the same seed."""
+    trio = []
+    for tier in TIERS:
+        machine = Machine(tiny_test_config(seed=seed), fast_path=tier)
+        assert machine.tier == tier
+        if trace:
+            machine.trace.enable()
+        trio.append((machine, AttackerView(machine, machine.boot_process())))
+    return trio
+
+
+def _events(machine):
+    return [
+        (event.kind, event.component, event.cycle, tuple(sorted(event.fields.items())))
+        for event in machine.trace.events
+    ]
+
+
+def _metrics(machine):
+    return json.dumps(machine.metrics.snapshot_values(), sort_keys=True)
+
+
+def _assert_trio_equivalent(machines, trace=False):
+    reference = machines[0]
+    for other in machines[1:]:
+        assert other.cycles == reference.cycles
+        assert _metrics(other) == _metrics(reference)
+        if trace:
+            assert _events(other) == _events(reference)
+
+
+def _hammer_targets(machine, attacker):
+    """Two hammer targets, same construction as tests/test_fast_path.py."""
+    sets = machine.config.tlb.l1d_sets
+    base = attacker.mmap(12 * sets + 40, populate=True)
+    targets = []
+    for t in (0, 1):
+        tlb_set = [base + (i * sets + t) * 4096 + 2048 for i in range(12)]
+        lines = [
+            base + (12 * sets + 13 * t + i) * 4096 + 17 * 64 for i in range(13)
+        ]
+        va = base + (12 * sets + 26 + t) * 4096
+        targets.append(HammerTarget(va, tlb_set, EvictionSet(lines, 17)))
+    return targets
+
+
+# ----------------------------------------------------------------------
+# tier selection
+
+
+def test_resolve_tier_spellings(monkeypatch):
+    monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
+    assert resolve_tier(None) == TIER_FAST
+    assert resolve_tier(True) == TIER_FAST
+    assert resolve_tier(False) == TIER_REFERENCE
+    for name in TIERS:
+        assert resolve_tier(name) == name
+    for value in ("0", "false", " OFF ", "reference"):
+        monkeypatch.setenv("REPRO_FAST_PATH", value)
+        assert resolve_tier(None) == TIER_REFERENCE
+    for value in ("1", "fast", "true"):
+        monkeypatch.setenv("REPRO_FAST_PATH", value)
+        assert resolve_tier(None) == TIER_FAST
+    for value in ("2", "columnar", " Columnar "):
+        monkeypatch.setenv("REPRO_FAST_PATH", value)
+        assert resolve_tier(None) == TIER_COLUMNAR
+    # The kwarg wins over the environment, like the fast-path bool.
+    assert resolve_tier(TIER_REFERENCE) == TIER_REFERENCE
+
+
+def test_machine_tier_attribute(monkeypatch):
+    assert Machine(tiny_test_config(), fast_path="columnar").tier == TIER_COLUMNAR
+    assert Machine(tiny_test_config(), fast_path=True).tier == TIER_FAST
+    assert Machine(tiny_test_config(), fast_path=False).tier == TIER_REFERENCE
+    monkeypatch.setenv("REPRO_FAST_PATH", "2")
+    machine = Machine(tiny_test_config())
+    assert machine.tier == TIER_COLUMNAR
+    assert machine.fast_path is True  # columnar is an accelerated tier
+
+
+def test_unsupported_policy_degrades_to_fast():
+    """Configs using a policy without a columnar kernel silently run
+    the fast tier instead — same behaviour, no error."""
+    config = tiny_test_config(seed=1)
+    config.cache.policy = "srrip"
+    assert not columnar_supported(config)
+    machine = Machine(config, fast_path="columnar")
+    assert machine.tier == TIER_FAST
+
+
+def test_non_inclusive_llc_degrades_to_fast():
+    config = tiny_test_config(seed=1)
+    config.cache.inclusive = False
+    assert not columnar_supported(config)
+    assert Machine(config, fast_path="columnar").tier == TIER_FAST
+
+
+def test_tiny_config_is_columnar_supported():
+    assert columnar_supported(tiny_test_config())
+
+
+# ----------------------------------------------------------------------
+# whole-run equivalence across all three tiers
+
+
+@pytest.mark.slow
+def test_traced_hammer_rounds_are_byte_identical_across_tiers():
+    """Real hammer rounds with the event firehose on: the trace must
+    not betray which tier produced it.  (Tracing routes around the
+    fused kernel, so this pins the observed path over the packed
+    columnar structures.)"""
+    machines = []
+    for machine, attacker in _machine_trio(seed=11, trace=True):
+        targets = _hammer_targets(machine, attacker)
+        DoubleSidedHammer(attacker, targets[0], targets[1]).run(rounds=25)
+        machines.append(machine)
+    assert len(machines[-1].trace.events) > 0
+    _assert_trio_equivalent(machines, trace=True)
+
+
+@pytest.mark.slow
+def test_full_attack_equivalence_across_tiers():
+    """The end-to-end attack, untraced — the columnar machine runs the
+    fused batch kernel throughout.  Cycles, metrics, flips, and the
+    escalation outcome all match the reference engine."""
+    reports = []
+    machines = []
+    for machine, attacker in _machine_trio(seed=1):
+        config = PThammerConfig(spray_slots=128, pair_sample=10, max_pairs=8)
+        reports.append(PThammerAttack(attacker, config).run())
+        machines.append(machine)
+    _assert_trio_equivalent(machines)
+    for report in reports[1:]:
+        assert report.total_flips == reports[0].total_flips
+        assert report.escalated == reports[0].escalated
+
+
+def test_hammer_rounds_untraced_smoke():
+    """A quick untraced hammer burst through the fused kernel (the
+    not-slow equivalence check the default test run always executes)."""
+    machines = []
+    for machine, attacker in _machine_trio(seed=17):
+        targets = _hammer_targets(machine, attacker)
+        DoubleSidedHammer(attacker, targets[0], targets[1]).run(rounds=6)
+        machines.append(machine)
+    _assert_trio_equivalent(machines)
+
+
+def test_demand_paging_faults_match_across_tiers():
+    """Touching unpopulated pages exercises the kernel-fault retry loop
+    inside the fused kernel; fault counts and cycles must match."""
+    machines = []
+    for machine, attacker in _machine_trio(seed=5):
+        base = attacker.mmap(16, populate=False)
+        attacker.touch_many([base + i * 4096 for i in range(16)] * 3)
+        machines.append(machine)
+    # The workload really did fault (otherwise this test pins nothing).
+    counters = machines[0].metrics.snapshot_values()["counters"]
+    assert counters["page_faults"] >= 16
+    _assert_trio_equivalent(machines)
+
+
+def test_collect_latencies_match_across_tiers():
+    latencies = []
+    for machine, attacker in _machine_trio(seed=5):
+        base = attacker.mmap(4, populate=True)
+        addrs = [base, base + 4096, base, base + 2 * 4096]
+        latencies.append(machine.access_many(attacker.process, addrs, collect=True))
+    assert latencies[0] == latencies[1] == latencies[2]
+    assert len(latencies[2]) == 4
+
+
+def test_pagetable_churn_agrees_across_tiers():
+    """Same migrate/drop schedule on all tiers: identical reads and
+    cycles (the columnar kernel's walks see the moved tables)."""
+    results = []
+    for machine, attacker in _machine_trio(seed=9):
+        base = attacker.mmap(8, populate=True)
+        cr3 = attacker.process.address_space.cr3
+        observed = []
+        for round_index in range(6):
+            observed.append(attacker.read_bulk([base + i * 4096 for i in range(8)]))
+            if round_index % 2 == 0:
+                machine.ptm.migrate_l1pt(cr3, base)
+            else:
+                machine.ptm.drop_l1pt(cr3, base)
+        results.append((machine, observed))
+    machines = [machine for machine, _ in results]
+    assert results[1][1] == results[0][1]
+    assert results[2][1] == results[0][1]
+    _assert_trio_equivalent(machines)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["double_sided", "delay_slotted"])
+def test_pattern_builtins_run_identically_across_tiers(name):
+    """Compiled built-in patterns (including the non-uniform
+    ``delay_slotted``) driven through all three tiers."""
+    machines = []
+    for machine, attacker in _machine_trio(seed=13):
+        targets = _hammer_targets(machine, attacker)
+        interval = UarchFacts.from_config(machine.config).refresh_interval_cycles
+        executable = compile_pattern(get(name), targets, refresh_interval=interval)
+        PatternHammer(attacker, executable, trace=machine.trace).run(rounds=8)
+        machines.append(machine)
+    _assert_trio_equivalent(machines)
+
+
+@pytest.mark.slow
+def test_columnar_bench_outcome_proves_cycle_equality():
+    """The columnar benches double as equivalence checks, mirroring the
+    fast-path bench contract: ``cycles_equal`` is recorded and the
+    committed baseline gates the columnar/fast ratio in CI."""
+    from repro.analysis.bench import run_bench
+
+    record = run_bench("columnar-hammer-loop").to_record(label="test")
+    assert record.outcome["cycles_equal"] == 1
+    assert record.outcome["speedup"] > 0
+    assert record.timings["columnar_over_fast"] > 0
+
+
+# ----------------------------------------------------------------------
+# the persistent fused kernel
+
+
+def test_kernel_is_built_once_and_reused():
+    machine = Machine(tiny_test_config(seed=5), fast_path="columnar")
+    attacker = AttackerView(machine, machine.boot_process())
+    base = attacker.mmap(4, populate=True)
+    assert machine._columnar_kernel is None  # built lazily
+    attacker.touch_many([base, base + 4096])
+    kernel = machine._columnar_kernel
+    assert kernel is not None
+    attacker.touch_many([base + 2 * 4096, base + 3 * 4096])
+    assert machine._columnar_kernel is kernel
+
+
+def test_kernel_survives_restore():
+    """``Machine.restore`` mutates every captured structure in place,
+    so the fused kernel built before a restore keeps producing
+    byte-identical behaviour after it."""
+    machine = Machine(tiny_test_config(seed=3), fast_path="columnar")
+    attacker = AttackerView(machine, machine.boot_process())
+    targets = _hammer_targets(machine, attacker)
+    DoubleSidedHammer(attacker, targets[0], targets[1]).run(rounds=2)
+    kernel = machine._columnar_kernel
+    assert kernel is not None
+    snap = machine.snapshot()
+
+    # Diverge, then restore; the stale kernel must see the restored state.
+    DoubleSidedHammer(attacker, targets[0], targets[1]).run(rounds=3)
+    machine.restore(snap)
+    assert machine._columnar_kernel is kernel
+    DoubleSidedHammer(attacker, targets[0], targets[1]).run(rounds=4)
+    resumed = machine.snapshot().fingerprint()
+
+    # Oracle: a fresh machine restored from the same snapshot.
+    fresh = Machine(tiny_test_config(seed=3), fast_path="columnar").restore(snap)
+    fresh_attacker = AttackerView(fresh, fresh.kernel.processes[attacker.process.pid])
+    DoubleSidedHammer(fresh_attacker, targets[0], targets[1]).run(rounds=4)
+    assert fresh.snapshot().fingerprint() == resumed
+
+
+# ----------------------------------------------------------------------
+# cross-tier snapshots
+
+
+def _run_rounds(machine, attacker, rounds):
+    targets = _hammer_targets(machine, attacker)
+    DoubleSidedHammer(attacker, targets[0], targets[1]).run(rounds=rounds)
+    return targets
+
+
+def test_fast_and_columnar_snapshots_are_interchangeable():
+    """The accelerated tiers share one snapshot encoding: a snapshot
+    captured on either restores into the other byte-identically."""
+    fingerprints = {}
+    for source, target in ((TIER_FAST, TIER_COLUMNAR), (TIER_COLUMNAR, TIER_FAST)):
+        machine = Machine(tiny_test_config(seed=3), fast_path=source)
+        attacker = AttackerView(machine, machine.boot_process())
+        targets = _run_rounds(machine, attacker, rounds=3)
+        snap = machine.snapshot()
+
+        clone = Machine(tiny_test_config(seed=3), fast_path=target).restore(snap)
+        assert clone.snapshot().fingerprint() == snap.fingerprint()
+
+        # Resume on the other tier; trajectories must stay identical.
+        clone_attacker = AttackerView(
+            clone, clone.kernel.processes[attacker.process.pid]
+        )
+        DoubleSidedHammer(clone_attacker, targets[0], targets[1]).run(rounds=3)
+        DoubleSidedHammer(attacker, targets[0], targets[1]).run(rounds=3)
+        assert clone.snapshot().fingerprint() == machine.snapshot().fingerprint()
+        fingerprints[source] = machine.snapshot().fingerprint()
+    assert fingerprints[TIER_FAST] == fingerprints[TIER_COLUMNAR]
+
+
+def test_fork_continues_identically_on_every_accelerated_tier():
+    """``Machine.fork`` boots the branch on the parent's own tier; a
+    fast parent and a columnar parent forked mid-hammer must evolve
+    their branches identically, and leave their parents untouched."""
+    fingerprints = {}
+    for tier in (TIER_FAST, TIER_COLUMNAR):
+        machine = Machine(tiny_test_config(seed=3), fast_path=tier)
+        attacker = AttackerView(machine, machine.boot_process())
+        targets = _run_rounds(machine, attacker, rounds=3)
+        parent_before = machine.snapshot().fingerprint()
+
+        branch = machine.fork()
+        assert branch.tier == tier
+        branch_attacker = AttackerView(
+            branch, branch.kernel.processes[attacker.process.pid]
+        )
+        DoubleSidedHammer(branch_attacker, targets[0], targets[1]).run(rounds=4)
+
+        assert machine.snapshot().fingerprint() == parent_before
+        fingerprints[tier] = branch.snapshot().fingerprint()
+    assert fingerprints[TIER_FAST] == fingerprints[TIER_COLUMNAR]
+
+
+def test_reference_and_columnar_snapshots_are_incompatible():
+    """Reference machines carry no memo state; the mismatch must be a
+    clean SnapshotError in both directions, not silent corruption."""
+    reference = Machine(tiny_test_config(seed=3), fast_path=False)
+    AttackerView(reference, reference.boot_process())
+    columnar = Machine(tiny_test_config(seed=3), fast_path="columnar")
+    AttackerView(columnar, columnar.boot_process())
+    with pytest.raises(SnapshotError, match="fast_path"):
+        columnar.restore(reference.snapshot())
+    with pytest.raises(SnapshotError, match="fast_path"):
+        reference.restore(columnar.snapshot())

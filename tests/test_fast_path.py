@@ -134,12 +134,12 @@ def test_chaos_attack_equivalence():
 )
 def test_experiments_are_identical_under_the_env_gate(name, options, monkeypatch):
     """The registered experiments, run through the engine with
-    ``REPRO_FAST_PATH`` flipped: rendered results and aggregated
-    metrics must match."""
+    ``REPRO_FAST_PATH`` swept over all three tiers (reference, fast,
+    columnar): rendered results and aggregated metrics must match."""
     from repro.analysis import run_experiment
 
     runs = []
-    for value in ("0", "1"):
+    for value in ("0", "1", "2"):
         monkeypatch.setenv("REPRO_FAST_PATH", value)
         run = run_experiment(name, dict(options))
         runs.append(
@@ -148,7 +148,7 @@ def test_experiments_are_identical_under_the_env_gate(name, options, monkeypatch
                 json.dumps(run.metrics.snapshot_values(), sort_keys=True),
             )
         )
-    assert runs[0] == runs[1]
+    assert runs[0] == runs[1] == runs[2]
 
 
 @pytest.mark.slow

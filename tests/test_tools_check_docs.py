@@ -35,20 +35,70 @@ def test_links_resolve_relative_to_their_file(tmp_path):
     assert check_docs.check_repository(root) == []
 
 
-def test_external_urls_and_anchors_are_ignored(tmp_path):
+def test_external_urls_are_ignored(tmp_path):
     root = str(tmp_path)
     _write(
         root,
         "README.md",
-        "[a](https://example.com/x.md) [b](#section) [c](mailto:x@y.z)\n",
+        "# Section\n[a](https://example.com/x.md) [b](#section) [c](mailto:x@y.z)\n",
     )
     assert check_docs.check_repository(root) == []
 
 
-def test_anchor_suffixes_are_stripped(tmp_path):
+def test_anchor_fragments_resolve_against_real_headings(tmp_path):
     root = str(tmp_path)
-    _write(root, "README.md", "[a](docs/GUIDE.md#section)\n")
+    _write(root, "README.md", "[a](docs/GUIDE.md#the-section)\n")
+    _write(root, "docs/GUIDE.md", "# guide\n\n## The section\n")
+    assert check_docs.check_repository(root) == []
+
+
+def test_dead_anchor_fragment_is_reported_with_its_fragment(tmp_path):
+    root = str(tmp_path)
+    _write(root, "README.md", "[a](docs/GUIDE.md#no-such-heading)\n")
     _write(root, "docs/GUIDE.md", "# guide\n")
+    assert check_docs.check_repository(root) == [
+        ("README.md", "docs/GUIDE.md#no-such-heading")
+    ]
+
+
+def test_pure_anchor_links_check_the_referencing_file(tmp_path):
+    root = str(tmp_path)
+    _write(root, "README.md", "# Top\n\n[ok](#top) [bad](#nowhere)\n")
+    assert check_docs.check_repository(root) == [("README.md", "#nowhere")]
+
+
+def test_anchor_slugs_follow_github_rules(tmp_path):
+    root = str(tmp_path)
+    _write(
+        root,
+        "docs/GUIDE.md",
+        "\n".join(
+            [
+                "# `repro bench` — record & compare!",
+                "## Tier_2: columnar",
+                "## Repeated",
+                "## Repeated",
+                "```",
+                "# not a heading (inside a fence)",
+                "```",
+                "[a](#repro-bench--record--compare)",
+                "[b](#tier_2-columnar)",
+                "[c](#repeated) [d](#repeated-1)",
+                "[bad](#not-a-heading-inside-a-fence)",
+                "",
+            ]
+        ),
+    )
+    assert check_docs.check_repository(root) == [
+        ("docs/GUIDE.md", "#not-a-heading-inside-a-fence")
+    ]
+
+
+def test_anchors_on_non_markdown_targets_are_ignored(tmp_path):
+    root = str(tmp_path)
+    # Line-style fragments into source files are not heading anchors.
+    _write(root, "README.md", "[code](src/thing.py#L10)\n")
+    _write(root, "src/thing.py", "pass\n")
     assert check_docs.check_repository(root) == []
 
 
